@@ -1,0 +1,100 @@
+// Figures 3-6 reproduction: effectiveness (Mean / Min / Max MAP) of the 9
+// representation models over 8 representation sources (the 5 atomic ones
+// plus the paper's 3 best pairwise combinations), for each user group:
+//   Figure 3 — All Users, Figure 4 — IP, Figure 5 — BU, Figure 6 — IS.
+// Every figure also reports the CHR and RAN baselines.
+//
+// Each (model, source) cell sweeps the model's configuration grid (thinned
+// by default — MICROREC_FULL_GRID=1 for all 223 configurations).
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "util/table_writer.h"
+
+using namespace microrec;
+
+int main() {
+  bench::Workbench bench = bench::MakeWorkbench();
+  eval::ExperimentRunner& runner = *bench.runner;
+
+  const std::vector<corpus::Source> sources = {
+      corpus::Source::kT,  corpus::Source::kR,  corpus::Source::kF,
+      corpus::Source::kE,  corpus::Source::kC,  corpus::Source::kTR,
+      corpus::Source::kRC, corpus::Source::kTC};
+
+  // Sweep every (model, source) pair once; slice per group afterwards.
+  std::map<std::pair<rec::ModelKind, corpus::Source>, eval::SweepResult>
+      sweeps;
+  for (rec::ModelKind kind : rec::kEvaluatedModels) {
+    std::vector<rec::ModelConfig> configs = rec::EnumerateConfigs(kind);
+    for (corpus::Source source : sources) {
+      Result<eval::SweepResult> sweep =
+          eval::SweepConfigs(runner, configs, source, bench.Cap(6));
+      if (!sweep.ok()) {
+        std::fprintf(stderr, "%s on %s failed: %s\n",
+                     std::string(rec::ModelKindName(kind)).c_str(),
+                     std::string(corpus::SourceName(source)).c_str(),
+                     sweep.status().ToString().c_str());
+        return 1;
+      }
+      sweeps.emplace(std::make_pair(kind, source), std::move(*sweep));
+      std::fprintf(stderr, ".");
+    }
+  }
+  std::fprintf(stderr, "\n");
+
+  const std::vector<std::pair<corpus::UserType, const char*>> figures = {
+      {corpus::UserType::kAllUsers, "Figure 3 — All Users"},
+      {corpus::UserType::kInformationProducer, "Figure 4 — IP users"},
+      {corpus::UserType::kBalancedUser, "Figure 5 — BU users"},
+      {corpus::UserType::kInformationSeeker, "Figure 6 — IS users"},
+  };
+
+  for (const auto& [group, title] : figures) {
+    const std::vector<corpus::UserId>& users = runner.GroupUsers(group);
+    TableWriter table(std::string(title) +
+                      " — Mean(Min..Max) MAP per model and source");
+    std::vector<std::string> header = {"model"};
+    for (corpus::Source source : sources) {
+      header.emplace_back(corpus::SourceName(source));
+    }
+    table.SetHeader(header);
+    for (rec::ModelKind kind : rec::kEvaluatedModels) {
+      std::vector<std::string> row = {std::string(rec::ModelKindName(kind))};
+      for (corpus::Source source : sources) {
+        const eval::SweepResult& sweep = sweeps.at({kind, source});
+        auto stats = sweep.StatsOfGroup(users);
+        row.push_back(bench::F3(stats.mean) + "(" + bench::F3(stats.min) +
+                      ".." + bench::F3(stats.max) + ")");
+      }
+      table.AddRow(row);
+    }
+    table.RenderText(std::cout);
+    std::printf("baselines: RAN=%.3f  CHR=%.3f\n\n",
+                runner.RandomMap(group, 1000),
+                runner.ChronologicalMap(group));
+  }
+
+  // Robustness summary (Section 5): MAP deviation per model over All Users,
+  // averaged across the 8 sources.
+  TableWriter robustness(
+      "Robustness — mean MAP deviation (max-min over configs), All Users");
+  robustness.SetHeader({"model", "mean deviation", "configs/source"});
+  for (rec::ModelKind kind : rec::kEvaluatedModels) {
+    double total = 0.0;
+    size_t configs = 0;
+    for (corpus::Source source : sources) {
+      auto stats = sweeps.at({kind, source})
+                       .StatsOfGroup(
+                           runner.GroupUsers(corpus::UserType::kAllUsers));
+      total += stats.deviation;
+      configs = stats.configs;
+    }
+    robustness.AddRow({std::string(rec::ModelKindName(kind)),
+                       bench::F3(total / static_cast<double>(sources.size())),
+                       std::to_string(configs)});
+  }
+  robustness.RenderText(std::cout);
+  return 0;
+}

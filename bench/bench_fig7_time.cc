@@ -1,0 +1,96 @@
+// Figure 7 reproduction: time efficiency of the 9 representation models —
+// (i) training time TTime (global training + modeling all cohort users) and
+// (ii) testing time ETime (scoring + ranking all test sets) — min / average
+// / max across configurations and representation sources.
+//
+// Absolute numbers differ from the paper's Java/Xeon setup; the shape to
+// compare is the relative ordering (Section 5): TN fastest overall, graph
+// models 1-2 orders slower than their bag counterparts, BTM the slowest
+// topic trainer, HLDA the slowest at test time, LDA the fastest topic
+// trainer.
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/table_writer.h"
+
+using namespace microrec;
+
+int main() {
+  bench::Workbench bench = bench::MakeWorkbench();
+  eval::ExperimentRunner& runner = *bench.runner;
+
+  // Two contrasting sources: the compact R and the voluminous E.
+  const std::vector<corpus::Source> sources = {corpus::Source::kR,
+                                               corpus::Source::kE};
+
+  TableWriter table(
+      "Figure 7 — TTime and ETime per model, min/avg/max over configs and "
+      "sources (seconds)");
+  table.SetHeader({"model", "TTime min", "TTime avg", "TTime max",
+                   "ETime min", "ETime avg", "ETime max"});
+
+  struct Extremes {
+    double ttime_avg;
+    double etime_avg;
+    rec::ModelKind kind;
+  };
+  std::vector<Extremes> averages;
+
+  for (rec::ModelKind kind : rec::kEvaluatedModels) {
+    std::vector<rec::ModelConfig> configs = rec::EnumerateConfigs(kind);
+    double t_min = 1e300, t_max = 0, t_sum = 0;
+    double e_min = 1e300, e_max = 0, e_sum = 0;
+    size_t runs = 0;
+    for (corpus::Source source : sources) {
+      Result<eval::SweepResult> sweep =
+          eval::SweepConfigs(runner, configs, source, bench.Cap(6));
+      if (!sweep.ok()) {
+        std::fprintf(stderr, "sweep failed: %s\n",
+                     sweep.status().ToString().c_str());
+        return 1;
+      }
+      for (const eval::ConfigOutcome& outcome : sweep->outcomes) {
+        t_min = std::min(t_min, outcome.result.ttime_seconds);
+        t_max = std::max(t_max, outcome.result.ttime_seconds);
+        t_sum += outcome.result.ttime_seconds;
+        e_min = std::min(e_min, outcome.result.etime_seconds);
+        e_max = std::max(e_max, outcome.result.etime_seconds);
+        e_sum += outcome.result.etime_seconds;
+        ++runs;
+      }
+      std::fprintf(stderr, ".");
+    }
+    double t_avg = t_sum / static_cast<double>(runs);
+    double e_avg = e_sum / static_cast<double>(runs);
+    averages.push_back({t_avg, e_avg, kind});
+    table.AddRow({std::string(rec::ModelKindName(kind)), bench::F3(t_min),
+                  bench::F3(t_avg), bench::F3(t_max), bench::F3(e_min),
+                  bench::F3(e_avg), bench::F3(e_max)});
+  }
+  std::fprintf(stderr, "\n");
+  table.RenderText(std::cout);
+
+  auto avg_of = [&](rec::ModelKind kind) {
+    for (const auto& entry : averages) {
+      if (entry.kind == kind) return entry;
+    }
+    return averages[0];
+  };
+  std::printf("\nshape checks (paper Section 5):\n");
+  std::printf("  TNG/TN TTime ratio:  %.1fx (paper: ~1 order of magnitude)\n",
+              avg_of(rec::ModelKind::kTNG).ttime_avg /
+                  avg_of(rec::ModelKind::kTN).ttime_avg);
+  std::printf("  CNG/CN TTime ratio:  %.1fx (paper: ~2 orders)\n",
+              avg_of(rec::ModelKind::kCNG).ttime_avg /
+                  avg_of(rec::ModelKind::kCN).ttime_avg);
+  std::printf("  CN/TN  TTime ratio:  %.1fx (paper: ~3x)\n",
+              avg_of(rec::ModelKind::kCN).ttime_avg /
+                  avg_of(rec::ModelKind::kTN).ttime_avg);
+  std::printf("  BTM/LDA TTime ratio: %.1fx (paper: BTM slowest trainer)\n",
+              avg_of(rec::ModelKind::kBTM).ttime_avg /
+                  avg_of(rec::ModelKind::kLDA).ttime_avg);
+  std::printf("  HLDA/BTM ETime ratio: %.1fx (paper: HLDA slowest tester)\n",
+              avg_of(rec::ModelKind::kHLDA).etime_avg /
+                  avg_of(rec::ModelKind::kBTM).etime_avg);
+  return 0;
+}

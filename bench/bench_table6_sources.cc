@@ -1,0 +1,99 @@
+// Table 6 reproduction: Min / Mean / Max MAP of all 13 representation
+// sources over the 4 user types, aggregated across the configurations of
+// all 9 representation models, plus the per-user-type averages of the
+// paper's rightmost column.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "util/table_writer.h"
+
+using namespace microrec;
+
+int main() {
+  bench::Workbench bench = bench::MakeWorkbench();
+  eval::ExperimentRunner& runner = *bench.runner;
+
+  // All 223 configurations are too slow for a default bench run; each model
+  // contributes a capped (post-validity-thinned) slice of its grid, merged
+  // into one outcome pool per source. MICROREC_FULL_GRID=1 runs everything.
+  std::map<corpus::Source, eval::SweepResult> sweeps;
+  for (corpus::Source source : corpus::kAllSources) {
+    eval::SweepResult merged;
+    for (rec::ModelKind kind : rec::kEvaluatedModels) {
+      Result<eval::SweepResult> sweep = eval::SweepConfigs(
+          runner, rec::EnumerateConfigs(kind), source, bench.Cap(4));
+      if (!sweep.ok()) {
+        std::fprintf(stderr, "source %s failed: %s\n",
+                     std::string(corpus::SourceName(source)).c_str(),
+                     sweep.status().ToString().c_str());
+        return 1;
+      }
+      for (eval::ConfigOutcome& outcome : sweep->outcomes) {
+        merged.outcomes.push_back(std::move(outcome));
+      }
+    }
+    sweeps.emplace(source, std::move(merged));
+    std::fprintf(stderr, ".");
+  }
+  std::fprintf(stderr, "\n");
+
+  const std::vector<std::pair<corpus::UserType, const char*>> groups = {
+      {corpus::UserType::kAllUsers, "All Users"},
+      {corpus::UserType::kInformationSeeker, "IS"},
+      {corpus::UserType::kBalancedUser, "BU"},
+      {corpus::UserType::kInformationProducer, "IP"},
+  };
+
+  for (const char* stat : {"Min MAP", "Mean MAP", "Max MAP"}) {
+    TableWriter table(std::string("Table 6 (") + stat +
+                      ") — 13 sources x 4 user types");
+    std::vector<std::string> header = {"group"};
+    for (corpus::Source source : corpus::kAllSources) {
+      header.emplace_back(corpus::SourceName(source));
+    }
+    header.emplace_back("Average");
+    table.SetHeader(header);
+    for (const auto& [group, name] : groups) {
+      const std::vector<corpus::UserId>& users = runner.GroupUsers(group);
+      std::vector<std::string> row = {name};
+      double total = 0.0;
+      for (corpus::Source source : corpus::kAllSources) {
+        auto stats = sweeps.at(source).StatsOfGroup(users);
+        double value = std::string(stat) == "Min MAP"
+                           ? stats.min
+                           : (std::string(stat) == "Max MAP" ? stats.max
+                                                             : stats.mean);
+        total += value;
+        row.push_back(bench::F3(value));
+      }
+      row.push_back(
+          bench::F3(total / static_cast<double>(corpus::kAllSources.size())));
+      table.AddRow(row);
+    }
+    table.RenderText(std::cout);
+    std::printf("\n");
+  }
+
+  // The paper's headline source findings, checked on Mean MAP / All Users.
+  const std::vector<corpus::UserId>& all =
+      runner.GroupUsers(corpus::UserType::kAllUsers);
+  auto mean_of = [&](corpus::Source source) {
+    return sweeps.at(source).StatsOfGroup(all).mean;
+  };
+  std::printf("shape checks (Mean MAP, All Users):\n");
+  std::printf("  R best individual source: R=%.3f vs T=%.3f E=%.3f F=%.3f "
+              "C=%.3f\n",
+              mean_of(corpus::Source::kR), mean_of(corpus::Source::kT),
+              mean_of(corpus::Source::kE), mean_of(corpus::Source::kF),
+              mean_of(corpus::Source::kC));
+  std::printf("  C > E > F ordering: C=%.3f E=%.3f F=%.3f\n",
+              mean_of(corpus::Source::kC), mean_of(corpus::Source::kE),
+              mean_of(corpus::Source::kF));
+  std::printf("  TR improves T: TR=%.3f vs T=%.3f\n",
+              mean_of(corpus::Source::kTR), mean_of(corpus::Source::kT));
+  std::printf("  R-combinations improve the partner (RE vs E): RE=%.3f vs "
+              "E=%.3f\n",
+              mean_of(corpus::Source::kRE), mean_of(corpus::Source::kE));
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared workbench for the reproduction benches: builds the synthetic
+// corpus, cohort, pre-processing and experiment runner once, with
+// environment knobs controlling scale:
+//   MICROREC_SCALE       "small" (default) | "medium"  — corpus size
+//   MICROREC_SEED        generator seed (default 42)
+//   MICROREC_ITER_SCALE  topic-model Gibbs budget multiplier (default 0.03;
+//                        1.0 reproduces the paper's 1,000/2,000 sweeps)
+//   MICROREC_MAX_CONFIGS per-model configuration cap for sweeps (default
+//                        varies per bench; 0 = full grid)
+//   MICROREC_FULL_GRID   "1" forces the complete 223-configuration grid
+#ifndef MICROREC_BENCH_BENCH_UTIL_H_
+#define MICROREC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/sweep.h"
+#include "rec/model_config.h"
+#include "synth/generator.h"
+#include "util/string_util.h"
+
+namespace microrec::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback
+                          : static_cast<size_t>(std::atoll(value));
+}
+
+inline bool EnvFlag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::string(value) == "1";
+}
+
+/// Everything a reproduction bench needs, built once.
+struct Workbench {
+  std::unique_ptr<synth::SyntheticDataset> dataset;
+  std::unique_ptr<corpus::UserCohort> cohort;
+  std::unique_ptr<rec::PreprocessedCorpus> pre;
+  std::unique_ptr<eval::ExperimentRunner> runner;
+
+  const corpus::Corpus& corpus() const { return dataset->corpus; }
+
+  /// Per-sweep configuration cap: the bench default, overridable via
+  /// MICROREC_MAX_CONFIGS; MICROREC_FULL_GRID=1 disables capping entirely.
+  /// Pass the result to eval::SweepConfigs, which thins *after* filtering
+  /// per-source validity.
+  size_t Cap(size_t default_cap) const {
+    if (EnvFlag("MICROREC_FULL_GRID")) return 0;
+    return EnvSize("MICROREC_MAX_CONFIGS", default_cap);
+  }
+};
+
+/// Builds the standard workbench. Prints a one-line summary to stdout.
+inline Workbench MakeWorkbench() {
+  Workbench bench;
+  synth::DatasetSpec spec = synth::DatasetSpec::FromEnv();
+  spec.seed = static_cast<uint64_t>(EnvDouble("MICROREC_SEED", 42));
+  auto dataset = synth::GenerateDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  bench.dataset =
+      std::make_unique<synth::SyntheticDataset>(std::move(*dataset));
+  bench.cohort = std::make_unique<corpus::UserCohort>(
+      corpus::SelectCohort(bench.dataset->corpus, spec.cohort));
+
+  std::vector<corpus::TweetId> stop_basis;
+  for (corpus::UserId u : bench.cohort->all) {
+    for (corpus::TweetId id : bench.dataset->corpus.PostsOf(u)) {
+      stop_basis.push_back(id);
+    }
+  }
+  bench.pre = std::make_unique<rec::PreprocessedCorpus>(
+      bench.dataset->corpus, stop_basis, /*stop_top_k=*/100);
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = EnvDouble("MICROREC_ITER_SCALE", 0.03);
+  options.seed = spec.seed;
+  bench.runner = std::make_unique<eval::ExperimentRunner>(
+      bench.pre.get(), bench.cohort.get(), options);
+  if (Status st = bench.runner->Init(); !st.ok()) {
+    std::fprintf(stderr, "runner init failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf(
+      "# corpus: %zu users, %s tweets | cohort: %zu IS / %zu BU / %zu IP / "
+      "%zu all | iter_scale=%.3f\n",
+      bench.dataset->corpus.num_users(),
+      FormatWithCommas(
+          static_cast<int64_t>(bench.dataset->corpus.num_tweets()))
+          .c_str(),
+      bench.cohort->seekers.size(), bench.cohort->balanced.size(),
+      bench.cohort->producers.size(), bench.cohort->all.size(),
+      EnvDouble("MICROREC_ITER_SCALE", 0.03));
+  return bench;
+}
+
+/// "0.421" style formatting used across the tables.
+inline std::string F3(double value) { return FormatDouble(value, 3); }
+
+}  // namespace microrec::bench
+
+#endif  // MICROREC_BENCH_BENCH_UTIL_H_

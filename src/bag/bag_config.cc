@@ -1,0 +1,111 @@
+#include "bag/bag_config.h"
+
+namespace microrec::bag {
+
+const char* WeightingName(Weighting w) {
+  switch (w) {
+    case Weighting::kBF:
+      return "BF";
+    case Weighting::kTF:
+      return "TF";
+    case Weighting::kTFIDF:
+      return "TF-IDF";
+  }
+  return "?";
+}
+
+const char* AggregationName(Aggregation a) {
+  switch (a) {
+    case Aggregation::kSum:
+      return "Sum";
+    case Aggregation::kCentroid:
+      return "Cen.";
+    case Aggregation::kRocchio:
+      return "Ro.";
+  }
+  return "?";
+}
+
+const char* BagSimilarityName(BagSimilarity s) {
+  switch (s) {
+    case BagSimilarity::kCosine:
+      return "CS";
+    case BagSimilarity::kJaccard:
+      return "JS";
+    case BagSimilarity::kGeneralizedJaccard:
+      return "GJS";
+  }
+  return "?";
+}
+
+bool BagConfig::IsValid() const {
+  if (kind == NgramKind::kToken && (n < 1 || n > 3)) return false;
+  if (kind == NgramKind::kChar && (n < 2 || n > 4)) return false;
+  // CN never uses TF-IDF.
+  if (kind == NgramKind::kChar && weighting == Weighting::kTFIDF) return false;
+  // JS only with BF; GJS only with TF / TF-IDF.
+  if (similarity == BagSimilarity::kJaccard && weighting != Weighting::kBF) {
+    return false;
+  }
+  if (similarity == BagSimilarity::kGeneralizedJaccard &&
+      weighting == Weighting::kBF) {
+    return false;
+  }
+  // BF is coupled exclusively with the sum aggregation.
+  if (weighting == Weighting::kBF && aggregation != Aggregation::kSum) {
+    return false;
+  }
+  // Rocchio uses only the CS measure with TF / TF-IDF weights.
+  if (aggregation == Aggregation::kRocchio) {
+    if (similarity != BagSimilarity::kCosine) return false;
+    if (weighting == Weighting::kBF) return false;
+  }
+  return true;
+}
+
+bool BagConfig::IsValidForSource(bool source_has_negatives) const {
+  if (!IsValid()) return false;
+  if (aggregation == Aggregation::kRocchio && !source_has_negatives) {
+    return false;
+  }
+  return true;
+}
+
+std::string BagConfig::ToString() const {
+  std::string out = kind == NgramKind::kToken ? "TN" : "CN";
+  out += " n=" + std::to_string(n);
+  out += " ";
+  out += WeightingName(weighting);
+  out += " ";
+  out += AggregationName(aggregation);
+  out += " ";
+  out += BagSimilarityName(similarity);
+  return out;
+}
+
+std::vector<BagConfig> EnumerateBagConfigs(NgramKind kind) {
+  std::vector<BagConfig> out;
+  const int n_lo = kind == NgramKind::kToken ? 1 : 2;
+  const int n_hi = kind == NgramKind::kToken ? 3 : 4;
+  for (int n = n_lo; n <= n_hi; ++n) {
+    for (Weighting w : {Weighting::kBF, Weighting::kTF, Weighting::kTFIDF}) {
+      for (Aggregation a : {Aggregation::kSum, Aggregation::kCentroid,
+                            Aggregation::kRocchio}) {
+        for (BagSimilarity s :
+             {BagSimilarity::kCosine, BagSimilarity::kJaccard,
+              BagSimilarity::kGeneralizedJaccard}) {
+          BagConfig config;
+          config.kind = kind;
+          config.n = n;
+          config.weighting = w;
+          config.aggregation = a;
+          config.similarity = s;
+          if (config.IsValid()) out.push_back(config);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace microrec::bag

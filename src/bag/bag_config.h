@@ -1,0 +1,64 @@
+// Configuration space of the bag (vector-space) models, matching Table 5:
+//   TN — token n-grams,  n ∈ {1,2,3}, weights {BF, TF, TF-IDF}
+//   CN — character n-grams, n ∈ {2,3,4}, weights {BF, TF}
+// with aggregation {sum, centroid, Rocchio} and similarity {CS, JS, GJS},
+// subject to the validity rules of Section 4 ("Parameter Tuning"):
+//   * JS applies only to BF weights; GJS only to TF / TF-IDF;
+//   * CN never uses TF-IDF;
+//   * BF is coupled exclusively with the sum aggregation;
+//   * Rocchio uses only CS, with TF / TF-IDF, and only for representation
+//     sources that contain negative examples.
+// These rules yield exactly 36 TN and 21 CN configurations.
+#ifndef MICROREC_BAG_BAG_CONFIG_H_
+#define MICROREC_BAG_BAG_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+namespace microrec::bag {
+
+/// Unit of the n-grams a bag/graph model is built from.
+enum class NgramKind { kToken, kChar };
+
+/// Term-weighting schemes (Section 3.2).
+enum class Weighting { kBF, kTF, kTFIDF };
+
+/// User-vector aggregation functions (Section 3.2).
+enum class Aggregation { kSum, kCentroid, kRocchio };
+
+/// Vector similarity measures (Section 3.2).
+enum class BagSimilarity { kCosine, kJaccard, kGeneralizedJaccard };
+
+const char* WeightingName(Weighting w);
+const char* AggregationName(Aggregation a);
+const char* BagSimilarityName(BagSimilarity s);
+
+/// One bag-model configuration.
+struct BagConfig {
+  NgramKind kind = NgramKind::kToken;
+  int n = 1;
+  Weighting weighting = Weighting::kTF;
+  Aggregation aggregation = Aggregation::kCentroid;
+  BagSimilarity similarity = BagSimilarity::kCosine;
+  // Rocchio positive/negative balance; the paper fixes alpha=0.8, beta=0.2.
+  double rocchio_alpha = 0.8;
+  double rocchio_beta = 0.2;
+
+  /// Checks the standalone validity rules above (everything except the
+  /// negative-examples requirement, which depends on the source).
+  bool IsValid() const;
+
+  /// Full validity for a source that does or does not contain negatives.
+  bool IsValidForSource(bool source_has_negatives) const;
+
+  /// Short display string, e.g. "TN n=3 TF-IDF centroid CS".
+  std::string ToString() const;
+};
+
+/// Enumerates all valid configurations for the given n-gram kind
+/// (36 for kToken, 21 for kChar — asserted by tests).
+std::vector<BagConfig> EnumerateBagConfigs(NgramKind kind);
+
+}  // namespace microrec::bag
+
+#endif  // MICROREC_BAG_BAG_CONFIG_H_

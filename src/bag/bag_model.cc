@@ -1,0 +1,137 @@
+#include "bag/bag_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "text/ngram.h"
+#include "util/string_util.h"
+
+namespace microrec::bag {
+
+std::vector<TermId> BagModeler::ExtractTerms(const TokenDoc& doc) {
+  std::vector<std::string> grams;
+  if (config_.kind == NgramKind::kToken) {
+    grams = text::TokenNgrams(doc, config_.n);
+  } else {
+    grams = text::CharNgrams(Join(doc, " "), config_.n);
+  }
+  std::vector<TermId> ids;
+  ids.reserve(grams.size());
+  for (const std::string& gram : grams) ids.push_back(vocab_.Intern(gram));
+  return ids;
+}
+
+void BagModeler::Fit(const std::vector<TokenDoc>& docs) {
+  num_train_docs_ = docs.size();
+  for (const TokenDoc& doc : docs) {
+    std::vector<TermId> terms = ExtractTerms(doc);
+    SparseVector counts = SparseVector::FromCounts(terms);
+    if (df_.size() < vocab_.size()) df_.resize(vocab_.size(), 0);
+    for (const auto& [term, count] : counts.entries()) {
+      (void)count;
+      ++df_[term];
+    }
+  }
+}
+
+SparseVector BagModeler::EmbedDocument(const TokenDoc& doc) {
+  std::vector<TermId> terms = ExtractTerms(doc);
+  if (df_.size() < vocab_.size()) df_.resize(vocab_.size(), 0);
+  SparseVector counts = SparseVector::FromCounts(terms);
+  if (counts.empty()) return counts;
+
+  const double doc_len = static_cast<double>(terms.size());
+  switch (config_.weighting) {
+    case Weighting::kBF:
+      counts.Transform([](TermId, double) { return 1.0; });
+      break;
+    case Weighting::kTF:
+      counts.Transform(
+          [doc_len](TermId, double freq) { return freq / doc_len; });
+      break;
+    case Weighting::kTFIDF: {
+      const double num_docs = static_cast<double>(num_train_docs_);
+      counts.Transform([this, doc_len, num_docs](TermId term, double freq) {
+        double idf =
+            std::log(num_docs / (static_cast<double>(df_[term]) + 1.0));
+        // Terms present in (almost) every document get idf <= 0; clamping at
+        // zero keeps GJS's non-negativity requirement intact.
+        if (idf < 0.0) idf = 0.0;
+        return freq / doc_len * idf;
+      });
+      counts.PruneZeros();
+      break;
+    }
+  }
+  return counts;
+}
+
+SparseVector BagModeler::BuildUserVector(const std::vector<TokenDoc>& docs,
+                                         const std::vector<bool>& positive) {
+  assert(docs.size() == positive.size());
+  SparseVector user;
+  switch (config_.aggregation) {
+    case Aggregation::kSum: {
+      for (const TokenDoc& doc : docs) {
+        user.AddScaled(EmbedDocument(doc), 1.0);
+      }
+      break;
+    }
+    case Aggregation::kCentroid: {
+      size_t used = 0;
+      for (const TokenDoc& doc : docs) {
+        SparseVector vec = EmbedDocument(doc);
+        double mag = vec.Magnitude();
+        if (mag == 0.0) continue;
+        user.AddScaled(vec, 1.0 / mag);
+        ++used;
+      }
+      if (used > 0) user.Scale(1.0 / static_cast<double>(used));
+      break;
+    }
+    case Aggregation::kRocchio: {
+      SparseVector pos_sum, neg_sum;
+      size_t num_pos = 0, num_neg = 0;
+      for (size_t i = 0; i < docs.size(); ++i) {
+        SparseVector vec = EmbedDocument(docs[i]);
+        double mag = vec.Magnitude();
+        if (mag == 0.0) continue;
+        if (positive[i]) {
+          pos_sum.AddScaled(vec, 1.0 / mag);
+          ++num_pos;
+        } else {
+          neg_sum.AddScaled(vec, 1.0 / mag);
+          ++num_neg;
+        }
+      }
+      if (num_pos > 0) {
+        user.AddScaled(pos_sum,
+                       config_.rocchio_alpha / static_cast<double>(num_pos));
+      }
+      if (num_neg > 0) {
+        user.AddScaled(neg_sum,
+                       -config_.rocchio_beta / static_cast<double>(num_neg));
+      }
+      break;
+    }
+  }
+  user.PruneZeros();
+  return user;
+}
+
+double BagModeler::Score(const SparseVector& user,
+                         const SparseVector& doc) const {
+  switch (config_.similarity) {
+    case BagSimilarity::kCosine: {
+      double denom = user.Magnitude() * doc.Magnitude();
+      return denom == 0.0 ? 0.0 : SparseVector::Dot(user, doc) / denom;
+    }
+    case BagSimilarity::kJaccard:
+      return SparseVector::JaccardSupport(user, doc);
+    case BagSimilarity::kGeneralizedJaccard:
+      return SparseVector::GeneralizedJaccard(user, doc);
+  }
+  return 0.0;
+}
+
+}  // namespace microrec::bag

@@ -1,0 +1,69 @@
+// The bag (vector-space) representation models TN and CN (Section 3.2).
+//
+// Lifecycle per (user, representation source):
+//   1. Fit()             — learn the vocabulary and document frequencies
+//                          from the user's training documents;
+//   2. BuildUserVector() — aggregate training-document vectors into the
+//                          user model (sum / centroid / Rocchio);
+//   3. EmbedDocument() + Score() — embed each test tweet and rank by
+//                          similarity to the user model.
+//
+// A modeler instance serves one user and is not thread-safe: test-time
+// embedding interns previously unseen n-grams so that the set-based
+// similarities (JS, GJS) see the correct union size.
+#ifndef MICROREC_BAG_BAG_MODEL_H_
+#define MICROREC_BAG_BAG_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "bag/bag_config.h"
+#include "bag/sparse_vector.h"
+#include "text/vocabulary.h"
+
+namespace microrec::bag {
+
+/// A training or test document, already pre-processed: lower-cased,
+/// squeezed, stop-filtered token strings. Character n-grams are extracted
+/// from the tokens joined with single spaces, so both TN and CN see exactly
+/// the same pre-processing (Section 4).
+using TokenDoc = std::vector<std::string>;
+
+/// TN / CN modeler for a single user.
+class BagModeler {
+ public:
+  explicit BagModeler(const BagConfig& config) : config_(config) {}
+
+  /// Learns vocabulary + document frequencies from the train documents.
+  void Fit(const std::vector<TokenDoc>& docs);
+
+  /// Embeds one document with the configured weighting scheme. IDF uses the
+  /// fitted document frequencies; unseen terms receive df = 0 (max IDF).
+  SparseVector EmbedDocument(const TokenDoc& doc);
+
+  /// Aggregates the training documents into the user model. `positive`
+  /// must parallel `docs` and is consulted only by Rocchio.
+  SparseVector BuildUserVector(const std::vector<TokenDoc>& docs,
+                               const std::vector<bool>& positive);
+
+  /// Similarity of a user model and a document model under the configured
+  /// measure. Symmetric.
+  double Score(const SparseVector& user, const SparseVector& doc) const;
+
+  const BagConfig& config() const { return config_; }
+  size_t vocabulary_size() const { return vocab_.size(); }
+  size_t num_train_docs() const { return num_train_docs_; }
+
+ private:
+  /// N-gram term ids of a document (interning new terms).
+  std::vector<TermId> ExtractTerms(const TokenDoc& doc);
+
+  BagConfig config_;
+  text::Vocabulary vocab_;
+  std::vector<uint32_t> df_;  // document frequency per term id
+  size_t num_train_docs_ = 0;
+};
+
+}  // namespace microrec::bag
+
+#endif  // MICROREC_BAG_BAG_MODEL_H_

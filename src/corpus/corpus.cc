@@ -1,0 +1,117 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace microrec::corpus {
+
+UserId Corpus::AddUser(std::string handle) {
+  assert(handle_index_.find(handle) == handle_index_.end() &&
+         "duplicate handle");
+  UserId id = static_cast<UserId>(users_.size());
+  handle_index_.emplace(handle, id);
+  users_.push_back(UserInfo{id, std::move(handle)});
+  posts_.emplace_back();
+  graph_.Resize(users_.size());
+  return id;
+}
+
+Result<TweetId> Corpus::AddTweet(UserId author, Timestamp time,
+                                 std::string text, TweetId retweet_of) {
+  if (author >= users_.size()) {
+    return Status::OutOfRange("unknown author id");
+  }
+  Tweet tweet;
+  tweet.id = static_cast<TweetId>(tweets_.size());
+  tweet.author = author;
+  tweet.time = time;
+  if (retweet_of != kInvalidTweet) {
+    if (retweet_of >= tweets_.size()) {
+      return Status::NotFound("retweeted tweet does not exist");
+    }
+    const Tweet& original = tweets_[retweet_of];
+    if (original.IsRetweet()) {
+      // Normalise chains: retweeting a retweet references the root post.
+      tweet.retweet_of = original.retweet_of;
+      tweet.retweet_of_user = original.retweet_of_user;
+    } else {
+      tweet.retweet_of = retweet_of;
+      tweet.retweet_of_user = original.author;
+    }
+    tweet.text = tweets_[tweet.retweet_of].text;
+  } else {
+    tweet.text = std::move(text);
+  }
+  posts_[author].push_back(tweet.id);
+  tweets_.push_back(std::move(tweet));
+  finalized_ = false;
+  return tweets_.back().id;
+}
+
+void Corpus::Finalize() {
+  for (auto& timeline : posts_) {
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [this](TweetId a, TweetId b) {
+                       return tweets_[a].time < tweets_[b].time;
+                     });
+  }
+  finalized_ = true;
+}
+
+std::vector<TweetId> Corpus::RetweetsOf(UserId u) const {
+  std::vector<TweetId> out;
+  for (TweetId id : posts_[u]) {
+    if (tweets_[id].IsRetweet()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TweetId> Corpus::OriginalsOf(UserId u) const {
+  std::vector<TweetId> out;
+  for (TweetId id : posts_[u]) {
+    if (!tweets_[id].IsRetweet()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TweetId> Corpus::MergedPostsOf(
+    const std::vector<UserId>& authors) const {
+  assert(finalized_ && "call Finalize() before querying timelines");
+  std::vector<TweetId> merged;
+  size_t total = 0;
+  for (UserId a : authors) total += posts_[a].size();
+  merged.reserve(total);
+  for (UserId a : authors) {
+    merged.insert(merged.end(), posts_[a].begin(), posts_[a].end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [this](TweetId a, TweetId b) {
+                     return tweets_[a].time < tweets_[b].time;
+                   });
+  return merged;
+}
+
+std::vector<TweetId> Corpus::IncomingOf(UserId u) const {
+  return MergedPostsOf(graph_.Followees(u));
+}
+
+std::vector<TweetId> Corpus::FollowerTweetsOf(UserId u) const {
+  return MergedPostsOf(graph_.Followers(u));
+}
+
+std::vector<TweetId> Corpus::ReciprocalTweetsOf(UserId u) const {
+  return MergedPostsOf(graph_.Reciprocal(u));
+}
+
+double Corpus::PostingRatio(UserId u) const {
+  size_t outgoing = posts_[u].size();
+  size_t incoming = 0;
+  for (UserId v : graph_.Followees(u)) incoming += posts_[v].size();
+  if (incoming == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(outgoing) / static_cast<double>(incoming);
+}
+
+}  // namespace microrec::corpus

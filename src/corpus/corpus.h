@@ -1,0 +1,82 @@
+// The tweet store: owns all tweets plus per-user chronological indexes, and
+// answers the atomic representation-source queries of Section 2:
+//   R(u)  retweets of u
+//   T(u)  original tweets of u
+//   E(u)  (re)tweets of u's followees   (incoming timeline)
+//   F(u)  (re)tweets of u's followers
+//   C(u)  (re)tweets of u's reciprocal connections
+#ifndef MICROREC_CORPUS_CORPUS_H_
+#define MICROREC_CORPUS_CORPUS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/social_graph.h"
+#include "corpus/tweet.h"
+#include "util/status.h"
+
+namespace microrec::corpus {
+
+/// Immutable-after-build collection of users, follow edges and tweets.
+class Corpus {
+ public:
+  /// Registers a user and returns her id. Handles must be unique.
+  UserId AddUser(std::string handle);
+
+  /// Adds a tweet. Its author must be registered; a retweet must reference
+  /// an existing original tweet. Returns the assigned tweet id.
+  Result<TweetId> AddTweet(UserId author, Timestamp time, std::string text,
+                           TweetId retweet_of = kInvalidTweet);
+
+  /// Must be called once after the last AddTweet; sorts every per-user
+  /// timeline chronologically (stable: ties keep insertion order).
+  void Finalize();
+
+  SocialGraph& graph() { return graph_; }
+  const SocialGraph& graph() const { return graph_; }
+
+  size_t num_users() const { return users_.size(); }
+  size_t num_tweets() const { return tweets_.size(); }
+  const UserInfo& user(UserId u) const { return users_[u]; }
+  const Tweet& tweet(TweetId id) const { return tweets_[id]; }
+
+  /// All tweets, in insertion (global chronological generation) order.
+  const std::vector<Tweet>& tweets() const { return tweets_; }
+
+  /// All (re)tweets posted by `u`, chronological.
+  const std::vector<TweetId>& PostsOf(UserId u) const { return posts_[u]; }
+
+  /// R(u): the retweets of u, chronological.
+  std::vector<TweetId> RetweetsOf(UserId u) const;
+
+  /// T(u): the original (non-retweet) tweets of u, chronological.
+  std::vector<TweetId> OriginalsOf(UserId u) const;
+
+  /// E(u): all (re)tweets of u's followees, merged chronologically.
+  std::vector<TweetId> IncomingOf(UserId u) const;
+
+  /// F(u): all (re)tweets of u's followers, merged chronologically.
+  std::vector<TweetId> FollowerTweetsOf(UserId u) const;
+
+  /// C(u): all (re)tweets of u's reciprocal connections, chronological.
+  std::vector<TweetId> ReciprocalTweetsOf(UserId u) const;
+
+  /// Posting ratio |R(u) ∪ T(u)| / |E(u)| used to classify user types
+  /// (Section 2). Returns +inf when the user receives no tweets.
+  double PostingRatio(UserId u) const;
+
+ private:
+  std::vector<TweetId> MergedPostsOf(const std::vector<UserId>& authors) const;
+
+  std::vector<UserInfo> users_;
+  std::unordered_map<std::string, UserId> handle_index_;
+  std::vector<Tweet> tweets_;
+  std::vector<std::vector<TweetId>> posts_;
+  SocialGraph graph_;
+  bool finalized_ = false;
+};
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_CORPUS_H_

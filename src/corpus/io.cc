@@ -1,0 +1,250 @@
+#include "corpus/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace microrec::corpus {
+
+namespace {
+
+// Splits a TSV row. Unlike SplitAny, empty fields are preserved.
+std::vector<std::string> SplitTsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Result<uint64_t> ParseId(const std::string& field, const char* what) {
+  if (field.empty()) {
+    return Status::InvalidArgument(std::string("empty ") + what);
+  }
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string("malformed ") + what + ": " +
+                                     field);
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Result<int64_t> ParseTime(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty timestamp");
+  bool negative = field[0] == '-';
+  std::string digits = negative ? field.substr(1) : field;
+  Result<uint64_t> magnitude = ParseId(digits, "timestamp");
+  if (!magnitude.ok()) return magnitude.status();
+  int64_t value = static_cast<int64_t>(*magnitude);
+  return negative ? -value : value;
+}
+
+}  // namespace
+
+std::string EscapeTweetText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeTweetText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[i + 1]) {
+      case 't':
+        out += '\t';
+        ++i;
+        break;
+      case 'n':
+        out += '\n';
+        ++i;
+        break;
+      case 'r':
+        out += '\r';
+        ++i;
+        break;
+      case '\\':
+        out += '\\';
+        ++i;
+        break;
+      default:
+        out += text[i];
+    }
+  }
+  return out;
+}
+
+Status WriteUsers(const Corpus& corpus, std::ostream& os) {
+  for (UserId u = 0; u < corpus.num_users(); ++u) {
+    os << u << '\t' << corpus.user(u).handle << '\n';
+  }
+  for (UserId u = 0; u < corpus.num_users(); ++u) {
+    for (UserId v : corpus.graph().Followees(u)) {
+      os << "F\t" << u << '\t' << v << '\n';
+    }
+  }
+  if (!os) return Status::Internal("user stream write failed");
+  return Status::OK();
+}
+
+Status WriteTweets(const Corpus& corpus, std::ostream& os) {
+  for (TweetId id = 0; id < corpus.num_tweets(); ++id) {
+    const Tweet& tweet = corpus.tweet(id);
+    os << id << '\t' << tweet.author << '\t' << tweet.time << '\t';
+    if (tweet.IsRetweet()) {
+      os << tweet.retweet_of;
+    } else {
+      os << '-';
+    }
+    // Retweet rows still carry the (inherited) text for human inspection;
+    // the reader ignores it and re-inherits from the original.
+    os << '\t' << EscapeTweetText(tweet.text) << '\n';
+  }
+  if (!os) return Status::Internal("tweet stream write failed");
+  return Status::OK();
+}
+
+Status SaveCorpus(const Corpus& corpus, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) return Status::Internal("cannot create directory: " + directory);
+  {
+    std::ofstream users(directory + "/users.tsv");
+    if (!users) return Status::Internal("cannot open users.tsv for writing");
+    MICROREC_RETURN_IF_ERROR(WriteUsers(corpus, users));
+  }
+  {
+    std::ofstream tweets(directory + "/tweets.tsv");
+    if (!tweets) {
+      return Status::Internal("cannot open tweets.tsv for writing");
+    }
+    MICROREC_RETURN_IF_ERROR(WriteTweets(corpus, tweets));
+  }
+  return Status::OK();
+}
+
+Result<Corpus> ReadCorpus(std::istream& users, std::istream& tweets) {
+  Corpus corpus;
+  std::string line;
+  std::vector<std::pair<UserId, UserId>> edges;
+  size_t line_number = 0;
+  while (std::getline(users, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitTsv(line);
+    if (fields[0] == "F") {
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("users.tsv:" +
+                                       std::to_string(line_number) +
+                                       ": follow row needs 3 fields");
+      }
+      Result<uint64_t> follower = ParseId(fields[1], "follower id");
+      Result<uint64_t> followee = ParseId(fields[2], "followee id");
+      if (!follower.ok()) return follower.status();
+      if (!followee.ok()) return followee.status();
+      edges.emplace_back(static_cast<UserId>(*follower),
+                         static_cast<UserId>(*followee));
+      continue;
+    }
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("users.tsv:" +
+                                     std::to_string(line_number) +
+                                     ": user row needs 2 fields");
+    }
+    Result<uint64_t> id = ParseId(fields[0], "user id");
+    if (!id.ok()) return id.status();
+    if (*id != corpus.num_users()) {
+      return Status::InvalidArgument("users.tsv: ids must be dense and "
+                                     "ordered; got " +
+                                     fields[0]);
+    }
+    corpus.AddUser(fields[1]);
+  }
+  for (const auto& [follower, followee] : edges) {
+    Status st = corpus.graph().AddFollow(follower, followee);
+    if (!st.ok()) return st;
+  }
+
+  line_number = 0;
+  while (std::getline(tweets, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitTsv(line);
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("tweets.tsv:" +
+                                     std::to_string(line_number) +
+                                     ": row needs 5 fields");
+    }
+    Result<uint64_t> id = ParseId(fields[0], "tweet id");
+    Result<uint64_t> author = ParseId(fields[1], "author id");
+    Result<int64_t> time = ParseTime(fields[2]);
+    if (!id.ok()) return id.status();
+    if (!author.ok()) return author.status();
+    if (!time.ok()) return time.status();
+    if (*id != corpus.num_tweets()) {
+      return Status::InvalidArgument("tweets.tsv: ids must be dense and "
+                                     "ordered; got " +
+                                     fields[0]);
+    }
+    TweetId retweet_of = kInvalidTweet;
+    if (fields[3] != "-") {
+      Result<uint64_t> original = ParseId(fields[3], "retweet_of");
+      if (!original.ok()) return original.status();
+      retweet_of = *original;
+    }
+    Result<TweetId> added = corpus.AddTweet(
+        static_cast<UserId>(*author), *time,
+        UnescapeTweetText(fields[4]), retweet_of);
+    if (!added.ok()) return added.status();
+  }
+  corpus.Finalize();
+  return corpus;
+}
+
+Result<Corpus> LoadCorpus(const std::string& directory) {
+  std::ifstream users(directory + "/users.tsv");
+  if (!users) return Status::NotFound(directory + "/users.tsv not readable");
+  std::ifstream tweets(directory + "/tweets.tsv");
+  if (!tweets) {
+    return Status::NotFound(directory + "/tweets.tsv not readable");
+  }
+  return ReadCorpus(users, tweets);
+}
+
+}  // namespace microrec::corpus

@@ -1,0 +1,47 @@
+// Corpus persistence: a plain-text, diff-friendly on-disk format so
+// generated corpora can be shared, inspected and reloaded — and so real
+// datasets can be imported without writing C++.
+//
+// Format (one directory, two TSV files):
+//
+//   users.tsv   one row per user:   user_id <TAB> handle
+//               one row per edge:   F <TAB> follower_id <TAB> followee_id
+//   tweets.tsv  one row per tweet:
+//               tweet_id <TAB> author_id <TAB> time <TAB> retweet_of <TAB> text
+//               (`retweet_of` is "-" for original tweets; text has TAB,
+//               newline and backslash escaped as \t, \n, \\)
+//
+// Rows must appear in id order (the writer guarantees it); retweets may
+// only reference earlier tweet ids, mirroring Corpus::AddTweet's contract.
+#ifndef MICROREC_CORPUS_IO_H_
+#define MICROREC_CORPUS_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace microrec::corpus {
+
+/// Escapes TAB, newline, carriage return and backslash in tweet text.
+std::string EscapeTweetText(const std::string& text);
+/// Inverse of EscapeTweetText. Invalid escapes pass through unchanged.
+std::string UnescapeTweetText(const std::string& text);
+
+/// Writes `corpus` as users.tsv / tweets.tsv streams.
+Status WriteUsers(const Corpus& corpus, std::ostream& os);
+Status WriteTweets(const Corpus& corpus, std::ostream& os);
+
+/// Writes both files into `directory` (created if missing).
+Status SaveCorpus(const Corpus& corpus, const std::string& directory);
+
+/// Reads a corpus back from the two streams. The result is Finalize()d.
+Result<Corpus> ReadCorpus(std::istream& users, std::istream& tweets);
+
+/// Loads users.tsv / tweets.tsv from `directory`.
+Result<Corpus> LoadCorpus(const std::string& directory);
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_IO_H_

@@ -1,0 +1,45 @@
+#include "corpus/social_graph.h"
+
+#include <algorithm>
+
+namespace microrec::corpus {
+
+void SocialGraph::Resize(size_t num_users) {
+  if (num_users < followees_.size()) return;
+  followees_.resize(num_users);
+  followers_.resize(num_users);
+  followee_sets_.resize(num_users);
+}
+
+Status SocialGraph::AddFollow(UserId follower, UserId followee) {
+  if (follower >= num_users() || followee >= num_users()) {
+    return Status::OutOfRange("user id outside graph");
+  }
+  if (follower == followee) {
+    return Status::InvalidArgument("self-follow not allowed");
+  }
+  if (followee_sets_.size() < followees_.size()) {
+    followee_sets_.resize(followees_.size());
+  }
+  auto [it, inserted] = followee_sets_[follower].insert(followee);
+  (void)it;
+  if (!inserted) return Status::InvalidArgument("duplicate follow edge");
+  followees_[follower].push_back(followee);
+  followers_[followee].push_back(follower);
+  return Status::OK();
+}
+
+bool SocialGraph::Follows(UserId follower, UserId followee) const {
+  if (follower >= followee_sets_.size()) return false;
+  return followee_sets_[follower].count(followee) > 0;
+}
+
+std::vector<UserId> SocialGraph::Reciprocal(UserId u) const {
+  std::vector<UserId> out;
+  for (UserId v : followees_[u]) {
+    if (Follows(v, u)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace microrec::corpus

@@ -1,0 +1,54 @@
+// The Twitter follow graph: directed edges, with helpers for the three
+// neighbourhood views the representation sources need — followees e(u),
+// followers f(u), and reciprocal connections (Section 2).
+#ifndef MICROREC_CORPUS_SOCIAL_GRAPH_H_
+#define MICROREC_CORPUS_SOCIAL_GRAPH_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/tweet.h"
+#include "util/status.h"
+
+namespace microrec::corpus {
+
+/// Directed follow graph over a dense user-id space [0, num_users).
+class SocialGraph {
+ public:
+  explicit SocialGraph(size_t num_users = 0)
+      : followees_(num_users), followers_(num_users) {}
+
+  size_t num_users() const { return followees_.size(); }
+
+  /// Grows the id space to hold `num_users` users.
+  void Resize(size_t num_users);
+
+  /// Adds the edge follower -> followee. Self-follows and duplicate edges
+  /// are rejected.
+  Status AddFollow(UserId follower, UserId followee);
+
+  bool Follows(UserId follower, UserId followee) const;
+
+  /// Accounts `u` follows (e(u) in the paper).
+  const std::vector<UserId>& Followees(UserId u) const {
+    return followees_[u];
+  }
+  /// Accounts following `u` (f(u) in the paper).
+  const std::vector<UserId>& Followers(UserId u) const {
+    return followers_[u];
+  }
+  /// Users connected to `u` in both directions.
+  std::vector<UserId> Reciprocal(UserId u) const;
+
+ private:
+  // Adjacency lists; each kept in insertion order, with a hash set per user
+  // for O(1) membership tests.
+  std::vector<std::vector<UserId>> followees_;
+  std::vector<std::vector<UserId>> followers_;
+  std::vector<std::unordered_set<UserId>> followee_sets_;
+};
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_SOCIAL_GRAPH_H_

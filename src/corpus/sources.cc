@@ -1,0 +1,130 @@
+#include "corpus/sources.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace microrec::corpus {
+
+std::string_view SourceName(Source source) {
+  switch (source) {
+    case Source::kR:
+      return "R";
+    case Source::kT:
+      return "T";
+    case Source::kE:
+      return "E";
+    case Source::kF:
+      return "F";
+    case Source::kC:
+      return "C";
+    case Source::kTR:
+      return "TR";
+    case Source::kTE:
+      return "TE";
+    case Source::kRE:
+      return "RE";
+    case Source::kTC:
+      return "TC";
+    case Source::kRC:
+      return "RC";
+    case Source::kTF:
+      return "TF";
+    case Source::kRF:
+      return "RF";
+    case Source::kEF:
+      return "EF";
+  }
+  return "?";
+}
+
+Result<Source> ParseSource(std::string_view name) {
+  for (Source s : kAllSources) {
+    if (SourceName(s) == name) return s;
+  }
+  return Status::InvalidArgument("unknown source name: " + std::string(name));
+}
+
+bool HasNegativeExamples(Source source) {
+  switch (source) {
+    case Source::kC:
+    case Source::kE:
+    case Source::kTE:
+    case Source::kRE:
+    case Source::kTC:
+    case Source::kRC:
+    case Source::kEF:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<Source> AtomicConstituents(Source source) {
+  switch (source) {
+    case Source::kR:
+    case Source::kT:
+    case Source::kE:
+    case Source::kF:
+    case Source::kC:
+      return {source};
+    case Source::kTR:
+      return {Source::kT, Source::kR};
+    case Source::kTE:
+      return {Source::kT, Source::kE};
+    case Source::kRE:
+      return {Source::kR, Source::kE};
+    case Source::kTC:
+      return {Source::kT, Source::kC};
+    case Source::kRC:
+      return {Source::kR, Source::kC};
+    case Source::kTF:
+      return {Source::kT, Source::kF};
+    case Source::kRF:
+      return {Source::kR, Source::kF};
+    case Source::kEF:
+      return {Source::kE, Source::kF};
+  }
+  return {};
+}
+
+namespace {
+
+std::vector<TweetId> AtomicTweets(const Corpus& corpus, UserId u,
+                                  Source source) {
+  switch (source) {
+    case Source::kR:
+      return corpus.RetweetsOf(u);
+    case Source::kT:
+      return corpus.OriginalsOf(u);
+    case Source::kE:
+      return corpus.IncomingOf(u);
+    case Source::kF:
+      return corpus.FollowerTweetsOf(u);
+    case Source::kC:
+      return corpus.ReciprocalTweetsOf(u);
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
+std::vector<TweetId> SourceTweets(const Corpus& corpus, UserId u,
+                                  Source source) {
+  std::vector<Source> parts = AtomicConstituents(source);
+  if (parts.size() == 1) return AtomicTweets(corpus, u, parts[0]);
+
+  std::vector<TweetId> merged = AtomicTweets(corpus, u, parts[0]);
+  std::vector<TweetId> second = AtomicTweets(corpus, u, parts[1]);
+  std::unordered_set<TweetId> seen(merged.begin(), merged.end());
+  for (TweetId id : second) {
+    if (seen.insert(id).second) merged.push_back(id);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [&corpus](TweetId a, TweetId b) {
+                     return corpus.tweet(a).time < corpus.tweet(b).time;
+                   });
+  return merged;
+}
+
+}  // namespace microrec::corpus

@@ -1,0 +1,66 @@
+// The 13 representation sources of Section 2: five atomic (R, T, E, F, C)
+// and the eight pairwise combinations the paper evaluates
+// (TR, TE, RE, TC, RC, TF, RF, EF).
+#ifndef MICROREC_CORPUS_SOURCES_H_
+#define MICROREC_CORPUS_SOURCES_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "util/status.h"
+
+namespace microrec::corpus {
+
+/// Representation source identifiers. Composite values union the tweet sets
+/// of their two atomic constituents.
+enum class Source {
+  kR,   // retweets of u
+  kT,   // original tweets of u
+  kE,   // followees' (re)tweets
+  kF,   // followers' (re)tweets
+  kC,   // reciprocal connections' (re)tweets
+  kTR,
+  kTE,
+  kRE,
+  kTC,
+  kRC,
+  kTF,
+  kRF,
+  kEF,
+};
+
+/// All 13 sources, in the paper's Table 6 column order.
+inline constexpr std::array<Source, 13> kAllSources = {
+    Source::kR,  Source::kT,  Source::kE,  Source::kF,  Source::kC,
+    Source::kTR, Source::kRE, Source::kRF, Source::kRC, Source::kTE,
+    Source::kTF, Source::kTC, Source::kEF};
+
+/// The five atomic sources.
+inline constexpr std::array<Source, 5> kAtomicSources = {
+    Source::kR, Source::kT, Source::kE, Source::kF, Source::kC};
+
+/// Display name, e.g. "TR".
+std::string_view SourceName(Source source);
+
+/// Parses a source name; InvalidArgument on unknown names.
+Result<Source> ParseSource(std::string_view name);
+
+/// True for sources that include tweets labelled *negative* (non-retweeted
+/// incoming tweets). The Rocchio aggregation is only defined for these:
+/// C, E, TE, RE, TC, RC and EF (Section 4, "Parameter Tuning").
+bool HasNegativeExamples(Source source);
+
+/// The atomic constituents of `source` (one or two entries).
+std::vector<Source> AtomicConstituents(Source source);
+
+/// Materialises s(u): the training tweet ids of user `u` under `source`,
+/// chronologically ordered, with duplicates (a tweet reachable through both
+/// constituents) removed.
+std::vector<TweetId> SourceTweets(const Corpus& corpus, UserId u,
+                                  Source source);
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_SOURCES_H_

@@ -1,0 +1,126 @@
+#include "corpus/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace microrec::corpus {
+
+std::vector<TweetId> UserSplit::TestSet() const {
+  std::vector<TweetId> out = positives;
+  out.insert(out.end(), negatives.begin(), negatives.end());
+  return out;
+}
+
+size_t LabeledTrainSet::NumPositive() const {
+  size_t count = 0;
+  for (bool p : positive) count += p ? 1 : 0;
+  return count;
+}
+
+Result<UserSplit> MakeUserSplit(const Corpus& corpus, UserId u,
+                                const SplitOptions& options, Rng* rng) {
+  if (options.test_fraction <= 0.0 || options.test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0,1)");
+  }
+  // Only retweets of *received* posts participate in the ranking task
+  // (D_test(u) ⊆ E(u)): keep those whose original author is a followee.
+  std::vector<TweetId> retweets;
+  for (TweetId rt : corpus.RetweetsOf(u)) {  // chronological
+    if (corpus.graph().Follows(u, corpus.tweet(rt).retweet_of_user)) {
+      retweets.push_back(rt);
+    }
+  }
+  if (retweets.empty()) {
+    return Status::FailedPrecondition("user has no retweets of received posts");
+  }
+
+  size_t test_count = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(retweets.size()) *
+                             options.test_fraction));
+  size_t first_test = retweets.size() - test_count;
+
+  UserSplit split;
+  split.user = u;
+  split.split_time = corpus.tweet(retweets[first_test]).time;
+
+  // Positives: the original tweets behind the held-out retweets. A user may
+  // retweet two posts with identical originals only if ids differ, so the
+  // positive set is deduplicated by original id.
+  std::unordered_set<TweetId> positive_ids;
+  for (size_t i = first_test; i < retweets.size(); ++i) {
+    TweetId original = corpus.tweet(retweets[i]).retweet_of;
+    if (positive_ids.insert(original).second) {
+      split.positives.push_back(original);
+    }
+  }
+
+  // Everything u ever retweeted (any phase, received or discovered) is
+  // excluded from negatives.
+  std::unordered_set<TweetId> ever_retweeted;
+  for (TweetId rt : corpus.RetweetsOf(u)) {
+    ever_retweeted.insert(corpus.tweet(rt).retweet_of);
+  }
+
+  // Candidate negatives: incoming (followee) tweets in the testing phase
+  // that u did not retweet. Incoming retweets are resolved to nothing — the
+  // candidate is the post itself, mirroring what a timeline shows.
+  std::vector<TweetId> candidates;
+  for (TweetId id : corpus.IncomingOf(u)) {
+    const Tweet& tweet = corpus.tweet(id);
+    if (tweet.time < split.split_time) continue;
+    TweetId content_id = tweet.IsRetweet() ? tweet.retweet_of : tweet.id;
+    if (ever_retweeted.count(content_id)) continue;
+    candidates.push_back(id);
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no testing-phase incoming tweets to sample negatives from");
+  }
+
+  size_t wanted = split.positives.size() *
+                  static_cast<size_t>(options.negatives_per_positive);
+  if (wanted >= candidates.size()) {
+    split.negatives = std::move(candidates);
+  } else {
+    std::vector<size_t> picks =
+        rng->SampleWithoutReplacement(candidates.size(), wanted);
+    std::sort(picks.begin(), picks.end());
+    split.negatives.reserve(wanted);
+    for (size_t index : picks) split.negatives.push_back(candidates[index]);
+  }
+  return split;
+}
+
+LabeledTrainSet BuildTrainSet(const Corpus& corpus, UserId u, Source source,
+                              const UserSplit& split) {
+  std::unordered_set<TweetId> retweeted_originals;
+  for (TweetId rt : corpus.RetweetsOf(u)) {
+    retweeted_originals.insert(corpus.tweet(rt).retweet_of);
+  }
+
+  // Test positives are the *originals* behind the held-out retweets; an
+  // original posted shortly before the split can itself fall in the
+  // training phase of an incoming source (E/F/C), so exclude the test set
+  // explicitly — time filtering alone would leak the labels.
+  std::unordered_set<TweetId> test_ids(split.positives.begin(),
+                                       split.positives.end());
+  test_ids.insert(split.negatives.begin(), split.negatives.end());
+
+  LabeledTrainSet train;
+  for (TweetId id : SourceTweets(corpus, u, source)) {
+    const Tweet& tweet = corpus.tweet(id);
+    if (tweet.time >= split.split_time) continue;
+    if (test_ids.count(id) > 0 ||
+        (tweet.IsRetweet() && test_ids.count(tweet.retweet_of) > 0)) {
+      continue;
+    }
+    train.docs.push_back(id);
+    bool positive = tweet.author == u ||
+                    retweeted_originals.count(
+                        tweet.IsRetweet() ? tweet.retweet_of : tweet.id) > 0;
+    train.positive.push_back(positive);
+  }
+  return train;
+}
+
+}  // namespace microrec::corpus

@@ -1,0 +1,67 @@
+// Chronological train/test construction (Section 4):
+//   * test candidates are the user's *incoming* tweets (Definition 2.1:
+//     D_test(u) ⊆ E(u)), so only retweets of posts received from followees
+//     qualify as positives — a retweet of a discovered (searched/trending)
+//     tweet was never part of the timeline-ranking task;
+//   * the 20% most recent of those received-retweets form the positive test
+//     set (the retweeted incoming tweets are the positives);
+//   * the earliest retweet in that sample splits the timeline into a
+//     training phase and a testing phase;
+//   * for each positive, four negatives are sampled uniformly from the
+//     user's non-retweeted incoming tweets of the testing phase;
+//   * every representation source's train set is restricted to the training
+//     phase.
+#ifndef MICROREC_CORPUS_SPLIT_H_
+#define MICROREC_CORPUS_SPLIT_H_
+
+#include <vector>
+
+#include "corpus/sources.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace microrec::corpus {
+
+/// Per-user evaluation data. `positives` hold the *original incoming tweets*
+/// the user retweeted during the testing phase; `negatives` the sampled
+/// non-retweeted incoming tweets.
+struct UserSplit {
+  UserId user = kInvalidUser;
+  Timestamp split_time = 0;  // first instant of the testing phase
+  std::vector<TweetId> positives;
+  std::vector<TweetId> negatives;
+
+  /// Test candidates in corpus order (positives ++ negatives); the ranking
+  /// recommender scores and re-orders these.
+  std::vector<TweetId> TestSet() const;
+};
+
+/// Split parameters; defaults are the paper's.
+struct SplitOptions {
+  double test_fraction = 0.2;  // newest fraction of retweets held out
+  int negatives_per_positive = 4;
+};
+
+/// Builds the split for one user. Fails with FailedPrecondition when the
+/// user has no retweets or no incoming tweets to sample negatives from.
+Result<UserSplit> MakeUserSplit(const Corpus& corpus, UserId u,
+                                const SplitOptions& options, Rng* rng);
+
+/// A labelled training document: positives are posts the user authored or
+/// retweeted; the rest of an incoming source is negative.
+struct LabeledTrainSet {
+  std::vector<TweetId> docs;
+  std::vector<bool> positive;  // parallel to docs
+
+  size_t NumPositive() const;
+};
+
+/// Materialises the train set of `source` for user `u`, restricted to the
+/// training phase (t < split.split_time) and labelled for Rocchio-style
+/// aggregation.
+LabeledTrainSet BuildTrainSet(const Corpus& corpus, UserId u, Source source,
+                              const UserSplit& split);
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_SPLIT_H_

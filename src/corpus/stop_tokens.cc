@@ -1,0 +1,52 @@
+#include "corpus/stop_tokens.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace microrec::corpus {
+
+StopTokenFilter StopTokenFilter::FromTopFrequent(
+    const TokenizedCorpus& tokenized, const std::vector<TweetId>& tweets,
+    size_t top_k) {
+  std::unordered_map<std::string, size_t> counts;
+  for (TweetId id : tweets) {
+    for (const auto& token : tokenized.TokensOf(id)) {
+      ++counts[token.text];
+    }
+  }
+  std::vector<std::pair<std::string, size_t>> ranked(counts.begin(),
+                                                     counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  std::unordered_set<std::string> stop;
+  for (auto& [token, count] : ranked) {
+    (void)count;
+    stop.insert(std::move(token));
+  }
+  return StopTokenFilter(std::move(stop));
+}
+
+std::vector<text::Token> StopTokenFilter::Filter(
+    const std::vector<text::Token>& tokens) const {
+  std::vector<text::Token> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    if (!IsStop(token.text)) out.push_back(token);
+  }
+  return out;
+}
+
+std::vector<std::string> StopTokenFilter::FilterStrings(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    if (!IsStop(token)) out.push_back(token);
+  }
+  return out;
+}
+
+}  // namespace microrec::corpus

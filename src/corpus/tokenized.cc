@@ -1,0 +1,27 @@
+#include "corpus/tokenized.h"
+
+namespace microrec::corpus {
+
+TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
+                                 const text::Tokenizer& tokenizer,
+                                 ThreadPool* pool) {
+  tokens_.resize(corpus.num_tweets());
+  auto tokenize_one = [&](size_t i) {
+    tokens_[i] = tokenizer.Tokenize(corpus.tweet(i).text);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(corpus.num_tweets(), tokenize_one);
+  } else {
+    for (size_t i = 0; i < corpus.num_tweets(); ++i) tokenize_one(i);
+  }
+}
+
+std::vector<std::string> TokenizedCorpus::StringsOf(TweetId id) const {
+  const auto& toks = tokens_[id];
+  std::vector<std::string> out;
+  out.reserve(toks.size());
+  for (const auto& token : toks) out.push_back(token.text);
+  return out;
+}
+
+}  // namespace microrec::corpus

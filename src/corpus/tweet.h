@@ -1,0 +1,40 @@
+// Core domain records: tweets and user metadata.
+#ifndef MICROREC_CORPUS_TWEET_H_
+#define MICROREC_CORPUS_TWEET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microrec::corpus {
+
+using UserId = uint32_t;
+using TweetId = uint64_t;
+/// Seconds since epoch; only ordering matters to the library.
+using Timestamp = int64_t;
+
+inline constexpr UserId kInvalidUser = UINT32_MAX;
+inline constexpr TweetId kInvalidTweet = UINT64_MAX;
+
+/// One microblog post. A retweet carries the id of the original post it
+/// forwards (`retweet_of`) and that post's author (`retweet_of_user`); its
+/// `text` equals the original's text, as on Twitter.
+struct Tweet {
+  TweetId id = kInvalidTweet;
+  UserId author = kInvalidUser;
+  Timestamp time = 0;
+  TweetId retweet_of = kInvalidTweet;
+  UserId retweet_of_user = kInvalidUser;
+  std::string text;
+
+  bool IsRetweet() const { return retweet_of != kInvalidTweet; }
+};
+
+/// Screen-name + id pair for a registered user.
+struct UserInfo {
+  UserId id = kInvalidUser;
+  std::string handle;
+};
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_TWEET_H_

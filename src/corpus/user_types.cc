@@ -1,0 +1,108 @@
+#include "corpus/user_types.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microrec::corpus {
+
+std::string_view UserTypeName(UserType type) {
+  switch (type) {
+    case UserType::kInformationSeeker:
+      return "IS";
+    case UserType::kBalancedUser:
+      return "BU";
+    case UserType::kInformationProducer:
+      return "IP";
+    case UserType::kAllUsers:
+      return "All Users";
+  }
+  return "?";
+}
+
+UserType ClassifyUser(const Corpus& corpus, UserId u) {
+  double ratio = corpus.PostingRatio(u);
+  if (ratio < kSeekerMaxRatio) return UserType::kInformationSeeker;
+  if (ratio > kProducerMinRatio) return UserType::kInformationProducer;
+  return UserType::kBalancedUser;
+}
+
+const std::vector<UserId>& UserCohort::Group(UserType type) const {
+  switch (type) {
+    case UserType::kInformationSeeker:
+      return seekers;
+    case UserType::kBalancedUser:
+      return balanced;
+    case UserType::kInformationProducer:
+      return producers;
+    case UserType::kAllUsers:
+      return all;
+  }
+  return all;
+}
+
+UserCohort SelectCohort(const Corpus& corpus, const CohortOptions& options) {
+  struct Candidate {
+    UserId user;
+    double ratio;
+  };
+  std::vector<Candidate> candidates;
+  for (UserId u = 0; u < corpus.num_users(); ++u) {
+    if (corpus.graph().Followers(u).size() < options.min_followers) continue;
+    if (corpus.graph().Followees(u).size() < options.min_followees) continue;
+    if (corpus.RetweetsOf(u).size() < options.min_retweets) continue;
+    double ratio = corpus.PostingRatio(u);
+    if (!std::isfinite(ratio)) continue;
+    candidates.push_back({u, ratio});
+  }
+
+  UserCohort cohort;
+  // IS: the `seekers` lowest posting ratios.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.ratio < b.ratio;
+            });
+  size_t take = std::min(options.seekers, candidates.size());
+  for (size_t i = 0; i < take; ++i) cohort.seekers.push_back(candidates[i].user);
+  candidates.erase(candidates.begin(),
+                   candidates.begin() + static_cast<ptrdiff_t>(take));
+
+  // BU: ratios closest to 1.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return std::abs(a.ratio - 1.0) < std::abs(b.ratio - 1.0);
+            });
+  take = std::min(options.balanced, candidates.size());
+  for (size_t i = 0; i < take; ++i) {
+    cohort.balanced.push_back(candidates[i].user);
+  }
+  candidates.erase(candidates.begin(),
+                   candidates.begin() + static_cast<ptrdiff_t>(take));
+
+  // IP: highest ratios, requiring ratio > kProducerMinRatio (the paper keeps
+  // only the 9 users above 2.0 to guarantee distinctive behaviour).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.ratio > b.ratio;
+            });
+  size_t extras = 0;
+  for (const Candidate& candidate : candidates) {
+    if (cohort.producers.size() < options.producers &&
+        candidate.ratio > kProducerMinRatio) {
+      cohort.producers.push_back(candidate.user);
+    } else if (extras < options.extra_all) {
+      cohort.all.push_back(candidate.user);  // high-ratio extras, All only
+      ++extras;
+    }
+  }
+
+  cohort.all.insert(cohort.all.end(), cohort.seekers.begin(),
+                    cohort.seekers.end());
+  cohort.all.insert(cohort.all.end(), cohort.balanced.begin(),
+                    cohort.balanced.end());
+  cohort.all.insert(cohort.all.end(), cohort.producers.begin(),
+                    cohort.producers.end());
+  std::sort(cohort.all.begin(), cohort.all.end());
+  return cohort;
+}
+
+}  // namespace microrec::corpus

@@ -1,0 +1,66 @@
+// User categorisation by posting ratio (Section 2): Information Producers
+// (IP), Information Seekers (IS) and Balanced Users (BU), plus the combined
+// All-Users group used throughout the evaluation.
+#ifndef MICROREC_CORPUS_USER_TYPES_H_
+#define MICROREC_CORPUS_USER_TYPES_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "corpus/corpus.h"
+
+namespace microrec::corpus {
+
+/// Twitter user categories of Section 2.
+enum class UserType {
+  kInformationSeeker,    // posting ratio < 0.5
+  kBalancedUser,         // posting ratio in [0.5, 2]
+  kInformationProducer,  // posting ratio > 2
+  kAllUsers,             // union group (not a classification outcome)
+};
+
+inline constexpr std::array<UserType, 4> kAllUserTypes = {
+    UserType::kAllUsers, UserType::kInformationSeeker,
+    UserType::kBalancedUser, UserType::kInformationProducer};
+
+/// Short display name: "IS", "BU", "IP", "All Users".
+std::string_view UserTypeName(UserType type);
+
+/// Posting-ratio thresholds from Section 2.
+inline constexpr double kSeekerMaxRatio = 0.5;
+inline constexpr double kProducerMinRatio = 2.0;
+
+/// Classifies a single user by her posting ratio.
+UserType ClassifyUser(const Corpus& corpus, UserId u);
+
+/// The experimental cohort: a user set partitioned per the paper's setup
+/// (Section 4) — 20 IS, 20 BU, 9 IP, and All Users = everyone (60).
+struct UserCohort {
+  std::vector<UserId> seekers;
+  std::vector<UserId> balanced;
+  std::vector<UserId> producers;
+  std::vector<UserId> all;
+
+  /// The member list for a given group.
+  const std::vector<UserId>& Group(UserType type) const;
+};
+
+/// Options for cohort selection, mirroring the paper's filters.
+struct CohortOptions {
+  size_t min_followers = 3;
+  size_t min_followees = 3;
+  size_t min_retweets = 400;
+  size_t seekers = 20;    // lowest posting ratios
+  size_t balanced = 20;   // ratios closest to 1
+  size_t producers = 9;   // ratios > kProducerMinRatio (9 in the paper)
+  size_t extra_all = 11;  // next-highest ratios, added to All Users only
+};
+
+/// Builds the experimental cohort from a corpus, reproducing the selection
+/// procedure of Section 4. Users failing the activity filters are skipped.
+UserCohort SelectCohort(const Corpus& corpus, const CohortOptions& options);
+
+}  // namespace microrec::corpus
+
+#endif  // MICROREC_CORPUS_USER_TYPES_H_

@@ -1,0 +1,45 @@
+#include "eval/baselines.h"
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+
+namespace microrec::eval {
+
+double ChronologicalAp(const corpus::Corpus& corpus,
+                       const corpus::UserSplit& split) {
+  struct Item {
+    corpus::Timestamp time;
+    bool relevant;
+  };
+  std::vector<Item> items;
+  for (corpus::TweetId id : split.positives) {
+    items.push_back({corpus.tweet(id).time, true});
+  }
+  for (corpus::TweetId id : split.negatives) {
+    items.push_back({corpus.tweet(id).time, false});
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     return a.time > b.time;  // latest first
+                   });
+  std::vector<bool> relevant;
+  relevant.reserve(items.size());
+  for (const Item& item : items) relevant.push_back(item.relevant);
+  return AveragePrecision(relevant);
+}
+
+double RandomOrderingAp(const corpus::UserSplit& split, int iterations,
+                        Rng* rng) {
+  std::vector<bool> relevant(split.positives.size(), true);
+  relevant.resize(split.positives.size() + split.negatives.size(), false);
+  if (relevant.empty() || iterations <= 0) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < iterations; ++i) {
+    rng->Shuffle(relevant);
+    total += AveragePrecision(relevant);
+  }
+  return total / static_cast<double>(iterations);
+}
+
+}  // namespace microrec::eval

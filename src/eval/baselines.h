@@ -1,0 +1,25 @@
+// The two reference baselines of Section 5: Chronological Ordering (CHR)
+// and Random Ordering (RAN, averaged over many permutations).
+#ifndef MICROREC_EVAL_BASELINES_H_
+#define MICROREC_EVAL_BASELINES_H_
+
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/split.h"
+#include "util/rng.h"
+
+namespace microrec::eval {
+
+/// AP of ranking the user's test set from latest to earliest tweet.
+double ChronologicalAp(const corpus::Corpus& corpus,
+                       const corpus::UserSplit& split);
+
+/// Expected AP of a uniformly random ranking, estimated over `iterations`
+/// permutations (the paper uses 1,000 per user).
+double RandomOrderingAp(const corpus::UserSplit& split, int iterations,
+                        Rng* rng);
+
+}  // namespace microrec::eval
+
+#endif  // MICROREC_EVAL_BASELINES_H_

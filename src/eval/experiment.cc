@@ -1,0 +1,164 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/baselines.h"
+#include "eval/metrics.h"
+#include "util/stopwatch.h"
+
+namespace microrec::eval {
+
+double RunResult::Map() const { return MeanAveragePrecision(aps); }
+
+double RunResult::MapOfGroup(const std::vector<corpus::UserId>& group) const {
+  std::unordered_set<corpus::UserId> members(group.begin(), group.end());
+  std::vector<double> selected;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (members.count(users[i])) selected.push_back(aps[i]);
+  }
+  return MeanAveragePrecision(selected);
+}
+
+ExperimentRunner::ExperimentRunner(const rec::PreprocessedCorpus* pre,
+                                   const corpus::UserCohort* cohort,
+                                   RunOptions options)
+    : pre_(pre), cohort_(cohort), options_(options), rng_(options.seed, 11) {}
+
+Status ExperimentRunner::Init() {
+  auto keep = [this](const std::vector<corpus::UserId>& group,
+                     std::vector<corpus::UserId>* out) {
+    for (corpus::UserId u : group) {
+      if (splits_.count(u)) out->push_back(u);
+    }
+  };
+  for (corpus::UserId u : cohort_->all) {
+    Rng split_rng = rng_.Split();
+    Result<corpus::UserSplit> split =
+        corpus::MakeUserSplit(pre_->corpus(), u, options_.split, &split_rng);
+    if (split.ok()) splits_.emplace(u, std::move(split).value());
+  }
+  keep(cohort_->all, &all_);
+  keep(cohort_->seekers, &seekers_);
+  keep(cohort_->balanced, &balanced_);
+  keep(cohort_->producers, &producers_);
+  if (all_.empty()) {
+    return Status::FailedPrecondition("no user has a usable train/test split");
+  }
+  return Status::OK();
+}
+
+const std::vector<corpus::UserId>& ExperimentRunner::GroupUsers(
+    corpus::UserType type) const {
+  switch (type) {
+    case corpus::UserType::kInformationSeeker:
+      return seekers_;
+    case corpus::UserType::kBalancedUser:
+      return balanced_;
+    case corpus::UserType::kInformationProducer:
+      return producers_;
+    case corpus::UserType::kAllUsers:
+      return all_;
+  }
+  return all_;
+}
+
+const corpus::UserSplit& ExperimentRunner::SplitOf(corpus::UserId u) const {
+  return splits_.at(u);
+}
+
+const corpus::LabeledTrainSet& ExperimentRunner::TrainSet(
+    corpus::Source source, corpus::UserId u) {
+  auto key = std::make_pair(static_cast<int>(source), u);
+  auto it = train_cache_.find(key);
+  if (it != train_cache_.end()) return it->second;
+  corpus::LabeledTrainSet train =
+      corpus::BuildTrainSet(pre_->corpus(), u, source, splits_.at(u));
+  return train_cache_.emplace(key, std::move(train)).first->second;
+}
+
+Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
+                                        corpus::Source source) {
+  if (!config.IsValidForSource(corpus::HasNegativeExamples(source))) {
+    return Status::InvalidArgument(
+        "configuration invalid for this source: " + config.ToString());
+  }
+  std::unique_ptr<rec::Engine> engine = rec::MakeEngine(config);
+
+  rec::EngineContext ctx;
+  ctx.pre = pre_;
+  ctx.source = source;
+  ctx.users = &all_;
+  ctx.train_set = [this, source](corpus::UserId u)
+      -> const corpus::LabeledTrainSet& { return TrainSet(source, u); };
+  ctx.seed = options_.seed ^ (static_cast<uint64_t>(source) << 32) ^
+             static_cast<uint64_t>(config.kind);
+  ctx.iteration_scale = options_.topic_iteration_scale;
+  ctx.llda_min_hashtag_count = options_.llda_min_hashtag_count;
+
+  // Pre-materialise every train set outside the timed section: the cache
+  // makes their cost a one-off shared by all 223 configurations, so charging
+  // it to a single configuration's TTime would distort Figure 7.
+  for (corpus::UserId u : all_) (void)TrainSet(source, u);
+
+  RunResult result;
+  Stopwatch watch;
+
+  // ---- TTime: global training + per-user modeling (Section 4). ----
+  MICROREC_RETURN_IF_ERROR(engine->Prepare(ctx));
+  for (corpus::UserId u : all_) {
+    MICROREC_RETURN_IF_ERROR(engine->BuildUser(u, TrainSet(source, u), ctx));
+  }
+  result.ttime_seconds = watch.ElapsedSeconds();
+
+  // ---- ETime: score and rank every user's test set. ----
+  watch.Restart();
+  Rng tie_rng(options_.seed, 1299709);
+  for (corpus::UserId u : all_) {
+    const corpus::UserSplit& split = splits_.at(u);
+    struct Scored {
+      double score;
+      bool relevant;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(split.positives.size() + split.negatives.size());
+    for (corpus::TweetId id : split.positives) {
+      scored.push_back({engine->Score(u, id, ctx), true});
+    }
+    for (corpus::TweetId id : split.negatives) {
+      scored.push_back({engine->Score(u, id, ctx), false});
+    }
+    // Random permutation before the stable sort gives unbiased tie-breaks.
+    tie_rng.Shuffle(scored);
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       return a.score > b.score;
+                     });
+    std::vector<bool> relevant;
+    relevant.reserve(scored.size());
+    for (const Scored& s : scored) relevant.push_back(s.relevant);
+    result.users.push_back(u);
+    result.aps.push_back(AveragePrecision(relevant));
+  }
+  result.etime_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+double ExperimentRunner::ChronologicalMap(corpus::UserType type) const {
+  std::vector<double> aps;
+  for (corpus::UserId u : GroupUsers(type)) {
+    aps.push_back(ChronologicalAp(pre_->corpus(), splits_.at(u)));
+  }
+  return MeanAveragePrecision(aps);
+}
+
+double ExperimentRunner::RandomMap(corpus::UserType type, int iterations) {
+  std::vector<double> aps;
+  Rng ran_rng(options_.seed, 2147483647);
+  for (corpus::UserId u : GroupUsers(type)) {
+    aps.push_back(RandomOrderingAp(splits_.at(u), iterations, &ran_rng));
+  }
+  return MeanAveragePrecision(aps);
+}
+
+}  // namespace microrec::eval

@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microrec::eval {
+
+double PrecisionAtN(const std::vector<bool>& relevant, size_t n) {
+  if (n == 0 || relevant.empty()) return 0.0;
+  n = std::min(n, relevant.size());
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) hits += relevant[i] ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double AveragePrecision(const std::vector<bool>& relevant) {
+  size_t num_relevant = 0;
+  double sum = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) {
+      ++hits;
+      ++num_relevant;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return num_relevant == 0 ? 0.0 : sum / static_cast<double>(num_relevant);
+}
+
+double MeanAveragePrecision(const std::vector<double>& aps) {
+  if (aps.empty()) return 0.0;
+  double sum = 0.0;
+  for (double ap : aps) sum += ap;
+  return sum / static_cast<double>(aps.size());
+}
+
+double MapDeviation(const std::vector<double>& maps) {
+  if (maps.empty()) return 0.0;
+  auto [lo, hi] = std::minmax_element(maps.begin(), maps.end());
+  return *hi - *lo;
+}
+
+double ReciprocalRank(const std::vector<bool>& relevant) {
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double NdcgAtK(const std::vector<bool>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  if (k == 0 || k > relevant.size()) k = relevant.size();
+  size_t num_relevant = 0;
+  for (bool r : relevant) num_relevant += r ? 1 : 0;
+  if (num_relevant == 0) return 0.0;
+
+  double dcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    if (relevant[i]) dcg += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  double idcg = 0.0;
+  for (size_t i = 0; i < std::min(k, num_relevant); ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i + 2));
+  }
+  return dcg / idcg;
+}
+
+}  // namespace microrec::eval

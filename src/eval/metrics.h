@@ -1,0 +1,37 @@
+// Effectiveness metrics of Section 4: Precision-at-n, Average Precision,
+// Mean Average Precision and MAP deviation (the robustness measure).
+#ifndef MICROREC_EVAL_METRICS_H_
+#define MICROREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace microrec::eval {
+
+/// P@n: fraction of the top-n ranked items that are relevant.
+/// `relevant` is the ranked relevance list (index 0 = top); n is 1-based.
+double PrecisionAtN(const std::vector<bool>& relevant, size_t n);
+
+/// AP over a ranked relevance list:
+/// AP = 1/|R| Σ_n P@n · RT(n), with |R| the number of relevant items.
+/// Returns 0 when no item is relevant.
+double AveragePrecision(const std::vector<bool>& relevant);
+
+/// Mean of per-user AP values.
+double MeanAveragePrecision(const std::vector<double>& aps);
+
+/// MAP deviation: max - min over the MAPs of a model's configurations
+/// (lower = more robust, Section 4).
+double MapDeviation(const std::vector<double>& maps);
+
+/// Reciprocal rank: 1/position of the first relevant item (0 if none).
+/// Complements AP for the single-good-answer reading of the task.
+double ReciprocalRank(const std::vector<bool>& relevant);
+
+/// Normalised discounted cumulative gain at cutoff `k` (0 = whole list)
+/// with binary gains: DCG / IDCG. Returns 0 when nothing is relevant.
+double NdcgAtK(const std::vector<bool>& relevant, size_t k = 0);
+
+}  // namespace microrec::eval
+
+#endif  // MICROREC_EVAL_METRICS_H_

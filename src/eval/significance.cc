@@ -1,0 +1,154 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace microrec::eval {
+
+namespace {
+
+// Lentz's continued-fraction evaluation for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-14;
+  constexpr double kTiny = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  double x = df / (df + t * t);
+  double tail = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+std::vector<double> HolmBonferroni(const std::vector<double>& p_values) {
+  const size_t m = p_values.size();
+  std::vector<size_t> order(m);
+  for (size_t i = 0; i < m; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return p_values[x] < p_values[y];
+  });
+  std::vector<double> adjusted(m, 0.0);
+  double running_max = 0.0;
+  for (size_t rank = 0; rank < m; ++rank) {
+    double scaled = p_values[order[rank]] * static_cast<double>(m - rank);
+    running_max = std::max(running_max, std::min(1.0, scaled));
+    adjusted[order[rank]] = running_max;
+  }
+  return adjusted;
+}
+
+TestResult PairedTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  const size_t n = a.size();
+  TestResult result;
+  if (n < 2) return result;
+
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) mean += a[i] - b[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double diff = (a[i] - b[i]) - mean;
+    var += diff * diff;
+  }
+  var /= static_cast<double>(n - 1);
+  if (var <= 0.0) {
+    result.statistic = 0.0;
+    result.p_value = mean == 0.0 ? 1.0 : 0.0;
+    return result;
+  }
+  double se = std::sqrt(var / static_cast<double>(n));
+  result.statistic = mean / se;
+  double df = static_cast<double>(n - 1);
+  double tail = 1.0 - StudentTCdf(std::fabs(result.statistic), df);
+  result.p_value = std::min(1.0, 2.0 * tail);
+  return result;
+}
+
+TestResult WilcoxonSignedRank(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  TestResult result;
+  std::vector<std::pair<double, int>> diffs;  // (|diff|, sign)
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    if (diff != 0.0) diffs.emplace_back(std::fabs(diff), diff > 0 ? 1 : -1);
+  }
+  const size_t n = diffs.size();
+  if (n < 2) return result;
+
+  std::sort(diffs.begin(), diffs.end());
+  // Average ranks within ties.
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && diffs[j + 1].first == diffs[i].first) ++j;
+    double avg_rank = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[k] = avg_rank;
+    i = j + 1;
+  }
+  double w_plus = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (diffs[k].second > 0) w_plus += ranks[k];
+  }
+  double mean = static_cast<double>(n) * (n + 1) / 4.0;
+  double sd = std::sqrt(static_cast<double>(n) * (n + 1) * (2 * n + 1) / 24.0);
+  if (sd <= 0.0) return result;
+  double z = (w_plus - mean) / sd;
+  result.statistic = z;
+  result.p_value =
+      std::min(1.0, 2.0 * (1.0 - StandardNormalCdf(std::fabs(z))));
+  return result;
+}
+
+}  // namespace microrec::eval

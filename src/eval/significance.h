@@ -1,0 +1,45 @@
+// Statistical significance tests used to support the paper's claims
+// ("statistically significant (p < 0.05)"): a paired t-test and the
+// Wilcoxon signed-rank test over per-user AP values.
+#ifndef MICROREC_EVAL_SIGNIFICANCE_H_
+#define MICROREC_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+namespace microrec::eval {
+
+/// Result of a two-sided paired test.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Two-sided paired t-test on matched samples a[i], b[i] (equal lengths,
+/// n >= 2). Degenerate inputs (zero variance of the differences) yield
+/// p = 1 when the means are equal and p = 0 otherwise.
+TestResult PairedTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Two-sided Wilcoxon signed-rank test with the normal approximation
+/// (ties get average ranks; zero differences are dropped).
+TestResult WilcoxonSignedRank(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+/// Regularised incomplete beta function I_x(a, b) (continued fraction);
+/// exposed because the t-test CDF relies on it and tests cover it directly.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Holm-Bonferroni step-down correction for multiple comparisons: returns
+/// the adjusted p-values (same order as the input), each clipped to [0,1]
+/// and enforced monotone. The paper reports many pairwise model
+/// comparisons at p < 0.05; this is the standard family-wise guard.
+std::vector<double> HolmBonferroni(const std::vector<double>& p_values);
+
+}  // namespace microrec::eval
+
+#endif  // MICROREC_EVAL_SIGNIFICANCE_H_

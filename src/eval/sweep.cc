@@ -1,0 +1,103 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+
+namespace microrec::eval {
+
+SweepResult::MapStats SweepResult::StatsOfGroup(
+    const std::vector<corpus::UserId>& group) const {
+  MapStats stats;
+  if (outcomes.empty()) return stats;
+  stats.min = 1e300;
+  stats.max = -1e300;
+  for (const ConfigOutcome& outcome : outcomes) {
+    double map = outcome.result.MapOfGroup(group);
+    stats.mean += map;
+    stats.min = std::min(stats.min, map);
+    stats.max = std::max(stats.max, map);
+  }
+  stats.configs = outcomes.size();
+  stats.mean /= static_cast<double>(outcomes.size());
+  stats.deviation = stats.max - stats.min;
+  return stats;
+}
+
+namespace {
+
+SweepResult::TimeStats TimeStatsOf(const std::vector<ConfigOutcome>& outcomes,
+                                   bool train) {
+  SweepResult::TimeStats stats;
+  if (outcomes.empty()) return stats;
+  stats.min = 1e300;
+  stats.max = -1e300;
+  for (const ConfigOutcome& outcome : outcomes) {
+    double t = train ? outcome.result.ttime_seconds
+                     : outcome.result.etime_seconds;
+    stats.mean += t;
+    stats.min = std::min(stats.min, t);
+    stats.max = std::max(stats.max, t);
+  }
+  stats.mean /= static_cast<double>(outcomes.size());
+  return stats;
+}
+
+}  // namespace
+
+SweepResult::TimeStats SweepResult::TrainTime() const {
+  return TimeStatsOf(outcomes, /*train=*/true);
+}
+
+SweepResult::TimeStats SweepResult::TestTime() const {
+  return TimeStatsOf(outcomes, /*train=*/false);
+}
+
+const ConfigOutcome* SweepResult::Best(
+    const std::vector<corpus::UserId>& group) const {
+  const ConfigOutcome* best = nullptr;
+  double best_map = -1.0;
+  for (const ConfigOutcome& outcome : outcomes) {
+    double map = outcome.result.MapOfGroup(group);
+    if (map > best_map) {
+      best_map = map;
+      best = &outcome;
+    }
+  }
+  return best;
+}
+
+Result<SweepResult> SweepConfigs(
+    ExperimentRunner& runner, const std::vector<rec::ModelConfig>& configs,
+    corpus::Source source, size_t max_configs) {
+  const bool has_negatives = corpus::HasNegativeExamples(source);
+  std::vector<rec::ModelConfig> valid;
+  valid.reserve(configs.size());
+  for (const rec::ModelConfig& config : configs) {
+    if (config.IsValidForSource(has_negatives)) valid.push_back(config);
+  }
+  if (max_configs > 0) valid = ThinConfigs(std::move(valid), max_configs);
+
+  SweepResult sweep;
+  for (const rec::ModelConfig& config : valid) {
+    Result<RunResult> run = runner.Run(config, source);
+    if (!run.ok()) return run.status();
+    sweep.outcomes.push_back({config, std::move(run).value()});
+  }
+  return sweep;
+}
+
+std::vector<rec::ModelConfig> ThinConfigs(
+    std::vector<rec::ModelConfig> configs, size_t max_configs) {
+  if (configs.size() <= max_configs || max_configs == 0) return configs;
+  std::vector<rec::ModelConfig> kept;
+  kept.reserve(max_configs);
+  // Even stride over [0, n-1] including both endpoints.
+  for (size_t i = 0; i < max_configs; ++i) {
+    size_t index = max_configs == 1
+                       ? 0
+                       : i * (configs.size() - 1) / (max_configs - 1);
+    kept.push_back(configs[index]);
+  }
+  return kept;
+}
+
+}  // namespace microrec::eval

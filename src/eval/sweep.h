@@ -1,0 +1,65 @@
+// Configuration sweeps: run many configurations of a model on one source
+// and aggregate the Mean/Min/Max MAP (Figures 3-6), MAP deviation
+// (robustness), TTime/ETime statistics (Figure 7) and best configuration
+// (Table 7).
+#ifndef MICROREC_EVAL_SWEEP_H_
+#define MICROREC_EVAL_SWEEP_H_
+
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace microrec::eval {
+
+/// One configuration's result.
+struct ConfigOutcome {
+  rec::ModelConfig config;
+  RunResult result;
+};
+
+/// Aggregate over the configs of one (model, source) pair.
+struct SweepResult {
+  std::vector<ConfigOutcome> outcomes;
+
+  struct MapStats {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double deviation = 0.0;  // max - min
+    size_t configs = 0;
+  };
+  /// MAP statistics over all run configurations, for one user group.
+  MapStats StatsOfGroup(const std::vector<corpus::UserId>& group) const;
+
+  struct TimeStats {
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  TimeStats TrainTime() const;
+  TimeStats TestTime() const;
+
+  /// The configuration with the highest MAP for `group` (Table 7);
+  /// nullptr when empty.
+  const ConfigOutcome* Best(const std::vector<corpus::UserId>& group) const;
+};
+
+/// Runs every valid configuration in `configs` on `source`. Configurations
+/// invalid for the source (Rocchio without negatives) are skipped, exactly
+/// as in the paper's grid. When `max_configs` > 0, the *valid* subset is
+/// evenly thinned to at most that many entries — thinning after the
+/// validity filter keeps the surviving spread comparable across sources.
+Result<SweepResult> SweepConfigs(ExperimentRunner& runner,
+                                 const std::vector<rec::ModelConfig>& configs,
+                                 corpus::Source source,
+                                 size_t max_configs = 0);
+
+/// Evenly thins a configuration grid down to at most `max_configs` entries
+/// (keeps first and last). Used by the benches to bound wall-clock while
+/// covering the grid's spread; MICROREC_FULL_GRID=1 disables thinning.
+std::vector<rec::ModelConfig> ThinConfigs(
+    std::vector<rec::ModelConfig> configs, size_t max_configs);
+
+}  // namespace microrec::eval
+
+#endif  // MICROREC_EVAL_SWEEP_H_

@@ -1,0 +1,74 @@
+#include "graph/graph_model.h"
+
+#include "text/ngram.h"
+#include "util/string_util.h"
+
+namespace microrec::graph {
+
+bool GraphConfig::IsValid() const {
+  if (kind == NgramKind::kToken) return n >= 1 && n <= 3;
+  return n >= 2 && n <= 4;
+}
+
+std::string GraphConfig::ToString() const {
+  std::string out = kind == NgramKind::kToken ? "TNG" : "CNG";
+  out += " n=" + std::to_string(n);
+  out += " ";
+  out += GraphSimilarityName(similarity);
+  if (merge == GraphMerge::kSum) out += " sum-merge";
+  return out;
+}
+
+std::vector<GraphConfig> EnumerateGraphConfigs(NgramKind kind) {
+  std::vector<GraphConfig> out;
+  const int n_lo = kind == NgramKind::kToken ? 1 : 2;
+  const int n_hi = kind == NgramKind::kToken ? 3 : 4;
+  for (int n = n_lo; n <= n_hi; ++n) {
+    for (GraphSimilarity s :
+         {GraphSimilarity::kContainment, GraphSimilarity::kValue,
+          GraphSimilarity::kNormalizedValue}) {
+      out.push_back(GraphConfig{kind, n, s});
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> GraphModeler::ExtractTerms(
+    const std::vector<std::string>& doc) {
+  std::vector<std::string> grams;
+  if (config_.kind == NgramKind::kToken) {
+    grams = text::TokenNgrams(doc, config_.n);
+  } else {
+    grams = text::CharNgrams(Join(doc, " "), config_.n);
+  }
+  std::vector<TermId> ids;
+  ids.reserve(grams.size());
+  for (const std::string& gram : grams) ids.push_back(vocab_.Intern(gram));
+  return ids;
+}
+
+NgramGraph GraphModeler::BuildDocGraph(const std::vector<std::string>& doc) {
+  // The co-occurrence window equals the n-gram size (Section 3.1).
+  return NgramGraph::FromSequence(ExtractTerms(doc), config_.n);
+}
+
+NgramGraph GraphModeler::BuildUserGraph(
+    const std::vector<std::vector<std::string>>& docs) {
+  NgramGraph user;
+  size_t merged = 0;
+  for (const auto& doc : docs) {
+    NgramGraph doc_graph = BuildDocGraph(doc);
+    if (doc_graph.empty()) continue;
+    if (config_.merge == GraphMerge::kUpdate) {
+      user.Update(doc_graph, merged);
+    } else {
+      for (const auto& [key, weight] : doc_graph.edges()) {
+        user.AddEdgeByKey(key, weight);
+      }
+    }
+    ++merged;
+  }
+  return user;
+}
+
+}  // namespace microrec::graph

@@ -1,0 +1,117 @@
+#include "graph/ngram_graph.h"
+
+#include <algorithm>
+
+namespace microrec::graph {
+
+void NgramGraph::AddEdge(TermId a, TermId b, double delta) {
+  edges_[EdgeKey(a, b)] += delta;
+}
+
+double NgramGraph::WeightOf(TermId a, TermId b) const {
+  auto it = edges_.find(EdgeKey(a, b));
+  return it == edges_.end() ? 0.0 : it->second;
+}
+
+void NgramGraph::Update(const NgramGraph& doc, size_t count) {
+  const double learn = 1.0 / static_cast<double>(count + 1);
+  // Move shared edges toward the document weight; decay unshared edges
+  // toward 0 (they were absent from this observation).
+  for (auto& [key, weight] : edges_) {
+    auto it = doc.edges_.find(key);
+    double doc_weight = it == doc.edges_.end() ? 0.0 : it->second;
+    weight += (doc_weight - weight) * learn;
+  }
+  // Edges new in the document enter with weight doc_weight * learn
+  // (their previous running average was 0).
+  for (const auto& [key, doc_weight] : doc.edges_) {
+    if (edges_.find(key) == edges_.end()) {
+      edges_.emplace(key, doc_weight * learn);
+    }
+  }
+}
+
+NgramGraph NgramGraph::FromSequence(const std::vector<TermId>& ngrams,
+                                    int window) {
+  NgramGraph graph;
+  for (size_t i = 0; i < ngrams.size(); ++i) {
+    size_t last = std::min(ngrams.size(), i + static_cast<size_t>(window) + 1);
+    for (size_t j = i + 1; j < last; ++j) {
+      graph.AddEdge(ngrams[i], ngrams[j]);
+    }
+  }
+  return graph;
+}
+
+const char* GraphSimilarityName(GraphSimilarity s) {
+  switch (s) {
+    case GraphSimilarity::kContainment:
+      return "CoS";
+    case GraphSimilarity::kValue:
+      return "VS";
+    case GraphSimilarity::kNormalizedValue:
+      return "NS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Iterates over the smaller graph and looks up in the larger one; all three
+// measures only need the shared-edge set.
+template <typename Fn>
+void ForSharedEdges(const NgramGraph& a, const NgramGraph& b, Fn fn) {
+  const NgramGraph& small = a.size() <= b.size() ? a : b;
+  const NgramGraph& large = a.size() <= b.size() ? b : a;
+  for (const auto& [key, w_small] : small.edges()) {
+    auto it = large.edges().find(key);
+    if (it != large.edges().end()) fn(w_small, it->second);
+  }
+}
+
+}  // namespace
+
+double ContainmentSimilarity(const NgramGraph& a, const NgramGraph& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t shared = 0;
+  ForSharedEdges(a, b, [&shared](double, double) { ++shared; });
+  return static_cast<double>(shared) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double ValueSimilarity(const NgramGraph& a, const NgramGraph& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  ForSharedEdges(a, b, [&total](double wa, double wb) {
+    double lo = std::min(wa, wb);
+    double hi = std::max(wa, wb);
+    if (hi > 0.0) total += lo / hi;
+  });
+  return total / static_cast<double>(std::max(a.size(), b.size()));
+}
+
+double NormalizedValueSimilarity(const NgramGraph& a, const NgramGraph& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total = 0.0;
+  ForSharedEdges(a, b, [&total](double wa, double wb) {
+    double lo = std::min(wa, wb);
+    double hi = std::max(wa, wb);
+    if (hi > 0.0) total += lo / hi;
+  });
+  return total / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double GraphScore(GraphSimilarity similarity, const NgramGraph& a,
+                  const NgramGraph& b) {
+  switch (similarity) {
+    case GraphSimilarity::kContainment:
+      return ContainmentSimilarity(a, b);
+    case GraphSimilarity::kValue:
+      return ValueSimilarity(a, b);
+    case GraphSimilarity::kNormalizedValue:
+      return NormalizedValueSimilarity(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace microrec::graph

@@ -1,0 +1,90 @@
+// N-gram graphs (Giannakopoulos et al.): the global context-aware
+// representation models of the taxonomy (Section 3.1). A document is an
+// undirected graph with one vertex per n-gram and an edge between every two
+// n-grams co-occurring within a window of size n; edge weights count
+// co-occurrences. User models merge document graphs with the incremental
+// `update` operator (running weighted average), so the user graph's weights
+// estimate the expected co-occurrence strength across her documents.
+#ifndef MICROREC_GRAPH_NGRAM_GRAPH_H_
+#define MICROREC_GRAPH_NGRAM_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace microrec::graph {
+
+using text::TermId;
+
+/// Canonical undirected edge key packing the two (sorted) term ids.
+inline uint64_t EdgeKey(TermId a, TermId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Weighted undirected graph over n-gram vertices.
+class NgramGraph {
+ public:
+  /// Number of edges (|G| in the similarity formulas).
+  size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  /// Adds `delta` to the weight of edge (a, b), creating it if needed.
+  void AddEdge(TermId a, TermId b, double delta = 1.0);
+
+  /// Adds `delta` to the edge with a pre-computed canonical key.
+  void AddEdgeByKey(uint64_t key, double delta) { edges_[key] += delta; }
+
+  /// Weight of edge (a, b); 0 when absent.
+  double WeightOf(TermId a, TermId b) const;
+
+  /// Contains an edge between a and b?
+  bool HasEdge(TermId a, TermId b) const {
+    return edges_.find(EdgeKey(a, b)) != edges_.end();
+  }
+
+  const std::unordered_map<uint64_t, double>& edges() const { return edges_; }
+
+  /// The `update` merge operator: folds `doc` into this user graph as its
+  /// (count+1)-th observation, moving every edge weight toward the document
+  /// weight with learning factor 1/(count+1) — i.e. a running average where
+  /// absent edges contribute weight 0. `count` is how many documents have
+  /// already been merged into this graph.
+  void Update(const NgramGraph& doc, size_t count);
+
+  /// Builds the document graph of an n-gram (term id) sequence with
+  /// co-occurrence window `window`: position i links to positions
+  /// i+1 .. i+window.
+  static NgramGraph FromSequence(const std::vector<TermId>& ngrams,
+                                 int window);
+
+ private:
+  std::unordered_map<uint64_t, double> edges_;
+};
+
+/// Graph similarity measures of Section 3.2.
+enum class GraphSimilarity { kContainment, kValue, kNormalizedValue };
+
+const char* GraphSimilarityName(GraphSimilarity s);
+
+/// Containment similarity: fraction of the smaller graph's edges present in
+/// the other graph.
+double ContainmentSimilarity(const NgramGraph& a, const NgramGraph& b);
+
+/// Value similarity: Σ_e min(w_a,w_b)/max(w_a,w_b) over shared edges,
+/// normalised by max(|a|,|b|).
+double ValueSimilarity(const NgramGraph& a, const NgramGraph& b);
+
+/// Normalized value similarity: as VS but normalised by min(|a|,|b|),
+/// mitigating imbalanced graph sizes.
+double NormalizedValueSimilarity(const NgramGraph& a, const NgramGraph& b);
+
+/// Dispatch on the enum.
+double GraphScore(GraphSimilarity similarity, const NgramGraph& a,
+                  const NgramGraph& b);
+
+}  // namespace microrec::graph
+
+#endif  // MICROREC_GRAPH_NGRAM_GRAPH_H_

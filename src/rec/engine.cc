@@ -1,0 +1,292 @@
+#include "rec/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bag/bag_model.h"
+#include "graph/graph_model.h"
+#include "rec/llda_labels.h"
+#include "topic/btm.h"
+#include "topic/hdp.h"
+#include "topic/hlda.h"
+#include "topic/lda.h"
+#include "topic/llda.h"
+#include "topic/plsa.h"
+#include "topic/topic_model.h"
+
+namespace microrec::rec {
+
+namespace {
+
+using corpus::TweetId;
+using corpus::UserId;
+
+int ScaledIterations(int iterations, double scale) {
+  return std::max(5, static_cast<int>(static_cast<double>(iterations) *
+                                      scale));
+}
+
+// ---- Bag engine (TN / CN). ----
+
+class BagEngine : public Engine {
+ public:
+  explicit BagEngine(const ModelConfig& config) : config_(config) {}
+
+  Status Prepare(const EngineContext&) override { return Status::OK(); }
+
+  Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
+                   const EngineContext& ctx) override {
+    auto state = std::make_unique<UserState>(config_.bag);
+    std::vector<bag::TokenDoc> docs;
+    docs.reserve(train.docs.size());
+    for (TweetId id : train.docs) docs.push_back(ctx.pre->Filtered(id));
+    state->modeler.Fit(docs);
+    state->vector = state->modeler.BuildUserVector(docs, train.positive);
+    users_[u] = std::move(state);
+    return Status::OK();
+  }
+
+  double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    UserState& state = *users_.at(u);
+    bag::SparseVector doc = state.modeler.EmbedDocument(ctx.pre->Filtered(d));
+    return state.modeler.Score(state.vector, doc);
+  }
+
+ private:
+  struct UserState {
+    explicit UserState(const bag::BagConfig& config) : modeler(config) {}
+    bag::BagModeler modeler;
+    bag::SparseVector vector;
+  };
+  ModelConfig config_;
+  std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+};
+
+// ---- Graph engine (TNG / CNG). ----
+
+class GraphEngine : public Engine {
+ public:
+  explicit GraphEngine(const ModelConfig& config) : config_(config) {}
+
+  Status Prepare(const EngineContext&) override { return Status::OK(); }
+
+  Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
+                   const EngineContext& ctx) override {
+    auto state = std::make_unique<UserState>(config_.graph);
+    std::vector<std::vector<std::string>> docs;
+    docs.reserve(train.docs.size());
+    for (TweetId id : train.docs) docs.push_back(ctx.pre->Filtered(id));
+    state->graph = state->modeler.BuildUserGraph(docs);
+    users_[u] = std::move(state);
+    return Status::OK();
+  }
+
+  double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    UserState& state = *users_.at(u);
+    graph::NgramGraph doc = state.modeler.BuildDocGraph(ctx.pre->Filtered(d));
+    return state.modeler.Score(state.graph, doc);
+  }
+
+ private:
+  struct UserState {
+    explicit UserState(const graph::GraphConfig& config) : modeler(config) {}
+    graph::GraphModeler modeler;
+    graph::NgramGraph graph;
+  };
+  ModelConfig config_;
+  std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+};
+
+// ---- Topic engine (LDA, LLDA, HDP, HLDA, BTM, PLSA). ----
+
+class TopicEngine : public Engine {
+ public:
+  explicit TopicEngine(const ModelConfig& config)
+      : config_(config), rng_(0xABCD) {}
+
+  Status Prepare(const EngineContext& ctx) override {
+    rng_ = Rng(ctx.seed, 97);
+    const auto& pre = *ctx.pre;
+    const TopicRunConfig& tc = config_.topic;
+
+    // Union of every user's training tweets for this source.
+    std::vector<TweetId> train_ids;
+    {
+      std::unordered_set<TweetId> seen;
+      for (UserId u : *ctx.users) {
+        for (TweetId id : ctx.train_set(u).docs) {
+          if (seen.insert(id).second) train_ids.push_back(id);
+        }
+      }
+      std::sort(train_ids.begin(), train_ids.end());
+    }
+    if (train_ids.empty()) {
+      return Status::FailedPrecondition("no training tweets for source");
+    }
+
+    // Pool into pseudo-documents and assemble the DocSet from the
+    // stop-filtered tokens.
+    std::vector<corpus::PooledDoc> pooled = corpus::PoolTweets(
+        pre.corpus(), pre.tokenized(), train_ids, tc.pooling);
+    std::unique_ptr<LldaLabelScheme> labels;
+    if (config_.kind == ModelKind::kLLDA) {
+      labels = std::make_unique<LldaLabelScheme>(LldaLabelScheme::Build(
+          pre.tokenized(), train_ids, ctx.llda_min_hashtag_count));
+    }
+    for (const corpus::PooledDoc& doc : pooled) {
+      std::vector<std::string> tokens;
+      std::vector<uint32_t> doc_labels;
+      std::unordered_set<uint32_t> label_set;
+      for (TweetId id : doc.members) {
+        const auto& filtered = pre.Filtered(id);
+        tokens.insert(tokens.end(), filtered.begin(), filtered.end());
+        if (labels != nullptr) {
+          for (uint32_t label : labels->LabelsFor(
+                   id, pre.Tokens(id), pre.corpus().tweet(id).text)) {
+            if (label_set.insert(label).second) doc_labels.push_back(label);
+          }
+        }
+      }
+      size_t index = docs_.AddDocument(tokens);
+      if (labels != nullptr) docs_.SetLabels(index, std::move(doc_labels));
+    }
+
+    // Instantiate and train the model.
+    const int iters = ScaledIterations(tc.iterations, ctx.iteration_scale);
+    switch (config_.kind) {
+      case ModelKind::kLDA: {
+        topic::LdaConfig lc;
+        lc.num_topics = tc.num_topics;
+        lc.alpha = tc.alpha;
+        lc.beta = tc.beta;
+        lc.train_iterations = iters;
+        model_ = std::make_unique<topic::Lda>(lc);
+        break;
+      }
+      case ModelKind::kLLDA: {
+        topic::LldaConfig lc;
+        lc.num_labels = labels->num_labels();
+        lc.num_latent_topics = tc.num_topics;
+        lc.alpha = tc.alpha;
+        lc.beta = tc.beta;
+        lc.train_iterations = iters;
+        model_ = std::make_unique<topic::Llda>(lc);
+        break;
+      }
+      case ModelKind::kBTM: {
+        topic::BtmConfig bc;
+        bc.num_topics = tc.num_topics;
+        bc.alpha = tc.alpha;
+        bc.beta = tc.beta;
+        bc.train_iterations = iters;
+        bc.window = tc.pooling == corpus::Pooling::kNone ? 0 : tc.window;
+        model_ = std::make_unique<topic::Btm>(bc);
+        break;
+      }
+      case ModelKind::kHDP: {
+        topic::HdpConfig hc;
+        hc.alpha = tc.alpha > 0 ? tc.alpha : 1.0;
+        hc.gamma = tc.gamma;
+        hc.beta = tc.beta;
+        hc.train_iterations = iters;
+        model_ = std::make_unique<topic::Hdp>(hc);
+        break;
+      }
+      case ModelKind::kHLDA: {
+        topic::HldaConfig hc;
+        hc.levels = tc.levels;
+        hc.alpha = tc.alpha;
+        hc.beta = tc.beta;
+        hc.gamma = tc.gamma;
+        // nCRP path resampling is an order of magnitude costlier per sweep
+        // than flat Gibbs; the paper's time constraint already limited
+        // HLDA's budget (Section 4).
+        hc.train_iterations = std::max(3, iters / 5);
+        model_ = std::make_unique<topic::Hlda>(hc);
+        break;
+      }
+      case ModelKind::kPLSA: {
+        topic::PlsaConfig pc;
+        pc.num_topics = tc.num_topics;
+        pc.train_iterations = std::max(5, iters / 10);  // EM steps
+        model_ = std::make_unique<topic::Plsa>(pc);
+        break;
+      }
+      default:
+        return Status::InvalidArgument("not a topic model");
+    }
+    return model_->Train(docs_, &rng_);
+  }
+
+  Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
+                   const EngineContext& ctx) override {
+    if (model_ == nullptr) {
+      return Status::FailedPrecondition("Prepare() not called");
+    }
+    // Documents with no vocabulary evidence (all words unseen in training)
+    // carry no topical information and are excluded from the aggregate.
+    std::vector<std::vector<double>> dists;
+    std::vector<bool> labels;
+    dists.reserve(train.docs.size());
+    for (size_t i = 0; i < train.docs.size(); ++i) {
+      const std::vector<double>& dist = Infer(train.docs[i], ctx);
+      if (dist.empty()) continue;
+      dists.push_back(dist);
+      labels.push_back(train.positive[i]);
+    }
+    user_models_[u] = topic::AggregateDistributions(
+        dists, labels,
+        config_.topic.aggregation == TopicAggregation::kRocchio);
+    return Status::OK();
+  }
+
+  double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    const std::vector<double>& user = user_models_.at(u);
+    if (user.empty()) return 0.0;
+    const std::vector<double>& doc = Infer(d, ctx);
+    // No known words -> no evidence of relevance.
+    if (doc.empty()) return 0.0;
+    return topic::TopicCosine(user, doc);
+  }
+
+ private:
+  // Per-tweet topic distributions are shared across users (the same test or
+  // train tweet can appear for many users), so inference is cached.
+  // Returns the cached topic distribution of a tweet, or an *empty* vector
+  // when none of its words appear in the training vocabulary.
+  const std::vector<double>& Infer(TweetId id, const EngineContext& ctx) {
+    auto it = infer_cache_.find(id);
+    if (it != infer_cache_.end()) return it->second;
+    std::vector<topic::TermId> words = docs_.Lookup(ctx.pre->Filtered(id));
+    std::vector<double> dist;
+    if (!words.empty()) dist = model_->InferDocument(words, &rng_);
+    auto [fresh, inserted] = infer_cache_.emplace(id, std::move(dist));
+    (void)inserted;
+    return fresh->second;
+  }
+
+  ModelConfig config_;
+  Rng rng_;
+  topic::DocSet docs_;
+  std::unique_ptr<topic::TopicModel> model_;
+  std::unordered_map<TweetId, std::vector<double>> infer_cache_;
+  std::unordered_map<UserId, std::vector<double>> user_models_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEngine(const ModelConfig& config) {
+  switch (config.kind) {
+    case ModelKind::kTN:
+    case ModelKind::kCN:
+      return std::make_unique<BagEngine>(config);
+    case ModelKind::kTNG:
+    case ModelKind::kCNG:
+      return std::make_unique<GraphEngine>(config);
+    default:
+      return std::make_unique<TopicEngine>(config);
+  }
+}
+
+}  // namespace microrec::rec

@@ -1,0 +1,109 @@
+#include "rec/hashtag_rec.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace microrec::rec {
+
+std::vector<std::string> HashtagRecommender::ContentTokens(
+    corpus::TweetId id) const {
+  std::vector<std::string> out;
+  for (const auto& token : pre_->Tokens(id)) {
+    if (token.type == text::TokenType::kHashtag) continue;
+    if (pre_->stop_filter().IsStop(token.text)) continue;
+    out.push_back(token.text);
+  }
+  return out;
+}
+
+Status HashtagRecommender::BuildProfiles(
+    const std::vector<corpus::TweetId>& tweets, size_t min_support) {
+  if (config_.kind != ModelKind::kTN && config_.kind != ModelKind::kCN) {
+    return Status::InvalidArgument(
+        "hashtag recommendation uses bag-model configurations (TN/CN)");
+  }
+  // Hashtag -> member tweets (a tweet with several tags joins each pool —
+  // unlike HP pooling, a *profile* should see all its evidence).
+  std::map<std::string, std::vector<corpus::TweetId>> pools;
+  for (corpus::TweetId id : tweets) {
+    std::unordered_set<std::string> seen;
+    for (const auto& token : pre_->Tokens(id)) {
+      if (token.type == text::TokenType::kHashtag &&
+          seen.insert(token.text).second) {
+        pools[token.text].push_back(id);
+      }
+    }
+  }
+
+  // Fit the modeler on the pooled documents, then embed each pool.
+  std::vector<bag::TokenDoc> docs;
+  std::vector<const std::string*> tags;
+  for (const auto& [tag, members] : pools) {
+    if (members.size() < min_support) continue;
+    bag::TokenDoc doc;
+    for (corpus::TweetId id : members) {
+      std::vector<std::string> tokens = ContentTokens(id);
+      doc.insert(doc.end(), tokens.begin(), tokens.end());
+    }
+    docs.push_back(std::move(doc));
+    tags.push_back(&tag);
+  }
+  if (docs.empty()) {
+    return Status::FailedPrecondition(
+        "no hashtag reaches the support threshold");
+  }
+
+  modeler_ = std::make_unique<bag::BagModeler>(config_.bag);
+  modeler_->Fit(docs);
+  profiles_.clear();
+  profiles_.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    Profile profile;
+    profile.hashtag = *tags[i];
+    profile.vector = modeler_->EmbedDocument(docs[i]);
+    profile.support = pools.at(*tags[i]).size();
+    profiles_.push_back(std::move(profile));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<HashtagSuggestion>> HashtagRecommender::Recommend(
+    const corpus::LabeledTrainSet& user_train, size_t top_k) {
+  if (modeler_ == nullptr) {
+    return Status::FailedPrecondition("BuildProfiles() not called");
+  }
+  // The user model: her training documents, hashtags stripped.
+  std::vector<bag::TokenDoc> docs;
+  std::unordered_set<std::string> already_used;
+  docs.reserve(user_train.docs.size());
+  for (corpus::TweetId id : user_train.docs) {
+    docs.push_back(ContentTokens(id));
+    for (const auto& token : pre_->Tokens(id)) {
+      if (token.type == text::TokenType::kHashtag) {
+        already_used.insert(token.text);
+      }
+    }
+  }
+  bag::SparseVector user =
+      modeler_->BuildUserVector(docs, user_train.positive);
+  if (user.empty()) {
+    return Status::FailedPrecondition("user model is empty");
+  }
+
+  std::vector<HashtagSuggestion> ranked;
+  for (const Profile& profile : profiles_) {
+    if (already_used.count(profile.hashtag)) continue;
+    ranked.push_back({profile.hashtag,
+                      modeler_->Score(user, profile.vector),
+                      profile.support});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const HashtagSuggestion& a, const HashtagSuggestion& b) {
+                     return a.score > b.score;
+                   });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace microrec::rec

@@ -1,0 +1,30 @@
+#include "rec/preprocessed.h"
+
+namespace microrec::rec {
+
+PreprocessedCorpus::PreprocessedCorpus(
+    const corpus::Corpus& corpus,
+    const std::vector<corpus::TweetId>& stop_basis, size_t stop_top_k,
+    ThreadPool* pool, text::TokenizerOptions tokenizer_options)
+    : corpus_(corpus),
+      tokenized_(corpus, text::Tokenizer(tokenizer_options), pool),
+      stop_filter_(stop_basis.empty()
+                       ? corpus::StopTokenFilter()
+                       : corpus::StopTokenFilter::FromTopFrequent(
+                             tokenized_, stop_basis, stop_top_k)) {
+  filtered_.resize(corpus.num_tweets());
+  auto filter_one = [this](size_t i) {
+    std::vector<std::string> kept;
+    for (const auto& token : tokenized_.TokensOf(i)) {
+      if (!stop_filter_.IsStop(token.text)) kept.push_back(token.text);
+    }
+    filtered_[i] = std::move(kept);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(corpus.num_tweets(), filter_one);
+  } else {
+    for (size_t i = 0; i < corpus.num_tweets(); ++i) filter_one(i);
+  }
+}
+
+}  // namespace microrec::rec

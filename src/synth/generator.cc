@@ -1,0 +1,513 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+namespace microrec::synth {
+
+namespace {
+
+using corpus::Timestamp;
+using corpus::TweetId;
+using corpus::UserId;
+
+constexpr std::array<const char*, 11> kEmoticons = {
+    ":)", ":(", ";)", ":D", "<3", ":o", ":/", ":s", ":p", "xD", "^_^"};
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    ma += a[i] * a[i];
+    mb += b[i] * b[i];
+  }
+  double denom = std::sqrt(ma) * std::sqrt(mb);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+// Per-user generation plan, resolved in stages (see GenerateDataset).
+struct UserPlan {
+  int group = -1;  // 0 IS, 1 BU, 2 IP, 3 extras, -1 background
+  text::Language lang = text::Language::kEnglish;
+  std::vector<double> theta;  // coarse interests (over topics)
+  std::vector<double> psi;    // coarse content distribution
+  // Fine-grained preferences: per topic, a sparse distribution over its
+  // subtopics. Interest in unit (t, s) is theta[t] * sub_pref[t][s].
+  std::vector<std::vector<double>> sub_pref;
+  double chatter = 0.15;
+  double retweet_noise = 0.3;
+  double affinity_follow = 0.75;
+  double incoming_retweet_cap = 0.2;
+  int n_followees = 3;
+  int n_orig = 0;
+  int n_rt = 0;
+
+  double InterestIn(int topic, int subtopic) const {
+    return theta[static_cast<size_t>(topic)] *
+           sub_pref[static_cast<size_t>(topic)][static_cast<size_t>(subtopic)];
+  }
+};
+
+// An original tweet available as a retweet candidate.
+struct OriginalRef {
+  TweetId id;
+  UserId author;
+  Timestamp time;
+  int topic;
+  int subtopic;
+};
+
+text::Language PickLanguage(const std::vector<double>& shares, Rng* rng) {
+  double roll = rng->UniformDouble();
+  double cum = 0.0;
+  for (size_t i = 0; i < shares.size() &&
+                     i < static_cast<size_t>(text::kNumKnownLanguages);
+       ++i) {
+    cum += shares[i];
+    if (roll < cum) return static_cast<text::Language>(i);
+  }
+  return text::Language::kEnglish;
+}
+
+}  // namespace
+
+DatasetSpec DatasetSpec::Small() { return DatasetSpec{}; }
+
+DatasetSpec DatasetSpec::Medium() {
+  DatasetSpec spec;
+  spec.background_users = 400;
+  spec.background_posts_lo = 40;
+  spec.background_posts_hi = 80;
+  spec.seekers.followees_lo = 30;
+  spec.seekers.followees_hi = 45;
+  spec.cohort.min_retweets = 25;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::FromEnv() {
+  const char* scale = std::getenv("MICROREC_SCALE");
+  if (scale != nullptr && std::string(scale) == "medium") return Medium();
+  return Small();
+}
+
+Result<SyntheticDataset> GenerateDataset(const DatasetSpec& spec) {
+  if (spec.language_model.num_topics < 2) {
+    return Status::InvalidArgument("need at least 2 topics");
+  }
+  if (spec.seekers.count + spec.balanced.count + spec.producers.count +
+          spec.extras.count ==
+      0) {
+    return Status::InvalidArgument("no subject users requested");
+  }
+  Rng rng(spec.seed);
+  const int num_topics = spec.language_model.num_topics;
+
+  // ---- Vocabularies: one per language, over a shared topic space. ----
+  std::vector<SyntheticLanguage> langs;
+  langs.reserve(text::kNumKnownLanguages);
+  for (int l = 0; l < text::kNumKnownLanguages; ++l) {
+    Rng lang_rng = rng.Split();
+    langs.emplace_back(static_cast<text::Language>(l), spec.language_model,
+                       &lang_rng);
+  }
+  // Global per-topic URL pools: URLs are shared within a topic, so they
+  // carry mild topical signal (people in a community share the same links).
+  std::vector<std::vector<std::string>> topic_urls(num_topics);
+  for (int t = 0; t < num_topics; ++t) {
+    for (int i = 0; i < 8; ++i) {
+      topic_urls[t].push_back(
+          "http://t.co/" +
+          SyntheticLanguage::GenerateWord(text::Language::kEnglish, &rng) +
+          std::to_string(t));
+    }
+  }
+
+  // ---- User plans. ----
+  std::vector<UserPlan> plans;
+  auto add_group = [&](const GroupSpec& group, int group_id) {
+    for (size_t i = 0; i < group.count; ++i) {
+      UserPlan plan;
+      plan.group = group_id;
+      plan.lang = PickLanguage(spec.language_shares, &rng);
+      plan.theta = rng.DirichletSymmetric(spec.interest_concentration,
+                                          static_cast<size_t>(num_topics));
+      std::vector<double> quirk = rng.DirichletSymmetric(
+          spec.interest_concentration, static_cast<size_t>(num_topics));
+      plan.psi.resize(plan.theta.size());
+      for (size_t k = 0; k < plan.theta.size(); ++k) {
+        plan.psi[k] = (1.0 - spec.quirk_weight) * plan.theta[k] +
+                      spec.quirk_weight * quirk[k];
+      }
+      plan.sub_pref.reserve(static_cast<size_t>(num_topics));
+      for (int t = 0; t < num_topics; ++t) {
+        plan.sub_pref.push_back(rng.DirichletSymmetric(
+            spec.subtopic_concentration,
+            static_cast<size_t>(spec.language_model.subtopics_per_topic)));
+      }
+      plan.chatter = group.chatter;
+      plan.retweet_noise = group.retweet_noise;
+      plan.affinity_follow = group.affinity_follow;
+      plan.incoming_retweet_cap = group.incoming_retweet_cap;
+      plan.n_followees = group.followees_lo +
+                         static_cast<int>(rng.UniformU32(static_cast<uint32_t>(
+                             group.followees_hi - group.followees_lo + 1)));
+      plans.push_back(std::move(plan));
+    }
+  };
+  add_group(spec.seekers, 0);
+  add_group(spec.balanced, 1);
+  add_group(spec.producers, 2);
+  add_group(spec.extras, 3);
+  const size_t num_subjects = plans.size();
+
+  GroupSpec background;  // defaults reused below
+  background.chatter = 0.3;
+  for (size_t i = 0; i < spec.background_users; ++i) {
+    UserPlan plan;
+    plan.group = -1;
+    plan.lang = PickLanguage(spec.language_shares, &rng);
+    plan.theta = rng.DirichletSymmetric(spec.interest_concentration,
+                                        static_cast<size_t>(num_topics));
+    std::vector<double> quirk = rng.DirichletSymmetric(
+        spec.interest_concentration, static_cast<size_t>(num_topics));
+    plan.psi.resize(plan.theta.size());
+    for (size_t k = 0; k < plan.theta.size(); ++k) {
+      plan.psi[k] = (1.0 - spec.quirk_weight) * plan.theta[k] +
+                    spec.quirk_weight * quirk[k];
+    }
+    plan.sub_pref.reserve(static_cast<size_t>(num_topics));
+    for (int t = 0; t < num_topics; ++t) {
+      plan.sub_pref.push_back(rng.DirichletSymmetric(
+          spec.subtopic_concentration,
+          static_cast<size_t>(spec.language_model.subtopics_per_topic)));
+    }
+    plan.chatter = background.chatter;
+    plan.retweet_noise = 0.5;
+    plan.affinity_follow = spec.affinity_follow_fraction;
+    plan.incoming_retweet_cap = spec.incoming_retweet_cap;
+    plan.n_followees =
+        spec.background_followees_lo +
+        static_cast<int>(rng.UniformU32(static_cast<uint32_t>(
+            spec.background_followees_hi - spec.background_followees_lo + 1)));
+    // Posting counts are known upfront for background users; subjects are
+    // resolved after the graph (they depend on incoming volume).
+    int posts = spec.background_posts_lo +
+                static_cast<int>(rng.UniformU32(static_cast<uint32_t>(
+                    spec.background_posts_hi - spec.background_posts_lo + 1)));
+    plan.n_rt = std::min<int>(
+        static_cast<int>(posts * spec.background_retweet_share),
+        static_cast<int>(spec.cohort.min_retweets) - 3);
+    if (plan.n_rt < 0) plan.n_rt = 0;
+    plan.n_orig = posts - plan.n_rt;
+    plans.push_back(std::move(plan));
+  }
+  const size_t num_users = plans.size();
+
+  // ---- Corpus and users. ----
+  SyntheticDataset dataset;
+  dataset.spec = spec;
+  corpus::Corpus& corpus = dataset.corpus;
+  for (size_t u = 0; u < num_users; ++u) {
+    corpus.AddUser("user" + std::to_string(u));
+  }
+
+  // ---- Follow graph. ----
+  // Subjects follow background accounts only (their incoming volume must be
+  // plannable); background users follow anyone, biased toward subjects.
+  auto pick_followee = [&](UserId u, bool subjects_allowed) -> UserId {
+    const UserPlan& plan = plans[u];
+    bool affinity = rng.Bernoulli(plan.affinity_follow);
+    auto sample_candidate = [&]() -> UserId {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        UserId v;
+        if (subjects_allowed && rng.Bernoulli(spec.background_follow_subject)) {
+          v = static_cast<UserId>(rng.UniformU32(
+              static_cast<uint32_t>(num_subjects)));
+        } else {
+          v = static_cast<UserId>(
+              num_subjects +
+              rng.UniformU32(static_cast<uint32_t>(spec.background_users)));
+        }
+        if (v != u && !corpus.graph().Follows(u, v)) return v;
+      }
+      return corpus::kInvalidUser;
+    };
+    if (!affinity) return sample_candidate();
+    UserId best = corpus::kInvalidUser;
+    double best_sim = -1.0;
+    for (int c = 0; c < spec.follow_candidates; ++c) {
+      UserId v = sample_candidate();
+      if (v == corpus::kInvalidUser) continue;
+      double sim = Cosine(plan.theta, plans[v].psi);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best = v;
+      }
+    }
+    return best;
+  };
+
+  for (UserId u = 0; u < num_users; ++u) {
+    bool is_subject = u < num_subjects;
+    for (int e = 0; e < plans[u].n_followees; ++e) {
+      UserId v = pick_followee(u, /*subjects_allowed=*/!is_subject);
+      if (v == corpus::kInvalidUser) continue;
+      (void)corpus.graph().AddFollow(u, v);
+    }
+  }
+  // Reciprocation pass: affine edges are followed back, creating the
+  // mutual-interest ties behind the C source. Subjects still only follow
+  // background accounts, so only background->subject edges from the loop
+  // above and subject->background edges here are eligible.
+  for (UserId u = 0; u < num_users; ++u) {
+    std::vector<UserId> snapshot = corpus.graph().Followees(u);
+    for (UserId v : snapshot) {
+      if (corpus.graph().Follows(v, u)) continue;
+      if (v < num_subjects && u >= num_subjects) continue;  // keep invariant
+      double sim = Cosine(plans[v].theta, plans[u].psi);
+      double p = spec.reciprocation_base + spec.reciprocation_affinity * sim;
+      if (rng.Bernoulli(std::min(0.95, p))) {
+        (void)corpus.graph().AddFollow(v, u);
+      }
+    }
+  }
+  // Guarantee the cohort's minimum-follower filter can pass.
+  for (UserId u = 0; u < num_subjects; ++u) {
+    int deficit = static_cast<int>(spec.cohort.min_followers) -
+                  static_cast<int>(corpus.graph().Followers(u).size());
+    for (int attempt = 0; attempt < 64 && deficit > 0; ++attempt) {
+      UserId w = static_cast<UserId>(
+          num_subjects +
+          rng.UniformU32(static_cast<uint32_t>(spec.background_users)));
+      if (corpus.graph().AddFollow(w, u).ok()) --deficit;
+    }
+  }
+
+  // ---- Resolve subject posting counts from incoming volume. ----
+  const std::array<const GroupSpec*, 4> groups = {
+      &spec.seekers, &spec.balanced, &spec.producers, &spec.extras};
+  for (UserId u = 0; u < num_subjects; ++u) {
+    UserPlan& plan = plans[u];
+    const GroupSpec& group = *groups[static_cast<size_t>(plan.group)];
+    long incoming = 0;
+    for (UserId v : corpus.graph().Followees(u)) {
+      incoming += plans[v].n_orig + plans[v].n_rt;
+    }
+    double ratio = rng.UniformDouble(group.ratio_lo, group.ratio_hi);
+    int outgoing = std::max(1, static_cast<int>(ratio * incoming));
+    double share = rng.UniformDouble(group.retweet_share_lo,
+                                     group.retweet_share_hi);
+    plan.n_rt = std::max(static_cast<int>(spec.cohort.min_retweets) + 3,
+                         static_cast<int>(outgoing * share));
+    plan.n_orig = std::max(3, outgoing - plan.n_rt);
+  }
+
+  // ---- Original tweets. ----
+  dataset.truth.tweet_topic.reserve(num_users * 40);
+  std::vector<OriginalRef> originals;
+
+  struct Theme {
+    int topic;
+    int subtopic;
+  };
+  auto compose_tweet = [&](const UserPlan& plan, Theme theme,
+                           Theme secondary) -> std::string {
+    const SyntheticLanguage& lang = langs[static_cast<size_t>(plan.lang)];
+    int n_words = spec.words_lo +
+                  static_cast<int>(rng.UniformU32(static_cast<uint32_t>(
+                      spec.words_hi - spec.words_lo + 1)));
+    std::vector<std::string> words;
+    if (rng.Bernoulli(spec.mention_prob * 0.5)) {
+      words.push_back(
+          "@user" + std::to_string(rng.UniformU32(
+                        static_cast<uint32_t>(num_users))));
+    }
+    while (static_cast<int>(words.size()) < n_words) {
+      // Tweets are two-theme mixtures: each content draw picks the primary
+      // or secondary (topic, subtopic) unit.
+      Theme draw = rng.Bernoulli(spec.secondary_topic_prob) ? secondary
+                                                            : theme;
+      double roll = rng.UniformDouble();
+      if (roll < spec.phrase_prob) {
+        for (const std::string& word :
+             lang.SamplePhrase(draw.topic, draw.subtopic, &rng)) {
+          words.push_back(CorruptWord(word, spec.noise, &rng));
+        }
+      } else if (roll < spec.phrase_prob + spec.function_word_prob) {
+        words.push_back(lang.SampleFunctionWord(&rng));
+      } else {
+        words.push_back(
+            CorruptWord(lang.SampleWord(draw.topic, draw.subtopic, &rng),
+                        spec.noise, &rng));
+      }
+    }
+    if (rng.Bernoulli(spec.mention_prob * 0.5)) {
+      words.push_back(
+          "@user" + std::to_string(rng.UniformU32(
+                        static_cast<uint32_t>(num_users))));
+    }
+    if (rng.Bernoulli(spec.hashtag_prob)) {
+      // Hashtags index the *global* coarse-topic space (same tags across
+      // languages), so hashtag pooling aggregates cross-language content.
+      words.push_back(langs[0].HashtagFor(theme.topic));
+    }
+    if (rng.Bernoulli(spec.url_prob)) {
+      const auto& pool = topic_urls[theme.topic];
+      words.push_back(pool[rng.UniformU32(
+          static_cast<uint32_t>(pool.size()))]);
+    }
+    if (rng.Bernoulli(spec.emoticon_prob)) {
+      words.push_back(kEmoticons[rng.UniformU32(
+          static_cast<uint32_t>(kEmoticons.size()))]);
+    }
+    if (rng.Bernoulli(0.12)) {
+      words.push_back("?");
+    }
+    std::string out;
+    for (size_t w = 0; w < words.size(); ++w) {
+      if (w > 0) out += ' ';
+      out += words[w];
+    }
+    return out;
+  };
+
+  const int subtopics = spec.language_model.subtopics_per_topic;
+  auto sample_theme = [&](const UserPlan& plan, bool chatter) -> Theme {
+    Theme theme;
+    if (chatter) {
+      theme.topic = static_cast<int>(
+          rng.UniformU32(static_cast<uint32_t>(num_topics)));
+      theme.subtopic = static_cast<int>(
+          rng.UniformU32(static_cast<uint32_t>(subtopics)));
+    } else {
+      theme.topic = static_cast<int>(rng.Categorical(plan.psi));
+      theme.subtopic = static_cast<int>(
+          rng.Categorical(plan.sub_pref[static_cast<size_t>(theme.topic)]));
+    }
+    return theme;
+  };
+
+  for (UserId u = 0; u < num_users; ++u) {
+    const UserPlan& plan = plans[u];
+    for (int i = 0; i < plan.n_orig; ++i) {
+      Theme theme = sample_theme(plan, rng.Bernoulli(plan.chatter));
+      Theme secondary = sample_theme(plan, false);
+      Timestamp time = static_cast<Timestamp>(
+          rng.UniformDouble() * static_cast<double>(spec.horizon) * 0.92);
+      Result<TweetId> id =
+          corpus.AddTweet(u, time, compose_tweet(plan, theme, secondary));
+      if (!id.ok()) return id.status();
+      dataset.truth.tweet_topic.resize(*id + 1, -1);
+      dataset.truth.tweet_subtopic.resize(*id + 1, -1);
+      dataset.truth.tweet_topic[*id] = theme.topic;
+      dataset.truth.tweet_subtopic[*id] = theme.subtopic;
+      originals.push_back(
+          OriginalRef{*id, u, time, theme.topic, theme.subtopic});
+    }
+  }
+
+  // ---- Retweets: interest-driven selection. ----
+  // Keep a by-author index of originals for candidate pooling.
+  std::vector<std::vector<size_t>> originals_of(num_users);
+  for (size_t i = 0; i < originals.size(); ++i) {
+    originals_of[originals[i].author].push_back(i);
+  }
+
+  for (UserId u = 0; u < num_users; ++u) {
+    const UserPlan& plan = plans[u];
+    if (plan.n_rt <= 0) continue;
+    // Two candidate pools: the received timeline (followees' originals) —
+    // capped at `incoming_retweet_cap` of its size so most of the timeline
+    // stays available as negative examples — and global discovery
+    // (search / trending) for the rest of the retweet budget.
+    std::vector<size_t> timeline_pool;
+    for (UserId v : corpus.graph().Followees(u)) {
+      timeline_pool.insert(timeline_pool.end(), originals_of[v].begin(),
+                           originals_of[v].end());
+    }
+    const size_t wanted = static_cast<size_t>(plan.n_rt);
+    const size_t timeline_budget = std::min(
+        wanted, static_cast<size_t>(plan.incoming_retweet_cap *
+                                    static_cast<double>(timeline_pool.size())));
+    const size_t discovery_budget = wanted - timeline_budget;
+
+    std::vector<size_t> discovery_pool;
+    for (size_t i = 0; i < discovery_budget * 3; ++i) {
+      size_t pick = rng.UniformU32(static_cast<uint32_t>(originals.size()));
+      if (originals[pick].author != u) discovery_pool.push_back(pick);
+    }
+
+    // Score by fine-grained interest match + decision noise; retweet the
+    // best of each pool within its budget. Interest is normalised by the
+    // pool's maximum so the noise mix-in is comparable across users.
+    std::unordered_set<TweetId> chosen;
+    auto select_top = [&](const std::vector<size_t>& pool, size_t budget,
+                          std::vector<size_t>* out) {
+      double max_interest = 1e-12;
+      for (size_t index : pool) {
+        const OriginalRef& ref = originals[index];
+        max_interest =
+            std::max(max_interest, plan.InterestIn(ref.topic, ref.subtopic));
+      }
+      std::vector<std::pair<double, size_t>> scored;
+      scored.reserve(pool.size());
+      std::unordered_set<TweetId> seen;
+      for (size_t index : pool) {
+        const OriginalRef& ref = originals[index];
+        if (chosen.count(ref.id) || !seen.insert(ref.id).second) continue;
+        double interest =
+            plan.InterestIn(ref.topic, ref.subtopic) / max_interest;
+        double score = (1.0 - plan.retweet_noise) * interest +
+                       plan.retweet_noise * rng.UniformDouble();
+        scored.emplace_back(score, index);
+      }
+      std::sort(scored.begin(), scored.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      size_t take = std::min(budget, scored.size());
+      for (size_t i = 0; i < take; ++i) {
+        out->push_back(scored[i].second);
+        chosen.insert(originals[scored[i].second].id);
+      }
+    };
+    std::vector<size_t> picks;
+    select_top(timeline_pool, timeline_budget, &picks);
+    select_top(discovery_pool, discovery_budget, &picks);
+
+    for (size_t index : picks) {
+      const OriginalRef& ref = originals[index];
+      Timestamp delay = static_cast<Timestamp>(
+          rng.Exponential(1.0 / (6.0 * 3600.0)));  // mean 6 hours
+      Timestamp time = std::min<Timestamp>(ref.time + 60 + delay,
+                                           spec.horizon - 1);
+      Result<TweetId> id = corpus.AddTweet(u, time, "", ref.id);
+      if (!id.ok()) return id.status();
+      dataset.truth.tweet_topic.resize(*id + 1, -1);
+      dataset.truth.tweet_subtopic.resize(*id + 1, -1);
+      dataset.truth.tweet_topic[*id] = ref.topic;
+      dataset.truth.tweet_subtopic[*id] = ref.subtopic;
+    }
+  }
+
+  corpus.Finalize();
+
+  // ---- Ground truth bookkeeping. ----
+  dataset.truth.user_interest.reserve(num_users);
+  dataset.truth.user_content.reserve(num_users);
+  dataset.truth.user_language.reserve(num_users);
+  for (const UserPlan& plan : plans) {
+    dataset.truth.user_interest.push_back(plan.theta);
+    dataset.truth.user_content.push_back(plan.psi);
+    dataset.truth.user_language.push_back(plan.lang);
+  }
+  for (UserId u = 0; u < num_subjects; ++u) {
+    dataset.truth.subjects.push_back(u);
+  }
+  return dataset;
+}
+
+}  // namespace microrec::synth

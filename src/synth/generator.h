@@ -1,0 +1,218 @@
+// Synthetic microblog dataset generation — the stand-in for the paper's
+// 2009 Twitter corpus + social-graph snapshot (see DESIGN.md §1).
+//
+// Generative story:
+//   * Every user has a latent *interest* distribution θ_u over a global
+//     topic space (what she likes to read and retweet) and a *content*
+//     distribution ψ_u (what she posts) — ψ_u is θ_u blended with a
+//     personal quirk, so a user's output is an imperfect proxy for her
+//     taste, exactly the asymmetry behind the paper's source ordering.
+//   * Follow edges are mostly affinity-driven: follower w picks accounts v
+//     maximising sim(θ_w, ψ_v), with a uniform-random fraction standing in
+//     for celebrity/noise follows. Reciprocal edges therefore require
+//     *mutual* affinity, making C(u) the tightest neighbourhood source,
+//     then E(u) (u's own curated choices), then F(u) (others' choices) —
+//     the ordering Table 6 reports.
+//   * Tweets are word mixtures of the author's ψ_u in her language, with
+//     topical collocations (word-order signal for the context-aware
+//     models), hashtags, mentions, URLs, emoticons, and a noise channel
+//     (misspellings, lengthening, slang).
+//   * Retweets are interest-driven: a user retweets the incoming (or, for
+//     hyperactive users, discovered) tweets that best match θ_u, plus
+//     decision noise. Retweet-as-relevance is thus genuinely informative,
+//     as the evaluation protocol assumes.
+//   * Posting ratios are planned per user group so the cohort reproduces
+//     the IS / BU / IP structure of Table 2.
+#ifndef MICROREC_SYNTH_GENERATOR_H_
+#define MICROREC_SYNTH_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "corpus/user_types.h"
+#include "synth/language_model.h"
+#include "synth/noise.h"
+#include "util/status.h"
+
+namespace microrec::synth {
+
+/// Behavioural plan for one user group.
+struct GroupSpec {
+  size_t count = 0;
+  int followees_lo = 3, followees_hi = 6;
+  /// Target posting ratio band (outgoing / incoming, Section 2).
+  double ratio_lo = 0.8, ratio_hi = 1.1;
+  /// Fraction of outgoing posts that are retweets.
+  double retweet_share_lo = 0.5, retweet_share_hi = 0.7;
+  /// Fraction of own tweets that are off-interest chatter (noise topics).
+  double chatter = 0.15;
+  /// Noise in the retweet decision (0 = pure interest ranking).
+  double retweet_noise = 0.3;
+  /// Fraction of this group's follow edges chosen by affinity (the rest
+  /// uniform-random). Seekers curate their timelines; hyperactive
+  /// producers barely rely on theirs — which also makes IS negatives
+  /// (drawn from an affine timeline) harder than IP negatives.
+  double affinity_follow = 0.75;
+  /// Per-group cap on the fraction of received originals that may be
+  /// retweeted (see DatasetSpec::incoming_retweet_cap). Producers retweet
+  /// far more than they receive (Table 2: IP retweets 4,224 vs incoming
+  /// 1,143 on average), so their cap is high and their testing-phase
+  /// negatives are accordingly scarcer — as in the paper's data.
+  double incoming_retweet_cap = 0.2;
+};
+
+/// Full generator configuration.
+struct DatasetSpec {
+  uint64_t seed = 42;
+  LanguageModelSpec language_model;
+
+  // The audience population backing E/F/C sources.
+  size_t background_users = 160;
+  int background_posts_lo = 40, background_posts_hi = 70;
+  double background_retweet_share = 0.25;
+  int background_followees_lo = 3, background_followees_hi = 8;
+  /// Probability a background follow targets a subject user.
+  double background_follow_subject = 0.5;
+
+  // Subject groups (the experimental cohort).
+  GroupSpec seekers{.count = 20,
+                    .followees_lo = 18,
+                    .followees_hi = 30,
+                    .ratio_lo = 0.05,
+                    .ratio_hi = 0.13,
+                    .retweet_share_lo = 0.55,
+                    .retweet_share_hi = 0.7,
+                    .chatter = 0.22,
+                    .retweet_noise = 0.28,
+                    .affinity_follow = 0.85,
+                    .incoming_retweet_cap = 0.15};
+  GroupSpec balanced{.count = 20,
+                     .followees_lo = 6,
+                     .followees_hi = 9,
+                     .ratio_lo = 0.78,
+                     .ratio_hi = 1.15,
+                     .retweet_share_lo = 0.55,
+                     .retweet_share_hi = 0.7,
+                     .chatter = 0.30,
+                     .retweet_noise = 0.18,
+                     .affinity_follow = 0.70,
+                     .incoming_retweet_cap = 0.30};
+  GroupSpec producers{.count = 9,
+                      .followees_lo = 3,
+                      .followees_hi = 4,
+                      .ratio_lo = 2.3,
+                      .ratio_hi = 4.0,
+                      .retweet_share_lo = 0.6,
+                      .retweet_share_hi = 0.8,
+                      .chatter = 0.50,
+                      .retweet_noise = 0.10,
+                      .affinity_follow = 0.40,
+                      .incoming_retweet_cap = 0.45};
+  /// High-ratio users included only in the All-Users group (11 in paper).
+  GroupSpec extras{.count = 11,
+                   .followees_lo = 3,
+                   .followees_hi = 5,
+                   .ratio_lo = 1.25,
+                   .ratio_hi = 1.9,
+                   .retweet_share_lo = 0.55,
+                   .retweet_share_hi = 0.7,
+                   .chatter = 0.35,
+                   .retweet_noise = 0.22,
+                   .affinity_follow = 0.55,
+                   .incoming_retweet_cap = 0.3};
+
+  /// Background users' cap on the fraction of received originals that may
+  /// be retweeted; the remainder of a retweet budget comes from global
+  /// discovery (search / trending). Subject groups carry their own cap in
+  /// GroupSpec::incoming_retweet_cap. The cap keeps non-retweeted incoming
+  /// tweets available as negative examples (Section 4).
+  double incoming_retweet_cap = 0.2;
+
+  // Interest / content structure.
+  double interest_concentration = 0.12;  // Dirichlet prior on θ_u (sparse)
+  /// Dirichlet prior on a user's per-topic subtopic preferences (sparse:
+  /// a user who likes a topic cares about a handful of its subtopics).
+  double subtopic_concentration = 0.12;
+  double quirk_weight = 0.5;             // ψ_u = (1-q) θ_u + q quirk
+  /// Fraction of *background* users' follow edges chosen by affinity
+  /// (subject groups carry their own rate in GroupSpec.affinity_follow).
+  double affinity_follow_fraction = 0.75;
+  /// Candidates scanned per affinity-driven follow (top-1-of-k rule).
+  int follow_candidates = 15;
+  /// Reciprocity: p(follow-back) = base + affinity * cos(θ_v, ψ_u) —
+  /// reciprocal ties are biased toward *mutually* affine pairs, which is
+  /// what makes C(u) the purest neighbourhood source.
+  double reciprocation_base = 0.12;
+  double reciprocation_affinity = 0.8;
+
+  // Tweet composition.
+  int words_lo = 5, words_hi = 13;
+  double phrase_prob = 0.35;
+  /// Probability that a content draw comes from the tweet's secondary topic
+  /// (tweets are two-topic mixtures, as real posts are; the secondary topic
+  /// is another interest of the author).
+  double secondary_topic_prob = 0.25;
+  double function_word_prob = 0.3;
+  double hashtag_prob = 0.3;
+  double mention_prob = 0.15;
+  double url_prob = 0.08;
+  double emoticon_prob = 0.12;
+  NoiseSpec noise;
+
+  /// Timeline horizon in seconds (≈ the paper's Jun–Dec 2009 window).
+  corpus::Timestamp horizon = 180 * 24 * 3600;
+
+  /// Per-language user shares approximating Table 3 (row order matches
+  /// text::Language; remainder of probability mass goes to English).
+  std::vector<double> language_shares = {
+      0.8271, 0.0344, 0.0171, 0.0070, 0.0068,
+      0.0062, 0.0049, 0.0024, 0.0021, 0.0005};
+
+  /// Cohort filters scaled to this corpus size (cf. Section 4's
+  /// >= 3 followers, >= 3 followees, >= 400 retweets).
+  corpus::CohortOptions cohort{.min_followers = 3,
+                               .min_followees = 3,
+                               .min_retweets = 12,
+                               .seekers = 20,
+                               .balanced = 20,
+                               .producers = 9,
+                               .extra_all = 11};
+
+  /// Laptop-quick preset (the default above).
+  static DatasetSpec Small();
+  /// Larger corpus for longer runs.
+  static DatasetSpec Medium();
+  /// Reads MICROREC_SCALE ("small" | "medium") from the environment.
+  static DatasetSpec FromEnv();
+};
+
+/// Latent variables behind the generated corpus, kept for validation and
+/// for the ablation benches.
+struct GroundTruth {
+  std::vector<std::vector<double>> user_interest;  // θ_u
+  std::vector<std::vector<double>> user_content;   // ψ_u
+  std::vector<text::Language> user_language;
+  /// Dominant coarse topic of each original tweet; retweets inherit the
+  /// original's topic. Indexed by TweetId.
+  std::vector<int> tweet_topic;
+  /// Dominant fine subtopic (within tweet_topic) per tweet.
+  std::vector<int> tweet_subtopic;
+  /// Subject users in generation order (seekers, balanced, producers,
+  /// extras); background users are the remaining ids.
+  std::vector<corpus::UserId> subjects;
+};
+
+/// A generated dataset: the corpus plus its ground truth.
+struct SyntheticDataset {
+  corpus::Corpus corpus;
+  GroundTruth truth;
+  DatasetSpec spec;
+};
+
+/// Generates a corpus per `spec`. Deterministic in spec.seed.
+Result<SyntheticDataset> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace microrec::synth
+
+#endif  // MICROREC_SYNTH_GENERATOR_H_

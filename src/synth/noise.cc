@@ -1,0 +1,62 @@
+#include "synth/noise.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "text/unicode.h"
+
+namespace microrec::synth {
+
+namespace {
+
+bool IsVowel(uint32_t cp) {
+  return cp == 'a' || cp == 'e' || cp == 'i' || cp == 'o' || cp == 'u';
+}
+
+}  // namespace
+
+std::string CorruptWord(const std::string& word, const NoiseSpec& spec,
+                        Rng* rng) {
+  std::vector<uint32_t> cps = text::Decode(word);
+  if (cps.size() < 2) return word;
+
+  double roll = rng->UniformDouble();
+  if (roll < spec.misspell) {
+    uint32_t pos = rng->UniformU32(static_cast<uint32_t>(cps.size()));
+    switch (rng->UniformU32(3)) {
+      case 0:  // swap with neighbour
+        if (pos + 1 < cps.size()) std::swap(cps[pos], cps[pos + 1]);
+        break;
+      case 1:  // drop
+        cps.erase(cps.begin() + pos);
+        break;
+      default:  // duplicate
+        cps.insert(cps.begin() + pos, cps[pos]);
+        break;
+    }
+  } else if (roll < spec.misspell + spec.lengthen) {
+    // Emphatic lengthening of the last vowel (or last codepoint).
+    size_t pos = cps.size() - 1;
+    for (size_t i = cps.size(); i > 0; --i) {
+      if (IsVowel(cps[i - 1])) {
+        pos = i - 1;
+        break;
+      }
+    }
+    int extra = 2 + static_cast<int>(rng->UniformU32(4));
+    cps.insert(cps.begin() + static_cast<ptrdiff_t>(pos), extra, cps[pos]);
+  } else if (roll < spec.misspell + spec.lengthen + spec.abbreviate) {
+    // Slang abbreviation: drop interior vowels, keep first/last codepoint.
+    std::vector<uint32_t> kept;
+    kept.push_back(cps.front());
+    for (size_t i = 1; i + 1 < cps.size(); ++i) {
+      if (!IsVowel(cps[i])) kept.push_back(cps[i]);
+    }
+    kept.push_back(cps.back());
+    if (kept.size() >= 2) cps = std::move(kept);
+  }
+  return text::Encode(cps);
+}
+
+}  // namespace microrec::synth

@@ -1,0 +1,25 @@
+// The noise channel: reproduces Twitter challenges C2 (misspellings) and
+// C4 (non-standard language) on generated tweets.
+#ifndef MICROREC_SYNTH_NOISE_H_
+#define MICROREC_SYNTH_NOISE_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace microrec::synth {
+
+/// Per-corruption probabilities, applied independently per word.
+struct NoiseSpec {
+  double misspell = 0.04;    // swap / drop / duplicate a codepoint
+  double lengthen = 0.03;    // emphatic lengthening: "yes" -> "yeeees"
+  double abbreviate = 0.03;  // drop interior vowels: "goodnight" -> "gdnght"
+};
+
+/// Applies at most one corruption to a single word (UTF-8 aware).
+std::string CorruptWord(const std::string& word, const NoiseSpec& spec,
+                        Rng* rng);
+
+}  // namespace microrec::synth
+
+#endif  // MICROREC_SYNTH_NOISE_H_

@@ -1,0 +1,151 @@
+#include "text/language_detector.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/unicode.h"
+
+namespace microrec::text {
+
+std::string_view LanguageName(Language lang) {
+  switch (lang) {
+    case Language::kEnglish:
+      return "English";
+    case Language::kJapanese:
+      return "Japanese";
+    case Language::kChinese:
+      return "Chinese";
+    case Language::kPortuguese:
+      return "Portuguese";
+    case Language::kThai:
+      return "Thai";
+    case Language::kFrench:
+      return "French";
+    case Language::kKorean:
+      return "Korean";
+    case Language::kGerman:
+      return "German";
+    case Language::kIndonesian:
+      return "Indonesian";
+    case Language::kSpanish:
+      return "Spanish";
+    case Language::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Function-word profiles for Latin-script languages. Each entry is a highly
+// frequent, strongly language-characteristic word; shared words (e.g. "a")
+// are deliberately excluded.
+struct Profile {
+  Language lang;
+  std::array<std::string_view, 12> words;
+};
+
+constexpr std::array<Profile, 6> kLatinProfiles = {{
+    {Language::kEnglish,
+     {"the", "and", "you", "for", "that", "with", "this", "have", "not",
+      "are", "was", "what"}},
+    {Language::kPortuguese,
+     {"que", "nao", "uma", "com", "para", "mais", "voce", "por", "isso",
+      "muito", "como", "bem"}},
+    {Language::kFrench,
+     {"les", "des", "est", "pas", "pour", "vous", "une", "dans", "sur",
+      "avec", "mais", "tout"}},
+    {Language::kGerman,
+     {"der", "die", "und", "ich", "das", "ist", "nicht", "mit", "ein",
+      "auf", "auch", "sich"}},
+    {Language::kIndonesian,
+     {"yang", "dan", "itu", "aku", "ini", "tidak", "ada", "kamu", "saya",
+      "bisa", "juga", "akan"}},
+    {Language::kSpanish,
+     {"que", "los", "por", "con", "para", "una", "las", "pero", "como",
+      "esta", "muy", "todo"}},
+}};
+
+}  // namespace
+
+std::vector<std::string_view> CharacteristicWords(Language lang) {
+  for (const auto& profile : kLatinProfiles) {
+    if (profile.lang == lang) {
+      return std::vector<std::string_view>(profile.words.begin(),
+                                           profile.words.end());
+    }
+  }
+  return {};
+}
+
+Language LanguageDetector::Detect(std::string_view text) const {
+  // Pass 1: script histogram over codepoints.
+  size_t latin = 0, han = 0, kana = 0, hangul = 0, thai = 0, letters = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    Codepoint cp = DecodeNext(text, &pos);
+    switch (ClassifyScript(cp)) {
+      case Script::kLatin:
+        ++latin;
+        ++letters;
+        break;
+      case Script::kHan:
+        ++han;
+        ++letters;
+        break;
+      case Script::kHiragana:
+      case Script::kKatakana:
+        ++kana;
+        ++letters;
+        break;
+      case Script::kHangul:
+        ++hangul;
+        ++letters;
+        break;
+      case Script::kThai:
+        ++thai;
+        ++letters;
+        break;
+      default:
+        break;
+    }
+  }
+  if (letters == 0) return Language::kUnknown;
+
+  // Any kana implies Japanese (Chinese text never contains kana; Japanese
+  // text essentially always does).
+  if (kana * 10 >= letters) return Language::kJapanese;
+  if (hangul * 2 >= letters) return Language::kKorean;
+  if (thai * 2 >= letters) return Language::kThai;
+  if (han * 2 >= letters) return Language::kChinese;
+  if (latin * 2 < letters) return Language::kUnknown;
+
+  // Pass 2: Latin-script language via function-word votes.
+  Tokenizer tokenizer;
+  std::vector<std::string> tokens = tokenizer.TokenizeToStrings(text);
+  std::array<int, kLatinProfiles.size()> votes{};
+  for (const auto& token : tokens) {
+    for (size_t p = 0; p < kLatinProfiles.size(); ++p) {
+      for (std::string_view word : kLatinProfiles[p].words) {
+        if (token == word) {
+          ++votes[p];
+          break;
+        }
+      }
+    }
+  }
+  int best_votes = 0;
+  Language best = Language::kEnglish;  // dominant-language prior (Table 3)
+  for (size_t p = 0; p < kLatinProfiles.size(); ++p) {
+    if (votes[p] > best_votes) {
+      best_votes = votes[p];
+      best = kLatinProfiles[p].lang;
+    }
+  }
+  return best;
+}
+
+}  // namespace microrec::text

@@ -1,0 +1,176 @@
+#include "text/unicode.h"
+
+namespace microrec::text {
+
+namespace {
+
+// Returns the expected length of a UTF-8 sequence from its lead byte, or 0
+// for an invalid lead byte.
+int SequenceLength(uint8_t lead) {
+  if (lead < 0x80) return 1;
+  if ((lead & 0xE0) == 0xC0) return 2;
+  if ((lead & 0xF0) == 0xE0) return 3;
+  if ((lead & 0xF8) == 0xF0) return 4;
+  return 0;
+}
+
+bool IsContinuation(uint8_t byte) { return (byte & 0xC0) == 0x80; }
+
+}  // namespace
+
+Codepoint DecodeNext(std::string_view bytes, size_t* pos) {
+  size_t i = *pos;
+  uint8_t lead = static_cast<uint8_t>(bytes[i]);
+  int len = SequenceLength(lead);
+  if (len == 0 || i + static_cast<size_t>(len) > bytes.size()) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  Codepoint cp = 0;
+  switch (len) {
+    case 1:
+      cp = lead;
+      break;
+    case 2:
+      cp = lead & 0x1Fu;
+      break;
+    case 3:
+      cp = lead & 0x0Fu;
+      break;
+    default:
+      cp = lead & 0x07u;
+      break;
+  }
+  for (int k = 1; k < len; ++k) {
+    uint8_t b = static_cast<uint8_t>(bytes[i + static_cast<size_t>(k)]);
+    if (!IsContinuation(b)) {
+      *pos = i + 1;
+      return kReplacementChar;
+    }
+    cp = (cp << 6) | (b & 0x3Fu);
+  }
+  // Reject overlong encodings, surrogates and out-of-range values.
+  static constexpr Codepoint kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMinForLen[len] || cp > 0x10FFFF ||
+      (cp >= 0xD800 && cp <= 0xDFFF)) {
+    *pos = i + 1;
+    return kReplacementChar;
+  }
+  *pos = i + static_cast<size_t>(len);
+  return cp;
+}
+
+std::vector<Codepoint> Decode(std::string_view bytes) {
+  std::vector<Codepoint> out;
+  out.reserve(bytes.size());
+  size_t pos = 0;
+  while (pos < bytes.size()) out.push_back(DecodeNext(bytes, &pos));
+  return out;
+}
+
+void Encode(Codepoint cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) cp = kReplacementChar;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string Encode(const std::vector<Codepoint>& cps) {
+  std::string out;
+  out.reserve(cps.size() * 2);
+  for (Codepoint cp : cps) Encode(cp, &out);
+  return out;
+}
+
+size_t CodepointCount(std::string_view bytes) {
+  size_t pos = 0;
+  size_t count = 0;
+  while (pos < bytes.size()) {
+    DecodeNext(bytes, &pos);
+    ++count;
+  }
+  return count;
+}
+
+Codepoint ToLower(Codepoint cp) {
+  // ASCII.
+  if (cp >= 'A' && cp <= 'Z') return cp + 32;
+  // Latin-1 supplement: À-Þ map to à-þ, except × (0xD7).
+  if (cp >= 0xC0 && cp <= 0xDE && cp != 0xD7) return cp + 32;
+  // Latin Extended-A: even/odd pairing for most of the block.
+  if (cp >= 0x100 && cp <= 0x177) return (cp % 2 == 0) ? cp + 1 : cp;
+  // Greek capitals Α-Ω (skip the gap at 0x3A2).
+  if (cp >= 0x391 && cp <= 0x3A9 && cp != 0x3A2) return cp + 32;
+  // Cyrillic А-Я.
+  if (cp >= 0x410 && cp <= 0x42F) return cp + 32;
+  // Cyrillic Ѐ-Џ.
+  if (cp >= 0x400 && cp <= 0x40F) return cp + 80;
+  return cp;
+}
+
+std::string ToLowerUtf8(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size());
+  size_t pos = 0;
+  while (pos < bytes.size()) Encode(ToLower(DecodeNext(bytes, &pos)), &out);
+  return out;
+}
+
+Script ClassifyScript(Codepoint cp) {
+  if (IsWhitespace(cp)) return Script::kWhitespace;
+  if (IsAsciiDigit(cp)) return Script::kDigit;
+  if (IsAsciiLetter(cp)) return Script::kLatin;
+  if (cp < 0x80) return Script::kPunctuation;
+  // Latin-1 letters + Latin Extended-A/B.
+  if ((cp >= 0xC0 && cp <= 0x24F && cp != 0xD7 && cp != 0xF7) ||
+      (cp >= 0x1E00 && cp <= 0x1EFF)) {
+    return Script::kLatin;
+  }
+  if (cp >= 0x370 && cp <= 0x3FF) return Script::kGreek;
+  if (cp >= 0x400 && cp <= 0x4FF) return Script::kCyrillic;
+  if (cp >= 0x590 && cp <= 0x6FF) return Script::kArabic;
+  if (cp >= 0x900 && cp <= 0x97F) return Script::kDevanagari;
+  if (cp >= 0xE00 && cp <= 0xE7F) return Script::kThai;
+  if (cp >= 0x3040 && cp <= 0x309F) return Script::kHiragana;
+  if (cp >= 0x30A0 && cp <= 0x30FF) return Script::kKatakana;
+  if ((cp >= 0x4E00 && cp <= 0x9FFF) || (cp >= 0x3400 && cp <= 0x4DBF)) {
+    return Script::kHan;
+  }
+  if ((cp >= 0xAC00 && cp <= 0xD7AF) || (cp >= 0x1100 && cp <= 0x11FF)) {
+    return Script::kHangul;
+  }
+  // CJK / fullwidth punctuation.
+  if ((cp >= 0x3000 && cp <= 0x303F) || (cp >= 0xFF00 && cp <= 0xFF0F) ||
+      (cp >= 0xFF1A && cp <= 0xFF20) || (cp >= 0xFF3B && cp <= 0xFF40) ||
+      (cp >= 0xFF5B && cp <= 0xFF65)) {
+    return Script::kPunctuation;
+  }
+  return Script::kOther;
+}
+
+bool IsWhitespace(Codepoint cp) {
+  return cp == ' ' || cp == '\t' || cp == '\n' || cp == '\r' || cp == '\f' ||
+         cp == '\v' || cp == 0xA0 /* NBSP */ || cp == 0x3000 /* ideographic */;
+}
+
+bool IsPunctuation(Codepoint cp) {
+  if (cp < 0x80) {
+    return !IsAsciiLetter(cp) && !IsAsciiDigit(cp) && !IsWhitespace(cp);
+  }
+  Script script = ClassifyScript(cp);
+  return script == Script::kPunctuation;
+}
+
+}  // namespace microrec::text

@@ -1,0 +1,87 @@
+// Minimal UTF-8 / codepoint utilities.
+//
+// The corpus is multilingual (paper challenge C3), so character-based models
+// (CN, CNG) must operate on codepoints, not bytes: a byte-level bigram would
+// split CJK characters mid-sequence. This header provides exactly the
+// Unicode surface the library needs — decode, encode, case folding for
+// bicameral scripts, and script classification for language detection —
+// without pulling in ICU.
+#ifndef MICROREC_TEXT_UNICODE_H_
+#define MICROREC_TEXT_UNICODE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microrec::text {
+
+/// A Unicode codepoint. Invalid UTF-8 bytes decode to U+FFFD.
+using Codepoint = uint32_t;
+
+inline constexpr Codepoint kReplacementChar = 0xFFFD;
+
+/// Writing-system classification used by the language detector (Table 3) and
+/// by tests asserting script-safe character n-grams.
+enum class Script {
+  kLatin,
+  kCyrillic,
+  kGreek,
+  kHan,        // CJK unified ideographs (Chinese; also Japanese kanji)
+  kHiragana,   // Japanese
+  kKatakana,   // Japanese
+  kHangul,     // Korean
+  kThai,
+  kArabic,
+  kDevanagari,
+  kDigit,
+  kPunctuation,
+  kWhitespace,
+  kOther,
+};
+
+/// Decodes the next UTF-8 sequence starting at `pos` in `bytes`.
+/// Advances `pos` past the sequence (always by at least one byte).
+Codepoint DecodeNext(std::string_view bytes, size_t* pos);
+
+/// Decodes an entire UTF-8 string into codepoints.
+std::vector<Codepoint> Decode(std::string_view bytes);
+
+/// Appends the UTF-8 encoding of `cp` to `out`.
+void Encode(Codepoint cp, std::string* out);
+
+/// Encodes a codepoint sequence to UTF-8.
+std::string Encode(const std::vector<Codepoint>& cps);
+
+/// Number of codepoints in a UTF-8 string.
+size_t CodepointCount(std::string_view bytes);
+
+/// Simple case folding: ASCII, Latin-1 supplement, Latin Extended-A, Greek
+/// and Cyrillic. Caseless scripts (CJK, Thai, ...) pass through unchanged.
+Codepoint ToLower(Codepoint cp);
+
+/// Lower-cases an entire UTF-8 string (see ToLower for coverage).
+std::string ToLowerUtf8(std::string_view bytes);
+
+/// Classifies a codepoint into a Script bucket.
+Script ClassifyScript(Codepoint cp);
+
+/// True for codepoints the tokenizer treats as whitespace.
+bool IsWhitespace(Codepoint cp);
+
+/// True for codepoints the tokenizer treats as token-splitting punctuation.
+/// Note '#', '@' and ':' are handled specially upstream (hashtags, mentions,
+/// emoticons) before this predicate applies.
+bool IsPunctuation(Codepoint cp);
+
+/// True if `cp` is an ASCII letter.
+inline bool IsAsciiLetter(Codepoint cp) {
+  return (cp >= 'a' && cp <= 'z') || (cp >= 'A' && cp <= 'Z');
+}
+
+/// True if `cp` is an ASCII digit.
+inline bool IsAsciiDigit(Codepoint cp) { return cp >= '0' && cp <= '9'; }
+
+}  // namespace microrec::text
+
+#endif  // MICROREC_TEXT_UNICODE_H_

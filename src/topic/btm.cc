@@ -1,0 +1,150 @@
+#include "topic/btm.h"
+
+namespace microrec::topic {
+
+std::vector<std::pair<TermId, TermId>> Btm::ExtractBiterms(
+    const std::vector<TermId>& words, int window) {
+  std::vector<std::pair<TermId, TermId>> biterms;
+  const size_t n = words.size();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    size_t last = window <= 0
+                      ? n
+                      : std::min(n, i + static_cast<size_t>(window) + 1);
+    for (size_t j = i + 1; j < last; ++j) {
+      TermId a = words[i];
+      TermId b = words[j];
+      if (a > b) std::swap(a, b);  // biterms are unordered
+      biterms.emplace_back(a, b);
+    }
+  }
+  return biterms;
+}
+
+Status Btm::Train(const DocSet& docs, Rng* rng) {
+  if (trained_) return Status::FailedPrecondition("Train called twice");
+  if (config_.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (docs.vocab_size() == 0) {
+    return Status::FailedPrecondition("empty training vocabulary");
+  }
+  vocab_size_ = docs.vocab_size();
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+
+  // The corpus is a flat bag of biterms (Section 3.2).
+  std::vector<std::pair<TermId, TermId>> biterms;
+  for (const TopicDoc& doc : docs.docs()) {
+    auto doc_biterms = ExtractBiterms(doc.words, config_.window);
+    biterms.insert(biterms.end(), doc_biterms.begin(), doc_biterms.end());
+  }
+  num_train_biterms_ = biterms.size();
+  if (biterms.empty()) {
+    return Status::FailedPrecondition("no biterms in training corpus");
+  }
+
+  const size_t B = biterms.size();
+  std::vector<uint32_t> z(B);
+  std::vector<uint32_t> n_z(K, 0);
+  std::vector<uint32_t> n_kw(K * V, 0);
+
+  for (size_t i = 0; i < B; ++i) {
+    uint32_t topic = rng->UniformU32(static_cast<uint32_t>(K));
+    z[i] = topic;
+    ++n_z[topic];
+    ++n_kw[static_cast<size_t>(topic) * V + biterms[i].first];
+    ++n_kw[static_cast<size_t>(topic) * V + biterms[i].second];
+  }
+
+  std::vector<double> weights(K);
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    for (size_t i = 0; i < B; ++i) {
+      const auto [w1, w2] = biterms[i];
+      const uint32_t old = z[i];
+      --n_z[old];
+      --n_kw[static_cast<size_t>(old) * V + w1];
+      --n_kw[static_cast<size_t>(old) * V + w2];
+      for (size_t k = 0; k < K; ++k) {
+        const double denom = 2.0 * n_z[k] + v_beta;
+        weights[k] = (n_z[k] + alpha) *
+                     (n_kw[k * V + w1] + beta) / denom *
+                     (n_kw[k * V + w2] + beta) / (denom + 1.0);
+      }
+      uint32_t fresh =
+          static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+      z[i] = fresh;
+      ++n_z[fresh];
+      ++n_kw[static_cast<size_t>(fresh) * V + w1];
+      ++n_kw[static_cast<size_t>(fresh) * V + w2];
+    }
+  }
+
+  theta_.assign(K, 0.0);
+  phi_.assign(K * V, 0.0);
+  const double b_denom =
+      static_cast<double>(B) + static_cast<double>(K) * alpha;
+  for (size_t k = 0; k < K; ++k) {
+    theta_[k] = (n_z[k] + alpha) / b_denom;
+    const double denom = 2.0 * n_z[k] + v_beta;
+    for (size_t w = 0; w < V; ++w) {
+      phi_[k * V + w] = (n_kw[k * V + w] + beta) / denom;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Btm::InferDocument(const std::vector<TermId>& words,
+                                       Rng* rng) const {
+  (void)rng;  // inference is deterministic
+  const size_t K = config_.num_topics;
+  std::vector<double> theta(K, 1.0 / static_cast<double>(K));
+  if (!trained_ || words.empty()) return theta;
+
+  // A tweet's window is the tweet itself (Section 4): unbounded here, since
+  // the caller passes individual tweets at inference time.
+  auto biterms = ExtractBiterms(words, 0);
+  std::fill(theta.begin(), theta.end(), 0.0);
+  std::vector<double> pz(K);
+
+  if (biterms.empty()) {
+    // Single-word fallback: P(z|w) ∝ θ_z φ_zw.
+    const TermId w = words[0];
+    double total = 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      theta[k] = theta_[k] * phi_[k * vocab_size_ + w];
+      total += theta[k];
+    }
+    if (total > 0.0) {
+      for (double& v : theta) v /= total;
+    } else {
+      std::fill(theta.begin(), theta.end(), 1.0 / static_cast<double>(K));
+    }
+    return theta;
+  }
+
+  // P(z|d) = Σ_b P(z|b) P(b|d) with P(b|d) uniform over d's biterms.
+  for (const auto& [w1, w2] : biterms) {
+    double total = 0.0;
+    for (size_t k = 0; k < K; ++k) {
+      pz[k] = theta_[k] * phi_[k * vocab_size_ + w1] *
+              phi_[k * vocab_size_ + w2];
+      total += pz[k];
+    }
+    if (total <= 0.0) continue;
+    for (size_t k = 0; k < K; ++k) {
+      theta[k] += pz[k] / total / static_cast<double>(biterms.size());
+    }
+  }
+  double mass = 0.0;
+  for (double v : theta) mass += v;
+  if (mass <= 0.0) {
+    std::fill(theta.begin(), theta.end(), 1.0 / static_cast<double>(K));
+  }
+  return theta;
+}
+
+}  // namespace microrec::topic

@@ -1,0 +1,31 @@
+#include "topic/doc_set.h"
+
+namespace microrec::topic {
+
+size_t DocSet::AddDocument(const std::vector<std::string>& tokens) {
+  TopicDoc doc;
+  doc.words.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    doc.words.push_back(vocab_.Intern(token));
+  }
+  total_tokens_ += doc.words.size();
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+void DocSet::SetLabels(size_t doc_index, std::vector<uint32_t> labels) {
+  docs_[doc_index].labels = std::move(labels);
+}
+
+std::vector<TermId> DocSet::Lookup(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TermId> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    TermId id = vocab_.Find(token);
+    if (id != text::kInvalidTerm) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace microrec::topic

@@ -1,0 +1,53 @@
+// Training input for topic models: pooled pseudo-documents converted to
+// word-id sequences over a shared topic vocabulary, with optional per-doc
+// observed labels (Labeled LDA).
+#ifndef MICROREC_TOPIC_DOC_SET_H_
+#define MICROREC_TOPIC_DOC_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace microrec::topic {
+
+using text::TermId;
+
+/// One training document: its word ids, plus the observed label ids that
+/// Labeled LDA may constrain its topics to (empty for other models).
+struct TopicDoc {
+  std::vector<TermId> words;
+  std::vector<uint32_t> labels;
+};
+
+/// A corpus of word-id documents and the vocabulary they index into.
+class DocSet {
+ public:
+  /// Interns the tokens of one document; returns its index.
+  size_t AddDocument(const std::vector<std::string>& tokens);
+
+  /// Attaches observed label ids to a document (LLDA).
+  void SetLabels(size_t doc_index, std::vector<uint32_t> labels);
+
+  /// Converts a token sequence using the *existing* vocabulary only; tokens
+  /// never seen in training are dropped (a topic model cannot explain
+  /// unseen words). Used at inference time.
+  std::vector<TermId> Lookup(const std::vector<std::string>& tokens) const;
+
+  const std::vector<TopicDoc>& docs() const { return docs_; }
+  size_t num_docs() const { return docs_.size(); }
+  size_t vocab_size() const { return vocab_.size(); }
+  const text::Vocabulary& vocab() const { return vocab_; }
+
+  /// Total number of word occurrences across all documents.
+  size_t total_tokens() const { return total_tokens_; }
+
+ private:
+  text::Vocabulary vocab_;
+  std::vector<TopicDoc> docs_;
+  size_t total_tokens_ = 0;
+};
+
+}  // namespace microrec::topic
+
+#endif  // MICROREC_TOPIC_DOC_SET_H_

@@ -1,0 +1,211 @@
+#include "topic/hdp.h"
+
+#include <algorithm>
+
+namespace microrec::topic {
+
+namespace {
+
+// Mutable sampler state for one active topic.
+struct TopicState {
+  std::vector<uint32_t> n_w;  // word counts
+  uint32_t n_total = 0;
+  double b = 0.0;  // global stick weight β_k
+
+  TopicState() = default;
+  explicit TopicState(size_t vocab) : n_w(vocab, 0) {}
+};
+
+}  // namespace
+
+Status Hdp::Train(const DocSet& docs, Rng* rng) {
+  if (trained_) return Status::FailedPrecondition("Train called twice");
+  if (docs.vocab_size() == 0) {
+    return Status::FailedPrecondition("empty training vocabulary");
+  }
+  vocab_size_ = docs.vocab_size();
+  const size_t V = vocab_size_;
+  const size_t D = docs.num_docs();
+  const double alpha = config_.alpha;
+  const double gamma = config_.gamma;
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+
+  size_t total_words = docs.total_tokens();
+  if (total_words == 0) {
+    return Status::FailedPrecondition("empty training corpus");
+  }
+
+  // Initial topics with equal global weights; b_new holds the remaining
+  // stick mass for future topics.
+  std::vector<TopicState> topics;
+  size_t init = std::max<size_t>(1, config_.initial_topics);
+  double b_new = 1.0 / static_cast<double>(init + 1);
+  for (size_t k = 0; k < init; ++k) {
+    topics.emplace_back(V);
+    topics.back().b = (1.0 - b_new) / static_cast<double>(init);
+  }
+
+  // Assignments and per-doc topic counts (dense rows resized with K).
+  std::vector<std::vector<uint32_t>> z(D);
+  std::vector<std::vector<uint32_t>> n_dk(D);
+  for (size_t d = 0; d < D; ++d) {
+    const auto& words = docs.docs()[d].words;
+    z[d].resize(words.size());
+    n_dk[d].assign(topics.size(), 0);
+    for (size_t i = 0; i < words.size(); ++i) {
+      uint32_t k = rng->UniformU32(static_cast<uint32_t>(topics.size()));
+      z[d][i] = k;
+      ++n_dk[d][k];
+      ++topics[k].n_w[words[i]];
+      ++topics[k].n_total;
+    }
+  }
+
+  std::vector<double> weights;
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    // --- Sweep: resample every word's topic (direct assignment). ---
+    for (size_t d = 0; d < D; ++d) {
+      const auto& words = docs.docs()[d].words;
+      for (size_t i = 0; i < words.size(); ++i) {
+        const TermId w = words[i];
+        const uint32_t old = z[d][i];
+        --n_dk[d][old];
+        --topics[old].n_w[w];
+        --topics[old].n_total;
+
+        const size_t K = topics.size();
+        weights.resize(K + 1);
+        for (size_t k = 0; k < K; ++k) {
+          weights[k] = (n_dk[d][k] + alpha * topics[k].b) *
+                       (topics[k].n_w[w] + beta) /
+                       (topics[k].n_total + v_beta);
+        }
+        // Fresh topic: its predictive word likelihood is the base measure.
+        weights[K] = alpha * b_new / static_cast<double>(V);
+        if (topics.size() >= config_.max_topics) weights[K] = 0.0;
+
+        size_t pick = rng->Categorical(weights.data(), K + 1);
+        if (pick == K) {
+          // Instantiate a new topic by breaking the remaining stick.
+          topics.emplace_back(V);
+          double nu = rng->Beta(1.0, gamma);
+          topics.back().b = nu * b_new;
+          b_new *= (1.0 - nu);
+          for (size_t dd = 0; dd < D; ++dd) n_dk[dd].push_back(0);
+        }
+        z[d][i] = static_cast<uint32_t>(pick);
+        ++n_dk[d][pick];
+        ++topics[pick].n_w[w];
+        ++topics[pick].n_total;
+      }
+    }
+
+    // --- Drop empty topics (their stick mass returns to b_new). ---
+    {
+      std::vector<uint32_t> remap(topics.size());
+      size_t kept = 0;
+      for (size_t k = 0; k < topics.size(); ++k) {
+        if (topics[k].n_total > 0) {
+          remap[k] = static_cast<uint32_t>(kept);
+          if (kept != k) topics[kept] = std::move(topics[k]);
+          ++kept;
+        } else {
+          remap[k] = UINT32_MAX;
+          b_new += topics[k].b;
+        }
+      }
+      if (kept != topics.size()) {
+        topics.resize(kept);
+        for (size_t d = 0; d < D; ++d) {
+          std::vector<uint32_t> fresh_counts(kept, 0);
+          for (size_t i = 0; i < z[d].size(); ++i) {
+            z[d][i] = remap[z[d][i]];
+            ++fresh_counts[z[d][i]];
+          }
+          n_dk[d] = std::move(fresh_counts);
+        }
+      }
+    }
+
+    // --- Resample global weights via Antoniak table counts. ---
+    {
+      const size_t K = topics.size();
+      std::vector<double> m(K + 1, 0.0);
+      for (size_t d = 0; d < D; ++d) {
+        for (size_t k = 0; k < K; ++k) {
+          uint32_t count = n_dk[d][k];
+          if (count == 0) continue;
+          // Number of tables serving dish k in restaurant d: sequentially
+          // seat `count` customers (Antoniak sampling).
+          double concentration = alpha * topics[k].b;
+          uint32_t tables = 0;
+          for (uint32_t c = 0; c < count; ++c) {
+            if (rng->Bernoulli(concentration /
+                               (concentration + static_cast<double>(c)))) {
+              ++tables;
+            }
+          }
+          m[k] += tables;
+        }
+      }
+      m[K] = gamma;
+      std::vector<double> draw = rng->Dirichlet(m);
+      for (size_t k = 0; k < K; ++k) topics[k].b = draw[k];
+      b_new = draw[K];
+    }
+  }
+
+  // Freeze the posterior sample.
+  num_topics_ = topics.size();
+  phi_.assign(num_topics_ * V, 0.0);
+  global_b_.resize(num_topics_);
+  for (size_t k = 0; k < num_topics_; ++k) {
+    global_b_[k] = topics[k].b;
+    const double denom = topics[k].n_total + v_beta;
+    for (size_t w = 0; w < V; ++w) {
+      phi_[k * V + w] = (topics[k].n_w[w] + beta) / denom;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Hdp::InferDocument(const std::vector<TermId>& words,
+                                       Rng* rng) const {
+  const size_t K = num_topics_;
+  std::vector<double> theta(std::max<size_t>(K, 1),
+                            1.0 / static_cast<double>(std::max<size_t>(K, 1)));
+  if (!trained_ || words.empty() || K == 0) return theta;
+
+  const double alpha = config_.alpha;
+  std::vector<uint32_t> z(words.size());
+  std::vector<uint32_t> n_dk(K, 0);
+  std::vector<double> weights(K);
+
+  for (size_t i = 0; i < words.size(); ++i) {
+    z[i] = rng->UniformU32(static_cast<uint32_t>(K));
+    ++n_dk[z[i]];
+  }
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const TermId w = words[i];
+      --n_dk[z[i]];
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] =
+            (n_dk[k] + alpha * global_b_[k]) * phi_[k * vocab_size_ + w];
+      }
+      z[i] = static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+      ++n_dk[z[i]];
+    }
+  }
+  double b_mass = 0.0;
+  for (double b : global_b_) b_mass += b;
+  const double denom = static_cast<double>(words.size()) + alpha * b_mass;
+  for (size_t k = 0; k < K; ++k) {
+    theta[k] = (n_dk[k] + alpha * global_b_[k]) / denom;
+  }
+  return theta;
+}
+
+}  // namespace microrec::topic

@@ -1,0 +1,65 @@
+// Hierarchical Dirichlet Process topic model (Teh et al. 2006), trained
+// with the direct-assignment collapsed Gibbs sampler. Nonparametric: the
+// number of topics is inferred, growing when a word is assigned to a fresh
+// topic (stick-breaking of the global measure G0) and shrinking when a
+// topic loses its last word.
+#ifndef MICROREC_TOPIC_HDP_H_
+#define MICROREC_TOPIC_HDP_H_
+
+#include <string>
+#include <vector>
+
+#include "topic/topic_model.h"
+
+namespace microrec::topic {
+
+/// HDP hyperparameters (Table 4): alpha = 1.0, gamma = 1.0,
+/// beta ∈ {0.1, 0.5}, 1,000 iterations.
+struct HdpConfig {
+  /// Concentration of the per-document DP (α in the paper).
+  double alpha = 1.0;
+  /// Concentration of the global DP (γ).
+  double gamma = 1.0;
+  /// Dirichlet prior on topic-word distributions (the base measure H).
+  double beta = 0.1;
+  int train_iterations = 1000;
+  int infer_iterations = 20;
+  /// Initial number of topics; the sampler adds/removes from here.
+  size_t initial_topics = 2;
+  /// Safety valve for the topic count (far above typical posterior sizes).
+  size_t max_topics = 512;
+};
+
+/// Direct-assignment HDP sampler.
+class Hdp : public TopicModel {
+ public:
+  explicit Hdp(const HdpConfig& config) : config_(config) {}
+
+  Status Train(const DocSet& docs, Rng* rng) override;
+  /// Topics instantiated by the posterior sample (known only post-training).
+  size_t num_topics() const override { return num_topics_; }
+  std::vector<double> InferDocument(const std::vector<TermId>& words,
+                                    Rng* rng) const override;
+  std::string name() const override { return "HDP"; }
+
+  const HdpConfig& config() const { return config_; }
+  /// Global stick weights β_k of the trained topics (sums to < 1; the
+  /// remainder is the mass reserved for unseen topics).
+  const std::vector<double>& global_weights() const { return global_b_; }
+
+  double TopicWordProb(size_t topic, TermId word) const override {
+    return trained_ ? phi_[topic * vocab_size_ + word] : 0.0;
+  }
+
+ private:
+  HdpConfig config_;
+  size_t vocab_size_ = 0;
+  size_t num_topics_ = 0;
+  std::vector<double> phi_;       // [topic * vocab + word]
+  std::vector<double> global_b_;  // per-topic global weight
+  bool trained_ = false;
+};
+
+}  // namespace microrec::topic
+
+#endif  // MICROREC_TOPIC_HDP_H_

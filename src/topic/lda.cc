@@ -1,0 +1,127 @@
+#include "topic/lda.h"
+
+#include <cmath>
+
+namespace microrec::topic {
+
+Status Lda::Train(const DocSet& docs, Rng* rng) {
+  if (trained_) return Status::FailedPrecondition("Train called twice");
+  if (config_.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (docs.vocab_size() == 0) {
+    return Status::FailedPrecondition("empty training vocabulary");
+  }
+  vocab_size_ = docs.vocab_size();
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+
+  // Flatten the corpus for cache-friendly sweeps.
+  std::vector<TermId> words;
+  std::vector<uint32_t> doc_of;
+  words.reserve(docs.total_tokens());
+  doc_of.reserve(docs.total_tokens());
+  for (size_t d = 0; d < docs.num_docs(); ++d) {
+    for (TermId w : docs.docs()[d].words) {
+      words.push_back(w);
+      doc_of.push_back(static_cast<uint32_t>(d));
+    }
+  }
+  const size_t N = words.size();
+  if (N == 0) return Status::FailedPrecondition("empty training corpus");
+
+  std::vector<uint32_t> z(N);
+  std::vector<uint32_t> n_dk(docs.num_docs() * K, 0);
+  std::vector<uint32_t> n_kw(K * V, 0);
+  std::vector<uint32_t> n_k(K, 0);
+
+  for (size_t i = 0; i < N; ++i) {
+    uint32_t topic = rng->UniformU32(static_cast<uint32_t>(K));
+    z[i] = topic;
+    ++n_dk[doc_of[i] * K + topic];
+    ++n_kw[static_cast<size_t>(topic) * V + words[i]];
+    ++n_k[topic];
+  }
+
+  std::vector<double> weights(K);
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    for (size_t i = 0; i < N; ++i) {
+      const uint32_t d = doc_of[i];
+      const TermId w = words[i];
+      const uint32_t old = z[i];
+      --n_dk[d * K + old];
+      --n_kw[static_cast<size_t>(old) * V + w];
+      --n_k[old];
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (n_dk[d * K + k] + alpha) *
+                     (n_kw[k * V + w] + beta) /
+                     (n_k[k] + v_beta);
+      }
+      uint32_t fresh =
+          static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+      z[i] = fresh;
+      ++n_dk[d * K + fresh];
+      ++n_kw[static_cast<size_t>(fresh) * V + w];
+      ++n_k[fresh];
+    }
+  }
+
+  phi_.assign(K * V, 0.0);
+  for (size_t k = 0; k < K; ++k) {
+    const double denom = n_k[k] + v_beta;
+    for (size_t w = 0; w < V; ++w) {
+      phi_[k * V + w] = (n_kw[k * V + w] + beta) / denom;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Lda::InferDocument(const std::vector<TermId>& words,
+                                       Rng* rng) const {
+  const size_t K = config_.num_topics;
+  std::vector<double> theta(K, 1.0 / static_cast<double>(K));
+  if (!trained_ || words.empty()) return theta;
+
+  const double alpha = config_.ResolvedAlpha();
+  std::vector<uint32_t> z(words.size());
+  std::vector<uint32_t> n_dk(K, 0);
+  std::vector<double> weights(K);
+
+  for (size_t i = 0; i < words.size(); ++i) {
+    uint32_t topic = rng->UniformU32(static_cast<uint32_t>(K));
+    z[i] = topic;
+    ++n_dk[topic];
+  }
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const TermId w = words[i];
+      --n_dk[z[i]];
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (n_dk[k] + alpha) * phi_[k * vocab_size_ + w];
+      }
+      z[i] = static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+      ++n_dk[z[i]];
+    }
+  }
+  const double denom = static_cast<double>(words.size()) +
+                       static_cast<double>(K) * alpha;
+  for (size_t k = 0; k < K; ++k) {
+    theta[k] = (n_dk[k] + alpha) / denom;
+  }
+  return theta;
+}
+
+std::vector<double> Lda::TopicWordDistribution(size_t topic) const {
+  std::vector<double> out(vocab_size_, 0.0);
+  if (!trained_) return out;
+  for (size_t w = 0; w < vocab_size_; ++w) {
+    out[w] = phi_[topic * vocab_size_ + w];
+  }
+  return out;
+}
+
+}  // namespace microrec::topic

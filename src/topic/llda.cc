@@ -1,0 +1,130 @@
+#include "topic/llda.h"
+
+namespace microrec::topic {
+
+Status Llda::Train(const DocSet& docs, Rng* rng) {
+  if (trained_) return Status::FailedPrecondition("Train called twice");
+  if (config_.num_latent_topics == 0) {
+    return Status::InvalidArgument("need at least one latent topic");
+  }
+  if (docs.vocab_size() == 0) {
+    return Status::FailedPrecondition("empty training vocabulary");
+  }
+  vocab_size_ = docs.vocab_size();
+  const size_t K = config_.TotalTopics();
+  const size_t V = vocab_size_;
+  const size_t num_labels = config_.num_labels;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+
+  // Allowed topics per document: its labels plus every latent topic.
+  const size_t D = docs.num_docs();
+  std::vector<std::vector<uint32_t>> allowed(D);
+  for (size_t d = 0; d < D; ++d) {
+    const TopicDoc& doc = docs.docs()[d];
+    allowed[d].reserve(doc.labels.size() + config_.num_latent_topics);
+    for (uint32_t label : doc.labels) {
+      if (label < num_labels) allowed[d].push_back(label);
+    }
+    for (size_t k = 0; k < config_.num_latent_topics; ++k) {
+      allowed[d].push_back(static_cast<uint32_t>(num_labels + k));
+    }
+  }
+
+  std::vector<TermId> words;
+  std::vector<uint32_t> doc_of;
+  words.reserve(docs.total_tokens());
+  doc_of.reserve(docs.total_tokens());
+  for (size_t d = 0; d < D; ++d) {
+    for (TermId w : docs.docs()[d].words) {
+      words.push_back(w);
+      doc_of.push_back(static_cast<uint32_t>(d));
+    }
+  }
+  const size_t N = words.size();
+  if (N == 0) return Status::FailedPrecondition("empty training corpus");
+
+  std::vector<uint32_t> z(N);
+  std::vector<uint32_t> n_dk(D * K, 0);
+  std::vector<uint32_t> n_kw(K * V, 0);
+  std::vector<uint32_t> n_k(K, 0);
+
+  for (size_t i = 0; i < N; ++i) {
+    const auto& menu = allowed[doc_of[i]];
+    uint32_t topic = menu[rng->UniformU32(static_cast<uint32_t>(menu.size()))];
+    z[i] = topic;
+    ++n_dk[doc_of[i] * K + topic];
+    ++n_kw[static_cast<size_t>(topic) * V + words[i]];
+    ++n_k[topic];
+  }
+
+  std::vector<double> weights;
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    for (size_t i = 0; i < N; ++i) {
+      const uint32_t d = doc_of[i];
+      const TermId w = words[i];
+      const auto& menu = allowed[d];
+      const uint32_t old = z[i];
+      --n_dk[d * K + old];
+      --n_kw[static_cast<size_t>(old) * V + w];
+      --n_k[old];
+      weights.resize(menu.size());
+      for (size_t m = 0; m < menu.size(); ++m) {
+        const uint32_t k = menu[m];
+        weights[m] = (n_dk[d * K + k] + alpha) *
+                     (n_kw[static_cast<size_t>(k) * V + w] + beta) /
+                     (n_k[k] + v_beta);
+      }
+      uint32_t fresh = menu[rng->Categorical(weights.data(), menu.size())];
+      z[i] = fresh;
+      ++n_dk[d * K + fresh];
+      ++n_kw[static_cast<size_t>(fresh) * V + w];
+      ++n_k[fresh];
+    }
+  }
+
+  phi_.assign(K * V, 0.0);
+  for (size_t k = 0; k < K; ++k) {
+    const double denom = n_k[k] + v_beta;
+    for (size_t w = 0; w < V; ++w) {
+      phi_[k * V + w] = (n_kw[k * V + w] + beta) / denom;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Llda::InferDocument(const std::vector<TermId>& words,
+                                        Rng* rng) const {
+  const size_t K = config_.TotalTopics();
+  std::vector<double> theta(K, 1.0 / static_cast<double>(K));
+  if (!trained_ || words.empty()) return theta;
+
+  const double alpha = config_.ResolvedAlpha();
+  std::vector<uint32_t> z(words.size());
+  std::vector<uint32_t> n_dk(K, 0);
+  std::vector<double> weights(K);
+
+  for (size_t i = 0; i < words.size(); ++i) {
+    z[i] = rng->UniformU32(static_cast<uint32_t>(K));
+    ++n_dk[z[i]];
+  }
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const TermId w = words[i];
+      --n_dk[z[i]];
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (n_dk[k] + alpha) * phi_[k * vocab_size_ + w];
+      }
+      z[i] = static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+      ++n_dk[z[i]];
+    }
+  }
+  const double denom = static_cast<double>(words.size()) +
+                       static_cast<double>(K) * alpha;
+  for (size_t k = 0; k < K; ++k) theta[k] = (n_dk[k] + alpha) / denom;
+  return theta;
+}
+
+}  // namespace microrec::topic

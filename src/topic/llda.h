@@ -1,0 +1,67 @@
+// Labeled LDA (Ramage et al. 2009): a supervised LDA variant where each
+// document's topics are constrained to its observed labels plus a set of
+// shared latent topics (Ramage, Dumais & Liebling 2010 — the "Topic 1..|Z|"
+// extension the paper follows).
+//
+// Label ids are assigned by the caller (see rec/llda_labels.h, which
+// implements the paper's label scheme: frequent hashtags, the question
+// mark, emoticon families with 10 variations, and @user).
+#ifndef MICROREC_TOPIC_LLDA_H_
+#define MICROREC_TOPIC_LLDA_H_
+
+#include <string>
+#include <vector>
+
+#include "topic/topic_model.h"
+
+namespace microrec::topic {
+
+/// LLDA hyperparameters (Table 4): latent topics ∈ {50,100,150,200},
+/// alpha = 50/#Topics, beta = 0.01, 1,000 / 2,000 iterations.
+struct LldaConfig {
+  /// Number of distinct observed label ids across the corpus. Documents
+  /// reference labels as ids in [0, num_labels).
+  size_t num_labels = 0;
+  /// Latent topics shared by every document.
+  size_t num_latent_topics = 50;
+  double alpha = -1.0;  // < 0 -> 50 / num_latent_topics
+  double beta = 0.01;
+  int train_iterations = 1000;
+  int infer_iterations = 20;
+
+  size_t TotalTopics() const { return num_labels + num_latent_topics; }
+  double ResolvedAlpha() const {
+    return alpha >= 0.0 ? alpha
+                        : 50.0 / static_cast<double>(num_latent_topics);
+  }
+};
+
+/// Collapsed-Gibbs Labeled LDA. Topic ids [0, num_labels) mirror label ids;
+/// ids [num_labels, num_labels + num_latent_topics) are latent.
+class Llda : public TopicModel {
+ public:
+  explicit Llda(const LldaConfig& config) : config_(config) {}
+
+  Status Train(const DocSet& docs, Rng* rng) override;
+  size_t num_topics() const override { return config_.TotalTopics(); }
+  /// Inference is unconstrained: an unseen document may use any topic.
+  std::vector<double> InferDocument(const std::vector<TermId>& words,
+                                    Rng* rng) const override;
+  std::string name() const override { return "LLDA"; }
+
+  const LldaConfig& config() const { return config_; }
+
+  double TopicWordProb(size_t topic, TermId word) const override {
+    return trained_ ? phi_[topic * vocab_size_ + word] : 0.0;
+  }
+
+ private:
+  LldaConfig config_;
+  size_t vocab_size_ = 0;
+  std::vector<double> phi_;  // [topic * vocab + word]
+  bool trained_ = false;
+};
+
+}  // namespace microrec::topic
+
+#endif  // MICROREC_TOPIC_LLDA_H_

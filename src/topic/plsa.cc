@@ -1,0 +1,119 @@
+#include "topic/plsa.h"
+
+#include <cmath>
+
+namespace microrec::topic {
+
+size_t Plsa::EstimateMemoryBytes(size_t num_docs, size_t vocab_size,
+                                 size_t num_topics, size_t avg_doc_terms) {
+  // θ: |D|·|Z| doubles, φ: |Z|·|V| doubles, plus equally sized M-step
+  // accumulators, plus the E-step posterior table P(z|d,w) with one row per
+  // (document, distinct word) pair.
+  size_t parameters =
+      2 * (num_docs * num_topics + num_topics * vocab_size) * sizeof(double);
+  size_t posterior =
+      num_docs * avg_doc_terms * num_topics * sizeof(double);
+  return parameters + posterior;
+}
+
+Status Plsa::Train(const DocSet& docs, Rng* rng) {
+  if (trained_) return Status::FailedPrecondition("Train called twice");
+  if (config_.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (docs.vocab_size() == 0) {
+    return Status::FailedPrecondition("empty training vocabulary");
+  }
+  vocab_size_ = docs.vocab_size();
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const size_t D = docs.num_docs();
+  if (docs.total_tokens() == 0) {
+    return Status::FailedPrecondition("empty training corpus");
+  }
+
+  // Random (normalised) initialisation.
+  std::vector<double> theta(D * K);
+  phi_.resize(K * V);
+  for (size_t d = 0; d < D; ++d) {
+    auto draw = rng->DirichletSymmetric(1.0, K);
+    std::copy(draw.begin(), draw.end(), theta.begin() + d * K);
+  }
+  for (size_t k = 0; k < K; ++k) {
+    auto draw = rng->DirichletSymmetric(1.0, V);
+    std::copy(draw.begin(), draw.end(), phi_.begin() + k * V);
+  }
+
+  std::vector<double> theta_acc(D * K);
+  std::vector<double> phi_acc(K * V);
+  std::vector<double> post(K);
+
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    std::fill(theta_acc.begin(), theta_acc.end(), 0.0);
+    std::fill(phi_acc.begin(), phi_acc.end(), 0.0);
+    for (size_t d = 0; d < D; ++d) {
+      for (TermId w : docs.docs()[d].words) {
+        // E-step: P(z|d,w) ∝ θ_dz φ_zw.
+        double total = 0.0;
+        for (size_t k = 0; k < K; ++k) {
+          post[k] = theta[d * K + k] * phi_[k * V + w];
+          total += post[k];
+        }
+        if (total <= 0.0) continue;
+        for (size_t k = 0; k < K; ++k) {
+          double r = post[k] / total;
+          theta_acc[d * K + k] += r;
+          phi_acc[k * V + w] += r;
+        }
+      }
+    }
+    // M-step: renormalise.
+    for (size_t d = 0; d < D; ++d) {
+      double total = 0.0;
+      for (size_t k = 0; k < K; ++k) total += theta_acc[d * K + k];
+      if (total <= 0.0) continue;
+      for (size_t k = 0; k < K; ++k) {
+        theta[d * K + k] = theta_acc[d * K + k] / total;
+      }
+    }
+    for (size_t k = 0; k < K; ++k) {
+      double total = 0.0;
+      for (size_t w = 0; w < V; ++w) total += phi_acc[k * V + w];
+      if (total <= 0.0) continue;
+      for (size_t w = 0; w < V; ++w) phi_[k * V + w] = phi_acc[k * V + w] / total;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+std::vector<double> Plsa::InferDocument(const std::vector<TermId>& words,
+                                        Rng* rng) const {
+  (void)rng;
+  const size_t K = config_.num_topics;
+  std::vector<double> theta(K, 1.0 / static_cast<double>(K));
+  if (!trained_ || words.empty()) return theta;
+
+  // Folding-in EM: update θ_d only.
+  std::vector<double> acc(K);
+  std::vector<double> post(K);
+  for (int iter = 0; iter < config_.infer_iterations; ++iter) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (TermId w : words) {
+      double total = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        post[k] = theta[k] * phi_[k * vocab_size_ + w];
+        total += post[k];
+      }
+      if (total <= 0.0) continue;
+      for (size_t k = 0; k < K; ++k) acc[k] += post[k] / total;
+    }
+    double total = 0.0;
+    for (double v : acc) total += v;
+    if (total <= 0.0) break;
+    for (size_t k = 0; k < K; ++k) theta[k] = acc[k] / total;
+  }
+  return theta;
+}
+
+}  // namespace microrec::topic

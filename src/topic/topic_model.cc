@@ -1,0 +1,77 @@
+#include "topic/topic_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace microrec::topic {
+
+double TopicCosine(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double dot = 0.0, mag_a = 0.0, mag_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    mag_a += a[i] * a[i];
+    mag_b += b[i] * b[i];
+  }
+  double denom = std::sqrt(mag_a) * std::sqrt(mag_b);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+double Perplexity(const TopicModel& model,
+                  const std::vector<std::vector<TermId>>& docs, Rng* rng) {
+  double log_likelihood = 0.0;
+  size_t total_words = 0;
+  for (const auto& words : docs) {
+    if (words.empty()) continue;
+    std::vector<double> theta = model.InferDocument(words, rng);
+    for (TermId w : words) {
+      double p = 0.0;
+      for (size_t z = 0; z < theta.size(); ++z) {
+        if (theta[z] > 0.0) p += theta[z] * model.TopicWordProb(z, w);
+      }
+      log_likelihood += std::log(std::max(p, 1e-300));
+      ++total_words;
+    }
+  }
+  if (total_words == 0) return 0.0;
+  return std::exp(-log_likelihood / static_cast<double>(total_words));
+}
+
+std::vector<double> AggregateDistributions(
+    const std::vector<std::vector<double>>& dists,
+    const std::vector<bool>& positive, bool rocchio, double alpha,
+    double beta) {
+  if (dists.empty()) return {};
+  const size_t dim = dists[0].size();
+  std::vector<double> user(dim, 0.0);
+  if (!rocchio) {
+    for (const auto& dist : dists) {
+      for (size_t i = 0; i < dim; ++i) user[i] += dist[i];
+    }
+    for (double& v : user) v /= static_cast<double>(dists.size());
+    return user;
+  }
+
+  assert(positive.size() == dists.size());
+  std::vector<double> pos_sum(dim, 0.0), neg_sum(dim, 0.0);
+  size_t num_pos = 0, num_neg = 0;
+  for (size_t d = 0; d < dists.size(); ++d) {
+    double mag = 0.0;
+    for (double v : dists[d]) mag += v * v;
+    mag = std::sqrt(mag);
+    if (mag == 0.0) continue;
+    auto& target = positive[d] ? pos_sum : neg_sum;
+    for (size_t i = 0; i < dim; ++i) target[i] += dists[d][i] / mag;
+    (positive[d] ? num_pos : num_neg) += 1;
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    double value = 0.0;
+    if (num_pos > 0) value += alpha * pos_sum[i] / static_cast<double>(num_pos);
+    if (num_neg > 0) value -= beta * neg_sum[i] / static_cast<double>(num_neg);
+    user[i] = value;
+  }
+  return user;
+}
+
+}  // namespace microrec::topic

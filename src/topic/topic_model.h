@@ -1,0 +1,74 @@
+// Common interface of the context-agnostic (topic) representation models
+// (Section 3): PLSA, LDA, LLDA, HDP, HLDA and BTM.
+//
+// Usage in the recommendation pipeline (Section 4): a single model is
+// trained per representation source on the pooled training documents of all
+// users; the per-tweet topic distributions inferred from it are then
+// aggregated into user models (centroid / Rocchio) and compared to test
+// tweets with cosine similarity.
+#ifndef MICROREC_TOPIC_TOPIC_MODEL_H_
+#define MICROREC_TOPIC_TOPIC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topic/doc_set.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace microrec::topic {
+
+/// Abstract topic model. Train() must be called exactly once, before any
+/// InferDocument(). Implementations are deterministic given the Rng seed.
+class TopicModel {
+ public:
+  virtual ~TopicModel() = default;
+
+  /// Fits the model to the training corpus.
+  virtual Status Train(const DocSet& docs, Rng* rng) = 0;
+
+  /// Number of topics after training. For nonparametric models (HDP, HLDA)
+  /// this is only known post-training.
+  virtual size_t num_topics() const = 0;
+
+  /// Infers the topic distribution θ_d of an unseen document given as
+  /// word ids over the training vocabulary (see DocSet::Lookup). Returns a
+  /// probability vector of length num_topics(); an empty document yields a
+  /// uniform distribution.
+  virtual std::vector<double> InferDocument(const std::vector<TermId>& words,
+                                            Rng* rng) const = 0;
+
+  /// Model display name ("LDA", "BTM", ...).
+  virtual std::string name() const = 0;
+
+  /// Smoothed probability of `word` under topic `topic` (φ_z,w). Valid
+  /// after Train(); topics index [0, num_topics()).
+  virtual double TopicWordProb(size_t topic, TermId word) const = 0;
+};
+
+/// Held-out perplexity of a document set under a trained model:
+/// exp(-Σ_d Σ_w log Σ_z θ_d,z φ_z,w / N). Lower is better. Standard topic-
+/// model diagnostic (Blei et al. 2003); exposed for the ablation benches
+/// and tests. Words outside the training vocabulary must be filtered by
+/// the caller (DocSet::Lookup does).
+double Perplexity(const TopicModel& model,
+                  const std::vector<std::vector<TermId>>& docs, Rng* rng);
+
+/// Cosine similarity between two topic distributions (the ranking measure
+/// used for all topic models, Section 3.2).
+double TopicCosine(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Aggregates per-tweet distributions into a user model.
+/// With `rocchio` false: centroid of the distributions (positives and
+/// negatives alike are averaged — matching the centroid aggregation).
+/// With `rocchio` true: alpha/|P| Σ_pos − beta/|N| Σ_neg over L2-normalised
+/// distributions.
+std::vector<double> AggregateDistributions(
+    const std::vector<std::vector<double>>& dists,
+    const std::vector<bool>& positive, bool rocchio, double alpha = 0.8,
+    double beta = 0.2);
+
+}  // namespace microrec::topic
+
+#endif  // MICROREC_TOPIC_TOPIC_MODEL_H_

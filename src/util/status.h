@@ -1,0 +1,121 @@
+// Status / Result error-handling primitives, following the RocksDB/Arrow
+// idiom: fallible operations return a Status (or Result<T> when they produce
+// a value) instead of throwing. Exceptions are reserved for programmer
+// errors surfaced via assertions.
+#ifndef MICROREC_UTIL_STATUS_H_
+#define MICROREC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace microrec {
+
+/// Error taxonomy for the library. Kept deliberately small; the message
+/// string carries the specifics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Lightweight status object returned by fallible operations.
+///
+/// A default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: n must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> couples a Status with a value; exactly one is meaningful.
+/// Access to the value of a non-OK result is a programmer error (asserted).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {   // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() on errored Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() on errored Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() on errored Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status from the current function.
+#define MICROREC_RETURN_IF_ERROR(expr)           \
+  do {                                           \
+    ::microrec::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace microrec
+
+#endif  // MICROREC_UTIL_STATUS_H_

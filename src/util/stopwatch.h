@@ -1,0 +1,54 @@
+// Wall-clock timing used for the TTime / ETime measurements of Figure 7.
+#ifndef MICROREC_UTIL_STOPWATCH_H_
+#define MICROREC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace microrec {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1e3;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop windows; used to
+/// aggregate per-user modeling time into the paper's TTime metric.
+class TimeAccumulator {
+ public:
+  void Start() { watch_.Restart(); }
+  void Stop() { total_micros_ += watch_.ElapsedMicros(); }
+
+  int64_t TotalMicros() const { return total_micros_; }
+  double TotalSeconds() const { return static_cast<double>(total_micros_) / 1e6; }
+  void Reset() { total_micros_ = 0; }
+
+ private:
+  Stopwatch watch_;
+  int64_t total_micros_ = 0;
+};
+
+}  // namespace microrec
+
+#endif  // MICROREC_UTIL_STOPWATCH_H_

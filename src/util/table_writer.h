@@ -1,0 +1,41 @@
+// Aligned plain-text and CSV table emission. The bench binaries use this to
+// print the same rows the paper's tables and figures report.
+#ifndef MICROREC_UTIL_TABLE_WRITER_H_
+#define MICROREC_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace microrec {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for terminals) or CSV (for plotting scripts).
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Renders an aligned table with a separator under the header.
+  void RenderText(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void RenderCsv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace microrec
+
+#endif  // MICROREC_UTIL_TABLE_WRITER_H_

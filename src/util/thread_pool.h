@@ -1,0 +1,57 @@
+// Fixed-size thread pool used to parallelise embarrassingly parallel work:
+// per-user model construction and per-configuration sweeps. The paper's
+// measurements are single-threaded per model (Section 4 excludes
+// parallelised representation models), so timing-sensitive code paths take a
+// `parallelism = 1` switch.
+#ifndef MICROREC_UTIL_THREAD_POOL_H_
+#define MICROREC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace microrec {
+
+/// Minimal task-queue thread pool. Tasks are void() closures; exceptions
+/// escaping a task terminate the process (tasks are expected not to throw,
+/// per the Status-based error discipline).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, count) across the pool and waits. When the
+  /// pool has one thread the calls happen inline on the caller.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace microrec
+
+#endif  // MICROREC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,118 @@
+#include "bag/bag_config.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace microrec::bag {
+namespace {
+
+TEST(BagConfigTest, TokenGridHas36Configurations) {
+  // Table 5: 36 valid TN configurations.
+  EXPECT_EQ(EnumerateBagConfigs(NgramKind::kToken).size(), 36u);
+}
+
+TEST(BagConfigTest, CharGridHas21Configurations) {
+  // Table 5: 21 valid CN configurations.
+  EXPECT_EQ(EnumerateBagConfigs(NgramKind::kChar).size(), 21u);
+}
+
+TEST(BagConfigTest, EnumeratedConfigsAreAllValid) {
+  for (NgramKind kind : {NgramKind::kToken, NgramKind::kChar}) {
+    for (const BagConfig& config : EnumerateBagConfigs(kind)) {
+      EXPECT_TRUE(config.IsValid()) << config.ToString();
+    }
+  }
+}
+
+TEST(BagConfigTest, JaccardOnlyWithBooleanFrequency) {
+  for (const BagConfig& config : EnumerateBagConfigs(NgramKind::kToken)) {
+    if (config.similarity == BagSimilarity::kJaccard) {
+      EXPECT_EQ(config.weighting, Weighting::kBF) << config.ToString();
+    }
+  }
+}
+
+TEST(BagConfigTest, GeneralizedJaccardNeverWithBooleanFrequency) {
+  for (const BagConfig& config : EnumerateBagConfigs(NgramKind::kToken)) {
+    if (config.similarity == BagSimilarity::kGeneralizedJaccard) {
+      EXPECT_NE(config.weighting, Weighting::kBF) << config.ToString();
+    }
+  }
+}
+
+TEST(BagConfigTest, CharNgramsNeverUseTfIdf) {
+  for (const BagConfig& config : EnumerateBagConfigs(NgramKind::kChar)) {
+    EXPECT_NE(config.weighting, Weighting::kTFIDF) << config.ToString();
+  }
+}
+
+TEST(BagConfigTest, BooleanFrequencyOnlyWithSum) {
+  for (NgramKind kind : {NgramKind::kToken, NgramKind::kChar}) {
+    for (const BagConfig& config : EnumerateBagConfigs(kind)) {
+      if (config.weighting == Weighting::kBF) {
+        EXPECT_EQ(config.aggregation, Aggregation::kSum) << config.ToString();
+      }
+    }
+  }
+}
+
+TEST(BagConfigTest, RocchioOnlyCosineAndNeedsNegatives) {
+  for (const BagConfig& config : EnumerateBagConfigs(NgramKind::kToken)) {
+    if (config.aggregation == Aggregation::kRocchio) {
+      EXPECT_EQ(config.similarity, BagSimilarity::kCosine);
+      EXPECT_FALSE(config.IsValidForSource(/*source_has_negatives=*/false));
+      EXPECT_TRUE(config.IsValidForSource(/*source_has_negatives=*/true));
+    } else {
+      EXPECT_TRUE(config.IsValidForSource(false));
+    }
+  }
+}
+
+TEST(BagConfigTest, NgramRanges) {
+  std::set<int> token_ns, char_ns;
+  for (const auto& config : EnumerateBagConfigs(NgramKind::kToken)) {
+    token_ns.insert(config.n);
+  }
+  for (const auto& config : EnumerateBagConfigs(NgramKind::kChar)) {
+    char_ns.insert(config.n);
+  }
+  EXPECT_EQ(token_ns, (std::set<int>{1, 2, 3}));
+  EXPECT_EQ(char_ns, (std::set<int>{2, 3, 4}));
+}
+
+TEST(BagConfigTest, InvalidCombinationsRejected) {
+  BagConfig config;
+  config.kind = NgramKind::kChar;
+  config.n = 3;
+  config.weighting = Weighting::kTFIDF;
+  EXPECT_FALSE(config.IsValid());
+
+  config = BagConfig{};
+  config.n = 5;  // out of token range
+  EXPECT_FALSE(config.IsValid());
+
+  config = BagConfig{};
+  config.n = 2;
+  config.weighting = Weighting::kBF;
+  config.aggregation = Aggregation::kCentroid;
+  config.similarity = BagSimilarity::kCosine;
+  EXPECT_FALSE(config.IsValid());  // BF requires Sum
+}
+
+TEST(BagConfigTest, ToStringMentionsEveryDimension) {
+  BagConfig config;
+  config.kind = NgramKind::kToken;
+  config.n = 3;
+  config.weighting = Weighting::kTFIDF;
+  config.aggregation = Aggregation::kCentroid;
+  config.similarity = BagSimilarity::kCosine;
+  std::string s = config.ToString();
+  EXPECT_NE(s.find("TN"), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("TF-IDF"), std::string::npos);
+  EXPECT_NE(s.find("CS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microrec::bag

@@ -1,0 +1,192 @@
+#include "bag/bag_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace microrec::bag {
+namespace {
+
+BagConfig TokenConfig(int n, Weighting w, Aggregation a, BagSimilarity s) {
+  BagConfig config;
+  config.kind = NgramKind::kToken;
+  config.n = n;
+  config.weighting = w;
+  config.aggregation = a;
+  config.similarity = s;
+  return config;
+}
+
+TEST(BagModelTest, TfWeightsAreNormalizedFrequencies) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kSum,
+                                 BagSimilarity::kCosine));
+  modeler.Fit({{"a", "a", "b"}});
+  SparseVector vec = modeler.EmbedDocument({"a", "a", "b"});
+  ASSERT_EQ(vec.size(), 2u);
+  EXPECT_DOUBLE_EQ(vec.entries()[0].second, 2.0 / 3.0);  // a
+  EXPECT_DOUBLE_EQ(vec.entries()[1].second, 1.0 / 3.0);  // b
+}
+
+TEST(BagModelTest, BfWeightsAreBinary) {
+  BagModeler modeler(TokenConfig(1, Weighting::kBF, Aggregation::kSum,
+                                 BagSimilarity::kJaccard));
+  modeler.Fit({{"a", "a", "b"}});
+  SparseVector vec = modeler.EmbedDocument({"a", "a", "a", "b"});
+  for (const auto& [term, weight] : vec.entries()) {
+    EXPECT_DOUBLE_EQ(weight, 1.0);
+  }
+}
+
+TEST(BagModelTest, TfIdfDownweightsUbiquitousTerms) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTFIDF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  // "common" appears in every doc; "rare" in one of three.
+  modeler.Fit({{"common", "rare"}, {"common", "x"}, {"common", "y"}});
+  SparseVector vec = modeler.EmbedDocument({"common", "rare"});
+  // IDF(common) = log(3/4) < 0 -> clamped to 0 -> pruned.
+  // IDF(rare) = log(3/2) > 0 -> kept.
+  ASSERT_EQ(vec.size(), 1u);
+  EXPECT_GT(vec.entries()[0].second, 0.0);
+}
+
+TEST(BagModelTest, UnseenTermsGetMaxIdf) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTFIDF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  modeler.Fit({{"a"}, {"b"}});
+  SparseVector vec = modeler.EmbedDocument({"novel"});
+  ASSERT_EQ(vec.size(), 1u);
+  // TF = 1, IDF = log(2/1).
+  EXPECT_NEAR(vec.entries()[0].second, std::log(2.0), 1e-12);
+}
+
+TEST(BagModelTest, CharModeUsesCharacterNgrams) {
+  BagConfig config;
+  config.kind = NgramKind::kChar;
+  config.n = 2;
+  config.weighting = Weighting::kTF;
+  config.aggregation = Aggregation::kSum;
+  config.similarity = BagSimilarity::kCosine;
+  BagModeler modeler(config);
+  modeler.Fit({{"ab"}});
+  // "ab cd" has bigrams: ab, "b ", " c", cd.
+  SparseVector vec = modeler.EmbedDocument({"ab", "cd"});
+  EXPECT_EQ(vec.size(), 4u);
+}
+
+TEST(BagModelTest, SumAggregationAddsDocumentVectors) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kSum,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"a"}, {"a"}, {"b"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, true, true});
+  ASSERT_EQ(user.size(), 2u);
+  EXPECT_DOUBLE_EQ(user.entries()[0].second, 2.0);  // a: 1+1
+  EXPECT_DOUBLE_EQ(user.entries()[1].second, 1.0);  // b
+}
+
+TEST(BagModelTest, CentroidAggregationAveragesUnitVectors) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"a"}, {"b"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, true});
+  ASSERT_EQ(user.size(), 2u);
+  EXPECT_DOUBLE_EQ(user.entries()[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(user.entries()[1].second, 0.5);
+}
+
+TEST(BagModelTest, CentroidSkipsEmptyDocuments) {
+  BagModeler modeler(TokenConfig(2, Weighting::kTF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  // Single-token docs produce no bigrams -> skipped, not averaged as zero.
+  std::vector<TokenDoc> docs = {{"a", "b"}, {"solo"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, true});
+  EXPECT_NEAR(user.Magnitude(), 1.0, 1e-12);
+}
+
+TEST(BagModelTest, RocchioSubtractsNegativeCentroid) {
+  BagConfig config = TokenConfig(1, Weighting::kTF, Aggregation::kRocchio,
+                                 BagSimilarity::kCosine);
+  BagModeler modeler(config);
+  std::vector<TokenDoc> docs = {{"good"}, {"bad"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, false});
+  // good: +alpha, bad: -beta.
+  ASSERT_EQ(user.size(), 2u);
+  double bad_weight = 0.0, good_weight = 0.0;
+  for (const auto& [term, weight] : user.entries()) {
+    if (weight > 0) good_weight = weight;
+    if (weight < 0) bad_weight = weight;
+  }
+  EXPECT_NEAR(good_weight, 0.8, 1e-12);
+  EXPECT_NEAR(bad_weight, -0.2, 1e-12);
+}
+
+TEST(BagModelTest, RocchioWithoutNegativesUsesOnlyPositives) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kRocchio,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"a"}, {"b"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, true});
+  for (const auto& [term, weight] : user.entries()) EXPECT_GT(weight, 0.0);
+}
+
+TEST(BagModelTest, CosineScoreRanksTopicalMatchHigher) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"cats", "pets"}, {"cats", "cute"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true, true});
+  SparseVector on_topic = modeler.EmbedDocument({"cats", "pets"});
+  SparseVector off_topic = modeler.EmbedDocument({"stocks", "market"});
+  EXPECT_GT(modeler.Score(user, on_topic), modeler.Score(user, off_topic));
+  EXPECT_DOUBLE_EQ(modeler.Score(user, off_topic), 0.0);
+}
+
+TEST(BagModelTest, ScoreBoundedByOne) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"x", "y"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true});
+  SparseVector same = modeler.EmbedDocument({"x", "y"});
+  EXPECT_NEAR(modeler.Score(user, same), 1.0, 1e-9);
+}
+
+TEST(BagModelTest, EmptyDocumentScoresZero) {
+  BagModeler modeler(TokenConfig(1, Weighting::kTF, Aggregation::kCentroid,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"x"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true});
+  SparseVector empty = modeler.EmbedDocument({});
+  EXPECT_DOUBLE_EQ(modeler.Score(user, empty), 0.0);
+}
+
+TEST(BagModelTest, TokenBigramsDistinguishWordOrder) {
+  BagModeler modeler(TokenConfig(2, Weighting::kTF, Aggregation::kSum,
+                                 BagSimilarity::kCosine));
+  std::vector<TokenDoc> docs = {{"bob", "sues", "jim"}};
+  modeler.Fit(docs);
+  SparseVector user = modeler.BuildUserVector(docs, {true});
+  SparseVector same_order = modeler.EmbedDocument({"bob", "sues", "jim"});
+  SparseVector reversed = modeler.EmbedDocument({"jim", "sues", "bob"});
+  EXPECT_GT(modeler.Score(user, same_order), modeler.Score(user, reversed));
+}
+
+TEST(BagModelTest, VocabularyGrowsAtTestTimeForSetSimilarities) {
+  BagModeler modeler(TokenConfig(1, Weighting::kBF, Aggregation::kSum,
+                                 BagSimilarity::kJaccard));
+  std::vector<TokenDoc> docs = {{"a", "b"}};
+  modeler.Fit(docs);
+  size_t before = modeler.vocabulary_size();
+  SparseVector doc = modeler.EmbedDocument({"a", "new1", "new2"});
+  EXPECT_EQ(modeler.vocabulary_size(), before + 2);
+  SparseVector user = modeler.BuildUserVector(docs, {true});
+  // JS must see the unseen terms in the union: |{a}| / |{a,b,new1,new2}|.
+  EXPECT_DOUBLE_EQ(modeler.Score(user, doc), 0.25);
+}
+
+}  // namespace
+}  // namespace microrec::bag

@@ -1,0 +1,113 @@
+#include "bag/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace microrec::bag {
+namespace {
+
+TEST(SparseVectorTest, FromUnsortedSortsAndMergesDuplicates) {
+  SparseVector v = SparseVector::FromUnsorted({{3, 1.0}, {1, 2.0}, {3, 4.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0], (std::pair<TermId, double>{1, 2.0}));
+  EXPECT_EQ(v.entries()[1], (std::pair<TermId, double>{3, 5.0}));
+}
+
+TEST(SparseVectorTest, FromCountsCountsOccurrences) {
+  SparseVector v = SparseVector::FromCounts({5, 2, 5, 5});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0], (std::pair<TermId, double>{2, 1.0}));
+  EXPECT_EQ(v.entries()[1], (std::pair<TermId, double>{5, 3.0}));
+}
+
+TEST(SparseVectorTest, SumAndMagnitude) {
+  SparseVector v = SparseVector::FromUnsorted({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(v.Magnitude(), 5.0);
+  EXPECT_DOUBLE_EQ(SparseVector().Magnitude(), 0.0);
+}
+
+TEST(SparseVectorTest, ScaleAndNormalize) {
+  SparseVector v = SparseVector::FromUnsorted({{0, 3.0}, {1, 4.0}});
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v.Magnitude(), 10.0);
+  v.Normalize();
+  EXPECT_NEAR(v.Magnitude(), 1.0, 1e-12);
+  SparseVector zero;
+  zero.Normalize();  // no-op, no crash
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(SparseVectorTest, AddScaledMergesDisjointAndShared) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 1.0}, {2, 2.0}});
+  SparseVector b = SparseVector::FromUnsorted({{1, 10.0}, {2, 3.0}});
+  a.AddScaled(b, 0.5);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.entries()[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(a.entries()[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(a.entries()[2].second, 3.5);
+}
+
+TEST(SparseVectorTest, AddScaledIntoEmpty) {
+  SparseVector a;
+  SparseVector b = SparseVector::FromUnsorted({{1, 2.0}});
+  a.AddScaled(b, 3.0);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.entries()[0].second, 6.0);
+}
+
+TEST(SparseVectorTest, TransformAndPruneZeros) {
+  SparseVector v = SparseVector::FromUnsorted({{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  v.Transform([](TermId term, double w) { return term == 1 ? 0.0 : w; });
+  v.PruneZeros();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].first, 0u);
+  EXPECT_EQ(v.entries()[1].first, 2u);
+}
+
+TEST(SparseVectorTest, DotProduct) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 1.0}, {2, 2.0}, {5, 3.0}});
+  SparseVector b = SparseVector::FromUnsorted({{2, 4.0}, {5, 1.0}, {7, 9.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, b), 2.0 * 4.0 + 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, JaccardSupport) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  SparseVector b = SparseVector::FromUnsorted({{1, 5.0}, {2, 5.0}, {3, 5.0}});
+  // Intersection 2, union 4 — weights irrelevant.
+  EXPECT_DOUBLE_EQ(SparseVector::JaccardSupport(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(SparseVector::JaccardSupport(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SparseVector::JaccardSupport(SparseVector(), SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, GeneralizedJaccard) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 2.0}, {1, 1.0}});
+  SparseVector b = SparseVector::FromUnsorted({{0, 1.0}, {2, 3.0}});
+  // min sum = 1 (dim 0); max sum = 2 + 1 + 3 = 6.
+  EXPECT_DOUBLE_EQ(SparseVector::GeneralizedJaccard(a, b), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(SparseVector::GeneralizedJaccard(a, a), 1.0);
+}
+
+TEST(SparseVectorTest, GeneralizedJaccardEqualsJaccardForBinaryWeights) {
+  // Section 3.2: for BF weights GJS is identical to JS.
+  SparseVector a = SparseVector::FromUnsorted({{0, 1.0}, {1, 1.0}, {4, 1.0}});
+  SparseVector b = SparseVector::FromUnsorted({{1, 1.0}, {4, 1.0}, {9, 1.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::GeneralizedJaccard(a, b),
+                   SparseVector::JaccardSupport(a, b));
+}
+
+TEST(SparseVectorTest, SimilaritiesAreSymmetric) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 2.0}, {3, 1.0}});
+  SparseVector b = SparseVector::FromUnsorted({{0, 1.0}, {5, 4.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, b), SparseVector::Dot(b, a));
+  EXPECT_DOUBLE_EQ(SparseVector::JaccardSupport(a, b),
+                   SparseVector::JaccardSupport(b, a));
+  EXPECT_DOUBLE_EQ(SparseVector::GeneralizedJaccard(a, b),
+                   SparseVector::GeneralizedJaccard(b, a));
+}
+
+}  // namespace
+}  // namespace microrec::bag

@@ -1,0 +1,122 @@
+#include "corpus/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace microrec::corpus {
+namespace {
+
+// Builds: alice follows bob; bob posts two originals; alice retweets one
+// and posts one original of her own.
+class CorpusFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = corpus_.AddUser("alice");
+    bob_ = corpus_.AddUser("bob");
+    ASSERT_TRUE(corpus_.graph().AddFollow(alice_, bob_).ok());
+    bob_t1_ = *corpus_.AddTweet(bob_, 100, "first post by bob");
+    bob_t2_ = *corpus_.AddTweet(bob_, 200, "second post by bob");
+    alice_rt_ = *corpus_.AddTweet(alice_, 250, "", bob_t1_);
+    alice_t1_ = *corpus_.AddTweet(alice_, 300, "alice speaks");
+    corpus_.Finalize();
+  }
+
+  Corpus corpus_;
+  UserId alice_ = kInvalidUser, bob_ = kInvalidUser;
+  TweetId bob_t1_ = kInvalidTweet, bob_t2_ = kInvalidTweet;
+  TweetId alice_rt_ = kInvalidTweet, alice_t1_ = kInvalidTweet;
+};
+
+TEST_F(CorpusFixture, BasicCounts) {
+  EXPECT_EQ(corpus_.num_users(), 2u);
+  EXPECT_EQ(corpus_.num_tweets(), 4u);
+  EXPECT_EQ(corpus_.user(alice_).handle, "alice");
+}
+
+TEST_F(CorpusFixture, RetweetInheritsTextAndAuthor) {
+  const Tweet& rt = corpus_.tweet(alice_rt_);
+  EXPECT_TRUE(rt.IsRetweet());
+  EXPECT_EQ(rt.retweet_of, bob_t1_);
+  EXPECT_EQ(rt.retweet_of_user, bob_);
+  EXPECT_EQ(rt.text, "first post by bob");
+}
+
+TEST_F(CorpusFixture, RetweetChainNormalisesToRoot) {
+  // bob retweets alice's retweet -> must reference the original bob_t1_.
+  TweetId chain = *corpus_.AddTweet(bob_, 400, "", alice_rt_);
+  corpus_.Finalize();
+  EXPECT_EQ(corpus_.tweet(chain).retweet_of, bob_t1_);
+  EXPECT_EQ(corpus_.tweet(chain).retweet_of_user, bob_);
+}
+
+TEST_F(CorpusFixture, RetweetOfMissingTweetFails) {
+  Result<TweetId> result = corpus_.AddTweet(alice_, 500, "", 999);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CorpusFixture, UnknownAuthorFails) {
+  Result<TweetId> result = corpus_.AddTweet(77, 500, "text");
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CorpusFixture, RetweetsAndOriginalsSplit) {
+  EXPECT_EQ(corpus_.RetweetsOf(alice_), (std::vector<TweetId>{alice_rt_}));
+  EXPECT_EQ(corpus_.OriginalsOf(alice_), (std::vector<TweetId>{alice_t1_}));
+  EXPECT_EQ(corpus_.OriginalsOf(bob_),
+            (std::vector<TweetId>{bob_t1_, bob_t2_}));
+  EXPECT_TRUE(corpus_.RetweetsOf(bob_).empty());
+}
+
+TEST_F(CorpusFixture, IncomingIsFolloweesPosts) {
+  EXPECT_EQ(corpus_.IncomingOf(alice_),
+            (std::vector<TweetId>{bob_t1_, bob_t2_}));
+  EXPECT_TRUE(corpus_.IncomingOf(bob_).empty());
+}
+
+TEST_F(CorpusFixture, FollowerTweets) {
+  // bob's followers = {alice}; her posts are his F source.
+  EXPECT_EQ(corpus_.FollowerTweetsOf(bob_),
+            (std::vector<TweetId>{alice_rt_, alice_t1_}));
+  EXPECT_TRUE(corpus_.FollowerTweetsOf(alice_).empty());
+}
+
+TEST_F(CorpusFixture, ReciprocalTweetsEmptyWithoutMutualEdge) {
+  EXPECT_TRUE(corpus_.ReciprocalTweetsOf(alice_).empty());
+  ASSERT_TRUE(corpus_.graph().AddFollow(bob_, alice_).ok());
+  EXPECT_EQ(corpus_.ReciprocalTweetsOf(alice_),
+            (std::vector<TweetId>{bob_t1_, bob_t2_}));
+}
+
+TEST_F(CorpusFixture, PostingRatio) {
+  // alice: 2 outgoing, 2 incoming -> 1.0; bob: no followees -> +inf.
+  EXPECT_DOUBLE_EQ(corpus_.PostingRatio(alice_), 1.0);
+  EXPECT_TRUE(std::isinf(corpus_.PostingRatio(bob_)));
+}
+
+TEST(CorpusTest, TimelinesSortedChronologicallyAfterFinalize) {
+  Corpus corpus;
+  UserId u = corpus.AddUser("u");
+  TweetId late = *corpus.AddTweet(u, 300, "late");
+  TweetId early = *corpus.AddTweet(u, 100, "early");
+  TweetId middle = *corpus.AddTweet(u, 200, "middle");
+  corpus.Finalize();
+  EXPECT_EQ(corpus.PostsOf(u), (std::vector<TweetId>{early, middle, late}));
+}
+
+TEST(CorpusTest, IncomingMergesMultipleFolloweesByTime) {
+  Corpus corpus;
+  UserId ego = corpus.AddUser("ego");
+  UserId a = corpus.AddUser("a");
+  UserId b = corpus.AddUser("b");
+  ASSERT_TRUE(corpus.graph().AddFollow(ego, a).ok());
+  ASSERT_TRUE(corpus.graph().AddFollow(ego, b).ok());
+  TweetId t3 = *corpus.AddTweet(a, 300, "a3");
+  TweetId t1 = *corpus.AddTweet(b, 100, "b1");
+  TweetId t2 = *corpus.AddTweet(a, 200, "a2");
+  corpus.Finalize();
+  EXPECT_EQ(corpus.IncomingOf(ego), (std::vector<TweetId>{t1, t2, t3}));
+}
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,134 @@
+#include "corpus/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "synth/generator.h"
+
+namespace microrec::corpus {
+namespace {
+
+TEST(TweetTextEscapingTest, RoundTripsSpecials) {
+  for (const std::string& text :
+       {std::string("plain"), std::string("tab\there"),
+        std::string("line\nbreak"), std::string("back\\slash"),
+        std::string("\t\n\r\\ all"), std::string("")}) {
+    EXPECT_EQ(UnescapeTweetText(EscapeTweetText(text)), text);
+  }
+}
+
+TEST(TweetTextEscapingTest, EscapedFormHasNoRawSpecials) {
+  std::string escaped = EscapeTweetText("a\tb\nc");
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+}
+
+TEST(TweetTextEscapingTest, UnknownEscapePassesThrough) {
+  EXPECT_EQ(UnescapeTweetText("a\\qb"), "a\\qb");
+  EXPECT_EQ(UnescapeTweetText("trailing\\"), "trailing\\");
+}
+
+Corpus MakeSample() {
+  Corpus corpus;
+  UserId alice = corpus.AddUser("alice");
+  UserId bob = corpus.AddUser("bob");
+  EXPECT_TRUE(corpus.graph().AddFollow(alice, bob).ok());
+  TweetId original = *corpus.AddTweet(bob, 100, "tab\tand\nnewline #x");
+  (void)*corpus.AddTweet(alice, 150, "", original);
+  (void)*corpus.AddTweet(alice, 200, "plain tweet");
+  corpus.Finalize();
+  return corpus;
+}
+
+TEST(CorpusIoTest, StreamRoundTrip) {
+  Corpus original = MakeSample();
+  std::ostringstream users_os, tweets_os;
+  ASSERT_TRUE(WriteUsers(original, users_os).ok());
+  ASSERT_TRUE(WriteTweets(original, tweets_os).ok());
+
+  std::istringstream users_is(users_os.str());
+  std::istringstream tweets_is(tweets_os.str());
+  Result<Corpus> loaded = ReadCorpus(users_is, tweets_is);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_users(), original.num_users());
+  EXPECT_EQ(loaded->num_tweets(), original.num_tweets());
+  for (UserId u = 0; u < original.num_users(); ++u) {
+    EXPECT_EQ(loaded->user(u).handle, original.user(u).handle);
+    EXPECT_EQ(loaded->graph().Followees(u), original.graph().Followees(u));
+  }
+  for (TweetId id = 0; id < original.num_tweets(); ++id) {
+    EXPECT_EQ(loaded->tweet(id).text, original.tweet(id).text);
+    EXPECT_EQ(loaded->tweet(id).time, original.tweet(id).time);
+    EXPECT_EQ(loaded->tweet(id).author, original.tweet(id).author);
+    EXPECT_EQ(loaded->tweet(id).retweet_of, original.tweet(id).retweet_of);
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTripOfSyntheticCorpus) {
+  synth::DatasetSpec spec = synth::DatasetSpec::Small();
+  spec.seed = 77;
+  spec.background_users = 30;
+  spec.seekers.count = 2;
+  spec.balanced.count = 2;
+  spec.producers.count = 1;
+  spec.extras.count = 0;
+  auto dataset = synth::GenerateDataset(spec);
+  ASSERT_TRUE(dataset.ok());
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "microrec_io_test").string();
+  ASSERT_TRUE(SaveCorpus(dataset->corpus, dir).ok());
+  Result<Corpus> loaded = LoadCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_tweets(), dataset->corpus.num_tweets());
+  EXPECT_EQ(loaded->num_users(), dataset->corpus.num_users());
+  // Spot-check timelines (sorted identically after Finalize).
+  for (UserId u = 0; u < loaded->num_users(); u += 7) {
+    EXPECT_EQ(loaded->PostsOf(u), dataset->corpus.PostsOf(u));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusIoTest, LoadMissingDirectoryFails) {
+  EXPECT_EQ(LoadCorpus("/nonexistent/path/zz").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CorpusIoTest, MalformedRowsRejected) {
+  {
+    std::istringstream users("0\talice\nBADROW");
+    std::istringstream tweets("");
+    EXPECT_FALSE(ReadCorpus(users, tweets).ok());
+  }
+  {
+    std::istringstream users("0\talice");
+    std::istringstream tweets("0\t0\tnot_a_time\t-\thello");
+    EXPECT_FALSE(ReadCorpus(users, tweets).ok());
+  }
+  {
+    // Non-dense tweet ids.
+    std::istringstream users("0\talice");
+    std::istringstream tweets("5\t0\t1\t-\thello");
+    EXPECT_FALSE(ReadCorpus(users, tweets).ok());
+  }
+  {
+    // Edge to unknown user.
+    std::istringstream users("0\talice\nF\t0\t9");
+    std::istringstream tweets("");
+    EXPECT_FALSE(ReadCorpus(users, tweets).ok());
+  }
+}
+
+TEST(CorpusIoTest, NegativeTimestampsSupported) {
+  std::istringstream users("0\talice");
+  std::istringstream tweets("0\t0\t-50\t-\tearly tweet");
+  Result<Corpus> loaded = ReadCorpus(users, tweets);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->tweet(0).time, -50);
+}
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,84 @@
+#include "corpus/pooling.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::corpus {
+namespace {
+
+class PoolingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = corpus_.AddUser("alice");
+    bob_ = corpus_.AddUser("bob");
+    t0_ = *corpus_.AddTweet(alice_, 10, "cats are great #pets");
+    t1_ = *corpus_.AddTweet(alice_, 20, "dogs too #pets yay");
+    t2_ = *corpus_.AddTweet(bob_, 30, "stocks going up #market");
+    t3_ = *corpus_.AddTweet(bob_, 40, "no hashtag here");
+    corpus_.Finalize();
+    tokenized_ = std::make_unique<TokenizedCorpus>(corpus_, text::Tokenizer());
+  }
+
+  std::vector<TweetId> AllIds() const { return {t0_, t1_, t2_, t3_}; }
+
+  Corpus corpus_;
+  std::unique_ptr<TokenizedCorpus> tokenized_;
+  UserId alice_ = 0, bob_ = 0;
+  TweetId t0_ = 0, t1_ = 0, t2_ = 0, t3_ = 0;
+};
+
+TEST_F(PoolingFixture, NoPoolingOneDocPerTweet) {
+  auto docs = PoolTweets(corpus_, *tokenized_, AllIds(), Pooling::kNone);
+  ASSERT_EQ(docs.size(), 4u);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].members.size(), 1u);
+  }
+}
+
+TEST_F(PoolingFixture, UserPoolingGroupsByAuthor) {
+  auto docs = PoolTweets(corpus_, *tokenized_, AllIds(), Pooling::kUser);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].members, (std::vector<TweetId>{t0_, t1_}));
+  EXPECT_EQ(docs[1].members, (std::vector<TweetId>{t2_, t3_}));
+}
+
+TEST_F(PoolingFixture, HashtagPoolingGroupsByFirstTag) {
+  auto docs = PoolTweets(corpus_, *tokenized_, AllIds(), Pooling::kHashtag);
+  // #pets pool {t0, t1}, #market pool {t2}, untagged t3 alone.
+  ASSERT_EQ(docs.size(), 3u);
+  EXPECT_EQ(docs[0].members, (std::vector<TweetId>{t0_, t1_}));
+  EXPECT_EQ(docs[1].members, (std::vector<TweetId>{t2_}));
+  EXPECT_EQ(docs[2].members, (std::vector<TweetId>{t3_}));
+}
+
+TEST_F(PoolingFixture, PoolingCoversEveryTweetExactlyOnce) {
+  for (Pooling pooling : kAllPoolings) {
+    auto docs = PoolTweets(corpus_, *tokenized_, AllIds(), pooling);
+    size_t total = 0;
+    for (const auto& doc : docs) total += doc.members.size();
+    EXPECT_EQ(total, 4u) << PoolingName(pooling);
+  }
+}
+
+TEST_F(PoolingFixture, PooledTokensConcatenateMembers) {
+  auto docs = PoolTweets(corpus_, *tokenized_, AllIds(), Pooling::kUser);
+  auto tokens = PooledTokens(*tokenized_, docs[0]);
+  // alice's two tweets: 4 + 4 tokens.
+  EXPECT_EQ(tokens.size(), tokenized_->TokensOf(t0_).size() +
+                               tokenized_->TokensOf(t1_).size());
+  EXPECT_EQ(tokens[0], "cats");
+}
+
+TEST_F(PoolingFixture, EmptyInputYieldsNoDocs) {
+  for (Pooling pooling : kAllPoolings) {
+    EXPECT_TRUE(PoolTweets(corpus_, *tokenized_, {}, pooling).empty());
+  }
+}
+
+TEST(PoolingNameTest, Names) {
+  EXPECT_EQ(PoolingName(Pooling::kNone), "NP");
+  EXPECT_EQ(PoolingName(Pooling::kUser), "UP");
+  EXPECT_EQ(PoolingName(Pooling::kHashtag), "HP");
+}
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,59 @@
+#include "corpus/social_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::corpus {
+namespace {
+
+TEST(SocialGraphTest, AddFollowCreatesBothViews) {
+  SocialGraph graph(3);
+  ASSERT_TRUE(graph.AddFollow(0, 1).ok());
+  EXPECT_TRUE(graph.Follows(0, 1));
+  EXPECT_FALSE(graph.Follows(1, 0));
+  EXPECT_EQ(graph.Followees(0), (std::vector<UserId>{1}));
+  EXPECT_EQ(graph.Followers(1), (std::vector<UserId>{0}));
+  EXPECT_TRUE(graph.Followers(0).empty());
+}
+
+TEST(SocialGraphTest, RejectsSelfFollow) {
+  SocialGraph graph(2);
+  EXPECT_EQ(graph.AddFollow(0, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SocialGraphTest, RejectsDuplicateEdge) {
+  SocialGraph graph(2);
+  ASSERT_TRUE(graph.AddFollow(0, 1).ok());
+  EXPECT_EQ(graph.AddFollow(0, 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.Followees(0).size(), 1u);
+}
+
+TEST(SocialGraphTest, RejectsOutOfRangeIds) {
+  SocialGraph graph(2);
+  EXPECT_EQ(graph.AddFollow(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(graph.AddFollow(5, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(SocialGraphTest, ReciprocalRequiresBothDirections) {
+  SocialGraph graph(3);
+  ASSERT_TRUE(graph.AddFollow(0, 1).ok());
+  ASSERT_TRUE(graph.AddFollow(0, 2).ok());
+  ASSERT_TRUE(graph.AddFollow(1, 0).ok());
+  EXPECT_EQ(graph.Reciprocal(0), (std::vector<UserId>{1}));
+  EXPECT_EQ(graph.Reciprocal(1), (std::vector<UserId>{0}));
+  EXPECT_TRUE(graph.Reciprocal(2).empty());
+}
+
+TEST(SocialGraphTest, ResizeGrowsIdSpace) {
+  SocialGraph graph(1);
+  graph.Resize(4);
+  EXPECT_EQ(graph.num_users(), 4u);
+  EXPECT_TRUE(graph.AddFollow(3, 0).ok());
+}
+
+TEST(SocialGraphTest, FollowsOnEmptyGraphIsFalse) {
+  SocialGraph graph;
+  EXPECT_FALSE(graph.Follows(0, 1));
+}
+
+}  // namespace
+}  // namespace microrec::corpus

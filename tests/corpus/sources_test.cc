@@ -1,0 +1,116 @@
+#include "corpus/sources.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace microrec::corpus {
+namespace {
+
+TEST(SourcesTest, ThirteenSourcesWithUniqueNames) {
+  std::unordered_set<std::string> names;
+  for (Source source : kAllSources) {
+    names.insert(std::string(SourceName(source)));
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+TEST(SourcesTest, ParseRoundTrip) {
+  for (Source source : kAllSources) {
+    Result<Source> parsed = ParseSource(SourceName(source));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, source);
+  }
+  EXPECT_FALSE(ParseSource("XX").ok());
+}
+
+TEST(SourcesTest, NegativeExampleSourcesMatchPaper) {
+  // Section 4: Rocchio applies to C, E, TE, RE, TC, RC and EF.
+  for (Source source : {Source::kC, Source::kE, Source::kTE, Source::kRE,
+                        Source::kTC, Source::kRC, Source::kEF}) {
+    EXPECT_TRUE(HasNegativeExamples(source)) << SourceName(source);
+  }
+  for (Source source : {Source::kR, Source::kT, Source::kF, Source::kTR,
+                        Source::kTF, Source::kRF}) {
+    EXPECT_FALSE(HasNegativeExamples(source)) << SourceName(source);
+  }
+}
+
+TEST(SourcesTest, AtomicConstituents) {
+  EXPECT_EQ(AtomicConstituents(Source::kR), (std::vector<Source>{Source::kR}));
+  EXPECT_EQ(AtomicConstituents(Source::kTR),
+            (std::vector<Source>{Source::kT, Source::kR}));
+  EXPECT_EQ(AtomicConstituents(Source::kEF),
+            (std::vector<Source>{Source::kE, Source::kF}));
+}
+
+class SourceTweetsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ego_ = corpus_.AddUser("ego");
+    followee_ = corpus_.AddUser("followee");
+    follower_ = corpus_.AddUser("follower");
+    mutual_ = corpus_.AddUser("mutual");
+    ASSERT_TRUE(corpus_.graph().AddFollow(ego_, followee_).ok());
+    ASSERT_TRUE(corpus_.graph().AddFollow(follower_, ego_).ok());
+    ASSERT_TRUE(corpus_.graph().AddFollow(ego_, mutual_).ok());
+    ASSERT_TRUE(corpus_.graph().AddFollow(mutual_, ego_).ok());
+
+    followee_post_ = *corpus_.AddTweet(followee_, 10, "followee post");
+    follower_post_ = *corpus_.AddTweet(follower_, 20, "follower post");
+    mutual_post_ = *corpus_.AddTweet(mutual_, 30, "mutual post");
+    ego_post_ = *corpus_.AddTweet(ego_, 40, "ego original");
+    ego_retweet_ = *corpus_.AddTweet(ego_, 50, "", followee_post_);
+    corpus_.Finalize();
+  }
+
+  Corpus corpus_;
+  UserId ego_ = 0, followee_ = 0, follower_ = 0, mutual_ = 0;
+  TweetId followee_post_ = 0, follower_post_ = 0, mutual_post_ = 0;
+  TweetId ego_post_ = 0, ego_retweet_ = 0;
+};
+
+TEST_F(SourceTweetsFixture, AtomicSources) {
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kR),
+            (std::vector<TweetId>{ego_retweet_}));
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kT),
+            (std::vector<TweetId>{ego_post_}));
+  // E: followees are {followee, mutual}.
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kE),
+            (std::vector<TweetId>{followee_post_, mutual_post_}));
+  // F: followers are {follower, mutual}.
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kF),
+            (std::vector<TweetId>{follower_post_, mutual_post_}));
+  // C: reciprocal = {mutual}.
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kC),
+            (std::vector<TweetId>{mutual_post_}));
+}
+
+TEST_F(SourceTweetsFixture, CompositeUnionsAndSorts) {
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kTR),
+            (std::vector<TweetId>{ego_post_, ego_retweet_}));
+  // EF unions E and F, deduplicating the shared mutual post.
+  EXPECT_EQ(SourceTweets(corpus_, ego_, Source::kEF),
+            (std::vector<TweetId>{followee_post_, follower_post_,
+                                  mutual_post_}));
+}
+
+TEST_F(SourceTweetsFixture, CompositeChronologicalOrder) {
+  std::vector<TweetId> re = SourceTweets(corpus_, ego_, Source::kRE);
+  for (size_t i = 1; i < re.size(); ++i) {
+    EXPECT_LE(corpus_.tweet(re[i - 1]).time, corpus_.tweet(re[i]).time);
+  }
+}
+
+TEST_F(SourceTweetsFixture, CEqualsIntersectionOfEAndFAuthors) {
+  // Section 2: C(u) = tweets of users in e(u) ∩ f(u).
+  std::vector<TweetId> c = SourceTweets(corpus_, ego_, Source::kC);
+  for (TweetId id : c) {
+    UserId author = corpus_.tweet(id).author;
+    EXPECT_TRUE(corpus_.graph().Follows(ego_, author));
+    EXPECT_TRUE(corpus_.graph().Follows(author, ego_));
+  }
+}
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,128 @@
+// Property sweep: invariants of the train/test protocol across all 13
+// representation sources on a generated corpus — the train set never leaks
+// into the testing phase, and test candidates are always incoming tweets.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "corpus/split.h"
+#include "synth/generator.h"
+
+namespace microrec::corpus {
+namespace {
+
+class SplitSourcePropertyTest : public ::testing::TestWithParam<Source> {
+ protected:
+  static void SetUpTestSuite() {
+    synth::DatasetSpec spec = synth::DatasetSpec::Small();
+    spec.seed = 2024;
+    spec.background_users = 60;
+    spec.seekers.count = 3;
+    spec.balanced.count = 3;
+    spec.producers.count = 2;
+    spec.extras.count = 1;
+    spec.cohort.seekers = 3;
+    spec.cohort.balanced = 3;
+    spec.cohort.producers = 2;
+    spec.cohort.extra_all = 1;
+    spec.cohort.min_retweets = 8;
+    dataset_ = new synth::SyntheticDataset(std::move(*GenerateDataset(spec)));
+    cohort_ = new UserCohort(SelectCohort(dataset_->corpus, spec.cohort));
+    Rng rng(5);
+    for (UserId u : cohort_->all) {
+      auto split = MakeUserSplit(dataset_->corpus, u, SplitOptions{}, &rng);
+      if (split.ok()) splits_->emplace(u, std::move(*split));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete cohort_;
+    splits_->clear();
+  }
+
+  static synth::SyntheticDataset* dataset_;
+  static UserCohort* cohort_;
+  static std::map<UserId, UserSplit>* splits_;
+};
+
+synth::SyntheticDataset* SplitSourcePropertyTest::dataset_ = nullptr;
+UserCohort* SplitSourcePropertyTest::cohort_ = nullptr;
+std::map<UserId, UserSplit>* SplitSourcePropertyTest::splits_ =
+    new std::map<UserId, UserSplit>();
+
+TEST_P(SplitSourcePropertyTest, TrainSetConfinedToTrainingPhase) {
+  const Corpus& corpus = dataset_->corpus;
+  for (const auto& [user, split] : *splits_) {
+    LabeledTrainSet train = BuildTrainSet(corpus, user, GetParam(), split);
+    for (TweetId id : train.docs) {
+      EXPECT_LT(corpus.tweet(id).time, split.split_time);
+    }
+    EXPECT_EQ(train.docs.size(), train.positive.size());
+  }
+}
+
+TEST_P(SplitSourcePropertyTest, TrainAndTestAreDisjoint) {
+  const Corpus& corpus = dataset_->corpus;
+  for (const auto& [user, split] : *splits_) {
+    LabeledTrainSet train = BuildTrainSet(corpus, user, GetParam(), split);
+    std::unordered_set<TweetId> train_ids(train.docs.begin(),
+                                          train.docs.end());
+    for (TweetId id : split.TestSet()) {
+      EXPECT_EQ(train_ids.count(id), 0u)
+          << "tweet " << id << " leaks into training for source "
+          << SourceName(GetParam());
+    }
+  }
+}
+
+TEST_P(SplitSourcePropertyTest, SourceTweetsAreAuthoredCorrectly) {
+  const Corpus& corpus = dataset_->corpus;
+  for (const auto& [user, split] : *splits_) {
+    (void)split;
+    for (TweetId id : SourceTweets(corpus, user, GetParam())) {
+      UserId author = corpus.tweet(id).author;
+      bool own = author == user;
+      bool followee = corpus.graph().Follows(user, author);
+      bool follower = corpus.graph().Follows(author, user);
+      switch (GetParam()) {
+        case Source::kR:
+        case Source::kT:
+          EXPECT_TRUE(own);
+          break;
+        case Source::kE:
+          EXPECT_TRUE(followee);
+          break;
+        case Source::kF:
+          EXPECT_TRUE(follower);
+          break;
+        case Source::kC:
+          EXPECT_TRUE(followee && follower);
+          break;
+        default:
+          EXPECT_TRUE(own || followee || follower);
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(SplitSourcePropertyTest, CompositeSourcesHaveNoDuplicates) {
+  const Corpus& corpus = dataset_->corpus;
+  for (const auto& [user, split] : *splits_) {
+    (void)split;
+    std::vector<TweetId> tweets = SourceTweets(corpus, user, GetParam());
+    std::unordered_set<TweetId> unique(tweets.begin(), tweets.end());
+    EXPECT_EQ(unique.size(), tweets.size()) << SourceName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSources, SplitSourcePropertyTest,
+    ::testing::ValuesIn(std::vector<Source>(kAllSources.begin(),
+                                            kAllSources.end())),
+    [](const ::testing::TestParamInfo<Source>& info) {
+      return std::string(SourceName(info.param));
+    });
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,196 @@
+#include "corpus/split.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace microrec::corpus {
+namespace {
+
+// ego follows feed; feed posts `incoming` originals at times 0..incoming-1;
+// ego retweets every 5th of the first `retweetable` with small delays.
+struct SplitWorld {
+  Corpus corpus;
+  UserId ego = kInvalidUser;
+  UserId feed = kInvalidUser;
+  std::vector<TweetId> feed_posts;
+  std::vector<TweetId> ego_retweets;
+};
+
+SplitWorld MakeWorld(int incoming = 100, int step = 5) {
+  SplitWorld world;
+  world.ego = world.corpus.AddUser("ego");
+  world.feed = world.corpus.AddUser("feed");
+  EXPECT_TRUE(world.corpus.graph().AddFollow(world.ego, world.feed).ok());
+  for (int i = 0; i < incoming; ++i) {
+    world.feed_posts.push_back(
+        *world.corpus.AddTweet(world.feed, i * 10, "post " + std::to_string(i)));
+  }
+  for (int i = 0; i < incoming; i += step) {
+    world.ego_retweets.push_back(
+        *world.corpus.AddTweet(world.ego, i * 10 + 1, "", world.feed_posts[i]));
+  }
+  world.corpus.Finalize();
+  return world;
+}
+
+TEST(SplitTest, TwentyPercentMostRecentRetweetsArePositives) {
+  SplitWorld world = MakeWorld();  // 20 retweets
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->positives.size(), 4u);  // 20% of 20
+  // Positives are the originals of the most recent retweets.
+  std::unordered_set<TweetId> expected(world.feed_posts.end() - 20,
+                                       world.feed_posts.end());
+  for (TweetId id : split->positives) {
+    EXPECT_FALSE(world.corpus.tweet(id).IsRetweet());
+    EXPECT_EQ(world.corpus.tweet(id).author, world.feed);
+  }
+}
+
+TEST(SplitTest, SplitTimeIsEarliestTestRetweet) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  // The 4 most recent retweets are at indices 80, 85, 90, 95 of the feed
+  // (times 801, 851, 901, 951): split time = 801.
+  EXPECT_EQ(split->split_time, 801);
+}
+
+TEST(SplitTest, NegativesComeFromTestingPhaseAndAreNotRetweeted) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  std::unordered_set<TweetId> retweeted;
+  for (TweetId rt : world.corpus.RetweetsOf(world.ego)) {
+    retweeted.insert(world.corpus.tweet(rt).retweet_of);
+  }
+  for (TweetId id : split->negatives) {
+    EXPECT_GE(world.corpus.tweet(id).time, split->split_time);
+    EXPECT_EQ(retweeted.count(id), 0u);
+  }
+}
+
+TEST(SplitTest, FourNegativesPerPositiveWhenAvailable) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->negatives.size(), split->positives.size() * 4);
+}
+
+TEST(SplitTest, NegativesCappedByAvailability) {
+  // Dense retweeting: every 2nd post retweeted -> few test-phase negatives.
+  SplitWorld world = MakeWorld(40, 2);
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_LT(split->negatives.size(), split->positives.size() * 4);
+  EXPECT_FALSE(split->negatives.empty());
+}
+
+TEST(SplitTest, DiscoveredRetweetsExcludedFromPositives) {
+  SplitWorld world = MakeWorld();
+  // ego also retweets a post from an account she does NOT follow.
+  UserId stranger = world.corpus.AddUser("stranger");
+  TweetId stranger_post =
+      *world.corpus.AddTweet(stranger, 990, "stranger post");
+  (void)*world.corpus.AddTweet(world.ego, 999, "", stranger_post);
+  world.corpus.Finalize();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  for (TweetId id : split->positives) {
+    EXPECT_NE(id, stranger_post);
+  }
+}
+
+TEST(SplitTest, FailsWithoutRetweets) {
+  Corpus corpus;
+  UserId u = corpus.AddUser("quiet");
+  (void)*corpus.AddTweet(u, 1, "original only");
+  corpus.Finalize();
+  Rng rng(1);
+  EXPECT_EQ(MakeUserSplit(corpus, u, SplitOptions{}, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SplitTest, InvalidTestFractionRejected) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  SplitOptions bad;
+  bad.test_fraction = 0.0;
+  EXPECT_EQ(
+      MakeUserSplit(world.corpus, world.ego, bad, &rng).status().code(),
+      StatusCode::kInvalidArgument);
+  bad.test_fraction = 1.0;
+  EXPECT_EQ(
+      MakeUserSplit(world.corpus, world.ego, bad, &rng).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SplitTest, TestSetConcatenatesPositivesAndNegatives) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->TestSet().size(),
+            split->positives.size() + split->negatives.size());
+}
+
+TEST(TrainSetTest, RestrictedToTrainingPhase) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+  for (Source source : kAllSources) {
+    LabeledTrainSet train =
+        BuildTrainSet(world.corpus, world.ego, source, *split);
+    for (TweetId id : train.docs) {
+      EXPECT_LT(world.corpus.tweet(id).time, split->split_time)
+          << SourceName(source);
+    }
+  }
+}
+
+TEST(TrainSetTest, LabelsPositiveOwnAndRetweetedPosts) {
+  SplitWorld world = MakeWorld();
+  Rng rng(1);
+  Result<UserSplit> split =
+      MakeUserSplit(world.corpus, world.ego, SplitOptions{}, &rng);
+  ASSERT_TRUE(split.ok());
+
+  // R source: all docs are ego's retweets -> all positive.
+  LabeledTrainSet r_train =
+      BuildTrainSet(world.corpus, world.ego, Source::kR, *split);
+  EXPECT_EQ(r_train.NumPositive(), r_train.docs.size());
+  EXPECT_GT(r_train.docs.size(), 0u);
+
+  // E source: feed posts; positive iff ego retweeted them.
+  LabeledTrainSet e_train =
+      BuildTrainSet(world.corpus, world.ego, Source::kE, *split);
+  EXPECT_GT(e_train.NumPositive(), 0u);
+  EXPECT_LT(e_train.NumPositive(), e_train.docs.size());
+  std::unordered_set<TweetId> retweeted;
+  for (TweetId rt : world.corpus.RetweetsOf(world.ego)) {
+    retweeted.insert(world.corpus.tweet(rt).retweet_of);
+  }
+  for (size_t i = 0; i < e_train.docs.size(); ++i) {
+    EXPECT_EQ(e_train.positive[i],
+              retweeted.count(e_train.docs[i]) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace microrec::corpus

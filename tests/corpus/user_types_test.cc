@@ -1,0 +1,141 @@
+#include "corpus/user_types.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::corpus {
+namespace {
+
+// A corpus where `ratio_user` posts `outgoing` tweets and follows one
+// account posting `incoming` tweets.
+Corpus MakeRatioCorpus(int outgoing, int incoming, UserId* ratio_user) {
+  Corpus corpus;
+  UserId u = corpus.AddUser("subject");
+  UserId v = corpus.AddUser("feed");
+  EXPECT_TRUE(corpus.graph().AddFollow(u, v).ok());
+  for (int i = 0; i < incoming; ++i) {
+    (void)*corpus.AddTweet(v, i, "feed post " + std::to_string(i));
+  }
+  for (int i = 0; i < outgoing; ++i) {
+    (void)*corpus.AddTweet(u, 1000 + i, "own post " + std::to_string(i));
+  }
+  corpus.Finalize();
+  *ratio_user = u;
+  return corpus;
+}
+
+TEST(UserTypesTest, ClassifyByPostingRatio) {
+  UserId u;
+  Corpus seeker = MakeRatioCorpus(10, 100, &u);
+  EXPECT_EQ(ClassifyUser(seeker, u), UserType::kInformationSeeker);
+
+  Corpus balanced = MakeRatioCorpus(90, 100, &u);
+  EXPECT_EQ(ClassifyUser(balanced, u), UserType::kBalancedUser);
+
+  Corpus producer = MakeRatioCorpus(300, 100, &u);
+  EXPECT_EQ(ClassifyUser(producer, u), UserType::kInformationProducer);
+}
+
+TEST(UserTypesTest, BoundaryRatios) {
+  UserId u;
+  // Exactly 0.5 is balanced (IS requires < 0.5); exactly 2.0 is balanced
+  // (IP requires > 2).
+  Corpus at_half = MakeRatioCorpus(50, 100, &u);
+  EXPECT_EQ(ClassifyUser(at_half, u), UserType::kBalancedUser);
+  Corpus at_two = MakeRatioCorpus(200, 100, &u);
+  EXPECT_EQ(ClassifyUser(at_two, u), UserType::kBalancedUser);
+}
+
+TEST(UserTypesTest, Names) {
+  EXPECT_EQ(UserTypeName(UserType::kInformationSeeker), "IS");
+  EXPECT_EQ(UserTypeName(UserType::kBalancedUser), "BU");
+  EXPECT_EQ(UserTypeName(UserType::kInformationProducer), "IP");
+  EXPECT_EQ(UserTypeName(UserType::kAllUsers), "All Users");
+}
+
+TEST(CohortTest, GroupAccessor) {
+  UserCohort cohort;
+  cohort.seekers = {1};
+  cohort.balanced = {2};
+  cohort.producers = {3};
+  cohort.all = {1, 2, 3};
+  EXPECT_EQ(cohort.Group(UserType::kInformationSeeker),
+            (std::vector<UserId>{1}));
+  EXPECT_EQ(cohort.Group(UserType::kBalancedUser), (std::vector<UserId>{2}));
+  EXPECT_EQ(cohort.Group(UserType::kInformationProducer),
+            (std::vector<UserId>{3}));
+  EXPECT_EQ(cohort.Group(UserType::kAllUsers).size(), 3u);
+}
+
+// Cohort selection over a crafted population: users with known ratios.
+TEST(CohortTest, SelectCohortPartitionsByRatio) {
+  Corpus corpus;
+  // Feeds that subjects follow (provide incoming volume + followers).
+  std::vector<UserId> subjects;
+  const int kNumSubjects = 12;
+  UserId feed = corpus.AddUser("feed");
+  std::vector<UserId> boosters;
+  for (int i = 0; i < 3; ++i) {
+    boosters.push_back(corpus.AddUser("booster" + std::to_string(i)));
+  }
+  for (int i = 0; i < kNumSubjects; ++i) {
+    subjects.push_back(corpus.AddUser("subject" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) (void)*corpus.AddTweet(feed, i, "feed");
+
+  // Subjects i get outgoing = 10 * (i + 1): ratios 0.1 .. 1.2.
+  for (int i = 0; i < kNumSubjects; ++i) {
+    UserId u = subjects[i];
+    EXPECT_TRUE(corpus.graph().AddFollow(u, feed).ok());
+    for (UserId booster : boosters) {
+      EXPECT_TRUE(corpus.graph().AddFollow(booster, u).ok());
+      EXPECT_TRUE(corpus.graph().AddFollow(u, booster).ok());
+    }
+    int outgoing = 10 * (i + 1);
+    TweetId first = *corpus.AddTweet(feed, 200, "seed");
+    for (int k = 0; k < outgoing; ++k) {
+      // Make them all retweets so min_retweets passes.
+      (void)*corpus.AddTweet(u, 300 + k, "", first);
+    }
+  }
+  corpus.Finalize();
+
+  CohortOptions options;
+  options.min_retweets = 5;
+  options.min_followers = 3;
+  options.min_followees = 3;
+  options.seekers = 3;
+  options.balanced = 3;
+  options.producers = 2;
+  options.extra_all = 2;
+  UserCohort cohort = SelectCohort(corpus, options);
+
+  EXPECT_EQ(cohort.seekers.size(), 3u);
+  EXPECT_EQ(cohort.balanced.size(), 3u);
+  // Seekers are the three lowest ratios.
+  for (UserId u : cohort.seekers) {
+    EXPECT_LT(corpus.PostingRatio(u), 0.5);
+  }
+  // Balanced users are closest to ratio 1.
+  for (UserId u : cohort.balanced) {
+    EXPECT_GT(corpus.PostingRatio(u), 0.5);
+  }
+  // All group contains every selected user exactly once.
+  std::vector<UserId> all = cohort.all;
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_GE(cohort.all.size(),
+            cohort.seekers.size() + cohort.balanced.size() +
+                cohort.producers.size());
+}
+
+TEST(CohortTest, FiltersInactiveUsers) {
+  Corpus corpus;
+  UserId lonely = corpus.AddUser("lonely");  // no followers/followees
+  (void)*corpus.AddTweet(lonely, 1, "hi");
+  corpus.Finalize();
+  UserCohort cohort = SelectCohort(corpus, CohortOptions{});
+  EXPECT_TRUE(cohort.all.empty());
+}
+
+}  // namespace
+}  // namespace microrec::corpus

@@ -1,0 +1,77 @@
+#include "eval/baselines.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::eval {
+namespace {
+
+using corpus::TweetId;
+using corpus::UserId;
+
+// positives at early times, negatives at late times (and vice versa).
+struct BaselineWorld {
+  corpus::Corpus corpus;
+  corpus::UserSplit split;
+};
+
+BaselineWorld MakeWorld(bool positives_recent) {
+  BaselineWorld world;
+  UserId feed = world.corpus.AddUser("feed");
+  for (int i = 0; i < 10; ++i) {
+    TweetId id = *world.corpus.AddTweet(feed, positives_recent ? 100 + i : i,
+                                        "pos " + std::to_string(i));
+    world.split.positives.push_back(id);
+  }
+  for (int i = 0; i < 40; ++i) {
+    TweetId id = *world.corpus.AddTweet(feed, positives_recent ? i : 100 + i,
+                                        "neg " + std::to_string(i));
+    world.split.negatives.push_back(id);
+  }
+  world.corpus.Finalize();
+  return world;
+}
+
+TEST(ChronologicalTest, PerfectWhenPositivesAreNewest) {
+  BaselineWorld world = MakeWorld(/*positives_recent=*/true);
+  EXPECT_DOUBLE_EQ(ChronologicalAp(world.corpus, world.split), 1.0);
+}
+
+TEST(ChronologicalTest, PoorWhenPositivesAreOldest) {
+  BaselineWorld world = MakeWorld(/*positives_recent=*/false);
+  EXPECT_LT(ChronologicalAp(world.corpus, world.split), 0.3);
+}
+
+TEST(RandomOrderingTest, ApproximatesPositiveFraction) {
+  BaselineWorld world = MakeWorld(true);
+  Rng rng(3);
+  // 10 positives / 50 items: expected random AP slightly above 0.2.
+  double ap = RandomOrderingAp(world.split, 2000, &rng);
+  EXPECT_GT(ap, 0.18);
+  EXPECT_LT(ap, 0.30);
+}
+
+TEST(RandomOrderingTest, AllPositiveScoresOne) {
+  BaselineWorld world = MakeWorld(true);
+  world.split.negatives.clear();
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(RandomOrderingAp(world.split, 100, &rng), 1.0);
+}
+
+TEST(RandomOrderingTest, EmptySplitScoresZero) {
+  corpus::UserSplit split;
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(RandomOrderingAp(split, 100, &rng), 0.0);
+  BaselineWorld world = MakeWorld(true);
+  EXPECT_DOUBLE_EQ(RandomOrderingAp(world.split, 0, &rng), 0.0);
+}
+
+TEST(RandomOrderingTest, MoreIterationsReduceVariance) {
+  BaselineWorld world = MakeWorld(true);
+  Rng rng_a(6), rng_b(7);
+  double a = RandomOrderingAp(world.split, 3000, &rng_a);
+  double b = RandomOrderingAp(world.split, 3000, &rng_b);
+  EXPECT_NEAR(a, b, 0.02);
+}
+
+}  // namespace
+}  // namespace microrec::eval

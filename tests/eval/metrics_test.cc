@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::eval {
+namespace {
+
+TEST(PrecisionAtNTest, Basics) {
+  std::vector<bool> ranked = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, 4), 0.5);
+}
+
+TEST(PrecisionAtNTest, NBeyondListClamps) {
+  std::vector<bool> ranked = {true, true};
+  EXPECT_DOUBLE_EQ(PrecisionAtN(ranked, 10), 1.0);
+}
+
+TEST(PrecisionAtNTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({true}, 0), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingScoresOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, false, false}), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingScoresLow) {
+  // Two positives at the bottom of four: AP = (1/3 + 2/4) / 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false, true, true}),
+                   (1.0 / 3.0 + 2.0 / 4.0) / 2.0);
+}
+
+TEST(AveragePrecisionTest, TextbookExample) {
+  // Positives at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, false, true}),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(AveragePrecisionTest, NoPositivesScoresZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}), 0.0);
+}
+
+TEST(AveragePrecisionTest, AllPositivesScoresOne) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, true}), 1.0);
+}
+
+TEST(AveragePrecisionTest, MonotoneInRankOfPositive) {
+  // Moving a single positive later strictly decreases AP.
+  double prev = 2.0;
+  for (int pos = 0; pos < 5; ++pos) {
+    std::vector<bool> ranked(5, false);
+    ranked[pos] = true;
+    double ap = AveragePrecision(ranked);
+    EXPECT_LT(ap, prev);
+    prev = ap;
+  }
+}
+
+TEST(MeanAveragePrecisionTest, Averages) {
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({0.2, 0.4, 0.6}), 0.4);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}), 0.0);
+}
+
+TEST(MapDeviationTest, MaxMinusMin) {
+  EXPECT_DOUBLE_EQ(MapDeviation({0.3, 0.7, 0.5}), 0.4);
+  EXPECT_DOUBLE_EQ(MapDeviation({0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(MapDeviation({}), 0.0);
+}
+
+TEST(ReciprocalRankTest, FirstRelevantPosition) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({true, false}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false, true, true}), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false, false, false, true}), 0.25);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false, false}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}), 0.0);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({true, true, false, false}), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({true}), 1.0);
+}
+
+TEST(NdcgTest, WorstRankingKnownValue) {
+  // One positive at rank 3 of 3: DCG = 1/log2(4) = 0.5; IDCG = 1.
+  EXPECT_DOUBLE_EQ(NdcgAtK({false, false, true}), 0.5);
+}
+
+TEST(NdcgTest, CutoffLimitsCredit) {
+  // Positive at rank 3 is invisible at k=2.
+  EXPECT_DOUBLE_EQ(NdcgAtK({false, false, true}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({true, false, true}, 1), 1.0);
+}
+
+TEST(NdcgTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({false, false}), 0.0);
+}
+
+TEST(NdcgTest, MonotoneInRankOfPositive) {
+  double prev = 2.0;
+  for (int pos = 0; pos < 5; ++pos) {
+    std::vector<bool> ranked(5, false);
+    ranked[pos] = true;
+    double ndcg = NdcgAtK(ranked);
+    EXPECT_LT(ndcg, prev);
+    prev = ndcg;
+  }
+}
+
+}  // namespace
+}  // namespace microrec::eval

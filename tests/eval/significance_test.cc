@@ -1,0 +1,156 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace microrec::eval {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_0.5(a, a) = 0.5 by symmetry.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(RegularizedIncompleteBeta(5.0, 5.0, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.35, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, MedianIsHalf) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-10);
+  EXPECT_NEAR(StudentTCdf(0.0, 30.0), 0.5, 1e-10);
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // t_{0.975, 10} = 2.228: CDF(2.228, 10) ≈ 0.975.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  // t_{0.95, 5} = 2.015.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 1e-3);
+}
+
+TEST(StudentTCdfTest, SymmetryAboutZero) {
+  for (double t : {0.5, 1.3, 2.7}) {
+    EXPECT_NEAR(StudentTCdf(t, 8.0) + StudentTCdf(-t, 8.0), 1.0, 1e-10);
+  }
+}
+
+TEST(PairedTTestTest, ClearDifferenceIsSignificant) {
+  std::vector<double> a = {0.7, 0.8, 0.75, 0.72, 0.78, 0.74, 0.77, 0.73};
+  std::vector<double> b = {0.3, 0.4, 0.35, 0.32, 0.38, 0.34, 0.37, 0.33};
+  TestResult result = PairedTTest(a, b);
+  EXPECT_TRUE(result.SignificantAt(0.05));
+  EXPECT_LT(result.p_value, 0.001);
+  EXPECT_GT(result.statistic, 0.0);
+}
+
+TEST(PairedTTestTest, NoisyEqualMeansNotSignificant) {
+  Rng rng(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    double base = rng.UniformDouble();
+    a.push_back(base + rng.Normal(0.0, 0.05));
+    b.push_back(base + rng.Normal(0.0, 0.05));
+  }
+  TestResult result = PairedTTest(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(PairedTTestTest, SignReflectsDirection) {
+  std::vector<double> lo = {0.1, 0.2, 0.15, 0.12};
+  std::vector<double> hi = {0.5, 0.6, 0.55, 0.52};
+  EXPECT_LT(PairedTTest(lo, hi).statistic, 0.0);
+  EXPECT_GT(PairedTTest(hi, lo).statistic, 0.0);
+}
+
+TEST(PairedTTestTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PairedTTest({1.0}, {0.5}).p_value, 1.0);  // n < 2
+  // Identical samples: zero variance, equal means -> p = 1.
+  EXPECT_DOUBLE_EQ(PairedTTest({1.0, 2.0}, {1.0, 2.0}).p_value, 1.0);
+  // Constant nonzero difference: zero variance, unequal means -> p = 0.
+  EXPECT_DOUBLE_EQ(PairedTTest({2.0, 3.0}, {1.0, 2.0}).p_value, 0.0);
+}
+
+TEST(WilcoxonTest, ClearDifferenceIsSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(0.5 + 0.01 * i);
+    b.push_back(0.2 + 0.01 * i);
+  }
+  TestResult result = WilcoxonSignedRank(a, b);
+  EXPECT_TRUE(result.SignificantAt(0.05));
+}
+
+TEST(WilcoxonTest, BalancedDifferencesNotSignificant) {
+  // Differences alternate sign with exactly equal magnitude (0.25 is
+  // binary-representable, so |a-b| is bit-identical on both sides).
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(1.0);
+    b.push_back(i % 2 == 0 ? 1.25 : 0.75);
+  }
+  TestResult result = WilcoxonSignedRank(a, b);
+  EXPECT_GT(result.p_value, 0.5);
+}
+
+TEST(WilcoxonTest, ZeroDifferencesDropped) {
+  // All-zero differences leave n < 2: p defaults to 1.
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(WilcoxonSignedRank(a, a).p_value, 1.0);
+}
+
+TEST(WilcoxonTest, AgreesWithTTestOnStrongSignal) {
+  std::vector<double> a, b;
+  Rng rng(2);
+  for (int i = 0; i < 25; ++i) {
+    double base = rng.UniformDouble();
+    a.push_back(base + 0.3 + rng.Normal(0.0, 0.02));
+    b.push_back(base);
+  }
+  EXPECT_TRUE(PairedTTest(a, b).SignificantAt(0.01));
+  EXPECT_TRUE(WilcoxonSignedRank(a, b).SignificantAt(0.01));
+}
+
+TEST(HolmBonferroniTest, SingleValueUnchanged) {
+  auto adjusted = HolmBonferroni({0.03});
+  ASSERT_EQ(adjusted.size(), 1u);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+}
+
+TEST(HolmBonferroniTest, KnownTextbookExample) {
+  // p = {0.01, 0.04, 0.03} with m=3:
+  // sorted: 0.01*3=0.03, 0.03*2=0.06, 0.04*1=0.04 -> monotone: 0.06.
+  auto adjusted = HolmBonferroni({0.01, 0.04, 0.03});
+  ASSERT_EQ(adjusted.size(), 3u);
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.06);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.06);  // enforced monotone
+}
+
+TEST(HolmBonferroniTest, ClipsAtOne) {
+  auto adjusted = HolmBonferroni({0.9, 0.8, 0.7});
+  for (double p : adjusted) EXPECT_LE(p, 1.0);
+}
+
+TEST(HolmBonferroniTest, AdjustedNeverBelowRaw) {
+  std::vector<double> raw = {0.001, 0.02, 0.04, 0.2, 0.5};
+  auto adjusted = HolmBonferroni(raw);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_GE(adjusted[i], raw[i]);
+  }
+}
+
+TEST(HolmBonferroniTest, EmptyInput) {
+  EXPECT_TRUE(HolmBonferroni({}).empty());
+}
+
+}  // namespace
+}  // namespace microrec::eval

@@ -1,0 +1,158 @@
+#include "graph/ngram_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::graph {
+namespace {
+
+TEST(EdgeKeyTest, Canonicalizes) {
+  EXPECT_EQ(EdgeKey(1, 2), EdgeKey(2, 1));
+  EXPECT_NE(EdgeKey(1, 2), EdgeKey(1, 3));
+}
+
+TEST(NgramGraphTest, AddEdgeAccumulatesWeight) {
+  NgramGraph graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 1);
+  EXPECT_EQ(graph.size(), 1u);
+  EXPECT_DOUBLE_EQ(graph.WeightOf(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(graph.WeightOf(1, 3), 0.0);
+  EXPECT_TRUE(graph.HasEdge(2, 1));
+  EXPECT_FALSE(graph.HasEdge(1, 3));
+}
+
+TEST(NgramGraphTest, FromSequenceWindowOne) {
+  // a b c with window 1: edges (a,b), (b,c).
+  NgramGraph graph = NgramGraph::FromSequence({10, 11, 12}, 1);
+  EXPECT_EQ(graph.size(), 2u);
+  EXPECT_TRUE(graph.HasEdge(10, 11));
+  EXPECT_TRUE(graph.HasEdge(11, 12));
+  EXPECT_FALSE(graph.HasEdge(10, 12));
+}
+
+TEST(NgramGraphTest, FromSequenceWindowTwo) {
+  NgramGraph graph = NgramGraph::FromSequence({1, 2, 3}, 2);
+  EXPECT_EQ(graph.size(), 3u);
+  EXPECT_TRUE(graph.HasEdge(1, 3));
+}
+
+TEST(NgramGraphTest, RepeatedCooccurrenceIncreasesWeight) {
+  NgramGraph graph = NgramGraph::FromSequence({1, 2, 1, 2}, 1);
+  // (1,2) occurs at positions (0,1), (1,2) -> (2,1) same edge, (2,3).
+  EXPECT_DOUBLE_EQ(graph.WeightOf(1, 2), 3.0);
+}
+
+TEST(NgramGraphTest, EmptyAndSingletonSequences) {
+  EXPECT_TRUE(NgramGraph::FromSequence({}, 2).empty());
+  EXPECT_TRUE(NgramGraph::FromSequence({7}, 2).empty());
+}
+
+TEST(UpdateOperatorTest, FirstMergeCopiesDocumentWeights) {
+  NgramGraph user;
+  NgramGraph doc = NgramGraph::FromSequence({1, 2, 3}, 1);
+  user.Update(doc, 0);
+  EXPECT_DOUBLE_EQ(user.WeightOf(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(user.WeightOf(2, 3), 1.0);
+}
+
+TEST(UpdateOperatorTest, RunningAverageOfEdgeWeights) {
+  NgramGraph user;
+  NgramGraph doc1, doc2;
+  doc1.AddEdge(1, 2, 4.0);
+  doc2.AddEdge(1, 2, 2.0);
+  user.Update(doc1, 0);
+  user.Update(doc2, 1);
+  // Average of 4 and 2.
+  EXPECT_DOUBLE_EQ(user.WeightOf(1, 2), 3.0);
+}
+
+TEST(UpdateOperatorTest, AbsentEdgesDecayTowardZero) {
+  NgramGraph user;
+  NgramGraph doc1, doc2;
+  doc1.AddEdge(1, 2, 2.0);
+  doc2.AddEdge(3, 4, 2.0);
+  user.Update(doc1, 0);
+  user.Update(doc2, 1);
+  // Edge (1,2) seen in 1 of 2 docs -> weight 1.0; same for (3,4).
+  EXPECT_DOUBLE_EQ(user.WeightOf(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(user.WeightOf(3, 4), 1.0);
+}
+
+TEST(ContainmentSimilarityTest, FractionOfSmallerGraphContained) {
+  NgramGraph a, b;
+  a.AddEdge(1, 2);
+  a.AddEdge(2, 3);
+  b.AddEdge(1, 2);
+  b.AddEdge(4, 5);
+  b.AddEdge(6, 7);
+  // Shared = 1; min size = 2.
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(a, a), 1.0);
+}
+
+TEST(ContainmentSimilarityTest, IgnoresWeights) {
+  NgramGraph a, b;
+  a.AddEdge(1, 2, 100.0);
+  b.AddEdge(1, 2, 0.001);
+  EXPECT_DOUBLE_EQ(ContainmentSimilarity(a, b), 1.0);
+}
+
+TEST(ValueSimilarityTest, WeightRatioOverMaxSize) {
+  NgramGraph a, b;
+  a.AddEdge(1, 2, 1.0);
+  a.AddEdge(2, 3, 2.0);
+  b.AddEdge(1, 2, 2.0);
+  // Shared (1,2): min/max = 0.5; normalised by max(|a|,|b|) = 2.
+  EXPECT_DOUBLE_EQ(ValueSimilarity(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(a, a), 1.0);
+}
+
+TEST(NormalizedValueSimilarityTest, NormalisesBySmallerGraph) {
+  NgramGraph a, b;
+  a.AddEdge(1, 2, 1.0);
+  a.AddEdge(2, 3, 2.0);
+  b.AddEdge(1, 2, 2.0);
+  // Same shared sum 0.5, but normalised by min size = 1.
+  EXPECT_DOUBLE_EQ(NormalizedValueSimilarity(a, b), 0.5);
+}
+
+TEST(NormalizedValueSimilarityTest, RobustToImbalancedSizes) {
+  // NS of a small graph against a superset stays 1.0 regardless of the
+  // superset's size (Section 3.2 motivation).
+  NgramGraph small, large;
+  small.AddEdge(1, 2, 1.0);
+  large.AddEdge(1, 2, 1.0);
+  for (uint32_t i = 10; i < 200; i += 2) large.AddEdge(i, i + 1, 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedValueSimilarity(small, large), 1.0);
+  EXPECT_LT(ValueSimilarity(small, large), 0.05);
+}
+
+TEST(GraphSimilarityTest, EmptyGraphsScoreZero) {
+  NgramGraph empty, nonempty;
+  nonempty.AddEdge(1, 2);
+  for (GraphSimilarity s :
+       {GraphSimilarity::kContainment, GraphSimilarity::kValue,
+        GraphSimilarity::kNormalizedValue}) {
+    EXPECT_DOUBLE_EQ(GraphScore(s, empty, nonempty), 0.0);
+    EXPECT_DOUBLE_EQ(GraphScore(s, empty, empty), 0.0);
+  }
+}
+
+TEST(GraphSimilarityTest, AllMeasuresSymmetric) {
+  NgramGraph a = NgramGraph::FromSequence({1, 2, 3, 4}, 2);
+  NgramGraph b = NgramGraph::FromSequence({3, 4, 5}, 2);
+  for (GraphSimilarity s :
+       {GraphSimilarity::kContainment, GraphSimilarity::kValue,
+        GraphSimilarity::kNormalizedValue}) {
+    EXPECT_DOUBLE_EQ(GraphScore(s, a, b), GraphScore(s, b, a));
+  }
+}
+
+TEST(GraphSimilarityTest, Names) {
+  EXPECT_STREQ(GraphSimilarityName(GraphSimilarity::kContainment), "CoS");
+  EXPECT_STREQ(GraphSimilarityName(GraphSimilarity::kValue), "VS");
+  EXPECT_STREQ(GraphSimilarityName(GraphSimilarity::kNormalizedValue), "NS");
+}
+
+}  // namespace
+}  // namespace microrec::graph

@@ -1,0 +1,161 @@
+#include "rec/followee_rec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/generator.h"
+
+namespace microrec::rec {
+namespace {
+
+ModelConfig TfIdfConfig() {
+  ModelConfig config;
+  config.kind = ModelKind::kTN;
+  config.bag.n = 1;
+  config.bag.weighting = bag::Weighting::kTFIDF;
+  config.bag.aggregation = bag::Aggregation::kCentroid;
+  config.bag.similarity = bag::BagSimilarity::kCosine;
+  return config;
+}
+
+class FolloweeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ego_ = world_.AddUser("ego");
+    cat_author_ = world_.AddUser("cat_author");
+    stock_author_ = world_.AddUser("stock_author");
+    followed_ = world_.AddUser("already_followed");
+    ASSERT_TRUE(world_.graph().AddFollow(ego_, followed_).ok());
+    corpus::Timestamp t = 0;
+    for (int i = 0; i < 12; ++i) {
+      (void)*world_.AddTweet(cat_author_, t += 10,
+                             "fluffy cat naps kitten purrs softly");
+      (void)*world_.AddTweet(stock_author_, t += 10,
+                             "stocks rally bond yields rise markets");
+      (void)*world_.AddTweet(followed_, t += 10,
+                             "cute cat sleeps kitten plays gently");
+    }
+    for (int i = 0; i < 6; ++i) {
+      corpus::TweetId id = *world_.AddTweet(
+          ego_, t += 10, "my cat naps and the kitten purrs");
+      train_.docs.push_back(id);
+      train_.positive.push_back(true);
+    }
+    world_.Finalize();
+    pre_ = std::make_unique<PreprocessedCorpus>(world_,
+                                                std::vector<corpus::TweetId>{},
+                                                0);
+  }
+
+  corpus::Corpus world_;
+  std::unique_ptr<PreprocessedCorpus> pre_;
+  corpus::LabeledTrainSet train_;
+  corpus::UserId ego_ = 0, cat_author_ = 0, stock_author_ = 0, followed_ = 0;
+};
+
+TEST_F(FolloweeFixture, SuggestsTheTopicallyClosestAccount) {
+  FolloweeRecommender recommender(pre_.get(), TfIdfConfig());
+  ASSERT_TRUE(recommender.BuildProfiles(/*min_posts=*/5).ok());
+  auto suggestions = recommender.Recommend(ego_, train_, 3);
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_FALSE(suggestions->empty());
+  EXPECT_EQ((*suggestions)[0].user, cat_author_);
+  EXPECT_GT((*suggestions)[0].score, 0.0);
+}
+
+TEST_F(FolloweeFixture, ExcludesSelfAndExistingFollowees) {
+  FolloweeRecommender recommender(pre_.get(), TfIdfConfig());
+  ASSERT_TRUE(recommender.BuildProfiles(5).ok());
+  auto suggestions = recommender.Recommend(ego_, train_, 10);
+  ASSERT_TRUE(suggestions.ok());
+  for (const auto& suggestion : *suggestions) {
+    EXPECT_NE(suggestion.user, ego_);
+    EXPECT_NE(suggestion.user, followed_);
+  }
+}
+
+TEST_F(FolloweeFixture, MinPostsFiltersQuietAccounts) {
+  FolloweeRecommender recommender(pre_.get(), TfIdfConfig());
+  ASSERT_TRUE(recommender.BuildProfiles(/*min_posts=*/7).ok());
+  // ego has only 6 posts -> not profiled; the three authors have 12 each.
+  EXPECT_EQ(recommender.num_profiles(), 3u);
+}
+
+TEST_F(FolloweeFixture, RejectsTopicModelConfigs) {
+  ModelConfig config;
+  config.kind = ModelKind::kBTM;
+  FolloweeRecommender recommender(pre_.get(), config);
+  EXPECT_EQ(recommender.BuildProfiles(1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FolloweeFixture, RecommendBeforeBuildFails) {
+  FolloweeRecommender recommender(pre_.get(), TfIdfConfig());
+  EXPECT_EQ(recommender.Recommend(ego_, train_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FolloweeSyntheticTest, SuggestionsAlignWithInterestSimilarity) {
+  // Suggested accounts must have higher interest-affinity to the ego user
+  // than the average profiled account.
+  synth::DatasetSpec spec = synth::DatasetSpec::Small();
+  spec.seed = 11;
+  spec.background_users = 80;
+  spec.seekers.count = 4;
+  spec.balanced.count = 3;
+  spec.producers.count = 2;
+  spec.extras.count = 0;
+  auto dataset = synth::GenerateDataset(spec);
+  ASSERT_TRUE(dataset.ok());
+  const corpus::Corpus& corpus = dataset->corpus;
+
+  std::vector<corpus::TweetId> all_posts;
+  for (corpus::UserId u = 0; u < corpus.num_users(); ++u) {
+    for (corpus::TweetId id : corpus.PostsOf(u)) all_posts.push_back(id);
+  }
+  PreprocessedCorpus pre(corpus, all_posts, 100);
+  FolloweeRecommender recommender(&pre, TfIdfConfig());
+  ASSERT_TRUE(recommender.BuildProfiles(10).ok());
+
+  auto cosine = [](const std::vector<double>& a,
+                   const std::vector<double>& b) {
+    double dot = 0, ma = 0, mb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      dot += a[i] * b[i];
+      ma += a[i] * a[i];
+      mb += b[i] * b[i];
+    }
+    return dot / std::sqrt(ma * mb);
+  };
+
+  double suggested_sim = 0.0, population_sim = 0.0;
+  size_t suggested = 0, population = 0;
+  for (corpus::UserId ego : dataset->truth.subjects) {
+    corpus::LabeledTrainSet train;
+    for (corpus::TweetId id : corpus.RetweetsOf(ego)) {
+      train.docs.push_back(id);
+      train.positive.push_back(true);
+    }
+    if (train.docs.empty()) continue;
+    auto suggestions = recommender.Recommend(ego, train, 5);
+    if (!suggestions.ok()) continue;
+    for (const auto& suggestion : *suggestions) {
+      suggested_sim += cosine(dataset->truth.user_interest[ego],
+                              dataset->truth.user_content[suggestion.user]);
+      ++suggested;
+    }
+    for (corpus::UserId v = 0; v < corpus.num_users(); v += 5) {
+      if (v == ego) continue;
+      population_sim += cosine(dataset->truth.user_interest[ego],
+                               dataset->truth.user_content[v]);
+      ++population;
+    }
+  }
+  ASSERT_GT(suggested, 0u);
+  EXPECT_GT(suggested_sim / static_cast<double>(suggested),
+            population_sim / static_cast<double>(population));
+}
+
+}  // namespace
+}  // namespace microrec::rec

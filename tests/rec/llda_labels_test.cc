@@ -1,0 +1,116 @@
+#include "rec/llda_labels.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace microrec::rec {
+namespace {
+
+class LabelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::UserId u = corpus_.AddUser("u");
+    // "#hot" appears 4 times (above threshold 3), "#cold" once.
+    for (int i = 0; i < 4; ++i) {
+      ids_.push_back(*corpus_.AddTweet(u, i, "stuff about #hot things"));
+    }
+    ids_.push_back(*corpus_.AddTweet(u, 10, "rare #cold mention"));
+    smiley_id_ = *corpus_.AddTweet(u, 11, "so happy today :)");
+    ids_.push_back(smiley_id_);
+    grin_id_ = *corpus_.AddTweet(u, 12, "grinning :D now"),
+    ids_.push_back(grin_id_);
+    question_id_ = *corpus_.AddTweet(u, 13, "is this real?");
+    ids_.push_back(question_id_);
+    mention_id_ = *corpus_.AddTweet(u, 14, "@friend hello there");
+    ids_.push_back(mention_id_);
+    mid_mention_id_ = *corpus_.AddTweet(u, 15, "hello @friend there");
+    ids_.push_back(mid_mention_id_);
+    corpus_.Finalize();
+    tokenized_ = std::make_unique<corpus::TokenizedCorpus>(corpus_,
+                                                           text::Tokenizer());
+    scheme_ = std::make_unique<LldaLabelScheme>(
+        LldaLabelScheme::Build(*tokenized_, ids_, /*min_hashtag_count=*/3));
+  }
+
+  std::vector<uint32_t> LabelsOf(corpus::TweetId id) {
+    return scheme_->LabelsFor(id, tokenized_->TokensOf(id),
+                              corpus_.tweet(id).text);
+  }
+
+  corpus::Corpus corpus_;
+  std::unique_ptr<corpus::TokenizedCorpus> tokenized_;
+  std::unique_ptr<LldaLabelScheme> scheme_;
+  std::vector<corpus::TweetId> ids_;
+  corpus::TweetId smiley_id_ = 0, grin_id_ = 0, question_id_ = 0;
+  corpus::TweetId mention_id_ = 0, mid_mention_id_ = 0;
+};
+
+TEST_F(LabelFixture, LabelVocabularySize) {
+  // 1 hashtag (#hot) + emoticons (5 families x 10 variations + 4 single)
+  // + question (10) + @user (10).
+  EXPECT_EQ(scheme_->num_labels(), 1u + 5 * 10 + 4 + 10 + 10);
+}
+
+TEST_F(LabelFixture, FrequentHashtagGetsLabel) {
+  auto labels = LabelsOf(ids_[0]);
+  ASSERT_FALSE(labels.empty());
+  EXPECT_EQ(scheme_->LabelName(labels[0]), "#hot");
+}
+
+TEST_F(LabelFixture, RareHashtagGetsNoLabel) {
+  auto labels = LabelsOf(ids_[4]);  // "#cold" tweet
+  for (uint32_t label : labels) {
+    EXPECT_NE(scheme_->LabelName(label), "#cold");
+  }
+}
+
+TEST_F(LabelFixture, SmileyGetsVariationLabel) {
+  auto labels = LabelsOf(smiley_id_);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(scheme_->LabelName(labels[0]).substr(0, 6), "smile-");
+  // Variation index is tweet id mod 10.
+  EXPECT_EQ(scheme_->LabelName(labels[0]),
+            "smile-" + std::to_string(smiley_id_ % 10));
+}
+
+TEST_F(LabelFixture, BigGrinHasSingleLabel) {
+  auto labels = LabelsOf(grin_id_);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(scheme_->LabelName(labels[0]), "biggrin");
+}
+
+TEST_F(LabelFixture, QuestionMarkDetectedFromRawText) {
+  auto labels = LabelsOf(question_id_);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(scheme_->LabelName(labels[0]).substr(0, 9), "question-");
+}
+
+TEST_F(LabelFixture, MentionLabelOnlyWhenFirstToken) {
+  auto first = LabelsOf(mention_id_);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(scheme_->LabelName(first[0]).substr(0, 6), "@user-");
+  EXPECT_TRUE(LabelsOf(mid_mention_id_).empty());
+}
+
+TEST_F(LabelFixture, PlainTweetHasNoLabels) {
+  corpus::UserId u = 0;
+  corpus::TweetId plain = *corpus_.AddTweet(u, 99, "just plain words here");
+  corpus_.Finalize();
+  corpus::TokenizedCorpus tokenized(corpus_, text::Tokenizer());
+  EXPECT_TRUE(scheme_
+                  ->LabelsFor(plain, tokenized.TokensOf(plain),
+                              corpus_.tweet(plain).text)
+                  .empty());
+}
+
+TEST_F(LabelFixture, LabelNamesAreUnique) {
+  std::set<std::string> names;
+  for (uint32_t label = 0; label < scheme_->num_labels(); ++label) {
+    names.insert(scheme_->LabelName(label));
+  }
+  EXPECT_EQ(names.size(), scheme_->num_labels());
+}
+
+}  // namespace
+}  // namespace microrec::rec

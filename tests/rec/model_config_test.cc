@@ -1,0 +1,145 @@
+#include "rec/model_config.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace microrec::rec {
+namespace {
+
+TEST(ModelConfigTest, FullGridHas223Configurations) {
+  // The paper's headline number (Section 1): 223 configurations across the
+  // nine evaluated models.
+  EXPECT_EQ(FullGrid().size(), 223u);
+}
+
+TEST(ModelConfigTest, PerModelGridSizesMatchTables4And5) {
+  const std::map<ModelKind, size_t> expected = {
+      {ModelKind::kTN, 36},  {ModelKind::kCN, 21},  {ModelKind::kTNG, 9},
+      {ModelKind::kCNG, 9},  {ModelKind::kLDA, 48}, {ModelKind::kLLDA, 48},
+      {ModelKind::kBTM, 24}, {ModelKind::kHDP, 12}, {ModelKind::kHLDA, 16},
+  };
+  for (const auto& [kind, count] : expected) {
+    EXPECT_EQ(EnumerateConfigs(kind).size(), count)
+        << ModelKindName(kind);
+  }
+}
+
+TEST(ModelConfigTest, PlsaGridIsEmpty) {
+  // PLSA was excluded: every configuration violated the 32 GB memory
+  // constraint (Section 4).
+  EXPECT_TRUE(EnumerateConfigs(ModelKind::kPLSA).empty());
+}
+
+TEST(ModelConfigTest, TaxonomyMatchesFigure1) {
+  EXPECT_EQ(CategoryOf(ModelKind::kTN), TaxonomyCategory::kLocalContextAware);
+  EXPECT_EQ(CategoryOf(ModelKind::kCN), TaxonomyCategory::kLocalContextAware);
+  EXPECT_EQ(CategoryOf(ModelKind::kTNG),
+            TaxonomyCategory::kGlobalContextAware);
+  EXPECT_EQ(CategoryOf(ModelKind::kCNG),
+            TaxonomyCategory::kGlobalContextAware);
+  for (ModelKind kind : {ModelKind::kLDA, ModelKind::kLLDA, ModelKind::kHDP,
+                         ModelKind::kHLDA, ModelKind::kBTM, ModelKind::kPLSA}) {
+    EXPECT_EQ(CategoryOf(kind), TaxonomyCategory::kContextAgnostic)
+        << ModelKindName(kind);
+  }
+}
+
+TEST(ModelConfigTest, NonparametricSubcategory) {
+  EXPECT_TRUE(IsNonparametric(ModelKind::kHDP));
+  EXPECT_TRUE(IsNonparametric(ModelKind::kHLDA));
+  for (ModelKind kind : {ModelKind::kLDA, ModelKind::kLLDA, ModelKind::kBTM,
+                         ModelKind::kTN, ModelKind::kTNG}) {
+    EXPECT_FALSE(IsNonparametric(kind)) << ModelKindName(kind);
+  }
+}
+
+TEST(ModelConfigTest, CharacterBasedSubcategory) {
+  EXPECT_TRUE(IsCharacterBased(ModelKind::kCN));
+  EXPECT_TRUE(IsCharacterBased(ModelKind::kCNG));
+  EXPECT_FALSE(IsCharacterBased(ModelKind::kTN));
+  EXPECT_FALSE(IsCharacterBased(ModelKind::kTNG));
+}
+
+TEST(ModelConfigTest, ParseRoundTrip) {
+  for (ModelKind kind : kEvaluatedModels) {
+    Result<ModelKind> parsed = ParseModelKind(ModelKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParseModelKind("LSTM").ok());
+}
+
+TEST(ModelConfigTest, LdaGridDimensions) {
+  std::set<size_t> topics;
+  std::set<int> iterations;
+  std::set<corpus::Pooling> poolings;
+  std::set<TopicAggregation> aggs;
+  for (const ModelConfig& config : EnumerateConfigs(ModelKind::kLDA)) {
+    topics.insert(config.topic.num_topics);
+    iterations.insert(config.topic.iterations);
+    poolings.insert(config.topic.pooling);
+    aggs.insert(config.topic.aggregation);
+    // Table 4: alpha = 50/#Topics, beta = 0.01.
+    EXPECT_DOUBLE_EQ(config.topic.alpha,
+                     50.0 / static_cast<double>(config.topic.num_topics));
+    EXPECT_DOUBLE_EQ(config.topic.beta, 0.01);
+  }
+  EXPECT_EQ(topics, (std::set<size_t>{50, 100, 150, 200}));
+  EXPECT_EQ(iterations, (std::set<int>{1000, 2000}));
+  EXPECT_EQ(poolings.size(), 3u);
+  EXPECT_EQ(aggs.size(), 2u);
+}
+
+TEST(ModelConfigTest, BtmGridFixesIterationsAndWindow) {
+  for (const ModelConfig& config : EnumerateConfigs(ModelKind::kBTM)) {
+    EXPECT_EQ(config.topic.iterations, 1000);
+    EXPECT_EQ(config.topic.window, 30);
+  }
+}
+
+TEST(ModelConfigTest, HdpGridFixesAlphaGamma) {
+  std::set<double> betas;
+  for (const ModelConfig& config : EnumerateConfigs(ModelKind::kHDP)) {
+    EXPECT_DOUBLE_EQ(config.topic.alpha, 1.0);
+    EXPECT_DOUBLE_EQ(config.topic.gamma, 1.0);
+    betas.insert(config.topic.beta);
+  }
+  EXPECT_EQ(betas, (std::set<double>{0.1, 0.5}));
+}
+
+TEST(ModelConfigTest, HldaGridUsesUserPoolingAndThreeLevels) {
+  std::set<double> alphas, betas, gammas;
+  for (const ModelConfig& config : EnumerateConfigs(ModelKind::kHLDA)) {
+    EXPECT_EQ(config.topic.pooling, corpus::Pooling::kUser);
+    EXPECT_EQ(config.topic.levels, 3);
+    alphas.insert(config.topic.alpha);
+    betas.insert(config.topic.beta);
+    gammas.insert(config.topic.gamma);
+  }
+  EXPECT_EQ(alphas, (std::set<double>{10.0, 20.0}));
+  EXPECT_EQ(betas, (std::set<double>{0.1, 0.5}));
+  EXPECT_EQ(gammas, (std::set<double>{0.5, 1.0}));
+}
+
+TEST(ModelConfigTest, RocchioTopicConfigsNeedNegatives) {
+  for (const ModelConfig& config : EnumerateConfigs(ModelKind::kLDA)) {
+    bool rocchio = config.topic.aggregation == TopicAggregation::kRocchio;
+    EXPECT_EQ(config.IsValidForSource(/*source_has_negatives=*/false),
+              !rocchio);
+    EXPECT_TRUE(config.IsValidForSource(/*source_has_negatives=*/true));
+  }
+}
+
+TEST(ModelConfigTest, ToStringIsDistinctPerConfig) {
+  std::set<std::string> strings;
+  for (const ModelConfig& config : FullGrid()) {
+    strings.insert(std::string(ModelKindName(config.kind)) + "|" +
+                   config.ToString());
+  }
+  EXPECT_EQ(strings.size(), 223u);
+}
+
+}  // namespace
+}  // namespace microrec::rec

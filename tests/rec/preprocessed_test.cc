@@ -1,0 +1,69 @@
+#include "rec/preprocessed.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::rec {
+namespace {
+
+class PreprocessedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus::UserId u = corpus_.AddUser("u");
+    // "the" dominates; one tweet has emphatic lengthening.
+    ids_.push_back(*corpus_.AddTweet(u, 1, "the the the cat sat"));
+    ids_.push_back(*corpus_.AddTweet(u, 2, "the dog ran yeeees"));
+    corpus_.Finalize();
+  }
+
+  corpus::Corpus corpus_;
+  std::vector<corpus::TweetId> ids_;
+};
+
+TEST_F(PreprocessedFixture, StopFilterRemovesTopTokens) {
+  PreprocessedCorpus pre(corpus_, ids_, /*stop_top_k=*/1);
+  EXPECT_TRUE(pre.stop_filter().IsStop("the"));
+  for (corpus::TweetId id : ids_) {
+    for (const std::string& token : pre.Filtered(id)) {
+      EXPECT_NE(token, "the");
+    }
+  }
+  // Unfiltered typed tokens still contain it.
+  bool saw_the = false;
+  for (const auto& token : pre.Tokens(ids_[0])) {
+    saw_the |= token.text == "the";
+  }
+  EXPECT_TRUE(saw_the);
+}
+
+TEST_F(PreprocessedFixture, EmptyStopBasisKeepsEverything) {
+  PreprocessedCorpus pre(corpus_, {}, 100);
+  EXPECT_EQ(pre.stop_filter().size(), 0u);
+  EXPECT_EQ(pre.Filtered(ids_[0]).size(), 5u);
+}
+
+TEST_F(PreprocessedFixture, DefaultTokenizerSqueezes) {
+  PreprocessedCorpus pre(corpus_, {}, 0);
+  const auto& tokens = pre.Filtered(ids_[1]);
+  EXPECT_EQ(tokens.back(), "yees");
+}
+
+TEST_F(PreprocessedFixture, TokenizerOptionsAreHonoured) {
+  text::TokenizerOptions options;
+  options.squeeze_repeats = false;
+  PreprocessedCorpus pre(corpus_, {}, 0, nullptr, options);
+  const auto& tokens = pre.Filtered(ids_[1]);
+  EXPECT_EQ(tokens.back(), "yeeees");
+}
+
+TEST_F(PreprocessedFixture, ParallelAndSerialAgree) {
+  ThreadPool pool(4);
+  PreprocessedCorpus serial(corpus_, ids_, 2);
+  PreprocessedCorpus parallel(corpus_, ids_, 2, &pool);
+  for (corpus::TweetId id : ids_) {
+    EXPECT_EQ(serial.Filtered(id), parallel.Filtered(id));
+  }
+  EXPECT_EQ(serial.stop_filter().size(), parallel.stop_filter().size());
+}
+
+}  // namespace
+}  // namespace microrec::rec

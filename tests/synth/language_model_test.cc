@@ -1,0 +1,184 @@
+#include "synth/language_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "text/unicode.h"
+
+namespace microrec::synth {
+namespace {
+
+LanguageModelSpec SmallSpec() {
+  LanguageModelSpec spec;
+  spec.num_topics = 4;
+  spec.subtopics_per_topic = 5;
+  spec.shared_words_per_topic = 12;
+  spec.words_per_subtopic = 8;
+  spec.phrases_per_subtopic = 3;
+  spec.function_words = 15;
+  return spec;
+}
+
+TEST(GenerateWordTest, LatinWordsAreLatinScript) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    std::string word =
+        SyntheticLanguage::GenerateWord(Language::kEnglish, &rng);
+    EXPECT_FALSE(word.empty());
+    for (text::Codepoint cp : text::Decode(word)) {
+      EXPECT_EQ(text::ClassifyScript(cp), text::Script::kLatin)
+          << word << " cp=" << cp;
+    }
+  }
+}
+
+TEST(GenerateWordTest, ScriptsMatchLanguages) {
+  Rng rng(2);
+  auto dominant_script = [&rng](Language lang) {
+    std::string word = SyntheticLanguage::GenerateWord(lang, &rng);
+    return text::ClassifyScript(text::Decode(word)[0]);
+  };
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dominant_script(Language::kChinese), text::Script::kHan);
+    EXPECT_EQ(dominant_script(Language::kKorean), text::Script::kHangul);
+    EXPECT_EQ(dominant_script(Language::kThai), text::Script::kThai);
+    text::Script jp = dominant_script(Language::kJapanese);
+    EXPECT_TRUE(jp == text::Script::kHiragana || jp == text::Script::kHan);
+  }
+}
+
+TEST(SyntheticLanguageTest, DeterministicForSeed) {
+  Rng rng1(7), rng2(7);
+  SyntheticLanguage a(Language::kEnglish, SmallSpec(), &rng1);
+  SyntheticLanguage b(Language::kEnglish, SmallSpec(), &rng2);
+  Rng s1(9), s2(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.SampleWord(1, 2, &s1), b.SampleWord(1, 2, &s2));
+  }
+}
+
+TEST(SyntheticLanguageTest, SubtopicsSharePoolWithinTopic) {
+  Rng rng(3);
+  SyntheticLanguage lang(Language::kEnglish, SmallSpec(), &rng);
+  Rng sampler(4);
+  // Two subtopics of the same topic share the coarse pool (~45% of draws),
+  // so their word sets overlap substantially.
+  std::set<std::string> sub0, sub1;
+  for (int i = 0; i < 500; ++i) {
+    sub0.insert(lang.SampleWord(0, 0, &sampler));
+    sub1.insert(lang.SampleWord(0, 1, &sampler));
+  }
+  int shared = 0;
+  for (const auto& word : sub0) shared += sub1.count(word);
+  EXPECT_GT(shared, 5);  // the shared coarse pool
+  EXPECT_LT(shared, static_cast<int>(sub0.size()));  // but not everything
+}
+
+TEST(SyntheticLanguageTest, DifferentTopicsMostlyDistinct) {
+  LanguageModelSpec spec = SmallSpec();
+  spec.polysemy = 0.0;
+  Rng rng(3);
+  SyntheticLanguage lang(Language::kEnglish, spec, &rng);
+  Rng sampler(4);
+  std::set<std::string> topic0, topic1;
+  for (int i = 0; i < 500; ++i) {
+    topic0.insert(lang.SampleWord(0, 0, &sampler));
+    topic1.insert(lang.SampleWord(1, 0, &sampler));
+  }
+  int shared = 0;
+  for (const auto& word : topic0) shared += topic1.count(word);
+  // Without polysemy, cross-topic collisions are chance-level only.
+  EXPECT_LT(shared, 3);
+}
+
+TEST(SyntheticLanguageTest, PolysemyCreatesCrossCellCollisions) {
+  LanguageModelSpec with = SmallSpec();
+  with.polysemy = 0.5;  // exaggerated, to measure reliably
+  Rng rng(3);
+  SyntheticLanguage lang(Language::kEnglish, with, &rng);
+  Rng sampler(4);
+  std::set<std::string> topic0, topic1;
+  for (int i = 0; i < 800; ++i) {
+    topic0.insert(lang.SampleWord(0, 0, &sampler));
+    topic1.insert(lang.SampleWord(1, 0, &sampler));
+  }
+  int shared = 0;
+  for (const auto& word : topic0) shared += topic1.count(word);
+  EXPECT_GT(shared, 0);
+}
+
+TEST(SyntheticLanguageTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  SyntheticLanguage lang(Language::kEnglish, SmallSpec(), &rng);
+  Rng sampler(6);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[lang.SampleWord(0, 0, &sampler)];
+  int max_count = 0;
+  for (const auto& [word, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Top word much more frequent than a uniform draw over the ~20 reachable
+  // words (5000/20 = 250).
+  EXPECT_GT(max_count, 400);
+}
+
+TEST(SyntheticLanguageTest, FunctionWordsIncludeDetectorProfile) {
+  Rng rng(8);
+  SyntheticLanguage lang(Language::kGerman, SmallSpec(), &rng);
+  Rng sampler(9);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(lang.SampleFunctionWord(&sampler));
+  }
+  int hits = 0;
+  for (std::string_view word : text::CharacteristicWords(Language::kGerman)) {
+    hits += seen.count(std::string(word)) > 0 ? 1 : 0;
+  }
+  EXPECT_GT(hits, 6);
+}
+
+TEST(SyntheticLanguageTest, HashtagsAreTopicIndexed) {
+  Rng rng(10);
+  SyntheticLanguage lang(Language::kEnglish, SmallSpec(), &rng);
+  std::set<std::string> tags;
+  for (int t = 0; t < lang.num_topics(); ++t) {
+    const std::string& tag = lang.HashtagFor(t);
+    EXPECT_EQ(tag[0], '#');
+    tags.insert(tag);
+  }
+  EXPECT_EQ(tags.size(), static_cast<size_t>(lang.num_topics()));
+}
+
+TEST(SyntheticLanguageTest, PhrasesAreMultiWordExpressions) {
+  Rng rng(11);
+  SyntheticLanguage lang(Language::kEnglish, SmallSpec(), &rng);
+  Rng sampler(12);
+  bool saw_long = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto& phrase = lang.SamplePhrase(2, 1, &sampler);
+    EXPECT_GE(phrase.size(), 2u);
+    EXPECT_LE(phrase.size(), 4u);
+    for (const auto& word : phrase) EXPECT_FALSE(word.empty());
+    saw_long |= phrase.size() >= 3;
+  }
+  EXPECT_TRUE(saw_long);  // trigram-level structure exists
+}
+
+TEST(SyntheticLanguageTest, SubtopicPhrasesAreDistinct) {
+  Rng rng(13);
+  SyntheticLanguage lang(Language::kEnglish, SmallSpec(), &rng);
+  Rng sampler(14);
+  std::set<std::string> p0, p1;
+  for (int i = 0; i < 100; ++i) {
+    p0.insert(lang.SamplePhrase(0, 0, &sampler)[0]);
+    p1.insert(lang.SamplePhrase(0, 1, &sampler)[0]);
+  }
+  int shared = 0;
+  for (const auto& word : p0) shared += p1.count(word);
+  EXPECT_LT(shared, 2);
+}
+
+}  // namespace
+}  // namespace microrec::synth

@@ -1,0 +1,94 @@
+#include "synth/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "text/unicode.h"
+
+namespace microrec::synth {
+namespace {
+
+TEST(NoiseTest, ZeroProbabilitiesLeaveWordIntact) {
+  Rng rng(1);
+  NoiseSpec spec;
+  spec.misspell = 0.0;
+  spec.lengthen = 0.0;
+  spec.abbreviate = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(CorruptWord("goodnight", spec, &rng), "goodnight");
+  }
+}
+
+TEST(NoiseTest, ShortWordsNeverCorrupted) {
+  Rng rng(2);
+  NoiseSpec spec;
+  spec.misspell = 1.0;
+  EXPECT_EQ(CorruptWord("a", spec, &rng), "a");
+  EXPECT_EQ(CorruptWord("", spec, &rng), "");
+}
+
+TEST(NoiseTest, MisspellChangesWordByOneEdit) {
+  Rng rng(3);
+  NoiseSpec spec;
+  spec.misspell = 1.0;
+  spec.lengthen = 0.0;
+  spec.abbreviate = 0.0;
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string out = CorruptWord("tweet", spec, &rng);
+    size_t len = text::CodepointCount(out);
+    EXPECT_GE(len, 4u);  // at most one drop
+    EXPECT_LE(len, 6u);  // at most one duplicate
+    if (out != "tweet") ++changed;
+  }
+  // Swap of identical neighbours can be a no-op, but most edits differ.
+  EXPECT_GT(changed, 150);
+}
+
+TEST(NoiseTest, LengthenRepeatsAVowel) {
+  Rng rng(4);
+  NoiseSpec spec;
+  spec.misspell = 0.0;
+  spec.lengthen = 1.0;
+  spec.abbreviate = 0.0;
+  std::string out = CorruptWord("yes", spec, &rng);
+  EXPECT_GT(out.size(), 3u);
+  EXPECT_NE(out.find("ee"), std::string::npos);
+}
+
+TEST(NoiseTest, AbbreviateDropsInteriorVowels) {
+  Rng rng(5);
+  NoiseSpec spec;
+  spec.misspell = 0.0;
+  spec.lengthen = 0.0;
+  spec.abbreviate = 1.0;
+  EXPECT_EQ(CorruptWord("goodnight", spec, &rng), "gdnght");
+}
+
+TEST(NoiseTest, CorruptionIsUtf8Safe) {
+  Rng rng(6);
+  NoiseSpec spec;
+  spec.misspell = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    std::string out = CorruptWord("日本語テキスト", spec, &rng);
+    // Result must still decode without replacement chars.
+    for (text::Codepoint cp : text::Decode(out)) {
+      EXPECT_NE(cp, text::kReplacementChar);
+    }
+  }
+}
+
+TEST(NoiseTest, ProbabilitiesRoughlyRespected) {
+  Rng rng(7);
+  NoiseSpec spec;  // defaults: ~10% total corruption
+  int changed = 0;
+  constexpr int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (CorruptWord("weather", spec, &rng) != "weather") ++changed;
+  }
+  double rate = static_cast<double>(changed) / kTrials;
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.15);
+}
+
+}  // namespace
+}  // namespace microrec::synth

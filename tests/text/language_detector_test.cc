@@ -1,0 +1,91 @@
+#include "text/language_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace microrec::text {
+namespace {
+
+TEST(LanguageDetectorTest, DetectsEnglish) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("the weather is nice and you have not seen that"),
+            Language::kEnglish);
+}
+
+TEST(LanguageDetectorTest, DetectsJapaneseViaKana) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("今日はとても良い天気ですね"),
+            Language::kJapanese);
+}
+
+TEST(LanguageDetectorTest, DetectsChineseViaHanWithoutKana) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("今天天气很好我们去公园"), Language::kChinese);
+}
+
+TEST(LanguageDetectorTest, DetectsKorean) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("오늘 날씨가 정말 좋아요"), Language::kKorean);
+}
+
+TEST(LanguageDetectorTest, DetectsThai) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("วันนี้อากาศดีมาก"), Language::kThai);
+}
+
+TEST(LanguageDetectorTest, DistinguishesLatinLanguagesByFunctionWords) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("der hund und die katze sind nicht da"),
+            Language::kGerman);
+  EXPECT_EQ(detector.Detect("vous avez les livres pour une leçon dans"),
+            Language::kFrench);
+  EXPECT_EQ(detector.Detect("voce nao pode fazer isso para muito bem"),
+            Language::kPortuguese);
+  EXPECT_EQ(detector.Detect("aku tidak bisa pergi yang ini dan kamu juga"),
+            Language::kIndonesian);
+  EXPECT_EQ(detector.Detect("los gatos y las casas pero muy bonitas esta"),
+            Language::kSpanish);
+}
+
+TEST(LanguageDetectorTest, LatinWithoutEvidenceDefaultsToEnglish) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("zxqv wmplk ghty"), Language::kEnglish);
+}
+
+TEST(LanguageDetectorTest, EmptyAndNonTextualAreUnknown) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect(""), Language::kUnknown);
+  EXPECT_EQ(detector.Detect("12345 !!! ..."), Language::kUnknown);
+}
+
+TEST(LanguageDetectorTest, MixedScriptPicksDominant) {
+  LanguageDetector detector;
+  EXPECT_EQ(detector.Detect("lol 今日はとても良い天気ですねとても楽しい"),
+            Language::kJapanese);
+}
+
+TEST(LanguageNameTest, NamesAllValues) {
+  EXPECT_EQ(LanguageName(Language::kEnglish), "English");
+  EXPECT_EQ(LanguageName(Language::kJapanese), "Japanese");
+  EXPECT_EQ(LanguageName(Language::kUnknown), "Unknown");
+}
+
+TEST(CharacteristicWordsTest, LatinLanguagesHaveProfiles) {
+  for (Language lang :
+       {Language::kEnglish, Language::kPortuguese, Language::kFrench,
+        Language::kGerman, Language::kIndonesian, Language::kSpanish}) {
+    EXPECT_FALSE(CharacteristicWords(lang).empty());
+  }
+  EXPECT_TRUE(CharacteristicWords(Language::kJapanese).empty());
+}
+
+TEST(LanguageDetectorTest, WorksAfterEntityStripping) {
+  // The Table 3 pipeline: strip hashtags/mentions/URLs, then detect.
+  LanguageDetector detector;
+  std::string tweet = "@friend check http://t.co/x der und das ist #cool";
+  EXPECT_EQ(detector.Detect(StripTwitterEntities(tweet)), Language::kGerman);
+}
+
+}  // namespace
+}  // namespace microrec::text

@@ -1,0 +1,154 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::text {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndPunctuation) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.TokenizeToStrings("hello, world! foo.bar"),
+            (std::vector<std::string>{"hello", "world", "foo", "bar"}));
+}
+
+TEST(TokenizerTest, LowercasesInput) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.TokenizeToStrings("HeLLo WORLD"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, SqueezesRepeatedLetters) {
+  Tokenizer tokenizer;
+  // "yeeeees" -> runs capped at 2.
+  EXPECT_EQ(tokenizer.TokenizeToStrings("yeeeees nooooo"),
+            (std::vector<std::string>{"yees", "noo"}));
+}
+
+TEST(TokenizerTest, SqueezingCanBeDisabled) {
+  Tokenizer tokenizer(TokenizerOptions{.squeeze_repeats = false});
+  EXPECT_EQ(tokenizer.TokenizeToStrings("yeeees"),
+            (std::vector<std::string>{"yeeees"}));
+}
+
+TEST(TokenizerTest, KeepsHashtagsTogether) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("great talk at #edbt2019 today");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].text, "#edbt2019");
+  EXPECT_EQ(tokens[3].type, TokenType::kHashtag);
+}
+
+TEST(TokenizerTest, KeepsMentionsTogether) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("@alice did you see this");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "@alice");
+  EXPECT_EQ(tokens[0].type, TokenType::kMention);
+}
+
+TEST(TokenizerTest, KeepsUrlsTogether) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("read http://t.co/Ab1?x=2 now");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "http://t.co/ab1?x=2");  // lower-cased
+  EXPECT_EQ(tokens[1].type, TokenType::kUrl);
+  auto www = tokenizer.Tokenize("www.example.com rocks");
+  EXPECT_EQ(www[0].type, TokenType::kUrl);
+}
+
+TEST(TokenizerTest, KeepsEmoticonsTogether) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("so happy :) today :(");
+  std::vector<TokenType> types;
+  for (const auto& t : tokens) types.push_back(t.type);
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[2].text, ":)");
+  EXPECT_EQ(tokens[2].type, TokenType::kEmoticon);
+  EXPECT_EQ(tokens[4].text, ":(");
+  EXPECT_EQ(tokens[4].type, TokenType::kEmoticon);
+}
+
+TEST(TokenizerTest, EmoticonRequiresBoundary) {
+  Tokenizer tokenizer;
+  // ":)x" is not an emoticon (no trailing boundary).
+  auto tokens = tokenizer.Tokenize(":)x");
+  for (const auto& token : tokens) {
+    EXPECT_NE(token.type, TokenType::kEmoticon);
+  }
+}
+
+TEST(TokenizerTest, UppercaseEmoticonFoldsToLower) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("lol :D");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, ":d");
+  EXPECT_EQ(tokens[1].type, TokenType::kEmoticon);
+}
+
+TEST(TokenizerTest, CjkTextStaysAsSingleRun) {
+  Tokenizer tokenizer;
+  // No spaces in CJK (challenge C3): the phrase survives as one token.
+  auto tokens = tokenizer.TokenizeToStrings("日本語のテキスト");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "日本語のテキスト");
+}
+
+TEST(TokenizerTest, CjkHashtagsSupported) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("#日本 news");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kHashtag);
+  EXPECT_EQ(tokens[0].text, "#日本");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizerTest, StrayPunctuationDropped) {
+  Tokenizer tokenizer;
+  EXPECT_EQ(tokenizer.TokenizeToStrings("... !!! a"),
+            (std::vector<std::string>{"a"}));
+}
+
+TEST(TokenizerTest, HashAloneIsNotHashtag) {
+  Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("# hello");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "hello");
+}
+
+TEST(ClassifyEmoticonTest, Families) {
+  EXPECT_EQ(ClassifyEmoticon(":)"), EmoticonClass::kSmile);
+  EXPECT_EQ(ClassifyEmoticon(":("), EmoticonClass::kFrown);
+  EXPECT_EQ(ClassifyEmoticon(";)"), EmoticonClass::kWink);
+  EXPECT_EQ(ClassifyEmoticon(":d"), EmoticonClass::kBigGrin);
+  EXPECT_EQ(ClassifyEmoticon("<3"), EmoticonClass::kHeart);
+  EXPECT_EQ(ClassifyEmoticon(":o"), EmoticonClass::kSurprise);
+  EXPECT_EQ(ClassifyEmoticon(":/"), EmoticonClass::kAwkward);
+  EXPECT_EQ(ClassifyEmoticon(":s"), EmoticonClass::kConfused);
+  EXPECT_EQ(ClassifyEmoticon(":p"), EmoticonClass::kTongue);
+  EXPECT_EQ(ClassifyEmoticon("hello"), EmoticonClass::kNone);
+}
+
+TEST(StripTwitterEntitiesTest, RemovesEntitiesKeepsWords) {
+  std::string out =
+      StripTwitterEntities("RT @bob check http://x.co #cool stuff :)");
+  EXPECT_EQ(out, "RT check stuff");
+}
+
+TEST(TokenizerTest, MentionInsideWordNotExtracted) {
+  Tokenizer tokenizer;
+  // '@' mid-word acts as punctuation split, not a mention.
+  auto tokens = tokenizer.Tokenize("mail me a@b");
+  for (const auto& token : tokens) {
+    if (token.type == TokenType::kMention) {
+      FAIL() << "unexpected mention: " << token.text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace microrec::text

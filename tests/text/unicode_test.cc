@@ -1,0 +1,129 @@
+#include "text/unicode.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::text {
+namespace {
+
+TEST(UnicodeTest, DecodeAscii) {
+  auto cps = Decode("abc");
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[0], 'a');
+  EXPECT_EQ(cps[2], 'c');
+}
+
+TEST(UnicodeTest, DecodeMultibyte) {
+  // "é" U+00E9 (2 bytes), "€" U+20AC (3 bytes), "😀" U+1F600 (4 bytes).
+  auto cps = Decode("é€\U0001F600");
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[0], 0xE9u);
+  EXPECT_EQ(cps[1], 0x20ACu);
+  EXPECT_EQ(cps[2], 0x1F600u);
+}
+
+TEST(UnicodeTest, RoundTripEncodeDecode) {
+  std::vector<Codepoint> original = {'a', 0xE9, 0x4E2D, 0xAC00, 0x1F600};
+  std::string encoded = Encode(original);
+  EXPECT_EQ(Decode(encoded), original);
+}
+
+TEST(UnicodeTest, InvalidBytesBecomeReplacementChar) {
+  std::string bad = "a";
+  bad += static_cast<char>(0xFF);
+  bad += "b";
+  auto cps = Decode(bad);
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[1], kReplacementChar);
+}
+
+TEST(UnicodeTest, TruncatedSequenceBecomesReplacementChar) {
+  std::string bad;
+  bad += static_cast<char>(0xE2);  // expects 2 continuation bytes
+  auto cps = Decode(bad);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_EQ(cps[0], kReplacementChar);
+}
+
+TEST(UnicodeTest, OverlongEncodingRejected) {
+  // 0xC0 0xAF is an overlong encoding of '/'.
+  std::string bad;
+  bad += static_cast<char>(0xC0);
+  bad += static_cast<char>(0xAF);
+  auto cps = Decode(bad);
+  EXPECT_EQ(cps[0], kReplacementChar);
+}
+
+TEST(UnicodeTest, SurrogatesRejected) {
+  // U+D800 encoded as ED A0 80.
+  std::string bad;
+  bad += static_cast<char>(0xED);
+  bad += static_cast<char>(0xA0);
+  bad += static_cast<char>(0x80);
+  auto cps = Decode(bad);
+  EXPECT_EQ(cps[0], kReplacementChar);
+}
+
+TEST(UnicodeTest, CodepointCount) {
+  EXPECT_EQ(CodepointCount(""), 0u);
+  EXPECT_EQ(CodepointCount("abc"), 3u);
+  EXPECT_EQ(CodepointCount("日本語"), 3u);
+}
+
+TEST(UnicodeTest, ToLowerAsciiAndLatin1) {
+  EXPECT_EQ(ToLower('A'), static_cast<Codepoint>('a'));
+  EXPECT_EQ(ToLower('z'), static_cast<Codepoint>('z'));
+  EXPECT_EQ(ToLower(0xC0), 0xE0u);  // À -> à
+  EXPECT_EQ(ToLower(0xD7), 0xD7u);  // × unchanged (not a letter)
+}
+
+TEST(UnicodeTest, ToLowerGreekAndCyrillic) {
+  EXPECT_EQ(ToLower(0x391), 0x3B1u);  // Α -> α
+  EXPECT_EQ(ToLower(0x410), 0x430u);  // А -> а
+  EXPECT_EQ(ToLower(0x42F), 0x44Fu);  // Я -> я
+}
+
+TEST(UnicodeTest, ToLowerLeavesCjkAlone) {
+  EXPECT_EQ(ToLower(0x4E2D), 0x4E2Du);
+  EXPECT_EQ(ToLower(0x3042), 0x3042u);
+}
+
+TEST(UnicodeTest, ToLowerUtf8String) {
+  EXPECT_EQ(ToLowerUtf8("HeLLo WÖRLD"), "hello wörld");
+}
+
+TEST(UnicodeTest, ScriptClassification) {
+  EXPECT_EQ(ClassifyScript('a'), Script::kLatin);
+  EXPECT_EQ(ClassifyScript('5'), Script::kDigit);
+  EXPECT_EQ(ClassifyScript('!'), Script::kPunctuation);
+  EXPECT_EQ(ClassifyScript(' '), Script::kWhitespace);
+  EXPECT_EQ(ClassifyScript(0xE9), Script::kLatin);      // é
+  EXPECT_EQ(ClassifyScript(0x4E2D), Script::kHan);      // 中
+  EXPECT_EQ(ClassifyScript(0x3042), Script::kHiragana); // あ
+  EXPECT_EQ(ClassifyScript(0x30A2), Script::kKatakana); // ア
+  EXPECT_EQ(ClassifyScript(0xAC00), Script::kHangul);   // 가
+  EXPECT_EQ(ClassifyScript(0xE01), Script::kThai);      // ก
+  EXPECT_EQ(ClassifyScript(0x431), Script::kCyrillic);  // б
+  EXPECT_EQ(ClassifyScript(0x3B1), Script::kGreek);     // α
+  EXPECT_EQ(ClassifyScript(0x627), Script::kArabic);    // ا
+  EXPECT_EQ(ClassifyScript(0x905), Script::kDevanagari);
+}
+
+TEST(UnicodeTest, WhitespaceIncludesNbspAndIdeographicSpace) {
+  EXPECT_TRUE(IsWhitespace(' '));
+  EXPECT_TRUE(IsWhitespace('\t'));
+  EXPECT_TRUE(IsWhitespace(0xA0));
+  EXPECT_TRUE(IsWhitespace(0x3000));
+  EXPECT_FALSE(IsWhitespace('a'));
+}
+
+TEST(UnicodeTest, PunctuationPredicate) {
+  EXPECT_TRUE(IsPunctuation('.'));
+  EXPECT_TRUE(IsPunctuation('#'));
+  EXPECT_TRUE(IsPunctuation(0x3001));  // 、 ideographic comma
+  EXPECT_FALSE(IsPunctuation('a'));
+  EXPECT_FALSE(IsPunctuation('7'));
+  EXPECT_FALSE(IsPunctuation(0x4E2D));
+}
+
+}  // namespace
+}  // namespace microrec::text

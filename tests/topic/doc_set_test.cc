@@ -1,0 +1,50 @@
+#include "topic/doc_set.h"
+
+#include <gtest/gtest.h>
+
+namespace microrec::topic {
+namespace {
+
+TEST(DocSetTest, AddDocumentInternsWords) {
+  DocSet docs;
+  size_t index = docs.AddDocument({"a", "b", "a"});
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(docs.num_docs(), 1u);
+  EXPECT_EQ(docs.vocab_size(), 2u);
+  EXPECT_EQ(docs.total_tokens(), 3u);
+  EXPECT_EQ(docs.docs()[0].words, (std::vector<TermId>{0, 1, 0}));
+}
+
+TEST(DocSetTest, SharedVocabularyAcrossDocuments) {
+  DocSet docs;
+  docs.AddDocument({"a", "b"});
+  docs.AddDocument({"b", "c"});
+  EXPECT_EQ(docs.vocab_size(), 3u);
+  EXPECT_EQ(docs.docs()[1].words, (std::vector<TermId>{1, 2}));
+}
+
+TEST(DocSetTest, SetLabels) {
+  DocSet docs;
+  size_t index = docs.AddDocument({"x"});
+  docs.SetLabels(index, {4, 7});
+  EXPECT_EQ(docs.docs()[index].labels, (std::vector<uint32_t>{4, 7}));
+}
+
+TEST(DocSetTest, LookupDropsUnseenTokens) {
+  DocSet docs;
+  docs.AddDocument({"known", "words"});
+  std::vector<TermId> ids = docs.Lookup({"known", "unseen", "words"});
+  EXPECT_EQ(ids, (std::vector<TermId>{0, 1}));
+  // Lookup must not grow the vocabulary.
+  EXPECT_EQ(docs.vocab_size(), 2u);
+}
+
+TEST(DocSetTest, EmptyDocumentAllowed) {
+  DocSet docs;
+  size_t index = docs.AddDocument({});
+  EXPECT_TRUE(docs.docs()[index].words.empty());
+  EXPECT_EQ(docs.total_tokens(), 0u);
+}
+
+}  // namespace
+}  // namespace microrec::topic

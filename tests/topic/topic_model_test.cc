@@ -1,0 +1,79 @@
+#include "topic/topic_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace microrec::topic {
+namespace {
+
+TEST(TopicCosineTest, IdenticalDistributionsScoreOne) {
+  std::vector<double> theta = {0.5, 0.3, 0.2};
+  EXPECT_NEAR(TopicCosine(theta, theta), 1.0, 1e-12);
+}
+
+TEST(TopicCosineTest, OrthogonalDistributionsScoreZero) {
+  EXPECT_DOUBLE_EQ(TopicCosine({1.0, 0.0}, {0.0, 1.0}), 0.0);
+}
+
+TEST(TopicCosineTest, ZeroVectorScoresZero) {
+  EXPECT_DOUBLE_EQ(TopicCosine({0.0, 0.0}, {0.5, 0.5}), 0.0);
+}
+
+TEST(TopicCosineTest, ScaleInvariant) {
+  std::vector<double> a = {0.2, 0.8};
+  std::vector<double> b = {0.4, 1.6};
+  EXPECT_NEAR(TopicCosine(a, b), 1.0, 1e-12);
+}
+
+TEST(AggregateDistributionsTest, CentroidAverages) {
+  std::vector<std::vector<double>> dists = {{1.0, 0.0}, {0.0, 1.0}};
+  auto user = AggregateDistributions(dists, {true, true}, /*rocchio=*/false);
+  ASSERT_EQ(user.size(), 2u);
+  EXPECT_DOUBLE_EQ(user[0], 0.5);
+  EXPECT_DOUBLE_EQ(user[1], 0.5);
+}
+
+TEST(AggregateDistributionsTest, CentroidIgnoresLabels) {
+  std::vector<std::vector<double>> dists = {{1.0, 0.0}, {0.0, 1.0}};
+  auto with_labels =
+      AggregateDistributions(dists, {true, false}, /*rocchio=*/false);
+  auto without =
+      AggregateDistributions(dists, {true, true}, /*rocchio=*/false);
+  EXPECT_EQ(with_labels, without);
+}
+
+TEST(AggregateDistributionsTest, RocchioSubtractsNegatives) {
+  std::vector<std::vector<double>> dists = {{1.0, 0.0}, {0.0, 1.0}};
+  auto user = AggregateDistributions(dists, {true, false}, /*rocchio=*/true,
+                                     /*alpha=*/0.8, /*beta=*/0.2);
+  ASSERT_EQ(user.size(), 2u);
+  EXPECT_NEAR(user[0], 0.8, 1e-12);
+  EXPECT_NEAR(user[1], -0.2, 1e-12);
+}
+
+TEST(AggregateDistributionsTest, RocchioNormalisesPerClassCounts) {
+  std::vector<std::vector<double>> dists = {
+      {1.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  auto user = AggregateDistributions(dists, {true, true, false},
+                                     /*rocchio=*/true, 0.8, 0.2);
+  // Two positives average to (1,0) -> 0.8; one negative -> -0.2.
+  EXPECT_NEAR(user[0], 0.8, 1e-12);
+  EXPECT_NEAR(user[1], -0.2, 1e-12);
+}
+
+TEST(AggregateDistributionsTest, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(AggregateDistributions({}, {}, false).empty());
+}
+
+TEST(AggregateDistributionsTest, RocchioSkipsZeroVectors) {
+  std::vector<std::vector<double>> dists = {{0.0, 0.0}, {1.0, 0.0}};
+  auto user =
+      AggregateDistributions(dists, {false, true}, /*rocchio=*/true);
+  // The zero negative is skipped entirely.
+  EXPECT_NEAR(user[0], 0.8, 1e-12);
+  EXPECT_NEAR(user[1], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace microrec::topic

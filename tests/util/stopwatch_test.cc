@@ -1,0 +1,58 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace microrec {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch watch;
+  int64_t first = watch.ElapsedMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  int64_t second = watch.ElapsedMicros();
+  EXPECT_GE(first, 0);
+  EXPECT_GT(second, first);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 3.0);
+}
+
+TEST(StopwatchTest, UnitConversions) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  double micros = static_cast<double>(watch.ElapsedMicros());
+  EXPECT_NEAR(watch.ElapsedMillis(), micros / 1e3, micros / 1e3 * 0.5);
+  EXPECT_NEAR(watch.ElapsedSeconds(), micros / 1e6, micros / 1e6 * 0.5);
+}
+
+TEST(TimeAccumulatorTest, AccumulatesAcrossWindows) {
+  TimeAccumulator accumulator;
+  for (int i = 0; i < 3; ++i) {
+    accumulator.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    accumulator.Stop();
+  }
+  EXPECT_GE(accumulator.TotalMicros(), 3 * 2000);
+  EXPECT_GT(accumulator.TotalSeconds(), 0.0);
+  accumulator.Reset();
+  EXPECT_EQ(accumulator.TotalMicros(), 0);
+}
+
+TEST(TimeAccumulatorTest, PausedTimeNotCounted) {
+  TimeAccumulator accumulator;
+  accumulator.Start();
+  accumulator.Stop();
+  int64_t counted = accumulator.TotalMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Nothing accumulates while stopped.
+  EXPECT_EQ(accumulator.TotalMicros(), counted);
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,54 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace microrec {
+namespace {
+
+TEST(TableWriterTest, RendersAlignedText) {
+  TableWriter table("Demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream os;
+  table.RenderText(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Columns aligned: "value" starts at the same offset in each line.
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(TableWriterTest, RendersCsv) {
+  TableWriter table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCells) {
+  TableWriter table;
+  table.SetHeader({"x"});
+  table.AddRow({"has,comma"});
+  table.AddRow({"has\"quote"});
+  std::ostringstream os;
+  table.RenderCsv(os);
+  EXPECT_EQ(os.str(), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TableWriterTest, CountsRows) {
+  TableWriter table;
+  table.SetHeader({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace microrec

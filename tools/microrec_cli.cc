@@ -1,0 +1,238 @@
+// microrec command-line tool: generate / inspect / evaluate corpora without
+// writing C++.
+//
+//   microrec generate <dir> [seed]        write a synthetic corpus (TSV)
+//   microrec stats <dir>                  corpus + cohort statistics
+//   microrec evaluate <dir> <model> <source> [iter_scale]
+//                                         MAP of one model configuration
+//   microrec suggest <dir> <user_handle> [top_k]
+//                                         hashtag suggestions for one user
+//
+// The <dir> format is the TSV layout documented in corpus/io.h, so real
+// datasets can be imported by producing users.tsv / tweets.tsv.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "corpus/io.h"
+#include "corpus/user_types.h"
+#include "eval/experiment.h"
+#include "rec/hashtag_rec.h"
+#include "synth/generator.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+using namespace microrec;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  microrec generate <dir> [seed]\n"
+      "  microrec stats <dir>\n"
+      "  microrec evaluate <dir> <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
+      " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
+      "  microrec suggest <dir> <user_handle> [top_k]\n");
+  return 2;
+}
+
+// Builds the standard evaluation stack over a loaded corpus. The corpus
+// lives on the heap so PreprocessedCorpus's reference into it stays valid
+// when the Stack itself is moved.
+struct Stack {
+  std::unique_ptr<corpus::Corpus> owned;
+  corpus::UserCohort cohort;
+  std::unique_ptr<rec::PreprocessedCorpus> pre;
+
+  const corpus::Corpus& corpus() const { return *owned; }
+
+  static Result<Stack> Load(const std::string& dir) {
+    Result<corpus::Corpus> loaded = corpus::LoadCorpus(dir);
+    if (!loaded.ok()) return loaded.status();
+    Stack stack;
+    stack.owned = std::make_unique<corpus::Corpus>(std::move(*loaded));
+    stack.cohort = corpus::SelectCohort(*stack.owned,
+                                        synth::DatasetSpec::Small().cohort);
+    std::vector<corpus::TweetId> stop_basis;
+    for (corpus::UserId u : stack.cohort.all) {
+      for (corpus::TweetId id : stack.owned->PostsOf(u)) {
+        stop_basis.push_back(id);
+      }
+    }
+    stack.pre = std::make_unique<rec::PreprocessedCorpus>(*stack.owned,
+                                                          stop_basis, 100);
+    return stack;
+  }
+};
+
+int Generate(const std::string& dir, uint64_t seed) {
+  synth::DatasetSpec spec = synth::DatasetSpec::FromEnv();
+  spec.seed = seed;
+  Result<synth::SyntheticDataset> dataset = synth::GenerateDataset(spec);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (Status st = corpus::SaveCorpus(dataset->corpus, dir); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %zu users, %zu tweets to %s (seed %llu)\n",
+              dataset->corpus.num_users(), dataset->corpus.num_tweets(),
+              dir.c_str(), static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int Stats(const std::string& dir) {
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+  const corpus::Corpus& corpus = stack->corpus();
+
+  size_t retweets = 0, edges = 0;
+  for (const corpus::Tweet& tweet : corpus.tweets()) {
+    retweets += tweet.IsRetweet() ? 1 : 0;
+  }
+  for (corpus::UserId u = 0; u < corpus.num_users(); ++u) {
+    edges += corpus.graph().Followees(u).size();
+  }
+  std::printf("users:    %zu\n", corpus.num_users());
+  std::printf("edges:    %zu\n", edges);
+  std::printf("tweets:   %zu (%zu retweets)\n", corpus.num_tweets(),
+              retweets);
+  std::printf("cohort:   %zu IS / %zu BU / %zu IP / %zu all\n",
+              stack->cohort.seekers.size(), stack->cohort.balanced.size(),
+              stack->cohort.producers.size(), stack->cohort.all.size());
+
+  TableWriter ratios("posting ratios per selected group");
+  ratios.SetHeader({"group", "users", "mean ratio"});
+  for (corpus::UserType type :
+       {corpus::UserType::kInformationSeeker, corpus::UserType::kBalancedUser,
+        corpus::UserType::kInformationProducer}) {
+    const auto& users = stack->cohort.Group(type);
+    double sum = 0;
+    for (corpus::UserId u : users) sum += corpus.PostingRatio(u);
+    ratios.AddRow({std::string(corpus::UserTypeName(type)),
+                   std::to_string(users.size()),
+                   users.empty() ? std::string("-")
+                                 : FormatDouble(
+                                       sum / static_cast<double>(users.size()),
+                                       3)});
+  }
+  ratios.RenderText(std::cout);
+  return 0;
+}
+
+int Evaluate(const std::string& dir, const std::string& model_name,
+             const std::string& source_name, double iter_scale) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = iter_scale;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  // Default configuration of the requested model: the first entry of its
+  // grid that is valid for this source (PLSA gets a hand-rolled config).
+  rec::ModelConfig config;
+  config.kind = *kind;
+  if (*kind != rec::ModelKind::kPLSA) {
+    bool found = false;
+    for (const rec::ModelConfig& candidate : rec::EnumerateConfigs(*kind)) {
+      if (candidate.IsValidForSource(corpus::HasNegativeExamples(*source))) {
+        config = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Fail(Status::InvalidArgument("no valid configuration"));
+    }
+  }
+  Result<eval::RunResult> run = runner.Run(config, *source);
+  if (!run.ok()) return Fail(run.status());
+  std::printf("configuration: %s\n", config.ToString().c_str());
+  std::printf("MAP (All Users): %.3f over %zu users\n", run->Map(),
+              run->users.size());
+  std::printf("TTime %.2fs  ETime %.2fs\n", run->ttime_seconds,
+              run->etime_seconds);
+  std::printf("baselines: RAN %.3f  CHR %.3f\n",
+              runner.RandomMap(corpus::UserType::kAllUsers, 500),
+              runner.ChronologicalMap(corpus::UserType::kAllUsers));
+  return 0;
+}
+
+int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+  const corpus::Corpus& corpus = stack->corpus();
+
+  corpus::UserId user = corpus::kInvalidUser;
+  for (corpus::UserId u = 0; u < corpus.num_users(); ++u) {
+    if (corpus.user(u).handle == handle) {
+      user = u;
+      break;
+    }
+  }
+  if (user == corpus::kInvalidUser) {
+    return Fail(Status::NotFound("no user with handle " + handle));
+  }
+
+  std::vector<corpus::TweetId> all_posts;
+  for (corpus::UserId u = 0; u < corpus.num_users(); ++u) {
+    for (corpus::TweetId id : corpus.PostsOf(u)) all_posts.push_back(id);
+  }
+  rec::ModelConfig config;
+  config.kind = rec::ModelKind::kTN;
+  config.bag.weighting = bag::Weighting::kTFIDF;
+  rec::HashtagRecommender recommender(stack->pre.get(), config);
+  if (Status st = recommender.BuildProfiles(all_posts, 5); !st.ok()) {
+    return Fail(st);
+  }
+
+  corpus::LabeledTrainSet train;
+  for (corpus::TweetId id : corpus.PostsOf(user)) {
+    train.docs.push_back(id);
+    train.positive.push_back(true);
+  }
+  Result<std::vector<rec::HashtagSuggestion>> suggestions =
+      recommender.Recommend(train, top_k);
+  if (!suggestions.ok()) return Fail(suggestions.status());
+  std::printf("hashtag suggestions for %s:\n", handle.c_str());
+  for (const rec::HashtagSuggestion& suggestion : *suggestions) {
+    std::printf("  %-24s score %.3f  (%zu tweets)\n",
+                suggestion.hashtag.c_str(), suggestion.score,
+                suggestion.support);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string dir = argv[2];
+  if (command == "generate") {
+    uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    return Generate(dir, seed);
+  }
+  if (command == "stats") return Stats(dir);
+  if (command == "evaluate" && argc >= 5) {
+    double iter_scale = argc > 5 ? std::atof(argv[5]) : 0.03;
+    return Evaluate(dir, argv[3], argv[4], iter_scale);
+  }
+  if (command == "suggest" && argc >= 4) {
+    size_t top_k = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 10;
+    return Suggest(dir, argv[3], top_k);
+  }
+  return Usage();
+}
