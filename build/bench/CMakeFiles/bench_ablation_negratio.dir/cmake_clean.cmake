@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_negratio.dir/bench_ablation_negratio.cc.o"
+  "CMakeFiles/bench_ablation_negratio.dir/bench_ablation_negratio.cc.o.d"
+  "bench_ablation_negratio"
+  "bench_ablation_negratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_negratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prep.dir/bench_ablation_prep.cc.o"
+  "CMakeFiles/bench_ablation_prep.dir/bench_ablation_prep.cc.o.d"
+  "bench_ablation_prep"
+  "bench_ablation_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_suggestions.dir/bench_ext_suggestions.cc.o"
+  "CMakeFiles/bench_ext_suggestions.dir/bench_ext_suggestions.cc.o.d"
+  "bench_ext_suggestions"
+  "bench_ext_suggestions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_suggestions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plsa_exclusion.dir/bench_plsa_exclusion.cc.o"
+  "CMakeFiles/bench_plsa_exclusion.dir/bench_plsa_exclusion.cc.o.d"
+  "bench_plsa_exclusion"
+  "bench_plsa_exclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plsa_exclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_plsa_exclusion.
+# This may be replaced when dependencies are built.

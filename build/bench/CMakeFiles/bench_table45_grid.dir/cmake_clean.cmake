@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table45_grid.dir/bench_table45_grid.cc.o"
+  "CMakeFiles/bench_table45_grid.dir/bench_table45_grid.cc.o.d"
+  "bench_table45_grid"
+  "bench_table45_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table45_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

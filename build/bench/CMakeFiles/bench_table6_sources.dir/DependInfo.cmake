@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_sources.cc" "bench/CMakeFiles/bench_table6_sources.dir/bench_table6_sources.cc.o" "gcc" "bench/CMakeFiles/bench_table6_sources.dir/bench_table6_sources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/microrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/microrec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/microrec_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/microrec_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/microrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bag/CMakeFiles/microrec_bag.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sources.dir/bench_table6_sources.cc.o"
+  "CMakeFiles/bench_table6_sources.dir/bench_table6_sources.cc.o.d"
+  "bench_table6_sources"
+  "bench_table6_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

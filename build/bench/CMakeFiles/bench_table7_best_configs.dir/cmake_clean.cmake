@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_best_configs.dir/bench_table7_best_configs.cc.o"
+  "CMakeFiles/bench_table7_best_configs.dir/bench_table7_best_configs.cc.o.d"
+  "bench_table7_best_configs"
+  "bench_table7_best_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_best_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_study.dir/source_study.cpp.o"
+  "CMakeFiles/source_study.dir/source_study.cpp.o.d"
+  "source_study"
+  "source_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_recommender.dir/streaming_recommender.cpp.o"
+  "CMakeFiles/streaming_recommender.dir/streaming_recommender.cpp.o.d"
+  "streaming_recommender"
+  "streaming_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

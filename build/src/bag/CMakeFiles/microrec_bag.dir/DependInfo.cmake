@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bag/bag_config.cc" "src/bag/CMakeFiles/microrec_bag.dir/bag_config.cc.o" "gcc" "src/bag/CMakeFiles/microrec_bag.dir/bag_config.cc.o.d"
+  "/root/repo/src/bag/bag_model.cc" "src/bag/CMakeFiles/microrec_bag.dir/bag_model.cc.o" "gcc" "src/bag/CMakeFiles/microrec_bag.dir/bag_model.cc.o.d"
+  "/root/repo/src/bag/sparse_vector.cc" "src/bag/CMakeFiles/microrec_bag.dir/sparse_vector.cc.o" "gcc" "src/bag/CMakeFiles/microrec_bag.dir/sparse_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_bag.dir/bag_config.cc.o"
+  "CMakeFiles/microrec_bag.dir/bag_config.cc.o.d"
+  "CMakeFiles/microrec_bag.dir/bag_model.cc.o"
+  "CMakeFiles/microrec_bag.dir/bag_model.cc.o.d"
+  "CMakeFiles/microrec_bag.dir/sparse_vector.cc.o"
+  "CMakeFiles/microrec_bag.dir/sparse_vector.cc.o.d"
+  "libmicrorec_bag.a"
+  "libmicrorec_bag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_bag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/corpus.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/corpus.cc.o.d"
+  "/root/repo/src/corpus/io.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/io.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/io.cc.o.d"
+  "/root/repo/src/corpus/pooling.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/pooling.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/pooling.cc.o.d"
+  "/root/repo/src/corpus/social_graph.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/social_graph.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/social_graph.cc.o.d"
+  "/root/repo/src/corpus/sources.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/sources.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/sources.cc.o.d"
+  "/root/repo/src/corpus/split.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/split.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/split.cc.o.d"
+  "/root/repo/src/corpus/stop_tokens.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/stop_tokens.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/stop_tokens.cc.o.d"
+  "/root/repo/src/corpus/tokenized.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/tokenized.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/tokenized.cc.o.d"
+  "/root/repo/src/corpus/user_types.cc" "src/corpus/CMakeFiles/microrec_corpus.dir/user_types.cc.o" "gcc" "src/corpus/CMakeFiles/microrec_corpus.dir/user_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_corpus.dir/corpus.cc.o"
+  "CMakeFiles/microrec_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/io.cc.o"
+  "CMakeFiles/microrec_corpus.dir/io.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/pooling.cc.o"
+  "CMakeFiles/microrec_corpus.dir/pooling.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/social_graph.cc.o"
+  "CMakeFiles/microrec_corpus.dir/social_graph.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/sources.cc.o"
+  "CMakeFiles/microrec_corpus.dir/sources.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/split.cc.o"
+  "CMakeFiles/microrec_corpus.dir/split.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/stop_tokens.cc.o"
+  "CMakeFiles/microrec_corpus.dir/stop_tokens.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/tokenized.cc.o"
+  "CMakeFiles/microrec_corpus.dir/tokenized.cc.o.d"
+  "CMakeFiles/microrec_corpus.dir/user_types.cc.o"
+  "CMakeFiles/microrec_corpus.dir/user_types.cc.o.d"
+  "libmicrorec_corpus.a"
+  "libmicrorec_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/baselines.cc" "src/eval/CMakeFiles/microrec_eval.dir/baselines.cc.o" "gcc" "src/eval/CMakeFiles/microrec_eval.dir/baselines.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/microrec_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/microrec_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/microrec_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/microrec_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/microrec_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/microrec_eval.dir/significance.cc.o.d"
+  "/root/repo/src/eval/sweep.cc" "src/eval/CMakeFiles/microrec_eval.dir/sweep.cc.o" "gcc" "src/eval/CMakeFiles/microrec_eval.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rec/CMakeFiles/microrec_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/microrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bag/CMakeFiles/microrec_bag.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/microrec_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

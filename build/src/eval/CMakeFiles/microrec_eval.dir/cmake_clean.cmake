@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_eval.dir/baselines.cc.o"
+  "CMakeFiles/microrec_eval.dir/baselines.cc.o.d"
+  "CMakeFiles/microrec_eval.dir/experiment.cc.o"
+  "CMakeFiles/microrec_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/microrec_eval.dir/metrics.cc.o"
+  "CMakeFiles/microrec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/microrec_eval.dir/significance.cc.o"
+  "CMakeFiles/microrec_eval.dir/significance.cc.o.d"
+  "CMakeFiles/microrec_eval.dir/sweep.cc.o"
+  "CMakeFiles/microrec_eval.dir/sweep.cc.o.d"
+  "libmicrorec_eval.a"
+  "libmicrorec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

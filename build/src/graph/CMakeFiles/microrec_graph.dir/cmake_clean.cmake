@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_graph.dir/graph_model.cc.o"
+  "CMakeFiles/microrec_graph.dir/graph_model.cc.o.d"
+  "CMakeFiles/microrec_graph.dir/ngram_graph.cc.o"
+  "CMakeFiles/microrec_graph.dir/ngram_graph.cc.o.d"
+  "libmicrorec_graph.a"
+  "libmicrorec_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

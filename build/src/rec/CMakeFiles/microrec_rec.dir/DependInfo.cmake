@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/engine.cc" "src/rec/CMakeFiles/microrec_rec.dir/engine.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/engine.cc.o.d"
+  "/root/repo/src/rec/followee_rec.cc" "src/rec/CMakeFiles/microrec_rec.dir/followee_rec.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/followee_rec.cc.o.d"
+  "/root/repo/src/rec/hashtag_rec.cc" "src/rec/CMakeFiles/microrec_rec.dir/hashtag_rec.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/hashtag_rec.cc.o.d"
+  "/root/repo/src/rec/llda_labels.cc" "src/rec/CMakeFiles/microrec_rec.dir/llda_labels.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/llda_labels.cc.o.d"
+  "/root/repo/src/rec/model_config.cc" "src/rec/CMakeFiles/microrec_rec.dir/model_config.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/model_config.cc.o.d"
+  "/root/repo/src/rec/preprocessed.cc" "src/rec/CMakeFiles/microrec_rec.dir/preprocessed.cc.o" "gcc" "src/rec/CMakeFiles/microrec_rec.dir/preprocessed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bag/CMakeFiles/microrec_bag.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/microrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/microrec_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_rec.dir/engine.cc.o"
+  "CMakeFiles/microrec_rec.dir/engine.cc.o.d"
+  "CMakeFiles/microrec_rec.dir/followee_rec.cc.o"
+  "CMakeFiles/microrec_rec.dir/followee_rec.cc.o.d"
+  "CMakeFiles/microrec_rec.dir/hashtag_rec.cc.o"
+  "CMakeFiles/microrec_rec.dir/hashtag_rec.cc.o.d"
+  "CMakeFiles/microrec_rec.dir/llda_labels.cc.o"
+  "CMakeFiles/microrec_rec.dir/llda_labels.cc.o.d"
+  "CMakeFiles/microrec_rec.dir/model_config.cc.o"
+  "CMakeFiles/microrec_rec.dir/model_config.cc.o.d"
+  "CMakeFiles/microrec_rec.dir/preprocessed.cc.o"
+  "CMakeFiles/microrec_rec.dir/preprocessed.cc.o.d"
+  "libmicrorec_rec.a"
+  "libmicrorec_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

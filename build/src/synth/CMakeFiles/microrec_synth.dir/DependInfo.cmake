@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/microrec_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/microrec_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/language_model.cc" "src/synth/CMakeFiles/microrec_synth.dir/language_model.cc.o" "gcc" "src/synth/CMakeFiles/microrec_synth.dir/language_model.cc.o.d"
+  "/root/repo/src/synth/noise.cc" "src/synth/CMakeFiles/microrec_synth.dir/noise.cc.o" "gcc" "src/synth/CMakeFiles/microrec_synth.dir/noise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

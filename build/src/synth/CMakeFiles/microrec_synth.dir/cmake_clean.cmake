@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_synth.dir/generator.cc.o"
+  "CMakeFiles/microrec_synth.dir/generator.cc.o.d"
+  "CMakeFiles/microrec_synth.dir/language_model.cc.o"
+  "CMakeFiles/microrec_synth.dir/language_model.cc.o.d"
+  "CMakeFiles/microrec_synth.dir/noise.cc.o"
+  "CMakeFiles/microrec_synth.dir/noise.cc.o.d"
+  "libmicrorec_synth.a"
+  "libmicrorec_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

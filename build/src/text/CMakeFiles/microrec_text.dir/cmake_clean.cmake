@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_text.dir/language_detector.cc.o"
+  "CMakeFiles/microrec_text.dir/language_detector.cc.o.d"
+  "CMakeFiles/microrec_text.dir/ngram.cc.o"
+  "CMakeFiles/microrec_text.dir/ngram.cc.o.d"
+  "CMakeFiles/microrec_text.dir/tokenizer.cc.o"
+  "CMakeFiles/microrec_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/microrec_text.dir/unicode.cc.o"
+  "CMakeFiles/microrec_text.dir/unicode.cc.o.d"
+  "CMakeFiles/microrec_text.dir/vocabulary.cc.o"
+  "CMakeFiles/microrec_text.dir/vocabulary.cc.o.d"
+  "libmicrorec_text.a"
+  "libmicrorec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topic/btm.cc" "src/topic/CMakeFiles/microrec_topic.dir/btm.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/btm.cc.o.d"
+  "/root/repo/src/topic/doc_set.cc" "src/topic/CMakeFiles/microrec_topic.dir/doc_set.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/doc_set.cc.o.d"
+  "/root/repo/src/topic/hdp.cc" "src/topic/CMakeFiles/microrec_topic.dir/hdp.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/hdp.cc.o.d"
+  "/root/repo/src/topic/hlda.cc" "src/topic/CMakeFiles/microrec_topic.dir/hlda.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/hlda.cc.o.d"
+  "/root/repo/src/topic/lda.cc" "src/topic/CMakeFiles/microrec_topic.dir/lda.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/lda.cc.o.d"
+  "/root/repo/src/topic/llda.cc" "src/topic/CMakeFiles/microrec_topic.dir/llda.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/llda.cc.o.d"
+  "/root/repo/src/topic/plsa.cc" "src/topic/CMakeFiles/microrec_topic.dir/plsa.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/plsa.cc.o.d"
+  "/root/repo/src/topic/topic_model.cc" "src/topic/CMakeFiles/microrec_topic.dir/topic_model.cc.o" "gcc" "src/topic/CMakeFiles/microrec_topic.dir/topic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_topic.dir/btm.cc.o"
+  "CMakeFiles/microrec_topic.dir/btm.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/doc_set.cc.o"
+  "CMakeFiles/microrec_topic.dir/doc_set.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/hdp.cc.o"
+  "CMakeFiles/microrec_topic.dir/hdp.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/hlda.cc.o"
+  "CMakeFiles/microrec_topic.dir/hlda.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/lda.cc.o"
+  "CMakeFiles/microrec_topic.dir/lda.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/llda.cc.o"
+  "CMakeFiles/microrec_topic.dir/llda.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/plsa.cc.o"
+  "CMakeFiles/microrec_topic.dir/plsa.cc.o.d"
+  "CMakeFiles/microrec_topic.dir/topic_model.cc.o"
+  "CMakeFiles/microrec_topic.dir/topic_model.cc.o.d"
+  "libmicrorec_topic.a"
+  "libmicrorec_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for microrec_topic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_util.dir/rng.cc.o"
+  "CMakeFiles/microrec_util.dir/rng.cc.o.d"
+  "CMakeFiles/microrec_util.dir/status.cc.o"
+  "CMakeFiles/microrec_util.dir/status.cc.o.d"
+  "CMakeFiles/microrec_util.dir/string_util.cc.o"
+  "CMakeFiles/microrec_util.dir/string_util.cc.o.d"
+  "CMakeFiles/microrec_util.dir/table_writer.cc.o"
+  "CMakeFiles/microrec_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/microrec_util.dir/thread_pool.cc.o"
+  "CMakeFiles/microrec_util.dir/thread_pool.cc.o.d"
+  "libmicrorec_util.a"
+  "libmicrorec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bag_test.dir/bag/bag_config_test.cc.o"
+  "CMakeFiles/bag_test.dir/bag/bag_config_test.cc.o.d"
+  "CMakeFiles/bag_test.dir/bag/bag_model_test.cc.o"
+  "CMakeFiles/bag_test.dir/bag/bag_model_test.cc.o.d"
+  "CMakeFiles/bag_test.dir/bag/bag_property_test.cc.o"
+  "CMakeFiles/bag_test.dir/bag/bag_property_test.cc.o.d"
+  "CMakeFiles/bag_test.dir/bag/sparse_vector_test.cc.o"
+  "CMakeFiles/bag_test.dir/bag/sparse_vector_test.cc.o.d"
+  "bag_test"
+  "bag_test.pdb"
+  "bag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

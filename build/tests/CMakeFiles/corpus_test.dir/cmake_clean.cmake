@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_test.dir/corpus/corpus_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/corpus_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/io_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/io_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/pooling_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/pooling_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/social_graph_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/social_graph_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/sources_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/sources_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/split_property_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/split_property_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/split_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/split_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/stop_tokens_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/stop_tokens_test.cc.o.d"
+  "CMakeFiles/corpus_test.dir/corpus/user_types_test.cc.o"
+  "CMakeFiles/corpus_test.dir/corpus/user_types_test.cc.o.d"
+  "corpus_test"
+  "corpus_test.pdb"
+  "corpus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

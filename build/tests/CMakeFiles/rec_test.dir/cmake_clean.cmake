@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rec_test.dir/rec/engine_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/engine_test.cc.o.d"
+  "CMakeFiles/rec_test.dir/rec/followee_rec_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/followee_rec_test.cc.o.d"
+  "CMakeFiles/rec_test.dir/rec/hashtag_rec_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/hashtag_rec_test.cc.o.d"
+  "CMakeFiles/rec_test.dir/rec/llda_labels_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/llda_labels_test.cc.o.d"
+  "CMakeFiles/rec_test.dir/rec/model_config_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/model_config_test.cc.o.d"
+  "CMakeFiles/rec_test.dir/rec/preprocessed_test.cc.o"
+  "CMakeFiles/rec_test.dir/rec/preprocessed_test.cc.o.d"
+  "rec_test"
+  "rec_test.pdb"
+  "rec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

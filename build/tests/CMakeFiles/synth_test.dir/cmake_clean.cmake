@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/synth/generator_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/generator_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/language_model_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/language_model_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/noise_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/noise_test.cc.o.d"
+  "synth_test"
+  "synth_test.pdb"
+  "synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topic/btm_test.cc" "tests/CMakeFiles/topic_test.dir/topic/btm_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/btm_test.cc.o.d"
+  "/root/repo/tests/topic/doc_set_test.cc" "tests/CMakeFiles/topic_test.dir/topic/doc_set_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/doc_set_test.cc.o.d"
+  "/root/repo/tests/topic/hdp_test.cc" "tests/CMakeFiles/topic_test.dir/topic/hdp_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/hdp_test.cc.o.d"
+  "/root/repo/tests/topic/hlda_test.cc" "tests/CMakeFiles/topic_test.dir/topic/hlda_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/hlda_test.cc.o.d"
+  "/root/repo/tests/topic/lda_test.cc" "tests/CMakeFiles/topic_test.dir/topic/lda_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/lda_test.cc.o.d"
+  "/root/repo/tests/topic/llda_test.cc" "tests/CMakeFiles/topic_test.dir/topic/llda_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/llda_test.cc.o.d"
+  "/root/repo/tests/topic/perplexity_test.cc" "tests/CMakeFiles/topic_test.dir/topic/perplexity_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/perplexity_test.cc.o.d"
+  "/root/repo/tests/topic/plsa_test.cc" "tests/CMakeFiles/topic_test.dir/topic/plsa_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/plsa_test.cc.o.d"
+  "/root/repo/tests/topic/topic_model_test.cc" "tests/CMakeFiles/topic_test.dir/topic/topic_model_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/topic_model_test.cc.o.d"
+  "/root/repo/tests/topic/topic_property_test.cc" "tests/CMakeFiles/topic_test.dir/topic/topic_property_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic/topic_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/microrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/microrec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/microrec_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/microrec_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/microrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bag/CMakeFiles/microrec_bag.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

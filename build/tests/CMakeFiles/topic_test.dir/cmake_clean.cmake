@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_test.dir/topic/btm_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/btm_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/doc_set_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/doc_set_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/hdp_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/hdp_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/hlda_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/hlda_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/lda_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/lda_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/llda_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/llda_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/perplexity_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/perplexity_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/plsa_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/plsa_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/topic_model_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/topic_model_test.cc.o.d"
+  "CMakeFiles/topic_test.dir/topic/topic_property_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic/topic_property_test.cc.o.d"
+  "topic_test"
+  "topic_test.pdb"
+  "topic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

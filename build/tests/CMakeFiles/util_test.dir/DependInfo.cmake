@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/stopwatch_test.cc" "tests/CMakeFiles/util_test.dir/util/stopwatch_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/stopwatch_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/string_util_test.cc.o.d"
+  "/root/repo/tests/util/table_writer_test.cc" "tests/CMakeFiles/util_test.dir/util/table_writer_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/table_writer_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/util_test.dir/util/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/microrec_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/microrec_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/microrec_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/topic/CMakeFiles/microrec_topic.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/microrec_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bag/CMakeFiles/microrec_bag.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/microrec_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/microrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/microrec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

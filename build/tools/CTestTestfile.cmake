@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/microrec" "generate" "/root/repo/build/cli_test_corpus" "5")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_corpus" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/microrec" "stats" "/root/repo/build/cli_test_corpus")
+set_tests_properties(cli_stats PROPERTIES  FIXTURES_REQUIRED "cli_corpus" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/microrec" "evaluate" "/root/repo/build/cli_test_corpus" "TN" "R")
+set_tests_properties(cli_evaluate PROPERTIES  FIXTURES_REQUIRED "cli_corpus" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_suggest "/root/repo/build/tools/microrec" "suggest" "/root/repo/build/cli_test_corpus" "user1" "5")
+set_tests_properties(cli_suggest PROPERTIES  FIXTURES_REQUIRED "cli_corpus" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/microrec" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
