@@ -9,7 +9,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   eval::ExperimentRunner& runner = *bench.runner;
 
@@ -46,5 +47,5 @@ int main() {
   }
   std::fprintf(stderr, "\n");
   table.RenderText(std::cout);
-  return 0;
+  return bench::FinishBench(io, "bench_ablation_merge");
 }

@@ -10,7 +10,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   synth::DatasetSpec spec = synth::DatasetSpec::FromEnv();
   spec.seed = static_cast<uint64_t>(bench::EnvDouble("MICROREC_SEED", 42));
   auto dataset = synth::GenerateDataset(spec);
@@ -52,5 +53,5 @@ int main() {
   }
   std::fprintf(stderr, "\n");
   table.RenderText(std::cout);
-  return 0;
+  return bench::FinishBench(io, "bench_ablation_negratio");
 }

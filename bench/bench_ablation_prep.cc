@@ -26,7 +26,8 @@ rec::ModelConfig Probe(rec::ModelKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   // Build the dataset once; re-preprocess per variant.
   synth::DatasetSpec spec = synth::DatasetSpec::FromEnv();
   spec.seed = static_cast<uint64_t>(bench::EnvDouble("MICROREC_SEED", 42));
@@ -71,5 +72,5 @@ int main() {
   }
   std::fprintf(stderr, "\n");
   table.RenderText(std::cout);
-  return 0;
+  return bench::FinishBench(io, "bench_ablation_prep");
 }

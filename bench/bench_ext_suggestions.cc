@@ -35,7 +35,8 @@ int TopicOfTag(const std::string& hashtag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   const corpus::Corpus& corpus = bench.corpus();
   const synth::GroundTruth& truth = bench.dataset->truth;
@@ -148,5 +149,5 @@ int main() {
   table.RenderText(std::cout);
   std::printf("\nlift > 1.0 means the content-based ranking surfaces "
               "genuinely interest-aligned suggestions.\n");
-  return 0;
+  return bench::FinishBench(io, "bench_ext_suggestions");
 }

@@ -14,7 +14,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   eval::ExperimentRunner& runner = *bench.runner;
 
@@ -96,5 +97,5 @@ int main() {
                        std::to_string(configs)});
   }
   robustness.RenderText(std::cout);
-  return 0;
+  return bench::FinishBench(io, "bench_fig3_to_6_map");
 }

@@ -15,7 +15,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   eval::ExperimentRunner& runner = *bench.runner;
 
@@ -92,5 +93,5 @@ int main() {
   std::printf("  HLDA/BTM ETime ratio: %.1fx (paper: HLDA slowest tester)\n",
               avg_of(rec::ModelKind::kHLDA).etime_avg /
                   avg_of(rec::ModelKind::kBTM).etime_avg);
-  return 0;
+  return bench::FinishBench(io, "bench_fig7_time");
 }

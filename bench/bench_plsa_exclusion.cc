@@ -11,7 +11,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   // (i) Paper-scale memory audit.
   constexpr size_t kPaperDocsNp = 2070000;   // NP pooling: one doc per tweet
   constexpr size_t kPaperVocab = 1000000;    // multilingual vocabulary
@@ -65,5 +66,5 @@ int main() {
       static_cast<double>(small_bytes) / kGiB);
   std::printf("baseline RAN MAP=%.3f\n",
               bench.runner->RandomMap(corpus::UserType::kAllUsers, 500));
-  return 0;
+  return bench::FinishBench(io, "bench_plsa_exclusion");
 }

@@ -40,7 +40,8 @@ GroupStats Collect(const std::vector<corpus::UserId>& users, Fn count_of) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   const corpus::Corpus& corpus = bench.corpus();
   const corpus::UserCohort& cohort = *bench.cohort;
@@ -120,5 +121,5 @@ int main() {
   ratio_row("BU", cohort.balanced, "~1 (paper 0.76-1.16)");
   ratio_row("IP", cohort.producers, "> 2 (paper min 2)");
   ratios.RenderText(std::cout);
-  return 0;
+  return bench::FinishBench(io, "bench_table2_dataset");
 }

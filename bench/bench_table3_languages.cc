@@ -14,7 +14,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   const corpus::Corpus& corpus = bench.corpus();
 
@@ -71,5 +72,5 @@ int main() {
       correct_users, static_cast<size_t>(corpus.num_users()),
       100.0 * static_cast<double>(correct_users) /
           static_cast<double>(corpus.num_users()));
-  return 0;
+  return bench::FinishBench(io, "bench_table3_languages");
 }

@@ -2,12 +2,14 @@
 // grid sizes and the full enumeration, verifying the paper's 223 total.
 #include <iostream>
 
+#include "bench_util.h"
 #include "rec/model_config.h"
 #include "util/table_writer.h"
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   TableWriter table("Tables 4-5 — configuration grid per model");
   table.SetHeader({"model", "category", "subcategory", "#configurations",
                    "paper"});
@@ -43,5 +45,5 @@ int main() {
   for (const rec::ModelConfig& config : rec::FullGrid()) {
     std::printf("  %3zu  %s\n", ++index, config.ToString().c_str());
   }
-  return 0;
+  return bench::FinishBench(io, "bench_table45_grid");
 }

@@ -10,7 +10,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   eval::ExperimentRunner& runner = *bench.runner;
 
@@ -95,5 +96,5 @@ int main() {
   std::printf("  R-combinations improve the partner (RE vs E): RE=%.3f vs "
               "E=%.3f\n",
               mean_of(corpus::Source::kRE), mean_of(corpus::Source::kE));
-  return 0;
+  return bench::FinishBench(io, "bench_table6_sources");
 }

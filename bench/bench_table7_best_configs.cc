@@ -8,7 +8,8 @@
 
 using namespace microrec;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
   bench::Workbench bench = bench::MakeWorkbench();
   eval::ExperimentRunner& runner = *bench.runner;
   const std::vector<corpus::UserId>& all =
@@ -54,5 +55,5 @@ int main() {
       "\npaper expectations: TNG n=3+VS everywhere; CNG n=4; CN n=4 TF+CS;\n"
       "TN n=3 (TF-IDF+CS on most sources, BF+JS on R/T/TR); Rocchio best on\n"
       "sources with negatives; UP the dominant pooling for topic models.\n");
-  return 0;
+  return bench::FinishBench(io, "bench_table7_best_configs");
 }

@@ -8,6 +8,12 @@
 //   MICROREC_MAX_CONFIGS per-model configuration cap for sweeps (default
 //                        varies per bench; 0 = full grid)
 //   MICROREC_FULL_GRID   "1" forces the complete 223-configuration grid
+//
+// Every bench also understands observability flags (see DESIGN.md):
+//   --report=<path>   structured JSON run report (metrics snapshot incl.
+//                     TTime/ETime histograms); MICROREC_REPORT env works too
+//   --metrics=<path>  raw metrics snapshot JSON
+//   --trace=<path>    Chrome trace_event JSON (same as MICROREC_TRACE env)
 #ifndef MICROREC_BENCH_BENCH_UTIL_H_
 #define MICROREC_BENCH_BENCH_UTIL_H_
 
@@ -19,6 +25,9 @@
 
 #include "eval/experiment.h"
 #include "eval/sweep.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "rec/model_config.h"
 #include "synth/generator.h"
 #include "util/string_util.h"
@@ -109,6 +118,88 @@ inline Workbench MakeWorkbench() {
 
 /// "0.421" style formatting used across the tables.
 inline std::string F3(double value) { return FormatDouble(value, 3); }
+
+/// Output destinations parsed from a bench's command line.
+struct BenchIo {
+  std::string report_path;   // --report= / MICROREC_REPORT
+  std::string metrics_path;  // --metrics=
+};
+
+/// Parses the shared observability flags; unknown flags only warn so bench
+/// wrappers stay forward-compatible. --trace= starts tracing immediately.
+inline BenchIo ParseBenchArgs(int argc, char** argv) {
+  BenchIo io;
+  // Settle MICROREC_TRACE now: a bench that happens to create no spans
+  // should still honour the variable and emit a (possibly empty) trace.
+  obs::TracingEnabled();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--report=")) {
+      io.report_path = arg.substr(9);
+    } else if (StartsWith(arg, "--metrics=")) {
+      io.metrics_path = arg.substr(10);
+    } else if (StartsWith(arg, "--trace=")) {
+      obs::StartTracing(arg.substr(8));
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown flag %s\n",
+                   arg.c_str());
+    }
+  }
+  if (io.report_path.empty()) {
+    const char* env = std::getenv("MICROREC_REPORT");
+    if (env != nullptr) io.report_path = env;
+  }
+  return io;
+}
+
+/// Emits the requested report / metrics files from the global registry and
+/// flushes any active trace. Benches call this as their final statement:
+/// `return bench::FinishBench(io, "bench_fig7_time");`
+inline int FinishBench(const BenchIo& io, const char* bench_name) {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  if (!io.report_path.empty()) {
+    obs::RunReport report(bench_name);
+    if (const obs::HistogramSnapshot* h =
+            snapshot.FindHistogram("eval.run.ttime_seconds")) {
+      report.AddScalar("ttime_seconds_total", h->sum);
+      report.AddScalar("ttime_seconds_p50", h->Percentile(0.50));
+      report.AddScalar("ttime_seconds_p99", h->Percentile(0.99));
+    }
+    if (const obs::HistogramSnapshot* h =
+            snapshot.FindHistogram("eval.run.etime_seconds")) {
+      report.AddScalar("etime_seconds_total", h->sum);
+      report.AddScalar("etime_seconds_p50", h->Percentile(0.50));
+      report.AddScalar("etime_seconds_p99", h->Percentile(0.99));
+    }
+    if (const obs::CounterSnapshot* c = snapshot.FindCounter("eval.runs")) {
+      report.AddScalar("configs_run", static_cast<double>(c->value));
+    }
+    report.AddText("iter_scale",
+                   FormatDouble(EnvDouble("MICROREC_ITER_SCALE", 0.03), 3));
+    report.AttachMetrics(std::move(snapshot));
+    if (report.WriteFile(io.report_path)) {
+      std::fprintf(stderr, "# report written to %s\n",
+                   io.report_path.c_str());
+    }
+  }
+  if (!io.metrics_path.empty()) {
+    obs::MetricsSnapshot fresh = obs::MetricsRegistry::Global().Snapshot();
+    std::FILE* file = std::fopen(io.metrics_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   io.metrics_path.c_str());
+    } else {
+      std::string json = fresh.ToJson();
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fputc('\n', file);
+      std::fclose(file);
+      std::fprintf(stderr, "# metrics written to %s\n",
+                   io.metrics_path.c_str());
+    }
+  }
+  obs::StopTracing();
+  return 0;
+}
 
 }  // namespace microrec::bench
 

@@ -5,6 +5,8 @@
 
 #include "eval/baselines.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace microrec::eval {
@@ -102,45 +104,68 @@ Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
   for (corpus::UserId u : all_) (void)TrainSet(source, u);
 
   RunResult result;
-  Stopwatch watch;
+  TimeAccumulator ttime, etime;
+  auto& registry = obs::MetricsRegistry::Global();
 
   // ---- TTime: global training + per-user modeling (Section 4). ----
-  MICROREC_RETURN_IF_ERROR(engine->Prepare(ctx));
-  for (corpus::UserId u : all_) {
-    MICROREC_RETURN_IF_ERROR(engine->BuildUser(u, TrainSet(source, u), ctx));
+  {
+    ScopedTimer train_timer(&ttime);
+    {
+      MICROREC_SPAN("train_global");
+      MICROREC_RETURN_IF_ERROR(engine->Prepare(ctx));
+    }
+    MICROREC_SPAN("build_users");
+    for (corpus::UserId u : all_) {
+      obs::TraceSpan user_span("build_user");
+      MICROREC_RETURN_IF_ERROR(engine->BuildUser(u, TrainSet(source, u), ctx));
+    }
   }
-  result.ttime_seconds = watch.ElapsedSeconds();
+  result.ttime_seconds = ttime.TotalSeconds();
 
   // ---- ETime: score and rank every user's test set. ----
-  watch.Restart();
-  Rng tie_rng(options_.seed, 1299709);
-  for (corpus::UserId u : all_) {
-    const corpus::UserSplit& split = splits_.at(u);
-    struct Scored {
-      double score;
-      bool relevant;
-    };
-    std::vector<Scored> scored;
-    scored.reserve(split.positives.size() + split.negatives.size());
-    for (corpus::TweetId id : split.positives) {
-      scored.push_back({engine->Score(u, id, ctx), true});
+  obs::Histogram* user_score_hist =
+      registry.GetHistogram("eval.user.score_seconds");
+  {
+    ScopedTimer test_timer(&etime);
+    MICROREC_SPAN("score_users");
+    Rng tie_rng(options_.seed, 1299709);
+    for (corpus::UserId u : all_) {
+      obs::TraceSpan user_span("score_user");
+      obs::ScopedHistogramTimer user_timer(user_score_hist);
+      const corpus::UserSplit& split = splits_.at(u);
+      struct Scored {
+        double score;
+        bool relevant;
+      };
+      std::vector<Scored> scored;
+      scored.reserve(split.positives.size() + split.negatives.size());
+      for (corpus::TweetId id : split.positives) {
+        scored.push_back({engine->Score(u, id, ctx), true});
+      }
+      for (corpus::TweetId id : split.negatives) {
+        scored.push_back({engine->Score(u, id, ctx), false});
+      }
+      // Random permutation before the stable sort gives unbiased tie-breaks.
+      tie_rng.Shuffle(scored);
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return a.score > b.score;
+                       });
+      std::vector<bool> relevant;
+      relevant.reserve(scored.size());
+      for (const Scored& s : scored) relevant.push_back(s.relevant);
+      result.users.push_back(u);
+      result.aps.push_back(AveragePrecision(relevant));
     }
-    for (corpus::TweetId id : split.negatives) {
-      scored.push_back({engine->Score(u, id, ctx), false});
-    }
-    // Random permutation before the stable sort gives unbiased tie-breaks.
-    tie_rng.Shuffle(scored);
-    std::stable_sort(scored.begin(), scored.end(),
-                     [](const Scored& a, const Scored& b) {
-                       return a.score > b.score;
-                     });
-    std::vector<bool> relevant;
-    relevant.reserve(scored.size());
-    for (const Scored& s : scored) relevant.push_back(s.relevant);
-    result.users.push_back(u);
-    result.aps.push_back(AveragePrecision(relevant));
   }
-  result.etime_seconds = watch.ElapsedSeconds();
+  result.etime_seconds = etime.TotalSeconds();
+
+  registry.GetCounter("eval.runs")->Increment();
+  registry.GetCounter("eval.users_evaluated")->Add(all_.size());
+  registry.GetHistogram("eval.run.ttime_seconds")
+      ->Record(result.ttime_seconds);
+  registry.GetHistogram("eval.run.etime_seconds")
+      ->Record(result.etime_seconds);
   return result;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::eval {
 
 SweepResult::MapStats SweepResult::StatsOfGroup(
@@ -77,9 +80,15 @@ Result<SweepResult> SweepConfigs(
   if (max_configs > 0) valid = ThinConfigs(std::move(valid), max_configs);
 
   SweepResult sweep;
+  obs::Counter* configs_run =
+      obs::MetricsRegistry::Global().GetCounter("eval.sweep.configs");
   for (const rec::ModelConfig& config : valid) {
+    // Dynamic span names cost a string build, so only when tracing is live.
+    obs::TraceSpan span(obs::TracingEnabled() ? "config:" + config.ToString()
+                                              : std::string());
     Result<RunResult> run = runner.Run(config, source);
     if (!run.ok()) return run.status();
+    configs_run->Increment();
     sweep.outcomes.push_back({config, std::move(run).value()});
   }
   return sweep;

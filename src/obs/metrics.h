@@ -1,0 +1,219 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms
+// with a lock-free atomic hot path. The registry backs the structured run
+// reports every bench emits (--report=<path>) and the CLI's --metrics flag,
+// giving the repo a machine-readable perf trajectory (TTime/ETime and
+// per-phase cost attribution, mirroring the paper's Figure 7 discipline).
+//
+// Layering: obs sits *below* util (so util/thread_pool.cc can publish
+// gauges) and therefore depends on nothing but the standard library. Table
+// rendering is a template over any TableWriter-shaped type to keep it so.
+//
+// Usage (hot path caches the pointer; lookups lock, updates do not):
+//   static obs::Counter* tokens =
+//       obs::MetricsRegistry::Global().GetCounter("text.tokenizer.tokens");
+//   tokens->Add(n);
+#ifndef MICROREC_OBS_METRICS_H_
+#define MICROREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microrec::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, vocabulary size, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time state of one histogram, with percentile estimation by
+/// linear interpolation inside the owning bucket. Values are assumed
+/// non-negative (latencies, sizes); the first bucket's lower edge is 0.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;     // ascending upper edges
+  std::vector<uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Estimated value at quantile `q` in [0, 1].
+  double Percentile(double q) const;
+};
+
+/// Fixed-bucket histogram. Record() is wait-free apart from the min/max
+/// compare-exchange loops; bucket bounds are immutable after construction.
+class Histogram {
+ public:
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+  HistogramSnapshot Snapshot(const std::string& name) const;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// `count` upper edges starting at `start`, each `factor` times the last:
+/// the default latency layout spans 1us .. ~1 minute.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// Default bucket layout for seconds-valued latency histograms.
+const std::vector<double>& DefaultLatencyBuckets();
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Consistent-enough point-in-time copy of every registered metric, sorted
+/// by name. Convertible to JSON and to any TableWriter-shaped sink.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const GaugeSnapshot* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with per-histogram count/sum/min/max/mean/p50/p90/p99 and buckets.
+  std::string ToJson() const;
+
+  /// Renders one row per metric into a util::TableWriter-shaped sink
+  /// (SetHeader + AddRow of string vectors).
+  template <typename TableLike>
+  void RenderTable(TableLike* table) const {
+    auto fmt = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      return std::string(buf);
+    };
+    table->SetHeader({"metric", "type", "count", "value", "p50", "p90",
+                      "p99", "max"});
+    for (const CounterSnapshot& c : counters) {
+      table->AddRow({c.name, "counter", std::to_string(c.value), "-", "-",
+                     "-", "-", "-"});
+    }
+    for (const GaugeSnapshot& g : gauges) {
+      table->AddRow({g.name, "gauge", "-", fmt(g.value), "-", "-", "-", "-"});
+    }
+    for (const HistogramSnapshot& h : histograms) {
+      table->AddRow({h.name, "histogram", std::to_string(h.count),
+                     fmt(h.sum), fmt(h.Percentile(0.50)),
+                     fmt(h.Percentile(0.90)), fmt(h.Percentile(0.99)),
+                     fmt(h.max)});
+    }
+  }
+};
+
+/// Owner of every metric. Metrics are created on first Get*() and live for
+/// the process lifetime: returned pointers are stable and never invalidated
+/// (ResetValues zeroes values in place, for tests and repeated runs).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` (ascending upper edges) is honoured on first creation only;
+  /// empty means DefaultLatencyBuckets().
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+  void ResetValues();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records the enclosing scope's wall-clock duration (in seconds) into a
+/// histogram on destruction. Used to time Gibbs sweeps and scoring calls.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedHistogramTimer() {
+    histogram_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+  }
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Appends `text` JSON-escaped (without surrounding quotes) to `out`.
+/// Shared by the trace writer and run reports.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Formats a double as a JSON number (finite; NaN/inf degrade to 0).
+std::string JsonNumber(double value);
+
+}  // namespace microrec::obs
+
+#endif  // MICROREC_OBS_METRICS_H_

@@ -1,0 +1,45 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace microrec::obs {
+
+std::string RunReport::ToJson() const {
+  std::string out = "{\"schema\":\"microrec.run_report/1\",\"name\":\"";
+  AppendJsonEscaped(name_, &out);
+  out += "\",\"scalars\":{";
+  for (size_t i = 0; i < scalars_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    AppendJsonEscaped(scalars_[i].first, &out);
+    out += "\":" + JsonNumber(scalars_[i].second);
+  }
+  out += "},\"text\":{";
+  for (size_t i = 0; i < text_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    AppendJsonEscaped(text_[i].first, &out);
+    out += "\":\"";
+    AppendJsonEscaped(text_[i].second, &out);
+    out += '"';
+  }
+  out += "},\"metrics\":";
+  out += has_metrics_ ? metrics_.ToJson() : std::string("null");
+  out += "}";
+  return out;
+}
+
+bool RunReport::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs: cannot write report to %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,51 @@
+// Structured run telemetry: a machine-readable JSON report every bench
+// binary (and the CLI) can emit via --report=<path>. A report bundles
+// free-form scalars (MAP, TTime, ETime, corpus sizes), text fields (the
+// configuration string, scale knobs) and a full metrics snapshot, so perf
+// trajectories can be tracked across commits without scraping stdout.
+#ifndef MICROREC_OBS_REPORT_H_
+#define MICROREC_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace microrec::obs {
+
+/// Accumulates one run's telemetry and serialises it to JSON:
+///   {"schema":"microrec.run_report/1","name":...,
+///    "scalars":{...},"text":{...},"metrics":{...}}
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  void AddScalar(std::string key, double value) {
+    scalars_.emplace_back(std::move(key), value);
+  }
+  void AddText(std::string key, std::string value) {
+    text_.emplace_back(std::move(key), std::move(value));
+  }
+  /// Attaches the metrics snapshot (typically MetricsRegistry::Global()'s).
+  void AttachMetrics(MetricsSnapshot snapshot) {
+    metrics_ = std::move(snapshot);
+    has_metrics_ = true;
+  }
+
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (with a stderr note) on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, std::string>> text_;
+  MetricsSnapshot metrics_;
+  bool has_metrics_ = false;
+};
+
+}  // namespace microrec::obs
+
+#endif  // MICROREC_OBS_REPORT_H_

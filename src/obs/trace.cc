@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace microrec::obs {
+
+namespace internal {
+
+std::atomic<int> g_trace_state{0};
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  int64_t ts_us = 0;
+  uint32_t tid = 0;
+  char phase = 'B';
+};
+
+// Leaked singleton: spans may fire from static destructors after main.
+struct Recorder {
+  std::mutex mu;
+  std::string path;
+  std::vector<TraceEvent> events;
+  std::chrono::steady_clock::time_point origin;
+};
+
+Recorder* GetRecorder() {
+  static Recorder* recorder = new Recorder();
+  return recorder;
+}
+
+// Small dense thread ids keep the trace readable (std::thread::id hashes
+// are 64-bit noise in the Perfetto track names).
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::mutex g_state_mu;
+
+}  // namespace
+
+bool TracingEnabledSlow() {
+  std::lock_guard<std::mutex> lock(g_state_mu);
+  int state = g_trace_state.load(std::memory_order_acquire);
+  if (state != 0) return state == 2;
+  const char* path = std::getenv("MICROREC_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    Recorder* recorder = GetRecorder();
+    {
+      std::lock_guard<std::mutex> rec_lock(recorder->mu);
+      recorder->path = path;
+      recorder->origin = std::chrono::steady_clock::now();
+    }
+    std::atexit(StopTracing);
+    g_trace_state.store(2, std::memory_order_release);
+    return true;
+  }
+  g_trace_state.store(1, std::memory_order_release);
+  return false;
+}
+
+void RecordEvent(std::string_view name, char phase) {
+  Recorder* recorder = GetRecorder();
+  const uint32_t tid = CurrentThreadId();
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(recorder->mu);
+  const int64_t ts = std::chrono::duration_cast<std::chrono::microseconds>(
+                         now - recorder->origin)
+                         .count();
+  recorder->events.push_back({std::string(name), ts, tid, phase});
+}
+
+}  // namespace internal
+
+bool StartTracing(const std::string& path) {
+  std::lock_guard<std::mutex> lock(internal::g_state_mu);
+  if (internal::g_trace_state.load(std::memory_order_acquire) == 2) {
+    return false;
+  }
+  internal::Recorder* recorder = internal::GetRecorder();
+  {
+    std::lock_guard<std::mutex> rec_lock(recorder->mu);
+    recorder->path = path;
+    recorder->events.clear();
+    recorder->origin = std::chrono::steady_clock::now();
+  }
+  static bool atexit_registered = false;
+  if (!atexit_registered) {
+    std::atexit(StopTracing);
+    atexit_registered = true;
+  }
+  internal::g_trace_state.store(2, std::memory_order_release);
+  return true;
+}
+
+void StopTracing() {
+  std::lock_guard<std::mutex> lock(internal::g_state_mu);
+  if (internal::g_trace_state.load(std::memory_order_acquire) != 2) return;
+  internal::g_trace_state.store(1, std::memory_order_release);
+
+  internal::Recorder* recorder = internal::GetRecorder();
+  std::lock_guard<std::mutex> rec_lock(recorder->mu);
+  std::FILE* file = std::fopen(recorder->path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n",
+                 recorder->path.c_str());
+    recorder->events.clear();
+    return;
+  }
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", file);
+  for (size_t i = 0; i < recorder->events.size(); ++i) {
+    const auto& event = recorder->events[i];
+    std::string name;
+    AppendJsonEscaped(event.name, &name);
+    std::fprintf(file,
+                 "{\"name\":\"%s\",\"cat\":\"microrec\",\"ph\":\"%c\","
+                 "\"ts\":%lld,\"pid\":1,\"tid\":%u}%s\n",
+                 name.c_str(), event.phase,
+                 static_cast<long long>(event.ts_us), event.tid,
+                 i + 1 < recorder->events.size() ? "," : "");
+  }
+  std::fputs("]}\n", file);
+  std::fclose(file);
+  recorder->events.clear();
+}
+
+size_t TraceEventCount() {
+  internal::Recorder* recorder = internal::GetRecorder();
+  std::lock_guard<std::mutex> lock(recorder->mu);
+  return recorder->events.size();
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,77 @@
+// RAII phase tracing with Chrome trace_event JSON output, loadable in
+// Perfetto / chrome://tracing. Tracing is off by default and costs one
+// relaxed atomic load per span when disabled; it turns on either
+// explicitly (StartTracing) or via the MICROREC_TRACE=<path> environment
+// variable, checked lazily on the first span.
+//
+//   MICROREC_SPAN("gibbs_sweep");          // spans the enclosing scope
+//   obs::TraceSpan span("run:" + name);    // dynamic names also work
+//
+// Events are buffered in memory and flushed as a single JSON document by
+// StopTracing() (registered with atexit when tracing starts), so crashes
+// lose the trace but no instrumentation sits on the hot path's disk I/O.
+#ifndef MICROREC_OBS_TRACE_H_
+#define MICROREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace microrec::obs {
+
+namespace internal {
+// 0 = undecided (env not yet consulted), 1 = disabled, 2 = enabled.
+extern std::atomic<int> g_trace_state;
+bool TracingEnabledSlow();
+void RecordEvent(std::string_view name, char phase);
+}  // namespace internal
+
+/// True when spans are being recorded. First call consults MICROREC_TRACE.
+inline bool TracingEnabled() {
+  int state = internal::g_trace_state.load(std::memory_order_acquire);
+  if (state == 0) return internal::TracingEnabledSlow();
+  return state == 2;
+}
+
+/// Starts recording spans, to be written to `path` when tracing stops.
+/// Returns false if tracing is already active. Registers an atexit flush.
+bool StartTracing(const std::string& path);
+
+/// Flushes buffered events to the trace file and disables tracing.
+/// Idempotent; a no-op when tracing never started.
+void StopTracing();
+
+/// Number of events buffered so far (test hook; 0 when disabled).
+size_t TraceEventCount();
+
+/// Records a begin event on construction and the matching end event on
+/// destruction. Near-zero cost when tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : active_(TracingEnabled()) {
+    if (active_) {
+      name_ = name;
+      internal::RecordEvent(name_, 'B');
+    }
+  }
+  ~TraceSpan() {
+    if (active_) internal::RecordEvent(name_, 'E');
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string name_;
+};
+
+}  // namespace microrec::obs
+
+#define MICROREC_OBS_CONCAT_INNER(a, b) a##b
+#define MICROREC_OBS_CONCAT(a, b) MICROREC_OBS_CONCAT_INNER(a, b)
+/// Declares a scope-long trace span named by the string literal `name`.
+#define MICROREC_SPAN(name) \
+  ::microrec::obs::TraceSpan MICROREC_OBS_CONCAT(microrec_span_, __LINE__)(name)
+
+#endif  // MICROREC_OBS_TRACE_H_

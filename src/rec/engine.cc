@@ -6,6 +6,8 @@
 
 #include "bag/bag_model.h"
 #include "graph/graph_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rec/llda_labels.h"
 #include "topic/btm.h"
 #include "topic/hdp.h"
@@ -27,6 +29,26 @@ int ScaledIterations(int iterations, double scale) {
                                       scale));
 }
 
+// Scoring-latency histogram shared by every engine family (ETime's unit of
+// work); per-family attribution comes from the trace spans around scoring.
+obs::Histogram* ScoreHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("rec.engine.score_seconds");
+  return histogram;
+}
+
+obs::Histogram* BuildUserHistogram() {
+  static obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram(
+      "rec.engine.build_user_seconds");
+  return histogram;
+}
+
+obs::Counter* ScoreCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("rec.engine.scores");
+  return counter;
+}
+
 // ---- Bag engine (TN / CN). ----
 
 class BagEngine : public Engine {
@@ -37,6 +59,7 @@ class BagEngine : public Engine {
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.bag);
     std::vector<bag::TokenDoc> docs;
     docs.reserve(train.docs.size());
@@ -48,6 +71,8 @@ class BagEngine : public Engine {
   }
 
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    obs::ScopedHistogramTimer timer(ScoreHistogram());
+    ScoreCounter()->Increment();
     UserState& state = *users_.at(u);
     bag::SparseVector doc = state.modeler.EmbedDocument(ctx.pre->Filtered(d));
     return state.modeler.Score(state.vector, doc);
@@ -73,6 +98,7 @@ class GraphEngine : public Engine {
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.graph);
     std::vector<std::vector<std::string>> docs;
     docs.reserve(train.docs.size());
@@ -83,6 +109,8 @@ class GraphEngine : public Engine {
   }
 
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    obs::ScopedHistogramTimer timer(ScoreHistogram());
+    ScoreCounter()->Increment();
     UserState& state = *users_.at(u);
     graph::NgramGraph doc = state.modeler.BuildDocGraph(ctx.pre->Filtered(d));
     return state.modeler.Score(state.graph, doc);
@@ -106,6 +134,7 @@ class TopicEngine : public Engine {
       : config_(config), rng_(0xABCD) {}
 
   Status Prepare(const EngineContext& ctx) override {
+    MICROREC_SPAN("topic_prepare");
     rng_ = Rng(ctx.seed, 97);
     const auto& pre = *ctx.pre;
     const TopicRunConfig& tc = config_.topic;
@@ -151,6 +180,14 @@ class TopicEngine : public Engine {
       size_t index = docs_.AddDocument(tokens);
       if (labels != nullptr) docs_.SetLabels(index, std::move(doc_labels));
     }
+
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("topic.docset.vocab_size")
+        ->Set(static_cast<double>(docs_.vocab_size()));
+    registry.GetGauge("topic.docset.docs")
+        ->Set(static_cast<double>(docs_.num_docs()));
+    registry.GetGauge("topic.docset.tokens")
+        ->Set(static_cast<double>(docs_.total_tokens()));
 
     // Instantiate and train the model.
     const int iters = ScaledIterations(tc.iterations, ctx.iteration_scale);
@@ -224,6 +261,7 @@ class TopicEngine : public Engine {
     if (model_ == nullptr) {
       return Status::FailedPrecondition("Prepare() not called");
     }
+    obs::ScopedHistogramTimer timer(BuildUserHistogram());
     // Documents with no vocabulary evidence (all words unseen in training)
     // carry no topical information and are excluded from the aggregate.
     std::vector<std::vector<double>> dists;
@@ -242,6 +280,8 @@ class TopicEngine : public Engine {
   }
 
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
+    obs::ScopedHistogramTimer timer(ScoreHistogram());
+    ScoreCounter()->Increment();
     const std::vector<double>& user = user_models_.at(u);
     if (user.empty()) return 0.0;
     const std::vector<double>& doc = Infer(d, ctx);
@@ -258,6 +298,10 @@ class TopicEngine : public Engine {
   const std::vector<double>& Infer(TweetId id, const EngineContext& ctx) {
     auto it = infer_cache_.find(id);
     if (it != infer_cache_.end()) return it->second;
+    static obs::Histogram* infer_hist =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "topic.infer_seconds");
+    obs::ScopedHistogramTimer timer(infer_hist);
     std::vector<topic::TermId> words = docs_.Lookup(ctx.pre->Filtered(id));
     std::vector<double> dist;
     if (!words.empty()) dist = model_->InferDocument(words, &rng_);

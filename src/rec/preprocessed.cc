@@ -1,5 +1,8 @@
 #include "rec/preprocessed.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::rec {
 
 PreprocessedCorpus::PreprocessedCorpus(
@@ -12,6 +15,7 @@ PreprocessedCorpus::PreprocessedCorpus(
                        ? corpus::StopTokenFilter()
                        : corpus::StopTokenFilter::FromTopFrequent(
                              tokenized_, stop_basis, stop_top_k)) {
+  MICROREC_SPAN("stop_filter");
   filtered_.resize(corpus.num_tweets());
   auto filter_one = [this](size_t i) {
     std::vector<std::string> kept;
@@ -25,6 +29,13 @@ PreprocessedCorpus::PreprocessedCorpus(
   } else {
     for (size_t i = 0; i < corpus.num_tweets(); ++i) filter_one(i);
   }
+
+  size_t kept_tokens = 0;
+  for (const auto& tokens : filtered_) kept_tokens += tokens.size();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("rec.preprocessed.tweets")
+      ->Set(static_cast<double>(corpus.num_tweets()));
+  registry.GetCounter("rec.preprocessed.kept_tokens")->Add(kept_tokens);
 }
 
 }  // namespace microrec::rec

@@ -1,5 +1,8 @@
 #include "topic/btm.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 std::vector<std::pair<TermId, TermId>> Btm::ExtractBiterms(
@@ -21,6 +24,7 @@ std::vector<std::pair<TermId, TermId>> Btm::ExtractBiterms(
 }
 
 Status Btm::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("btm_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (config_.num_topics == 0) {
     return Status::InvalidArgument("num_topics must be positive");
@@ -60,7 +64,10 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
   }
 
   std::vector<double> weights(K);
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < B; ++i) {
       const auto [w1, w2] = biterms[i];
       const uint32_t old = z[i];

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 namespace {
@@ -19,6 +22,7 @@ struct TopicState {
 }  // namespace
 
 Status Hdp::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("hdp_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
@@ -63,7 +67,10 @@ Status Hdp::Train(const DocSet& docs, Rng* rng) {
   }
 
   std::vector<double> weights;
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.hdp.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     // --- Sweep: resample every word's topic (direct assignment). ---
     for (size_t d = 0; d < D; ++d) {
       const auto& words = docs.docs()[d].words;

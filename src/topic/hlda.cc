@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 namespace {
@@ -41,6 +44,7 @@ double NodeLogLikelihood(const Node& node,
 }  // namespace
 
 Status Hlda::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("hlda_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (config_.levels < 1) {
     return Status::InvalidArgument("levels must be >= 1");
@@ -107,7 +111,10 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
   // Words of a doc grouped by level (recomputed per doc per sweep).
   std::vector<std::unordered_map<TermId, uint32_t>> by_level(L);
 
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.hlda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t d = 0; d < D; ++d) {
       const auto& words = docs.docs()[d].words;
 

@@ -2,9 +2,13 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 Status Lda::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("lda_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (config_.num_topics == 0) {
     return Status::InvalidArgument("num_topics must be positive");
@@ -47,7 +51,10 @@ Status Lda::Train(const DocSet& docs, Rng* rng) {
   }
 
   std::vector<double> weights(K);
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.lda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < N; ++i) {
       const uint32_t d = doc_of[i];
       const TermId w = words[i];

@@ -1,8 +1,12 @@
 #include "topic/llda.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 Status Llda::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("llda_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (config_.num_latent_topics == 0) {
     return Status::InvalidArgument("need at least one latent topic");
@@ -60,7 +64,10 @@ Status Llda::Train(const DocSet& docs, Rng* rng) {
   }
 
   std::vector<double> weights;
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.llda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < N; ++i) {
       const uint32_t d = doc_of[i];
       const TermId w = words[i];

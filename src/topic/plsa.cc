@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace microrec::topic {
 
 size_t Plsa::EstimateMemoryBytes(size_t num_docs, size_t vocab_size,
@@ -17,6 +20,7 @@ size_t Plsa::EstimateMemoryBytes(size_t num_docs, size_t vocab_size,
 }
 
 Status Plsa::Train(const DocSet& docs, Rng* rng) {
+  MICROREC_SPAN("plsa_train");
   if (trained_) return Status::FailedPrecondition("Train called twice");
   if (config_.num_topics == 0) {
     return Status::InvalidArgument("num_topics must be positive");
@@ -48,7 +52,10 @@ Status Plsa::Train(const DocSet& docs, Rng* rng) {
   std::vector<double> phi_acc(K * V);
   std::vector<double> post(K);
 
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.plsa.step_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     std::fill(theta_acc.begin(), theta_acc.end(), 0.0);
     std::fill(phi_acc.begin(), phi_acc.end(), 0.0);
     for (size_t d = 0; d < D; ++d) {

@@ -35,18 +35,50 @@ class Stopwatch {
 
 /// Accumulates elapsed time across multiple start/stop windows; used to
 /// aggregate per-user modeling time into the paper's TTime metric.
+/// Stop() without a prior Start() (and repeated Stop()) is a no-op, so a
+/// window can never be double-counted.
 class TimeAccumulator {
  public:
-  void Start() { watch_.Restart(); }
-  void Stop() { total_micros_ += watch_.ElapsedMicros(); }
+  void Start() {
+    watch_.Restart();
+    running_ = true;
+  }
+  void Stop() {
+    if (!running_) return;
+    total_micros_ += watch_.ElapsedMicros();
+    running_ = false;
+  }
 
+  bool running() const { return running_; }
   int64_t TotalMicros() const { return total_micros_; }
   double TotalSeconds() const { return static_cast<double>(total_micros_) / 1e6; }
-  void Reset() { total_micros_ = 0; }
+  void Reset() {
+    total_micros_ = 0;
+    running_ = false;
+  }
 
  private:
   Stopwatch watch_;
   int64_t total_micros_ = 0;
+  bool running_ = false;
+};
+
+/// Opens one accumulator window for the enclosing scope: Start() on
+/// construction, Stop() on destruction (early Stop() through the
+/// accumulator is safe and simply ends the window sooner).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* accumulator)
+      : accumulator_(accumulator) {
+    accumulator_->Start();
+  }
+  ~ScopedTimer() { accumulator_->Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* accumulator_;
 };
 
 }  // namespace microrec

@@ -3,7 +3,33 @@
 #include <atomic>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace microrec {
+
+namespace {
+
+// Process-wide pool gauges (all pools aggregate into the same metrics;
+// the repo only ever runs one pool at a time).
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("util.thread_pool.queue_depth");
+  return gauge;
+}
+
+obs::Gauge* BusyWorkersGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("util.thread_pool.busy_workers");
+  return gauge;
+}
+
+obs::Counter* TasksCompletedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "util.thread_pool.tasks_completed");
+  return counter;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   assert(num_threads >= 1);
@@ -27,6 +53,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    QueueDepthGauge()->Set(static_cast<double>(tasks_.size()));
   }
   task_ready_.notify_one();
 }
@@ -67,8 +94,12 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(tasks_.front());
       tasks_.pop();
+      QueueDepthGauge()->Set(static_cast<double>(tasks_.size()));
     }
+    BusyWorkersGauge()->Add(1.0);
     task();
+    BusyWorkersGauge()->Add(-1.0);
+    TasksCompletedCounter()->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace microrec::obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Checks that braces/brackets balance outside of string literals — enough
+/// structure validation to catch malformed emission without a JSON parser.
+bool BalancedJson(const std::string& text) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char ch : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    switch (ch) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+// Tests share the process-wide trace state, so each one leaves tracing
+// stopped; gtest runs them in declaration order within this file.
+
+TEST(TraceTest, DisabledByDefaultSpansAreNoOps) {
+  ::unsetenv("MICROREC_TRACE");
+  StopTracing();  // ensure a known-disabled state
+  EXPECT_FALSE(TracingEnabled());
+  {
+    MICROREC_SPAN("ignored");
+    TraceSpan dynamic("also_ignored");
+  }
+  EXPECT_EQ(TraceEventCount(), 0u);
+}
+
+TEST(TraceTest, StartStopWritesBalancedChromeTraceJson) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_test.json";
+  ASSERT_TRUE(StartTracing(path));
+  EXPECT_TRUE(TracingEnabled());
+  {
+    MICROREC_SPAN("outer");
+    {
+      MICROREC_SPAN("inner");
+    }
+    std::thread worker([] { TraceSpan span("worker_span"); });
+    worker.join();
+  }
+  EXPECT_EQ(TraceEventCount(), 6u);
+  StopTracing();
+  EXPECT_FALSE(TracingEnabled());
+
+  std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Every begin event has a matching end event.
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 3u);
+  EXPECT_EQ(CountOccurrences(json, "\"outer\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"worker_span\""), 2u);
+}
+
+TEST(TraceTest, StartWhileActiveIsRejected) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_test2.json";
+  ASSERT_TRUE(StartTracing(path));
+  EXPECT_FALSE(StartTracing(path + ".other"));
+  StopTracing();
+}
+
+TEST(TraceTest, StopIsIdempotentAndDisablesRecording) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_test3.json";
+  ASSERT_TRUE(StartTracing(path));
+  { MICROREC_SPAN("once"); }
+  StopTracing();
+  StopTracing();  // no crash, no rewrite
+  { MICROREC_SPAN("after_stop"); }
+  EXPECT_EQ(TraceEventCount(), 0u);
+  std::string json = ReadFile(path);
+  EXPECT_EQ(CountOccurrences(json, "\"after_stop\""), 0u);
+}
+
+TEST(TraceTest, DynamicNamesAreJsonEscaped) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_test4.json";
+  ASSERT_TRUE(StartTracing(path));
+  { TraceSpan span("config:\"quoted\""); }
+  StopTracing();
+  std::string json = ReadFile(path);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("config:\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microrec::obs

@@ -54,5 +54,43 @@ TEST(TimeAccumulatorTest, PausedTimeNotCounted) {
   EXPECT_EQ(accumulator.TotalMicros(), counted);
 }
 
+TEST(TimeAccumulatorTest, StopWithoutStartIsHarmless) {
+  TimeAccumulator accumulator;
+  accumulator.Stop();  // never started: must not underflow or crash
+  EXPECT_EQ(accumulator.TotalMicros(), 0);
+  accumulator.Start();
+  accumulator.Stop();
+  accumulator.Stop();  // double stop counts the window once
+  int64_t counted = accumulator.TotalMicros();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(accumulator.TotalMicros(), counted);
+}
+
+TEST(TimeAccumulatorTest, RunningFlagTracksState) {
+  TimeAccumulator accumulator;
+  EXPECT_FALSE(accumulator.running());
+  accumulator.Start();
+  EXPECT_TRUE(accumulator.running());
+  accumulator.Stop();
+  EXPECT_FALSE(accumulator.running());
+  accumulator.Start();
+  accumulator.Reset();
+  EXPECT_FALSE(accumulator.running());
+}
+
+TEST(ScopedTimerTest, AccumulatesScopeDuration) {
+  TimeAccumulator accumulator;
+  {
+    ScopedTimer timer(&accumulator);
+    EXPECT_TRUE(accumulator.running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_FALSE(accumulator.running());
+  EXPECT_GE(accumulator.TotalMicros(), 2000);
+  int64_t counted = accumulator.TotalMicros();
+  { ScopedTimer timer(&accumulator); }
+  EXPECT_GE(accumulator.TotalMicros(), counted);  // windows add up
+}
+
 }  // namespace
 }  // namespace microrec

@@ -8,16 +8,24 @@
 //   microrec suggest <dir> <user_handle> [top_k]
 //                                         hashtag suggestions for one user
 //
+// Global observability flags (usable with every command):
+//   --metrics=<path>   write a metrics-registry snapshot as JSON at exit
+//   --trace=<path>     write a Chrome trace_event JSON (Perfetto-loadable)
+// Both imply a one-line phase-time summary on stderr at exit.
+//
 // The <dir> format is the TSV layout documented in corpus/io.h, so real
 // datasets can be imported by producing users.tsv / tweets.tsv.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "corpus/io.h"
 #include "corpus/user_types.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rec/hashtag_rec.h"
 #include "synth/generator.h"
 #include "util/string_util.h"
@@ -35,13 +43,51 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage:\n"
+      "usage: microrec [--metrics=<path>] [--trace=<path>] <command>\n"
       "  microrec generate <dir> [seed]\n"
       "  microrec stats <dir>\n"
       "  microrec evaluate <dir> <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
       " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
       "  microrec suggest <dir> <user_handle> [top_k]\n");
   return 2;
+}
+
+/// One-line attribution of where the run's wall-clock went, from the
+/// global metrics registry (tokenize counter, TTime/ETime histograms).
+void PrintPhaseSummary() {
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  double tokenize = 0.0, train = 0.0, score = 0.0;
+  uint64_t scores = 0;
+  if (const auto* c = snap.FindCounter("text.tokenizer.micros")) {
+    tokenize = static_cast<double>(c->value) / 1e6;
+  }
+  if (const auto* h = snap.FindHistogram("eval.run.ttime_seconds")) {
+    train = h->sum;
+  }
+  if (const auto* h = snap.FindHistogram("eval.run.etime_seconds")) {
+    score = h->sum;
+  }
+  if (const auto* c = snap.FindCounter("rec.engine.scores")) {
+    scores = c->value;
+  }
+  std::fprintf(stderr,
+               "# phases: tokenize %.3fs | train %.3fs | score %.3fs | %s "
+               "scores\n",
+               tokenize, train, score,
+               FormatWithCommas(static_cast<int64_t>(scores)).c_str());
+}
+
+bool WriteMetricsFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
 }
 
 // Builds the standard evaluation stack over a loaded corpus. The corpus
@@ -215,24 +261,49 @@ int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string command = argv[1];
-  std::string dir = argv[2];
+int Dispatch(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  const std::string& command = args[0];
+  const std::string& dir = args[1];
   if (command == "generate") {
-    uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+    uint64_t seed =
+        args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 42;
     return Generate(dir, seed);
   }
   if (command == "stats") return Stats(dir);
-  if (command == "evaluate" && argc >= 5) {
-    double iter_scale = argc > 5 ? std::atof(argv[5]) : 0.03;
-    return Evaluate(dir, argv[3], argv[4], iter_scale);
+  if (command == "evaluate" && args.size() >= 4) {
+    double iter_scale = args.size() > 4 ? std::atof(args[4].c_str()) : 0.03;
+    return Evaluate(dir, args[2], args[3], iter_scale);
   }
-  if (command == "suggest" && argc >= 4) {
-    size_t top_k = argc > 4 ? static_cast<size_t>(std::atoi(argv[4])) : 10;
-    return Suggest(dir, argv[3], top_k);
+  if (command == "suggest" && args.size() >= 3) {
+    size_t top_k =
+        args.size() > 3 ? static_cast<size_t>(std::atoi(args[3].c_str())) : 10;
+    return Suggest(dir, args[2], top_k);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  bool observed = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--metrics=")) {
+      metrics_path = arg.substr(10);
+      observed = true;
+    } else if (StartsWith(arg, "--trace=")) {
+      obs::StartTracing(arg.substr(8));
+      observed = true;
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  int code = Dispatch(args);
+  if (observed) PrintPhaseSummary();
+  if (!metrics_path.empty() && !WriteMetricsFile(metrics_path)) code = 1;
+  obs::StopTracing();
+  return code;
 }
