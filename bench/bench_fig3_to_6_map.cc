@@ -30,8 +30,10 @@ int main(int argc, char** argv) {
   for (rec::ModelKind kind : rec::kEvaluatedModels) {
     std::vector<rec::ModelConfig> configs = rec::EnumerateConfigs(kind);
     for (corpus::Source source : sources) {
-      Result<eval::SweepResult> sweep =
-          eval::SweepConfigs(runner, configs, source, bench.Cap(6));
+      std::string tag = std::string(rec::ModelKindName(kind)) + "-" +
+                        std::string(corpus::SourceName(source));
+      Result<eval::SweepResult> sweep = eval::SweepConfigs(
+          runner, configs, source, io.SweepOptions(bench.Cap(6), tag));
       if (!sweep.ok()) {
         std::fprintf(stderr, "%s on %s failed: %s\n",
                      std::string(rec::ModelKindName(kind)).c_str(),

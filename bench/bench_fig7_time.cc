@@ -43,8 +43,10 @@ int main(int argc, char** argv) {
     double e_min = 1e300, e_max = 0, e_sum = 0;
     size_t runs = 0;
     for (corpus::Source source : sources) {
-      Result<eval::SweepResult> sweep =
-          eval::SweepConfigs(runner, configs, source, bench.Cap(6));
+      std::string tag = std::string(rec::ModelKindName(kind)) + "-" +
+                        std::string(corpus::SourceName(source));
+      Result<eval::SweepResult> sweep = eval::SweepConfigs(
+          runner, configs, source, io.SweepOptions(bench.Cap(6), tag));
       if (!sweep.ok()) {
         std::fprintf(stderr, "sweep failed: %s\n",
                      sweep.status().ToString().c_str());

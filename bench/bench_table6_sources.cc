@@ -22,8 +22,11 @@ int main(int argc, char** argv) {
   for (corpus::Source source : corpus::kAllSources) {
     eval::SweepResult merged;
     for (rec::ModelKind kind : rec::kEvaluatedModels) {
-      Result<eval::SweepResult> sweep = eval::SweepConfigs(
-          runner, rec::EnumerateConfigs(kind), source, bench.Cap(4));
+      std::string tag = std::string(rec::ModelKindName(kind)) + "-" +
+                        std::string(corpus::SourceName(source));
+      Result<eval::SweepResult> sweep =
+          eval::SweepConfigs(runner, rec::EnumerateConfigs(kind), source,
+                             io.SweepOptions(bench.Cap(4), tag));
       if (!sweep.ok()) {
         std::fprintf(stderr, "source %s failed: %s\n",
                      std::string(corpus::SourceName(source)).c_str(),

@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
     std::vector<rec::ModelConfig> configs = rec::EnumerateConfigs(kind);
     std::vector<std::string> row = {std::string(rec::ModelKindName(kind))};
     for (corpus::Source source : corpus::kAllSources) {
-      Result<eval::SweepResult> sweep =
-          eval::SweepConfigs(runner, configs, source, bench.Cap(8));
+      std::string tag = std::string(rec::ModelKindName(kind)) + "-" +
+                        std::string(corpus::SourceName(source));
+      Result<eval::SweepResult> sweep = eval::SweepConfigs(
+          runner, configs, source, io.SweepOptions(bench.Cap(8), tag));
       if (!sweep.ok()) {
         std::fprintf(stderr, "sweep failed: %s\n",
                      sweep.status().ToString().c_str());

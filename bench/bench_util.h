@@ -14,6 +14,14 @@
 //                     TTime/ETime histograms); MICROREC_REPORT env works too
 //   --metrics=<path>  raw metrics snapshot JSON
 //   --trace=<path>    Chrome trace_event JSON (same as MICROREC_TRACE env)
+//
+// And the resilience flags (see DESIGN.md, "Resilience"):
+//   --checkpoint=<path>  stream sweep outcomes to a JSONL checkpoint and
+//                        resume past completed configurations on restart
+//                        (MICROREC_CHECKPOINT env works too)
+//   --fail-fast          abort a sweep on the first failed configuration
+//                        instead of isolating it
+// Fault injection is armed via MICROREC_FAULTS (see src/resilience/fault.h).
 #ifndef MICROREC_BENCH_BENCH_UTIL_H_
 #define MICROREC_BENCH_BENCH_UTIL_H_
 
@@ -121,8 +129,27 @@ inline std::string F3(double value) { return FormatDouble(value, 3); }
 
 /// Output destinations parsed from a bench's command line.
 struct BenchIo {
-  std::string report_path;   // --report= / MICROREC_REPORT
-  std::string metrics_path;  // --metrics=
+  std::string report_path;      // --report= / MICROREC_REPORT
+  std::string metrics_path;     // --metrics=
+  std::string checkpoint_path;  // --checkpoint= / MICROREC_CHECKPOINT
+  bool fail_fast = false;       // --fail-fast
+
+  /// Sweep options carrying the resilience flags; benches merge in their
+  /// per-sweep configuration cap. A non-empty `tag` (e.g. "LDA-R") is
+  /// appended to the checkpoint path so a bench looping over many
+  /// (model, source) sweeps writes one checkpoint file per sweep — the
+  /// checkpoint key pins a single source.
+  eval::SweepOptions SweepOptions(size_t max_configs,
+                                  const std::string& tag = {}) const {
+    eval::SweepOptions options;
+    options.max_configs = max_configs;
+    options.fail_fast = fail_fast;
+    if (!checkpoint_path.empty()) {
+      options.checkpoint_path =
+          tag.empty() ? checkpoint_path : checkpoint_path + "." + tag;
+    }
+    return options;
+  }
 };
 
 /// Parses the shared observability flags; unknown flags only warn so bench
@@ -140,6 +167,10 @@ inline BenchIo ParseBenchArgs(int argc, char** argv) {
       io.metrics_path = arg.substr(10);
     } else if (StartsWith(arg, "--trace=")) {
       obs::StartTracing(arg.substr(8));
+    } else if (StartsWith(arg, "--checkpoint=")) {
+      io.checkpoint_path = arg.substr(13);
+    } else if (arg == "--fail-fast") {
+      io.fail_fast = true;
     } else {
       std::fprintf(stderr, "warning: ignoring unknown flag %s\n",
                    arg.c_str());
@@ -148,6 +179,10 @@ inline BenchIo ParseBenchArgs(int argc, char** argv) {
   if (io.report_path.empty()) {
     const char* env = std::getenv("MICROREC_REPORT");
     if (env != nullptr) io.report_path = env;
+  }
+  if (io.checkpoint_path.empty()) {
+    const char* env = std::getenv("MICROREC_CHECKPOINT");
+    if (env != nullptr) io.checkpoint_path = env;
   }
   return io;
 }
@@ -173,6 +208,18 @@ inline int FinishBench(const BenchIo& io, const char* bench_name) {
     }
     if (const obs::CounterSnapshot* c = snapshot.FindCounter("eval.runs")) {
       report.AddScalar("configs_run", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("eval.sweep.failed")) {
+      report.AddScalar("configs_failed", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("eval.sweep.resumed")) {
+      report.AddScalar("configs_resumed", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("resilience.faults.injected")) {
+      report.AddScalar("faults_injected", static_cast<double>(c->value));
     }
     report.AddText("iter_scale",
                    FormatDouble(EnvDouble("MICROREC_ITER_SCALE", 0.03), 3));

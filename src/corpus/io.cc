@@ -5,11 +5,21 @@
 #include <sstream>
 #include <vector>
 
+#include "resilience/fault.h"
 #include "util/string_util.h"
 
 namespace microrec::corpus {
 
 namespace {
+
+// Rewrites `status` to carry "<file>:<line>: " context, preserving the code
+// so callers can still dispatch on it.
+Status AtLine(const char* file, size_t line_number, const Status& status) {
+  return Status::FromCode(status.code(),
+                          std::string(file) + ":" +
+                              std::to_string(line_number) + ": " +
+                              std::string(status.message()));
+}
 
 // Splits a TSV row. Unlike SplitAny, empty fields are preserved.
 std::vector<std::string> SplitTsv(const std::string& line) {
@@ -160,9 +170,16 @@ Status SaveCorpus(const Corpus& corpus, const std::string& directory) {
 }
 
 Result<Corpus> ReadCorpus(std::istream& users, std::istream& tweets) {
+  MICROREC_FAULT_POINT(resilience::kSiteCorpusIoRead);
   Corpus corpus;
   std::string line;
-  std::vector<std::pair<UserId, UserId>> edges;
+  // Follow edges arrive interleaved with (or before) user rows, so they are
+  // deferred; remember the line each came from for error context.
+  struct Edge {
+    UserId follower, followee;
+    size_t line_number;
+  };
+  std::vector<Edge> edges;
   size_t line_number = 0;
   while (std::getline(users, line)) {
     ++line_number;
@@ -170,35 +187,42 @@ Result<Corpus> ReadCorpus(std::istream& users, std::istream& tweets) {
     std::vector<std::string> fields = SplitTsv(line);
     if (fields[0] == "F") {
       if (fields.size() != 3) {
-        return Status::InvalidArgument("users.tsv:" +
-                                       std::to_string(line_number) +
-                                       ": follow row needs 3 fields");
+        return Status::InvalidArgument(
+            "users.tsv:" + std::to_string(line_number) +
+            ": follow row needs 3 fields, got " +
+            std::to_string(fields.size()));
       }
       Result<uint64_t> follower = ParseId(fields[1], "follower id");
       Result<uint64_t> followee = ParseId(fields[2], "followee id");
-      if (!follower.ok()) return follower.status();
-      if (!followee.ok()) return followee.status();
-      edges.emplace_back(static_cast<UserId>(*follower),
-                         static_cast<UserId>(*followee));
+      if (!follower.ok()) {
+        return AtLine("users.tsv", line_number, follower.status());
+      }
+      if (!followee.ok()) {
+        return AtLine("users.tsv", line_number, followee.status());
+      }
+      edges.push_back({static_cast<UserId>(*follower),
+                       static_cast<UserId>(*followee), line_number});
       continue;
     }
     if (fields.size() != 2) {
-      return Status::InvalidArgument("users.tsv:" +
-                                     std::to_string(line_number) +
-                                     ": user row needs 2 fields");
+      return Status::InvalidArgument(
+          "users.tsv:" + std::to_string(line_number) +
+          ": user row needs 2 fields, got " + std::to_string(fields.size()));
     }
     Result<uint64_t> id = ParseId(fields[0], "user id");
-    if (!id.ok()) return id.status();
+    if (!id.ok()) return AtLine("users.tsv", line_number, id.status());
     if (*id != corpus.num_users()) {
-      return Status::InvalidArgument("users.tsv: ids must be dense and "
-                                     "ordered; got " +
-                                     fields[0]);
+      return Status::InvalidArgument(
+          "users.tsv:" + std::to_string(line_number) +
+          ": ids must be dense and ordered; expected " +
+          std::to_string(corpus.num_users()) + ", got " + fields[0]);
     }
     corpus.AddUser(fields[1]);
   }
-  for (const auto& [follower, followee] : edges) {
-    Status st = corpus.graph().AddFollow(follower, followee);
-    if (!st.ok()) return st;
+  if (users.bad()) return Status::Internal("users.tsv: stream read error");
+  for (const Edge& edge : edges) {
+    Status st = corpus.graph().AddFollow(edge.follower, edge.followee);
+    if (!st.ok()) return AtLine("users.tsv", edge.line_number, st);
   }
 
   line_number = 0;
@@ -207,32 +231,48 @@ Result<Corpus> ReadCorpus(std::istream& users, std::istream& tweets) {
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitTsv(line);
     if (fields.size() != 5) {
-      return Status::InvalidArgument("tweets.tsv:" +
-                                     std::to_string(line_number) +
-                                     ": row needs 5 fields");
+      return Status::InvalidArgument(
+          "tweets.tsv:" + std::to_string(line_number) +
+          ": row needs 5 fields, got " + std::to_string(fields.size()));
     }
     Result<uint64_t> id = ParseId(fields[0], "tweet id");
     Result<uint64_t> author = ParseId(fields[1], "author id");
     Result<int64_t> time = ParseTime(fields[2]);
-    if (!id.ok()) return id.status();
-    if (!author.ok()) return author.status();
-    if (!time.ok()) return time.status();
+    if (!id.ok()) return AtLine("tweets.tsv", line_number, id.status());
+    if (!author.ok()) {
+      return AtLine("tweets.tsv", line_number, author.status());
+    }
+    if (!time.ok()) return AtLine("tweets.tsv", line_number, time.status());
     if (*id != corpus.num_tweets()) {
-      return Status::InvalidArgument("tweets.tsv: ids must be dense and "
-                                     "ordered; got " +
-                                     fields[0]);
+      return Status::InvalidArgument(
+          "tweets.tsv:" + std::to_string(line_number) +
+          ": ids must be dense and ordered; expected " +
+          std::to_string(corpus.num_tweets()) + ", got " + fields[0]);
+    }
+    if (*author >= corpus.num_users()) {
+      return Status::InvalidArgument(
+          "tweets.tsv:" + std::to_string(line_number) +
+          ": author id " + fields[1] + " out of range (have " +
+          std::to_string(corpus.num_users()) + " users)");
     }
     TweetId retweet_of = kInvalidTweet;
     if (fields[3] != "-") {
       Result<uint64_t> original = ParseId(fields[3], "retweet_of");
-      if (!original.ok()) return original.status();
+      if (!original.ok()) {
+        return AtLine("tweets.tsv", line_number, original.status());
+      }
       retweet_of = *original;
     }
+    // A dangling retweet_of (pointing past every tweet read so far)
+    // surfaces here via AddTweet's existence check.
     Result<TweetId> added = corpus.AddTweet(
         static_cast<UserId>(*author), *time,
         UnescapeTweetText(fields[4]), retweet_of);
-    if (!added.ok()) return added.status();
+    if (!added.ok()) {
+      return AtLine("tweets.tsv", line_number, added.status());
+    }
   }
+  if (tweets.bad()) return Status::Internal("tweets.tsv: stream read error");
   corpus.Finalize();
   return corpus;
 }

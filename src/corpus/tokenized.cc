@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault.h"
 #include "util/stopwatch.h"
 
 namespace microrec::corpus {
@@ -13,6 +14,11 @@ TokenizedCorpus::TokenizedCorpus(const Corpus& corpus,
   Stopwatch watch;
   tokens_.resize(corpus.num_tweets());
   auto tokenize_one = [&](size_t i) {
+    // Escapes as FaultInjectedError; the pool captures it and rethrows
+    // from Wait()/ParallelFor.
+    if (resilience::FaultsArmed()) {
+      resilience::MaybeThrowFault(resilience::kSitePoolTask);
+    }
     tokens_[i] = tokenizer.Tokenize(corpus.tweet(i).text);
   };
   if (pool != nullptr) {

@@ -7,11 +7,15 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault.h"
 #include "util/stopwatch.h"
 
 namespace microrec::eval {
 
-double RunResult::Map() const { return MeanAveragePrecision(aps); }
+double RunResult::Map() const {
+  if (aps.empty()) return 0.0;
+  return MeanAveragePrecision(aps);
+}
 
 double RunResult::MapOfGroup(const std::vector<corpus::UserId>& group) const {
   std::unordered_set<corpus::UserId> members(group.begin(), group.end());
@@ -19,6 +23,7 @@ double RunResult::MapOfGroup(const std::vector<corpus::UserId>& group) const {
   for (size_t i = 0; i < users.size(); ++i) {
     if (members.count(users[i])) selected.push_back(aps[i]);
   }
+  if (selected.empty()) return 0.0;
   return MeanAveragePrecision(selected);
 }
 
@@ -79,8 +84,9 @@ const corpus::LabeledTrainSet& ExperimentRunner::TrainSet(
   return train_cache_.emplace(key, std::move(train)).first->second;
 }
 
-Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
-                                        corpus::Source source) {
+Result<RunResult> ExperimentRunner::Run(
+    const rec::ModelConfig& config, corpus::Source source,
+    const resilience::CancelContext* cancel) {
   if (!config.IsValidForSource(corpus::HasNegativeExamples(source))) {
     return Status::InvalidArgument(
         "configuration invalid for this source: " + config.ToString());
@@ -97,6 +103,7 @@ Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
              static_cast<uint64_t>(config.kind);
   ctx.iteration_scale = options_.topic_iteration_scale;
   ctx.llda_min_hashtag_count = options_.llda_min_hashtag_count;
+  ctx.cancel = cancel;
 
   // Pre-materialise every train set outside the timed section: the cache
   // makes their cost a one-off shared by all 223 configurations, so charging
@@ -117,6 +124,9 @@ Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
     MICROREC_SPAN("build_users");
     for (corpus::UserId u : all_) {
       obs::TraceSpan user_span("build_user");
+      if (cancel != nullptr) {
+        MICROREC_RETURN_IF_ERROR(cancel->Check("user model build"));
+      }
       MICROREC_RETURN_IF_ERROR(engine->BuildUser(u, TrainSet(source, u), ctx));
     }
   }
@@ -132,6 +142,10 @@ Result<RunResult> ExperimentRunner::Run(const rec::ModelConfig& config,
     for (corpus::UserId u : all_) {
       obs::TraceSpan user_span("score_user");
       obs::ScopedHistogramTimer user_timer(user_score_hist);
+      if (cancel != nullptr) {
+        MICROREC_RETURN_IF_ERROR(cancel->Check("test-set scoring"));
+      }
+      MICROREC_FAULT_POINT(resilience::kSiteEngineScore);
       const corpus::UserSplit& split = splits_.at(u);
       struct Scored {
         double score;

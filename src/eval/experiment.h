@@ -15,6 +15,7 @@
 #include "rec/engine.h"
 #include "rec/model_config.h"
 #include "rec/preprocessed.h"
+#include "resilience/deadline.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -41,9 +42,10 @@ struct RunResult {
   double ttime_seconds = 0.0;
   double etime_seconds = 0.0;
 
-  /// MAP over every evaluated user.
+  /// MAP over every evaluated user; 0.0 when no user was evaluated.
   double Map() const;
-  /// MAP over the users of `group` (order-insensitive intersection).
+  /// MAP over the users of `group` (order-insensitive intersection); 0.0
+  /// when the intersection is empty.
   double MapOfGroup(const std::vector<corpus::UserId>& group) const;
 };
 
@@ -64,9 +66,11 @@ class ExperimentRunner {
   const std::vector<corpus::UserId>& GroupUsers(corpus::UserType type) const;
 
   /// Evaluates one configuration on one representation source over all
-  /// surviving users.
-  Result<RunResult> Run(const rec::ModelConfig& config,
-                        corpus::Source source);
+  /// surviving users. `cancel` (optional) is honored between Gibbs sweeps
+  /// during training and between users while scoring; an expired deadline
+  /// or tripped token surfaces as DeadlineExceeded / Aborted.
+  Result<RunResult> Run(const rec::ModelConfig& config, corpus::Source source,
+                        const resilience::CancelContext* cancel = nullptr);
 
   /// The split of one user (must have survived Init()).
   const corpus::UserSplit& SplitOf(corpus::UserId u) const;

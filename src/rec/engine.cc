@@ -198,6 +198,7 @@ class TopicEngine : public Engine {
         lc.alpha = tc.alpha;
         lc.beta = tc.beta;
         lc.train_iterations = iters;
+        lc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Lda>(lc);
         break;
       }
@@ -208,6 +209,7 @@ class TopicEngine : public Engine {
         lc.alpha = tc.alpha;
         lc.beta = tc.beta;
         lc.train_iterations = iters;
+        lc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Llda>(lc);
         break;
       }
@@ -218,6 +220,7 @@ class TopicEngine : public Engine {
         bc.beta = tc.beta;
         bc.train_iterations = iters;
         bc.window = tc.pooling == corpus::Pooling::kNone ? 0 : tc.window;
+        bc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Btm>(bc);
         break;
       }
@@ -227,6 +230,7 @@ class TopicEngine : public Engine {
         hc.gamma = tc.gamma;
         hc.beta = tc.beta;
         hc.train_iterations = iters;
+        hc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Hdp>(hc);
         break;
       }
@@ -240,6 +244,7 @@ class TopicEngine : public Engine {
         // than flat Gibbs; the paper's time constraint already limited
         // HLDA's budget (Section 4).
         hc.train_iterations = std::max(3, iters / 5);
+        hc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Hlda>(hc);
         break;
       }
@@ -247,6 +252,7 @@ class TopicEngine : public Engine {
         topic::PlsaConfig pc;
         pc.num_topics = tc.num_topics;
         pc.train_iterations = std::max(5, iters / 10);  // EM steps
+        pc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Plsa>(pc);
         break;
       }

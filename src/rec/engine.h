@@ -20,6 +20,7 @@
 #include "corpus/split.h"
 #include "rec/model_config.h"
 #include "rec/preprocessed.h"
+#include "resilience/deadline.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -42,6 +43,9 @@ struct EngineContext {
   /// LLDA hashtag-label frequency threshold (30 in the paper; lower it for
   /// small synthetic corpora).
   size_t llda_min_hashtag_count = 30;
+  /// Optional deadline / cancellation, honored between Gibbs sweeps by the
+  /// topic engines. Not owned; may be nullptr.
+  const resilience::CancelContext* cancel = nullptr;
 };
 
 /// Abstract engine; instances are single-use (one configuration, one

@@ -1,5 +1,8 @@
 #include "rec/model_config.h"
 
+#include <cstdint>
+#include <cstdio>
+
 namespace microrec::rec {
 
 std::string_view ModelKindName(ModelKind kind) {
@@ -108,6 +111,24 @@ std::string ModelConfig::ToString() const {
     default:
       return std::string(ModelKindName(kind)) + " " + topic.ToString(kind);
   }
+}
+
+std::string ModelConfig::Fingerprint() const {
+  // The rendered form covers every parameter that affects a run, but bag and
+  // graph renderings omit the kind — prefix it so TN/CN (and TNG/CNG) twins
+  // with identical parameters stay distinct.
+  std::string text(ModelKindName(kind));
+  text += '|';
+  text += ToString();
+  uint64_t hash = 1469598103934665603ULL;  // FNV-1a 64-bit offset basis
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
 }
 
 bool ModelConfig::IsValidForSource(bool source_has_negatives) const {

@@ -88,6 +88,9 @@ struct ModelConfig {
   TopicRunConfig topic;      // topic models
 
   std::string ToString() const;
+  /// Stable hex digest of the kind and every parameter (FNV-1a over the
+  /// rendered configuration). Keys sweep checkpoint records.
+  std::string Fingerprint() const;
   /// Rocchio aggregations are valid only for sources with negatives.
   bool IsValidForSource(bool source_has_negatives) const;
 };

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/fault.h"
 
 namespace microrec::rec {
 
@@ -18,6 +19,9 @@ PreprocessedCorpus::PreprocessedCorpus(
   MICROREC_SPAN("stop_filter");
   filtered_.resize(corpus.num_tweets());
   auto filter_one = [this](size_t i) {
+    if (resilience::FaultsArmed()) {
+      resilience::MaybeThrowFault(resilience::kSitePoolTask);
+    }
     std::vector<std::string> kept;
     for (const auto& token : tokenized_.TokensOf(i)) {
       if (!stop_filter_.IsStop(token.text)) kept.push_back(token.text);

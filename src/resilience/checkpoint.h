@@ -1,0 +1,86 @@
+// Durable sweep checkpoints: completed configuration outcomes are streamed
+// to a JSONL file so a killed sweep resumes where it died instead of
+// recomputing hours of grid. Layout (`microrec.sweep_ckpt/1`):
+//
+//   {"schema":"microrec.sweep_ckpt/1","key":"source=R seed=1234"}
+//   {"fingerprint":"41c2...","config":"TN(n=1,TF,Ce,CS)","code":"OK",
+//    "error":"","users":[3,7],"aps":[0.5,0.25],"ttime":0.81,"etime":0.02}
+//   ...
+//
+// The `key` pins the sweep identity (source, seed, and anything else the
+// caller folds in); opening an existing checkpoint with a different key
+// fails rather than silently mixing incompatible outcomes. Records are
+// keyed by the configuration fingerprint. Every append rewrites the whole
+// file to `<path>.tmp` and renames it over `<path>`, so the file on disk is
+// always a complete, parseable document no matter where the process dies; a
+// torn trailing line (pre-rename crash with a non-atomic filesystem) is
+// tolerated on load. Failed configurations are recorded too — with a
+// deterministic seed they would fail identically on resume.
+#ifndef MICROREC_RESILIENCE_CHECKPOINT_H_
+#define MICROREC_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace microrec::resilience {
+
+inline constexpr char kSweepCheckpointSchema[] = "microrec.sweep_ckpt/1";
+
+/// One completed configuration outcome, in pipeline-agnostic terms (this
+/// layer sits below eval; eval converts to/from its RunResult).
+struct CheckpointRecord {
+  std::string fingerprint;  // stable hash of the configuration
+  std::string config;       // human-readable rendering, informational
+  StatusCode code = StatusCode::kOk;
+  std::string error;        // status message when code != kOk
+  std::vector<uint64_t> users;
+  std::vector<double> aps;  // parallel to `users`
+  double ttime_seconds = 0.0;
+  double etime_seconds = 0.0;
+};
+
+/// Append-only (from the caller's view) checkpoint of one sweep.
+class SweepCheckpoint {
+ public:
+  /// Loads `path` if it exists (validating schema and `key`), otherwise
+  /// prepares an empty checkpoint that will be created on first Append.
+  static Result<SweepCheckpoint> Open(std::string path, std::string key);
+
+  /// Parses checkpoint JSONL from a string (test hook / inspection).
+  static Result<std::vector<CheckpointRecord>> Parse(
+      const std::string& content, const std::string& expected_key);
+
+  bool Contains(const std::string& fingerprint) const {
+    return index_.count(fingerprint) != 0;
+  }
+  const CheckpointRecord* Find(const std::string& fingerprint) const;
+
+  /// Records an outcome and atomically persists the updated file
+  /// (tmp + rename). Replaces any existing record with the same
+  /// fingerprint.
+  Status Append(CheckpointRecord record);
+
+  size_t size() const { return records_.size(); }
+  const std::vector<CheckpointRecord>& records() const { return records_; }
+  const std::string& path() const { return path_; }
+  const std::string& key() const { return key_; }
+
+ private:
+  Status WriteAll() const;
+
+  std::string path_;
+  std::string key_;
+  std::vector<CheckpointRecord> records_;
+  std::map<std::string, size_t> index_;  // fingerprint -> records_ index
+};
+
+/// Renders one record as its JSONL line (no trailing newline).
+std::string CheckpointRecordToJson(const CheckpointRecord& record);
+
+}  // namespace microrec::resilience
+
+#endif  // MICROREC_RESILIENCE_CHECKPOINT_H_

@@ -1,0 +1,26 @@
+#include "resilience/deadline.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace microrec::resilience {
+
+Status CancelContext::Check(const char* what) const {
+  if (token != nullptr && token->cancelled()) {
+    static obs::Counter* aborted = obs::MetricsRegistry::Global().GetCounter(
+        "resilience.cancellations");
+    aborted->Increment();
+    return Status::Aborted(std::string("cancelled during ") + what);
+  }
+  if (deadline.Expired()) {
+    static obs::Counter* expired = obs::MetricsRegistry::Global().GetCounter(
+        "resilience.deadlines_exceeded");
+    expired->Increment();
+    return Status::DeadlineExceeded(std::string("deadline exceeded during ") +
+                                    what);
+  }
+  return Status::OK();
+}
+
+}  // namespace microrec::resilience

@@ -1,0 +1,81 @@
+// Cooperative deadlines and cancellation for long-running work (a single
+// configuration's Gibbs training can dominate a sweep's wall-clock). The
+// pipeline checks a CancelContext at natural barriers — between Gibbs
+// sweeps, between users, between configurations — and unwinds with
+// kDeadlineExceeded / kAborted instead of being killed from outside.
+#ifndef MICROREC_RESILIENCE_DEADLINE_H_
+#define MICROREC_RESILIENCE_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "util/status.h"
+
+namespace microrec::resilience {
+
+/// Monotonic-clock deadline; default-constructed = no limit.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline After(double seconds) {
+    Deadline deadline;
+    deadline.has_deadline_ = true;
+    deadline.at_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(seconds));
+    return deadline;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool Expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+  }
+  /// Seconds until expiry (negative once expired); +inf when unlimited.
+  double RemainingSeconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ -
+                                         std::chrono::steady_clock::now())
+        .count();
+  }
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// One-way cancellation latch, safe to trip from any thread (e.g. a signal
+/// handler trampoline or a watchdog) while workers poll it.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// What cooperative checkpoints poll: a deadline, an optional external
+/// cancellation token, or both. Copyable view; the token must outlive it.
+struct CancelContext {
+  Deadline deadline;
+  const CancelToken* token = nullptr;
+
+  static CancelContext WithTimeout(double seconds) {
+    CancelContext ctx;
+    ctx.deadline = Deadline::After(seconds);
+    return ctx;
+  }
+
+  /// OK while neither the deadline has expired nor the token has tripped;
+  /// otherwise kDeadlineExceeded / kAborted naming `what`.
+  Status Check(const char* what) const;
+};
+
+}  // namespace microrec::resilience
+
+#endif  // MICROREC_RESILIENCE_DEADLINE_H_

@@ -1,0 +1,197 @@
+#include "resilience/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace microrec::resilience {
+
+namespace internal {
+std::atomic<int> g_fault_state{0};
+}  // namespace internal
+
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Rng rng;  // only used in probability mode
+
+  SiteState() : rng(0, 1) {}
+};
+
+struct FaultRegistry {
+  std::mutex mu;
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+FaultRegistry& Registry() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+obs::Counter* InjectedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "resilience.faults.injected");
+  return counter;
+}
+
+// FNV-1a over the site name, mixed with the seed, so each site draws from
+// an independent deterministic stream.
+uint64_t SiteStream(std::string_view site) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash | 1;  // PCG stream ids must be odd after internal shifting
+}
+
+Result<FaultSpec> ParseSpec(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty fault spec");
+  std::string spec_str(text);
+  if (spec_str.find('.') != std::string::npos) {
+    char* end = nullptr;
+    double p = std::strtod(spec_str.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(p > 0.0) || p > 1.0) {
+      return Status::InvalidArgument("fault probability must be in (0, 1]: " +
+                                     spec_str);
+    }
+    FaultSpec spec;
+    spec.probability = p;
+    return spec;
+  }
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(spec_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) {
+    return Status::InvalidArgument("fault cadence must be a positive integer: " +
+                                   spec_str);
+  }
+  FaultSpec spec;
+  spec.every_nth = n;
+  return spec;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool FaultsArmedSlow() {
+  static std::mutex init_mu;
+  std::lock_guard<std::mutex> lock(init_mu);
+  int state = g_fault_state.load(std::memory_order_acquire);
+  if (state != 0) return state == 2;
+  const char* env = std::getenv("MICROREC_FAULTS");
+  if (env == nullptr || env[0] == '\0') {
+    g_fault_state.store(1, std::memory_order_release);
+    return false;
+  }
+  uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("MICROREC_FAULT_SEED")) {
+    seed = std::strtoull(seed_env, nullptr, 10);
+  }
+  Result<size_t> armed = ArmFaultsFromSpec(env, seed);
+  if (!armed.ok()) {
+    std::fprintf(stderr, "warning: ignoring MICROREC_FAULTS: %s\n",
+                 armed.status().ToString().c_str());
+    g_fault_state.store(1, std::memory_order_release);
+    return false;
+  }
+  // ArmFaultsFromSpec already stored 2; re-read in case the spec was empty.
+  return g_fault_state.load(std::memory_order_acquire) == 2;
+}
+
+}  // namespace internal
+
+Status CheckFault(std::string_view site) {
+  if (!FaultsArmed()) return Status::OK();
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return Status::OK();
+  SiteState& state = it->second;
+  ++state.hits;
+  bool fire = false;
+  if (state.spec.every_nth > 0) {
+    fire = state.hits % state.spec.every_nth == 0;
+  } else if (state.spec.probability > 0.0) {
+    fire = state.rng.Bernoulli(state.spec.probability);
+  }
+  if (!fire) return Status::OK();
+  ++state.fires;
+  InjectedCounter()->Increment();
+  return Status::Internal("injected fault at " + std::string(site) +
+                          " (hit #" + std::to_string(state.hits) + ")");
+}
+
+void MaybeThrowFault(std::string_view site) {
+  Status status = CheckFault(site);
+  if (!status.ok()) throw FaultInjectedError(status.ToString());
+}
+
+void ArmFault(std::string_view site, FaultSpec spec, uint64_t seed) {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteState state;
+  state.spec = spec;
+  state.rng = Rng(seed ^ 0xFA0175EEDULL, SiteStream(site));
+  registry.sites.insert_or_assign(std::string(site), std::move(state));
+  internal::g_fault_state.store(2, std::memory_order_release);
+}
+
+Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed) {
+  size_t armed = 0;
+  for (std::string_view entry : SplitAny(spec, ",")) {
+    size_t colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("fault entry needs <site>:<spec>: " +
+                                     std::string(entry));
+    }
+    Result<FaultSpec> parsed = ParseSpec(entry.substr(colon + 1));
+    if (!parsed.ok()) return parsed.status();
+    ArmFault(entry.substr(0, colon), *parsed, seed);
+    ++armed;
+  }
+  if (armed == 0) {
+    return Status::InvalidArgument("no fault entries in spec");
+  }
+  return armed;
+}
+
+void ClearFaults() {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  internal::g_fault_state.store(1, std::memory_order_release);
+}
+
+uint64_t FaultHitCount(std::string_view site) {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultFireCount(std::string_view site) {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedFaultSites() {
+  FaultRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, state] : registry.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace microrec::resilience

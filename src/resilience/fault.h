@@ -1,0 +1,113 @@
+// Deterministic, seeded fault injection behind named sites, for proving the
+// pipeline's degradation and recovery behaviors under test and in CI.
+//
+// A *fault site* is a string constant at a place where the code can fail
+// realistically (I/O, a Gibbs sweep, a pool task, a scoring pass). Sites are
+// dormant until armed via the environment or programmatically:
+//
+//   MICROREC_FAULTS=topic.gibbs.sweep:3,corpus.io.read:0.01
+//   MICROREC_FAULT_SEED=7            # optional; defaults to 0
+//
+// A spec of the form `N` (integer >= 1) fires on every Nth hit of the site;
+// a spec in (0, 1) fires per-hit with that probability, drawn from a
+// per-site PCG stream seeded from (site, seed) so runs are exactly
+// reproducible. Mirroring the obs trace pattern, a dormant site costs one
+// relaxed atomic load (MICROREC_FAULTS is consulted lazily on first use).
+//
+//   MICROREC_FAULT_POINT("topic.gibbs.sweep");   // returns Status on fire
+//   resilience::MaybeThrowFault("pool.task");    // throws FaultInjectedError
+#ifndef MICROREC_RESILIENCE_FAULT_H_
+#define MICROREC_RESILIENCE_FAULT_H_
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace microrec::resilience {
+
+namespace internal {
+// 0 = undecided (env not yet consulted), 1 = disarmed, 2 = armed.
+extern std::atomic<int> g_fault_state;
+bool FaultsArmedSlow();
+}  // namespace internal
+
+/// True when at least one fault site is armed. First call consults
+/// MICROREC_FAULTS / MICROREC_FAULT_SEED.
+inline bool FaultsArmed() {
+  int state = internal::g_fault_state.load(std::memory_order_acquire);
+  if (state == 0) return internal::FaultsArmedSlow();
+  return state == 2;
+}
+
+/// Activation rule for one site. Exactly one of the two modes is active.
+struct FaultSpec {
+  uint64_t every_nth = 0;    // > 0: hits N, 2N, 3N, ... fire
+  double probability = 0.0;  // in (0, 1]: seeded per-hit Bernoulli
+};
+
+/// Evaluates the site against its armed spec. Returns OK when the site is
+/// not armed or does not fire this hit; otherwise an Internal status naming
+/// the site and hit ordinal. The hot path never reaches this function when
+/// nothing is armed (see MICROREC_FAULT_POINT).
+Status CheckFault(std::string_view site);
+
+/// Exception form of a fired fault, for exception-path plumbing such as
+/// thread-pool tasks (which have no Status channel).
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Like CheckFault but throws FaultInjectedError when the site fires.
+void MaybeThrowFault(std::string_view site);
+
+/// Arms one site programmatically (tests). Replaces any existing spec and
+/// resets the site's hit counter and random stream.
+void ArmFault(std::string_view site, FaultSpec spec, uint64_t seed = 0);
+
+/// Parses and arms a MICROREC_FAULTS-style spec string
+/// ("site:3,other:0.25"). Returns the number of sites armed.
+Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed = 0);
+
+/// Disarms every site and resets all counters. After this, FaultsArmed()
+/// is false until the next ArmFault (the environment is not re-consulted).
+void ClearFaults();
+
+/// Total hits / fires observed at a site since it was armed (test hooks;
+/// 0 for unarmed sites).
+uint64_t FaultHitCount(std::string_view site);
+uint64_t FaultFireCount(std::string_view site);
+
+/// Sites currently armed, sorted by name.
+std::vector<std::string> ArmedFaultSites();
+
+/// The canonical site names instrumented across the pipeline, for
+/// documentation and spec validation (arming an unknown site is allowed —
+/// call sites in higher layers may add their own — but these are the ones
+/// the library itself checks).
+inline constexpr std::string_view kSiteCorpusIoRead = "corpus.io.read";
+inline constexpr std::string_view kSiteTopicGibbsSweep = "topic.gibbs.sweep";
+inline constexpr std::string_view kSitePoolTask = "pool.task";
+inline constexpr std::string_view kSiteEngineScore = "engine.score";
+inline constexpr std::string_view kSiteSweepConfig = "sweep.config";
+inline constexpr std::string_view kSiteCheckpointWrite = "checkpoint.write";
+
+}  // namespace microrec::resilience
+
+/// Declares a fault point that propagates a fired fault as a Status return.
+/// One relaxed atomic load when nothing is armed.
+#define MICROREC_FAULT_POINT(site)                                      \
+  do {                                                                  \
+    if (::microrec::resilience::FaultsArmed()) {                        \
+      ::microrec::Status _fault_status =                                \
+          ::microrec::resilience::CheckFault(site);                     \
+      if (!_fault_status.ok()) return _fault_status;                    \
+    }                                                                   \
+  } while (false)
+
+#endif  // MICROREC_RESILIENCE_FAULT_H_

@@ -1,0 +1,64 @@
+#include "resilience/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace microrec::resilience {
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng* rng) {
+  double delay = policy.initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) delay *= policy.backoff_multiplier;
+  delay = std::min(delay, policy.max_backoff_seconds);
+  if (policy.jitter > 0.0 && rng != nullptr) {
+    delay *= 1.0 - policy.jitter * rng->UniformDouble();
+  }
+  return delay;
+}
+
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& fn,
+                    const CancelContext* cancel,
+                    const std::function<void(double)>& sleeper) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* retries = registry.GetCounter("resilience.retry.retries");
+  static obs::Counter* exhausted =
+      registry.GetCounter("resilience.retry.exhausted");
+
+  Rng jitter_rng(policy.seed, 0x9E77);
+  Status last;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (cancel != nullptr) {
+      Status cancelled = cancel->Check("retry loop");
+      if (!cancelled.ok()) return cancelled;
+    }
+    last = fn();
+    if (last.ok()) return last;
+    if (policy.retryable && !policy.retryable(last)) return last;
+    if (attempt == attempts) break;
+    retries->Increment();
+    double delay = BackoffSeconds(policy, attempt, &jitter_rng);
+    if (sleeper) {
+      sleeper(delay);
+    } else if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  exhausted->Increment();
+  return last;
+}
+
+}  // namespace microrec::resilience

@@ -1,0 +1,57 @@
+// Bounded retry with exponential backoff and seeded jitter, for operations
+// that can fail transiently (injected faults, I/O hiccups, exhausted
+// resources). Deterministic: the jitter stream derives from the policy
+// seed, so a retried sweep reproduces exactly.
+#ifndef MICROREC_RESILIENCE_RETRY_H_
+#define MICROREC_RESILIENCE_RETRY_H_
+
+#include <functional>
+#include <vector>
+
+#include "resilience/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace microrec::resilience {
+
+/// Default transience predicate: ResourceExhausted and Internal are worth a
+/// second attempt; argument/precondition errors, deadline expiry and
+/// explicit aborts are not.
+bool IsRetryableStatus(const Status& status);
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry entirely.
+  int max_attempts = 1;
+  double initial_backoff_seconds = 0.005;
+  double max_backoff_seconds = 1.0;
+  double backoff_multiplier = 2.0;
+  /// Fraction of each backoff randomized: delay *= 1 - jitter * U[0,1).
+  double jitter = 0.5;
+  uint64_t seed = 0x5EED;
+  std::function<bool(const Status&)> retryable = IsRetryableStatus;
+
+  /// Convenience: `attempts` tries with the default backoff curve.
+  static RetryPolicy WithAttempts(int attempts) {
+    RetryPolicy policy;
+    policy.max_attempts = attempts;
+    return policy;
+  }
+};
+
+/// Backoff before attempt `attempt` (1-based count of failures so far),
+/// jittered from `rng`. Exposed for tests.
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng* rng);
+
+/// Runs `fn` until it returns OK, a non-retryable status, or attempts are
+/// exhausted (the last status is returned). Sleeps the jittered backoff
+/// between attempts via `sleeper` (defaults to std::this_thread::sleep_for;
+/// tests pass a recorder). A cancelled/expired `cancel` short-circuits
+/// between attempts without consuming the remaining budget.
+Status RunWithRetry(const RetryPolicy& policy,
+                    const std::function<Status()>& fn,
+                    const CancelContext* cancel = nullptr,
+                    const std::function<void(double)>& sleeper = {});
+
+}  // namespace microrec::resilience
+
+#endif  // MICROREC_RESILIENCE_RETRY_H_

@@ -32,6 +32,8 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
   }
+  MICROREC_RETURN_IF_ERROR(ValidateHyperparameters(
+      "BTM", config_.ResolvedAlpha(), config_.beta));
   vocab_size_ = docs.vocab_size();
   const size_t K = config_.num_topics;
   const size_t V = vocab_size_;
@@ -67,6 +69,9 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "BTM", iter, config_.cancel,
+        iter == 0 ? nullptr : weights.data(), K));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < B; ++i) {
       const auto [w1, w2] = biterms[i];

@@ -24,6 +24,8 @@ struct BtmConfig {
   /// Max distance between the two words of a biterm; <= 0 means unbounded
   /// (whole document).
   int window = 30;
+  /// Optional deadline / cancellation checked between sweeps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 
   double ResolvedAlpha() const {
     return alpha >= 0.0 ? alpha : 50.0 / static_cast<double>(num_topics);

@@ -27,6 +27,8 @@ Status Hdp::Train(const DocSet& docs, Rng* rng) {
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
   }
+  MICROREC_RETURN_IF_ERROR(ValidateHyperparameters(
+      "HDP", config_.alpha, config_.beta, config_.gamma));
   vocab_size_ = docs.vocab_size();
   const size_t V = vocab_size_;
   const size_t D = docs.num_docs();
@@ -70,6 +72,9 @@ Status Hdp::Train(const DocSet& docs, Rng* rng) {
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.hdp.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "HDP", iter, config_.cancel,
+        weights.empty() ? nullptr : weights.data(), weights.size()));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     // --- Sweep: resample every word's topic (direct assignment). ---
     for (size_t d = 0; d < D; ++d) {

@@ -28,6 +28,8 @@ struct HdpConfig {
   size_t initial_topics = 2;
   /// Safety valve for the topic count (far above typical posterior sizes).
   size_t max_topics = 512;
+  /// Optional deadline / cancellation checked between sweeps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 };
 
 /// Direct-assignment HDP sampler.

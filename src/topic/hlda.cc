@@ -52,6 +52,8 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
   }
+  MICROREC_RETURN_IF_ERROR(ValidateHyperparameters(
+      "HLDA", config_.alpha, config_.beta, config_.gamma));
   vocab_size_ = docs.vocab_size();
   const size_t D = docs.num_docs();
   const int L = config_.levels;
@@ -110,10 +112,16 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
 
   // Words of a doc grouped by level (recomputed per doc per sweep).
   std::vector<std::unordered_map<TermId, uint32_t>> by_level(L);
+  // Level posterior scratch, hoisted so the per-sweep guard can inspect
+  // the previous sweep's last sample for numeric blow-ups.
+  std::vector<double> level_weights(L);
 
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.hlda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "HLDA", iter, config_.cancel,
+        iter == 0 ? nullptr : level_weights.data(), level_weights.size()));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t d = 0; d < D; ++d) {
       const auto& words = docs.docs()[d].words;
@@ -230,7 +238,6 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
       // ---- (d) Resample level assignments along the (new) path. ----
       std::vector<uint32_t> n_dl(L, 0);
       for (size_t i = 0; i < words.size(); ++i) ++n_dl[level_of[d][i]];
-      std::vector<double> level_weights(L);
       for (size_t i = 0; i < words.size(); ++i) {
         const TermId w = words[i];
         const int old = level_of[d][i];

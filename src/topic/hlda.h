@@ -26,6 +26,8 @@ struct HldaConfig {
   double gamma = 1.0;
   int train_iterations = 200;
   int infer_iterations = 20;
+  /// Optional deadline / cancellation checked between sweeps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 };
 
 /// Collapsed Gibbs nCRP sampler.

@@ -16,6 +16,8 @@ Status Lda::Train(const DocSet& docs, Rng* rng) {
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
   }
+  MICROREC_RETURN_IF_ERROR(ValidateHyperparameters(
+      "LDA", config_.ResolvedAlpha(), config_.beta));
   vocab_size_ = docs.vocab_size();
   const size_t K = config_.num_topics;
   const size_t V = vocab_size_;
@@ -54,6 +56,9 @@ Status Lda::Train(const DocSet& docs, Rng* rng) {
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.lda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "LDA", iter, config_.cancel,
+        iter == 0 ? nullptr : weights.data(), K));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < N; ++i) {
       const uint32_t d = doc_of[i];

@@ -23,6 +23,8 @@ struct LdaConfig {
   int train_iterations = 1000;
   /// Fold-in Gibbs sweeps when inferring an unseen document.
   int infer_iterations = 20;
+  /// Optional deadline / cancellation checked between sweeps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 
   double ResolvedAlpha() const {
     return alpha >= 0.0 ? alpha : 50.0 / static_cast<double>(num_topics);

@@ -14,6 +14,8 @@ Status Llda::Train(const DocSet& docs, Rng* rng) {
   if (docs.vocab_size() == 0) {
     return Status::FailedPrecondition("empty training vocabulary");
   }
+  MICROREC_RETURN_IF_ERROR(ValidateHyperparameters(
+      "LLDA", config_.ResolvedAlpha(), config_.beta));
   vocab_size_ = docs.vocab_size();
   const size_t K = config_.TotalTopics();
   const size_t V = vocab_size_;
@@ -67,6 +69,9 @@ Status Llda::Train(const DocSet& docs, Rng* rng) {
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.llda.sweep_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "LLDA", iter, config_.cancel,
+        weights.empty() ? nullptr : weights.data(), weights.size()));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     for (size_t i = 0; i < N; ++i) {
       const uint32_t d = doc_of[i];

@@ -28,6 +28,8 @@ struct LldaConfig {
   double beta = 0.01;
   int train_iterations = 1000;
   int infer_iterations = 20;
+  /// Optional deadline / cancellation checked between sweeps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 
   size_t TotalTopics() const { return num_labels + num_latent_topics; }
   double ResolvedAlpha() const {

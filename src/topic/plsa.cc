@@ -55,6 +55,11 @@ Status Plsa::Train(const DocSet& docs, Rng* rng) {
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.plsa.step_seconds");
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    // `post` holds the previous step's last E-step posterior; a NaN in θ or
+    // φ propagates into it within one step.
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "PLSA", iter, config_.cancel,
+        iter == 0 ? nullptr : post.data(), K));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
     std::fill(theta_acc.begin(), theta_acc.end(), 0.0);
     std::fill(phi_acc.begin(), phi_acc.end(), 0.0);

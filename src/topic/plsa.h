@@ -20,6 +20,8 @@ struct PlsaConfig {
   size_t num_topics = 50;
   int train_iterations = 100;  // EM converges far faster than Gibbs
   int infer_iterations = 20;   // folding-in EM steps
+  /// Optional deadline / cancellation checked between EM steps (not owned).
+  const resilience::CancelContext* cancel = nullptr;
 };
 
 /// EM-trained PLSA.

@@ -2,8 +2,53 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+#include "resilience/fault.h"
 
 namespace microrec::topic {
+
+bool FinitePosteriorMass(const double* weights, size_t n) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) total += weights[i];
+  return std::isfinite(total);
+}
+
+Status ValidateHyperparameters(const char* model, double alpha, double beta,
+                               double gamma) {
+  if (!std::isfinite(alpha) || alpha < 0.0) {
+    return Status::InvalidArgument(std::string(model) +
+                                   ": alpha must be finite and >= 0");
+  }
+  if (!std::isfinite(beta) || beta <= 0.0) {
+    return Status::InvalidArgument(std::string(model) +
+                                   ": beta must be finite and > 0");
+  }
+  if (!std::isfinite(gamma) || gamma <= 0.0) {
+    return Status::InvalidArgument(std::string(model) +
+                                   ": gamma must be finite and > 0");
+  }
+  return Status::OK();
+}
+
+Status GuardSweep(const char* model, int sweep,
+                  const resilience::CancelContext* cancel,
+                  const double* weights, size_t n) {
+  MICROREC_FAULT_POINT(resilience::kSiteTopicGibbsSweep);
+  if (cancel != nullptr) {
+    MICROREC_RETURN_IF_ERROR(cancel->Check(model));
+  }
+  if (weights != nullptr && !FinitePosteriorMass(weights, n)) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("topic.posterior.non_finite")
+        ->Increment();
+    return Status::Internal(std::string(model) +
+                            ": non-finite posterior mass after sweep " +
+                            std::to_string(sweep));
+  }
+  return Status::OK();
+}
 
 double TopicCosine(const std::vector<double>& a,
                    const std::vector<double>& b) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "resilience/deadline.h"
 #include "topic/doc_set.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -46,6 +47,27 @@ class TopicModel {
   /// after Train(); topics index [0, num_topics()).
   virtual double TopicWordProb(size_t topic, TermId word) const = 0;
 };
+
+/// True when the summed mass of `weights` is finite — the cheap one-pass
+/// health check the samplers run once per sweep on their posterior scratch
+/// (a single NaN or infinity poisons the sum).
+bool FinitePosteriorMass(const double* weights, size_t n);
+
+/// Validates sampler hyperparameters at Train() entry: alpha and beta must
+/// be finite, alpha >= 0, and beta > 0 (a zero beta collapses the smoothing
+/// denominators); `gamma` (concentration, where the model has one) must be
+/// finite and > 0.
+Status ValidateHyperparameters(const char* model, double alpha, double beta,
+                               double gamma = 1.0);
+
+/// Per-sweep resilience hook shared by all samplers: fires the
+/// `topic.gibbs.sweep` fault site, honors an optional cancel context
+/// (deadline / cancellation between sweeps), and — when `weights` is
+/// non-null — flags a non-finite posterior from the previous sweep as an
+/// Internal error.
+Status GuardSweep(const char* model, int sweep,
+                  const resilience::CancelContext* cancel,
+                  const double* weights, size_t n);
 
 /// Held-out perplexity of a document set under a trained model:
 /// exp(-Σ_d Σ_w log Σ_z θ_d,z φ_z,w / N). Lower is better. Standard topic-

@@ -2,9 +2,7 @@
 
 namespace microrec {
 
-namespace {
-
-const char* CodeName(StatusCode code) {
+std::string_view StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -20,15 +18,28 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }
 
-}  // namespace
+Result<StatusCode> ParseStatusCode(std::string_view name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kAborted}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return Status::Internal("unknown status code name: " + std::string(name));
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out(StatusCodeName(code_));
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace microrec {
@@ -22,7 +23,19 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kInternal,
+  kDeadlineExceeded,
+  kAborted,
 };
+
+/// Canonical name of a code ("OK", "InvalidArgument", ...). Stable: the
+/// sweep checkpoint format persists these strings.
+std::string_view StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName; kInternal-status error for unknown names.
+class Status;
+template <typename T>
+class Result;
+Result<StatusCode> ParseStatusCode(std::string_view name);
 
 /// Lightweight status object returned by fallible operations.
 ///
@@ -49,6 +62,17 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// Rebuilds a status from its persisted (code, message) pair.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -29,6 +29,18 @@ obs::Counter* TasksCompletedCounter() {
   return counter;
 }
 
+obs::Counter* TasksCancelledCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "util.thread_pool.tasks_cancelled");
+  return counter;
+}
+
+obs::Counter* TaskExceptionsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "util.thread_pool.task_exceptions");
+  return counter;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -61,21 +73,43 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+size_t ThreadPool::cancelled_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cancelled_tasks_;
 }
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
   if (workers_.size() == 1 || count == 1) {
+    // Inline path: an exception propagates to the caller directly, exactly
+    // like the pooled path's rethrow from Wait().
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   std::atomic<size_t> next{0};
+  std::atomic<bool> abort{false};
   size_t shards = std::min(workers_.size(), count);
   for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, count, &fn] {
+    Submit([&next, &abort, count, &fn] {
       for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
-        fn(i);
+        if (abort.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          // Stop sibling shards from claiming further indices, then let
+          // WorkerLoop capture the exception for Wait() to rethrow.
+          abort.store(true, std::memory_order_relaxed);
+          throw;
+        }
       }
     });
   }
@@ -95,13 +129,29 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
       QueueDepthGauge()->Set(static_cast<double>(tasks_.size()));
+      if (first_error_ != nullptr) {
+        // A sibling task threw: cancel queued work instead of running it.
+        ++cancelled_tasks_;
+        TasksCancelledCounter()->Increment();
+        if (--in_flight_ == 0) all_done_.notify_all();
+        continue;
+      }
     }
     BusyWorkersGauge()->Add(1.0);
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     BusyWorkersGauge()->Add(-1.0);
     TasksCompletedCounter()->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr) {
+        TaskExceptionsCounter()->Increment();
+        if (first_error_ == nullptr) first_error_ = error;
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

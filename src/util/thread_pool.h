@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -16,9 +17,13 @@
 
 namespace microrec {
 
-/// Minimal task-queue thread pool. Tasks are void() closures; exceptions
-/// escaping a task terminate the process (tasks are expected not to throw,
-/// per the Status-based error discipline).
+/// Minimal task-queue thread pool. Tasks are void() closures and are
+/// expected not to throw (per the Status-based error discipline) — but an
+/// exception that does escape a task is captured instead of terminating the
+/// process: the first one is rethrown from the next Wait() (and hence
+/// ParallelFor), and tasks still queued at capture time are cancelled
+/// (drained without running). After the rethrow the pool is clean and
+/// reusable.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -31,25 +36,34 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished or been cancelled.
+  /// Rethrows the first exception that escaped a task since the last Wait().
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs `fn(i)` for i in [0, count) across the pool and waits. When the
-  /// pool has one thread the calls happen inline on the caller.
+  /// pool has one thread the calls happen inline on the caller. Rethrows
+  /// like Wait(); remaining indices are skipped after a throw.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Tasks discarded unrun because an earlier task threw (test hook).
+  size_t cancelled_tasks() const;
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  // First exception to escape a task since the last Wait(); while set,
+  // queued tasks are drained without running.
+  std::exception_ptr first_error_;
+  size_t cancelled_tasks_ = 0;
 };
 
 }  // namespace microrec

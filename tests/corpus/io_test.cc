@@ -122,6 +122,62 @@ TEST(CorpusIoTest, MalformedRowsRejected) {
   }
 }
 
+// Table-driven malformed-input cases: every rejection must carry the file
+// and 1-based line number so a broken import of a multi-million-row TSV is
+// diagnosable.
+struct MalformedCase {
+  const char* name;
+  const char* users;
+  const char* tweets;
+  const char* expect_in_message;  // substring, typically "file:line"
+};
+
+class MalformedTsvTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedTsvTest, RejectedWithFileAndLine) {
+  const MalformedCase& test_case = GetParam();
+  std::istringstream users(test_case.users);
+  std::istringstream tweets(test_case.tweets);
+  Result<Corpus> loaded = ReadCorpus(users, tweets);
+  ASSERT_FALSE(loaded.ok()) << test_case.name;
+  EXPECT_NE(loaded.status().message().find(test_case.expect_in_message),
+            std::string::npos)
+      << test_case.name << ": " << loaded.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, MalformedTsvTest,
+    ::testing::Values(
+        MalformedCase{"user_row_too_short", "0\talice\nBADROW", "",
+                      "users.tsv:2"},
+        MalformedCase{"user_row_too_long", "0\talice\textra", "",
+                      "users.tsv:1"},
+        MalformedCase{"user_id_not_numeric", "x\talice", "", "users.tsv:1"},
+        MalformedCase{"user_ids_not_dense", "0\talice\n5\tbob", "",
+                      "users.tsv:2"},
+        MalformedCase{"follow_row_truncated", "0\talice\nF\t0", "",
+                      "users.tsv:2"},
+        MalformedCase{"follow_unknown_followee", "0\talice\nF\t0\t9", "",
+                      "users.tsv:2"},
+        MalformedCase{"follow_bad_follower_id", "0\talice\nF\tx\t0", "",
+                      "users.tsv:2"},
+        MalformedCase{"tweet_row_truncated", "0\talice", "0\t0\t1\t-",
+                      "tweets.tsv:1"},
+        MalformedCase{"tweet_bad_time", "0\talice",
+                      "0\t0\tnot_a_time\t-\thello", "tweets.tsv:1"},
+        MalformedCase{"tweet_ids_not_dense", "0\talice", "5\t0\t1\t-\thello",
+                      "tweets.tsv:1"},
+        MalformedCase{"tweet_author_out_of_range", "0\talice",
+                      "0\t7\t1\t-\thello", "tweets.tsv:1"},
+        MalformedCase{"tweet_bad_retweet_id", "0\talice",
+                      "0\t0\t1\tzz\thello", "tweets.tsv:1"},
+        MalformedCase{"dangling_retweet_of", "0\talice",
+                      "0\t0\t1\t-\toriginal\n1\t0\t2\t9\tretweet",
+                      "tweets.tsv:2"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
 TEST(CorpusIoTest, NegativeTimestampsSupported) {
   std::istringstream users("0\talice");
   std::istringstream tweets("0\t0\t-50\t-\tearly tweet");

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "eval/sweep.h"
+#include "resilience/fault.h"
 #include "synth/generator.h"
 
 namespace microrec::eval {
@@ -176,6 +179,146 @@ TEST_F(RunnerFixture, SweepSkipsInvalidConfigs) {
       SweepConfigs(*runner_, {SimpleTn(), rocchio}, Source::kR);
   ASSERT_TRUE(sweep.ok());
   EXPECT_EQ(sweep->outcomes.size(), 1u);
+}
+
+TEST(RunResultTest, EmptyResultMapsToZero) {
+  RunResult result;
+  EXPECT_DOUBLE_EQ(result.Map(), 0.0);
+  EXPECT_DOUBLE_EQ(result.MapOfGroup({}), 0.0);
+  EXPECT_DOUBLE_EQ(result.MapOfGroup({1, 2, 3}), 0.0);
+}
+
+std::vector<rec::ModelConfig> ThreeTnConfigs() {
+  std::vector<rec::ModelConfig> configs;
+  for (int n = 1; n <= 3; ++n) {
+    rec::ModelConfig config = SimpleTn();
+    config.bag.n = n;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+TEST_F(RunnerFixture, SweepIsolatesFaultedConfigs) {
+  resilience::FaultSpec spec;
+  spec.every_nth = 2;  // the 2nd configuration fails
+  resilience::ArmFault(resilience::kSiteSweepConfig, spec);
+  Result<SweepResult> sweep =
+      SweepConfigs(*runner_, ThreeTnConfigs(), Source::kR, SweepOptions());
+  resilience::ClearFaults();
+
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->outcomes.size(), 3u);
+  EXPECT_EQ(sweep->failed(), 1u);
+  EXPECT_EQ(sweep->succeeded(), 2u);
+  EXPECT_TRUE(sweep->outcomes[0].ok());
+  EXPECT_FALSE(sweep->outcomes[1].ok());
+  EXPECT_EQ(sweep->outcomes[1].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(sweep->outcomes[2].ok());
+
+  // Aggregates cover survivors only; Best never points at the casualty.
+  auto stats = sweep->StatsOfGroup(runner_->GroupUsers(UserType::kAllUsers));
+  EXPECT_EQ(stats.configs, 2u);
+  const ConfigOutcome* best =
+      sweep->Best(runner_->GroupUsers(UserType::kAllUsers));
+  ASSERT_NE(best, nullptr);
+  EXPECT_NE(best, &sweep->outcomes[1]);
+}
+
+TEST_F(RunnerFixture, SweepFailFastAbortsOnFirstFailure) {
+  resilience::FaultSpec spec;
+  spec.every_nth = 1;
+  resilience::ArmFault(resilience::kSiteSweepConfig, spec);
+  SweepOptions options;
+  options.fail_fast = true;
+  Result<SweepResult> sweep =
+      SweepConfigs(*runner_, ThreeTnConfigs(), Source::kR, options);
+  resilience::ClearFaults();
+
+  ASSERT_FALSE(sweep.ok());
+  EXPECT_EQ(sweep.status().code(), StatusCode::kInternal);
+  EXPECT_NE(sweep.status().message().find("fail-fast"), std::string::npos);
+}
+
+TEST_F(RunnerFixture, SweepRetriesTransientRunFailures) {
+  resilience::FaultSpec spec;
+  spec.every_nth = 1;  // every scoring pass dies on its first user
+  resilience::ArmFault(resilience::kSiteEngineScore, spec);
+  SweepOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_seconds = 0.0;
+  Result<SweepResult> sweep =
+      SweepConfigs(*runner_, {SimpleTn()}, Source::kR, options);
+  uint64_t hits = resilience::FaultHitCount(resilience::kSiteEngineScore);
+  resilience::ClearFaults();
+
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_EQ(sweep->failed(), 1u);
+  EXPECT_EQ(hits, 2u);  // the retry re-entered the engine before giving up
+}
+
+TEST_F(RunnerFixture, SweepHonorsCancellation) {
+  resilience::CancelToken token;
+  token.Cancel();
+  SweepOptions options;
+  options.cancel = &token;
+  Result<SweepResult> sweep =
+      SweepConfigs(*runner_, ThreeTnConfigs(), Source::kR, options);
+  EXPECT_EQ(sweep.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(RunnerFixture, SweepConfigDeadlineIsIsolated) {
+  SweepOptions options;
+  options.config_timeout_seconds = 1e-9;  // expires before the first user
+  Result<SweepResult> sweep =
+      SweepConfigs(*runner_, {SimpleTn()}, Source::kR, options);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->outcomes.size(), 1u);
+  EXPECT_EQ(sweep->outcomes[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(sweep->succeeded(), 0u);
+  EXPECT_EQ(sweep->StatsOfGroup(runner_->GroupUsers(UserType::kAllUsers))
+                .configs,
+            0u);
+}
+
+TEST_F(RunnerFixture, SweepCheckpointResumeSkipsCompletedConfigs) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "microrec_sweep_ckpt_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SweepOptions options;
+  options.checkpoint_path = (dir / "ckpt.jsonl").string();
+
+  Result<SweepResult> first =
+      SweepConfigs(*runner_, ThreeTnConfigs(), Source::kR, options);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->resumed, 0u);
+
+  Result<SweepResult> second =
+      SweepConfigs(*runner_, ThreeTnConfigs(), Source::kR, options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->resumed, 3u);
+  ASSERT_EQ(second->outcomes.size(), first->outcomes.size());
+  for (size_t i = 0; i < first->outcomes.size(); ++i) {
+    EXPECT_EQ(second->outcomes[i].result.users, first->outcomes[i].result.users);
+    EXPECT_EQ(second->outcomes[i].result.aps, first->outcomes[i].result.aps);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(RunnerFixture, SweepCheckpointRefusesForeignSource) {
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "microrec_sweep_ckpt_key_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SweepOptions options;
+  options.checkpoint_path = (dir / "ckpt.jsonl").string();
+
+  ASSERT_TRUE(
+      SweepConfigs(*runner_, {SimpleTn()}, Source::kR, options).ok());
+  Result<SweepResult> other =
+      SweepConfigs(*runner_, {SimpleTn()}, Source::kT, options);
+  EXPECT_EQ(other.status().code(), StatusCode::kFailedPrecondition);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ThinConfigsTest, KeepsEndpointsAndBounds) {

@@ -1,0 +1,81 @@
+#include "resilience/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace microrec::resilience {
+namespace {
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  Deadline deadline;
+  EXPECT_FALSE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(std::isinf(deadline.RemainingSeconds()));
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline deadline = Deadline::After(60.0);
+  EXPECT_TRUE(deadline.has_deadline());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingSeconds(), 0.0);
+  EXPECT_LE(deadline.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, PastDeadlineExpires) {
+  Deadline deadline = Deadline::After(-1.0);
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_LT(deadline.RemainingSeconds(), 0.0);
+}
+
+TEST(CancelTokenTest, TripsExactlyOnce) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, VisibleAcrossThreads) {
+  CancelToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelContextTest, EmptyContextIsAlwaysOk) {
+  CancelContext ctx;
+  EXPECT_TRUE(ctx.Check("anything").ok());
+}
+
+TEST(CancelContextTest, ExpiredDeadlineYieldsDeadlineExceeded) {
+  CancelContext ctx = CancelContext::WithTimeout(-1.0);
+  Status status = ctx.Check("gibbs sweep");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("gibbs sweep"), std::string::npos);
+}
+
+TEST(CancelContextTest, TrippedTokenYieldsAborted) {
+  CancelToken token;
+  CancelContext ctx;
+  ctx.token = &token;
+  EXPECT_TRUE(ctx.Check("scoring").ok());
+  token.Cancel();
+  Status status = ctx.Check("scoring");
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_NE(status.message().find("scoring"), std::string::npos);
+}
+
+TEST(CancelContextTest, TokenTakesPrecedenceOverDeadline) {
+  CancelToken token;
+  token.Cancel();
+  CancelContext ctx = CancelContext::WithTimeout(-1.0);
+  ctx.token = &token;
+  // Both tripped; cancellation is the more specific signal.
+  EXPECT_EQ(ctx.Check("x").code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace microrec::resilience

@@ -1,0 +1,150 @@
+#include "resilience/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace microrec::resilience {
+namespace {
+
+// Fault state is process-global; every test starts and ends disarmed so the
+// suite stays order-independent.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearFaults(); }
+  void TearDown() override { ClearFaults(); }
+};
+
+TEST_F(FaultTest, DormantSiteNeverFires) {
+  EXPECT_FALSE(FaultsArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(CheckFault("some.site").ok());
+  }
+  EXPECT_EQ(FaultHitCount("some.site"), 0u);
+  EXPECT_TRUE(ArmedFaultSites().empty());
+}
+
+TEST_F(FaultTest, EveryNthFiresOnExactCadence) {
+  FaultSpec spec;
+  spec.every_nth = 3;
+  ArmFault("cadence.site", spec);
+  EXPECT_TRUE(FaultsArmed());
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(!CheckFault("cadence.site").ok());
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+  EXPECT_EQ(FaultHitCount("cadence.site"), 9u);
+  EXPECT_EQ(FaultFireCount("cadence.site"), 3u);
+}
+
+TEST_F(FaultTest, FiredStatusNamesSiteAndHit) {
+  FaultSpec spec;
+  spec.every_nth = 1;
+  ArmFault("named.site", spec);
+  Status status = CheckFault("named.site");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("named.site"), std::string::npos);
+  EXPECT_NE(status.message().find("hit #1"), std::string::npos);
+}
+
+TEST_F(FaultTest, ArmedSiteDoesNotAffectOtherSites) {
+  FaultSpec spec;
+  spec.every_nth = 1;
+  ArmFault("armed.site", spec);
+  EXPECT_TRUE(CheckFault("other.site").ok());
+  EXPECT_EQ(FaultHitCount("other.site"), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityModeIsSeedReproducible) {
+  FaultSpec spec;
+  spec.probability = 0.3;
+
+  auto pattern_of = [&](uint64_t seed) {
+    ArmFault("prob.site", spec, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!CheckFault("prob.site").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = pattern_of(7);
+  std::vector<bool> second = pattern_of(7);
+  EXPECT_EQ(first, second);
+
+  size_t fires = 0;
+  for (bool f : first) fires += f ? 1 : 0;
+  // Loose band around p=0.3 over 200 draws; deterministic, so not flaky.
+  EXPECT_GT(fires, 20u);
+  EXPECT_LT(fires, 120u);
+}
+
+TEST_F(FaultTest, RearmingResetsCounters) {
+  FaultSpec spec;
+  spec.every_nth = 2;
+  ArmFault("reset.site", spec);
+  (void)CheckFault("reset.site");
+  (void)CheckFault("reset.site");
+  EXPECT_EQ(FaultHitCount("reset.site"), 2u);
+  ArmFault("reset.site", spec);
+  EXPECT_EQ(FaultHitCount("reset.site"), 0u);
+  EXPECT_EQ(FaultFireCount("reset.site"), 0u);
+}
+
+TEST_F(FaultTest, MaybeThrowFaultThrowsTypedError) {
+  FaultSpec spec;
+  spec.every_nth = 1;
+  ArmFault("throwing.site", spec);
+  EXPECT_THROW(MaybeThrowFault("throwing.site"), FaultInjectedError);
+  ClearFaults();
+  EXPECT_NO_THROW(MaybeThrowFault("throwing.site"));
+}
+
+TEST_F(FaultTest, ArmFaultsFromSpecParsesBothModes) {
+  Result<size_t> armed = ArmFaultsFromSpec("alpha.site:3,beta.site:0.5");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(*armed, 2u);
+  EXPECT_EQ(ArmedFaultSites(),
+            (std::vector<std::string>{"alpha.site", "beta.site"}));
+}
+
+TEST_F(FaultTest, ArmFaultsFromSpecRejectsMalformedEntries) {
+  EXPECT_FALSE(ArmFaultsFromSpec("").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("no-colon").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:0").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:1.5").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:-0.5").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:nonsense").ok());
+}
+
+TEST_F(FaultTest, ClearFaultsDisarmsEverything) {
+  FaultSpec spec;
+  spec.every_nth = 1;
+  ArmFault("cleared.site", spec);
+  ASSERT_TRUE(FaultsArmed());
+  ClearFaults();
+  EXPECT_FALSE(FaultsArmed());
+  EXPECT_TRUE(CheckFault("cleared.site").ok());
+}
+
+Status GuardedOperation() {
+  MICROREC_FAULT_POINT("macro.site");
+  return Status::OK();
+}
+
+TEST_F(FaultTest, FaultPointMacroPropagatesFiredStatus) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  FaultSpec spec;
+  spec.every_nth = 1;
+  ArmFault("macro.site", spec);
+  Status status = GuardedOperation();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace microrec::resilience

@@ -1,0 +1,146 @@
+#include "resilience/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace microrec::resilience {
+namespace {
+
+// All tests pass a recording sleeper so no wall-clock time is spent.
+std::function<void(double)> Recorder(std::vector<double>* delays) {
+  return [delays](double d) { delays->push_back(d); };
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  std::vector<double> delays;
+  int calls = 0;
+  Status status = RunWithRetry(
+      RetryPolicy::WithAttempts(5),
+      [&calls] {
+        ++calls;
+        return Status::OK();
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(RetryTest, RetriesTransientFailureUntilSuccess) {
+  std::vector<double> delays;
+  int calls = 0;
+  Status status = RunWithRetry(
+      RetryPolicy::WithAttempts(5),
+      [&calls] {
+        ++calls;
+        return calls < 3 ? Status::Internal("transient") : Status::OK();
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastStatus) {
+  std::vector<double> delays;
+  int calls = 0;
+  Status status = RunWithRetry(
+      RetryPolicy::WithAttempts(3),
+      [&calls] {
+        ++calls;
+        return Status::Internal("always failing");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "always failing");
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RetryTest, NonRetryableStatusShortCircuits) {
+  int calls = 0;
+  Status status = RunWithRetry(RetryPolicy::WithAttempts(5), [&calls] {
+    ++calls;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, DefaultPredicateClassifiesCodes) {
+  EXPECT_TRUE(IsRetryableStatus(Status::Internal("x")));
+  EXPECT_TRUE(IsRetryableStatus(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::InvalidArgument("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Aborted("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("x")));
+}
+
+TEST(RetryTest, CustomPredicateOverridesDefault) {
+  RetryPolicy policy = RetryPolicy::WithAttempts(3);
+  policy.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;
+  };
+  std::vector<double> delays;
+  int calls = 0;
+  Status status = RunWithRetry(
+      policy,
+      [&calls] {
+        ++calls;
+        return Status::NotFound("eventually consistent");
+      },
+      nullptr, Recorder(&delays));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, CancelledContextStopsBeforeNextAttempt) {
+  CancelToken token;
+  CancelContext cancel;
+  cancel.token = &token;
+  std::vector<double> delays;
+  int calls = 0;
+  Status status = RunWithRetry(
+      RetryPolicy::WithAttempts(5),
+      [&calls, &token] {
+        ++calls;
+        token.Cancel();
+        return Status::Internal("transient");
+      },
+      &cancel, Recorder(&delays));
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.5;
+  policy.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 1, nullptr), 0.1);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 2, nullptr), 0.2);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 3, nullptr), 0.4);
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 4, nullptr), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(BackoffSeconds(policy, 10, nullptr), 0.5);
+}
+
+TEST(RetryTest, JitterIsSeedDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.max_backoff_seconds = 1.0;
+  policy.jitter = 0.5;
+  Rng rng_a(123, 1);
+  Rng rng_b(123, 1);
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    double a = BackoffSeconds(policy, attempt, &rng_a);
+    double b = BackoffSeconds(policy, attempt, &rng_b);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.5 - 1e-12);  // jitter shrinks by at most 50%
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace microrec::resilience

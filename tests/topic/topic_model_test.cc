@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "resilience/deadline.h"
+#include "resilience/fault.h"
 
 namespace microrec::topic {
 namespace {
@@ -73,6 +77,83 @@ TEST(AggregateDistributionsTest, RocchioSkipsZeroVectors) {
   // The zero negative is skipped entirely.
   EXPECT_NEAR(user[0], 0.8, 1e-12);
   EXPECT_NEAR(user[1], 0.0, 1e-12);
+}
+
+TEST(FinitePosteriorMassTest, DetectsNanAndInfinityAnywhere) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  double clean[] = {0.1, 0.2, 0.7};
+  EXPECT_TRUE(FinitePosteriorMass(clean, 3));
+  double with_nan[] = {0.1, kNan, 0.7};
+  EXPECT_FALSE(FinitePosteriorMass(with_nan, 3));
+  double with_inf[] = {kInf, 0.2, 0.7};
+  EXPECT_FALSE(FinitePosteriorMass(with_inf, 3));
+  // Opposite infinities sum to NaN, so they are still caught.
+  double cancelling[] = {kInf, -kInf};
+  EXPECT_FALSE(FinitePosteriorMass(cancelling, 2));
+  EXPECT_TRUE(FinitePosteriorMass(nullptr, 0));
+}
+
+TEST(ValidateHyperparametersTest, AcceptsPaperRanges) {
+  EXPECT_TRUE(ValidateHyperparameters("LDA", 50.0 / 200, 0.01).ok());
+  // alpha == 0 is legal (L-LDA uses label-restricted priors).
+  EXPECT_TRUE(ValidateHyperparameters("LLDA", 0.0, 0.01).ok());
+  EXPECT_TRUE(ValidateHyperparameters("HDP", 1.0, 0.01, 1.5).ok());
+}
+
+TEST(ValidateHyperparametersTest, RejectsDegenerateValues) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateHyperparameters("LDA", -0.5, 0.01).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateHyperparameters("LDA", kNan, 0.01).code(),
+            StatusCode::kInvalidArgument);
+  // beta == 0 collapses the smoothing denominator.
+  EXPECT_EQ(ValidateHyperparameters("LDA", 1.0, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateHyperparameters("HDP", 1.0, 0.01, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  // The offending model is named in the message.
+  Status status = ValidateHyperparameters("BTM", 1.0, -1.0);
+  EXPECT_NE(status.message().find("BTM"), std::string::npos);
+}
+
+TEST(GuardSweepTest, CleanSweepPasses) {
+  double weights[] = {0.25, 0.75};
+  EXPECT_TRUE(GuardSweep("LDA", 3, nullptr, weights, 2).ok());
+  EXPECT_TRUE(GuardSweep("LDA", 3, nullptr, nullptr, 0).ok());
+}
+
+TEST(GuardSweepTest, NonFinitePosteriorNamesModelAndSweep) {
+  double weights[] = {0.25, std::numeric_limits<double>::quiet_NaN()};
+  Status status = GuardSweep("BTM", 7, nullptr, weights, 2);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("BTM"), std::string::npos);
+  EXPECT_NE(status.message().find("7"), std::string::npos);
+}
+
+TEST(GuardSweepTest, HonorsCancelContext) {
+  double weights[] = {1.0};
+  resilience::CancelToken token;
+  token.Cancel();
+  resilience::CancelContext cancel;
+  cancel.token = &token;
+  EXPECT_EQ(GuardSweep("LDA", 0, &cancel, weights, 1).code(),
+            StatusCode::kAborted);
+}
+
+TEST(GuardSweepTest, FiresTheGibbsFaultSite) {
+  resilience::ClearFaults();
+  resilience::FaultSpec spec;
+  spec.every_nth = 1;
+  resilience::ArmFault(resilience::kSiteTopicGibbsSweep, spec);
+  double weights[] = {1.0};
+  Status status = GuardSweep("LDA", 0, nullptr, weights, 1);
+  resilience::ClearFaults();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find(resilience::kSiteTopicGibbsSweep),
+            std::string::npos);
+  // Disarmed again, the same sweep passes.
+  EXPECT_TRUE(GuardSweep("LDA", 0, nullptr, weights, 1).ok());
 }
 
 }  // namespace

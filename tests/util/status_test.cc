@@ -28,6 +28,31 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, CodeNamesRoundTripThroughParse) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kAborted}) {
+    Result<StatusCode> parsed = ParseStatusCode(StatusCodeName(code));
+    ASSERT_TRUE(parsed.ok()) << StatusCodeName(code);
+    EXPECT_EQ(*parsed, code);
+  }
+  EXPECT_FALSE(ParseStatusCode("NoSuchCode").ok());
+  EXPECT_FALSE(ParseStatusCode("").ok());
+}
+
+TEST(StatusTest, FromCodeRebuildsPersistedStatus) {
+  Status status = Status::FromCode(StatusCode::kDeadlineExceeded, "too slow");
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.message(), "too slow");
+  // OK never carries a message.
+  EXPECT_EQ(Status::FromCode(StatusCode::kOk, "ignored"), Status::OK());
 }
 
 TEST(StatusTest, Equality) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace microrec {
@@ -69,6 +70,62 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task blew up"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, QueuedTasksCancelledAfterThrow) {
+  ThreadPool pool(1);  // serial: the throw lands before the queue drains
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("first task dies"); });
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_LT(ran.load(), 50);
+  EXPECT_GT(pool.cancelled_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, PoolReusableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed; the next wave runs clean.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAndSkipsRemainder) {
+  ThreadPool pool(2);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&visited](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("index 3 dies");
+                                  }
+                                  visited.fetch_add(1);
+                                }),
+               std::runtime_error);
+  EXPECT_LT(visited.load(), 1000);
+}
+
+TEST(ThreadPoolTest, FirstOfManyExceptionsWins) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("one of many"); });
+  }
+  // Exactly one rethrow; the rest are swallowed with the queue drained.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // clean again
+  SUCCEED();
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 //   microrec stats <dir>                  corpus + cohort statistics
 //   microrec evaluate <dir> <model> <source> [iter_scale]
 //                                         MAP of one model configuration
+//   microrec sweep <dir> <model> <source> [iter_scale]
+//                                         sweep the model's config grid with
+//                                         fault isolation and checkpointing
 //   microrec suggest <dir> <user_handle> [top_k]
 //                                         hashtag suggestions for one user
 //
@@ -12,6 +15,15 @@
 //   --metrics=<path>   write a metrics-registry snapshot as JSON at exit
 //   --trace=<path>     write a Chrome trace_event JSON (Perfetto-loadable)
 // Both imply a one-line phase-time summary on stderr at exit.
+//
+// Resilience flags (sweep only; see DESIGN.md, "Resilience"):
+//   --checkpoint=<path>   stream outcomes to a JSONL checkpoint; rerunning
+//                         with the same path resumes past completed configs
+//   --fail-fast           abort on the first failed configuration instead of
+//                         isolating it and sweeping on
+//   --max-configs=<n>     cap the (validity-filtered) grid at n configs
+//   --timeout=<seconds>   per-configuration deadline (0 = none)
+// Fault injection is armed via MICROREC_FAULTS (see src/resilience/fault.h).
 //
 // The <dir> format is the TSV layout documented in corpus/io.h, so real
 // datasets can be imported by producing users.tsv / tweets.tsv.
@@ -24,6 +36,7 @@
 #include "corpus/io.h"
 #include "corpus/user_types.h"
 #include "eval/experiment.h"
+#include "eval/sweep.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/hashtag_rec.h"
@@ -48,6 +61,9 @@ int Usage() {
       "  microrec stats <dir>\n"
       "  microrec evaluate <dir> <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
       " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
+      "  microrec sweep [--checkpoint=<path>] [--fail-fast]"
+      " [--max-configs=<n>] [--timeout=<s>]\n"
+      "                 <dir> <model> <source> [iter_scale]\n"
       "  microrec suggest <dir> <user_handle> [top_k]\n");
   return 2;
 }
@@ -216,6 +232,65 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   return 0;
 }
 
+/// Resilience flags shared by main() and the sweep command.
+struct SweepFlags {
+  std::string checkpoint_path;
+  bool fail_fast = false;
+  size_t max_configs = 0;
+  double timeout_seconds = 0.0;
+};
+
+int Sweep(const std::string& dir, const std::string& model_name,
+          const std::string& source_name, double iter_scale,
+          const SweepFlags& flags) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions run_options;
+  run_options.topic_iteration_scale = iter_scale;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort,
+                                run_options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  eval::SweepOptions options;
+  options.max_configs = flags.max_configs;
+  options.fail_fast = flags.fail_fast;
+  options.checkpoint_path = flags.checkpoint_path;
+  options.config_timeout_seconds = flags.timeout_seconds;
+  Result<eval::SweepResult> sweep = eval::SweepConfigs(
+      runner, rec::EnumerateConfigs(*kind), *source, options);
+  if (!sweep.ok()) return Fail(sweep.status());
+
+  TableWriter table(std::string(rec::ModelKindName(*kind)) + " sweep on " +
+                    std::string(corpus::SourceName(*source)));
+  table.SetHeader({"configuration", "MAP", "TTime s", "ETime s", "status"});
+  for (const eval::ConfigOutcome& outcome : sweep->outcomes) {
+    if (outcome.ok()) {
+      table.AddRow({outcome.config.ToString(),
+                    FormatDouble(outcome.result.Map(), 3),
+                    FormatDouble(outcome.result.ttime_seconds, 2),
+                    FormatDouble(outcome.result.etime_seconds, 2), "OK"});
+    } else {
+      table.AddRow({outcome.config.ToString(), "-", "-", "-",
+                    outcome.status.ToString()});
+    }
+  }
+  table.RenderText(std::cout);
+  std::printf("%zu succeeded / %zu failed / %zu resumed from checkpoint\n",
+              sweep->succeeded(), sweep->failed(), sweep->resumed);
+  const std::vector<corpus::UserId>& all =
+      stack->cohort.Group(corpus::UserType::kAllUsers);
+  if (const eval::ConfigOutcome* best = sweep->Best(all)) {
+    std::printf("best: %s (MAP %.3f)\n", best->config.ToString().c_str(),
+                best->result.MapOfGroup(all));
+  }
+  return 0;
+}
+
 int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
   Result<Stack> stack = Stack::Load(dir);
   if (!stack.ok()) return Fail(stack.status());
@@ -261,7 +336,7 @@ int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
   return 0;
 }
 
-int Dispatch(const std::vector<std::string>& args) {
+int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags) {
   if (args.size() < 2) return Usage();
   const std::string& command = args[0];
   const std::string& dir = args[1];
@@ -274,6 +349,10 @@ int Dispatch(const std::vector<std::string>& args) {
   if (command == "evaluate" && args.size() >= 4) {
     double iter_scale = args.size() > 4 ? std::atof(args[4].c_str()) : 0.03;
     return Evaluate(dir, args[2], args[3], iter_scale);
+  }
+  if (command == "sweep" && args.size() >= 4) {
+    double iter_scale = args.size() > 4 ? std::atof(args[4].c_str()) : 0.03;
+    return Sweep(dir, args[2], args[3], iter_scale, flags);
   }
   if (command == "suggest" && args.size() >= 3) {
     size_t top_k =
@@ -288,6 +367,7 @@ int Dispatch(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   std::string metrics_path;
   bool observed = false;
+  SweepFlags flags;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -297,11 +377,20 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--trace=")) {
       obs::StartTracing(arg.substr(8));
       observed = true;
+    } else if (StartsWith(arg, "--checkpoint=")) {
+      flags.checkpoint_path = arg.substr(13);
+    } else if (arg == "--fail-fast") {
+      flags.fail_fast = true;
+    } else if (StartsWith(arg, "--max-configs=")) {
+      flags.max_configs = static_cast<size_t>(
+          std::strtoull(arg.substr(14).c_str(), nullptr, 10));
+    } else if (StartsWith(arg, "--timeout=")) {
+      flags.timeout_seconds = std::atof(arg.substr(10).c_str());
     } else {
       args.push_back(std::move(arg));
     }
   }
-  int code = Dispatch(args);
+  int code = Dispatch(args, flags);
   if (observed) PrintPhaseSummary();
   if (!metrics_path.empty() && !WriteMetricsFile(metrics_path)) code = 1;
   obs::StopTracing();
