@@ -8,6 +8,12 @@
 // models 1-2 orders slower than their bag counterparts, BTM the slowest
 // topic trainer, HLDA the slowest at test time, LDA the fastest topic
 // trainer.
+//
+// Snapshot mode (DESIGN.md §8): with MICROREC_SNAPSHOT_DIR set, every run
+// persists its trained engine; re-running with MICROREC_WARM_START=1 skips
+// training and the reported TTime collapses to snapshot-load time — the
+// run report's snapshot_warm_starts scalar confirms which regime produced
+// the numbers.
 #include <iostream>
 
 #include "bench_util.h"

@@ -8,6 +8,11 @@
 //   MICROREC_MAX_CONFIGS per-model configuration cap for sweeps (default
 //                        varies per bench; 0 = full grid)
 //   MICROREC_FULL_GRID   "1" forces the complete 223-configuration grid
+//   MICROREC_SNAPSHOT_DIR  persist every run's trained engine to this
+//                        directory (microrec.snap/1 files, DESIGN.md §8)
+//   MICROREC_WARM_START  "1" warm-starts each run from its snapshot when
+//                        one exists — TTime collapses to load time
+//                        (--snapshot-dir= / --warm-start flags work too)
 //
 // Every bench also understands observability flags (see DESIGN.md):
 //   --report=<path>   structured JSON run report (metrics snapshot incl.
@@ -105,6 +110,12 @@ inline Workbench MakeWorkbench() {
   eval::RunOptions options;
   options.topic_iteration_scale = EnvDouble("MICROREC_ITER_SCALE", 0.03);
   options.seed = spec.seed;
+  if (const char* dir = std::getenv("MICROREC_SNAPSHOT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    options.snapshot_dir = dir;
+    options.snapshot_save = true;
+    options.snapshot_load = EnvFlag("MICROREC_WARM_START");
+  }
   bench.runner = std::make_unique<eval::ExperimentRunner>(
       bench.pre.get(), bench.cohort.get(), options);
   if (Status st = bench.runner->Init(); !st.ok()) {
@@ -171,6 +182,12 @@ inline BenchIo ParseBenchArgs(int argc, char** argv) {
       io.checkpoint_path = arg.substr(13);
     } else if (arg == "--fail-fast") {
       io.fail_fast = true;
+    } else if (StartsWith(arg, "--snapshot-dir=")) {
+      // Routed through the environment so MakeWorkbench (which may be
+      // called before or after flag parsing) sees one source of truth.
+      setenv("MICROREC_SNAPSHOT_DIR", arg.substr(15).c_str(), 1);
+    } else if (arg == "--warm-start") {
+      setenv("MICROREC_WARM_START", "1", 1);
     } else {
       std::fprintf(stderr, "warning: ignoring unknown flag %s\n",
                    arg.c_str());
@@ -220,6 +237,20 @@ inline int FinishBench(const BenchIo& io, const char* bench_name) {
     if (const obs::CounterSnapshot* c =
             snapshot.FindCounter("resilience.faults.injected")) {
       report.AddScalar("faults_injected", static_cast<double>(c->value));
+    }
+    // Snapshot traffic: warm_starts > 0 explains a collapsed TTime in the
+    // numbers above (training was skipped, only the load was paid).
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("snapshot.warm_starts")) {
+      report.AddScalar("snapshot_warm_starts", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("snapshot.warm_miss")) {
+      report.AddScalar("snapshot_warm_misses", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("snapshot.writes")) {
+      report.AddScalar("snapshot_writes", static_cast<double>(c->value));
     }
     report.AddText("iter_scale",
                    FormatDouble(EnvDouble("MICROREC_ITER_SCALE", 0.03), 3));

@@ -134,4 +134,12 @@ double BagModeler::Score(const SparseVector& user,
   return 0.0;
 }
 
+void BagModeler::RestoreFitted(const std::vector<std::string>& terms,
+                               std::vector<uint32_t> df,
+                               size_t num_train_docs) {
+  for (const std::string& term : terms) vocab_.Intern(term);
+  df_ = std::move(df);
+  num_train_docs_ = num_train_docs;
+}
+
 }  // namespace microrec::bag

@@ -54,6 +54,17 @@ class BagModeler {
   size_t vocabulary_size() const { return vocab_.size(); }
   size_t num_train_docs() const { return num_train_docs_; }
 
+  /// Fitted state, exposed for snapshot persistence (the serialization
+  /// itself lives in the rec layer). `doc_frequencies` may be shorter than
+  /// the vocabulary: terms interned at test time have df 0.
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+  const std::vector<uint32_t>& doc_frequencies() const { return df_; }
+
+  /// Restores the fitted state captured by the accessors above into a
+  /// freshly constructed modeler, replacing Fit().
+  void RestoreFitted(const std::vector<std::string>& terms,
+                     std::vector<uint32_t> df, size_t num_train_docs);
+
  private:
   /// N-gram term ids of a document (interning new terms).
   std::vector<TermId> ExtractTerms(const TokenDoc& doc);

@@ -32,6 +32,14 @@ struct RunOptions {
   /// synthetic corpora so hashtag labels exist at all).
   size_t llda_min_hashtag_count = 10;
   corpus::SplitOptions split;
+  /// Snapshot store (train-once / recommend-many). When `snapshot_dir` is
+  /// non-empty, `snapshot_load` warm-starts each run from the matching
+  /// snapshot (missing files cold-train) and `snapshot_save` persists the
+  /// trained engine — including user models and inference caches — after
+  /// the run. Paths are keyed by configuration fingerprint and source.
+  std::string snapshot_dir;
+  bool snapshot_save = false;
+  bool snapshot_load = false;
 };
 
 /// Outcome of evaluating one (configuration, source) pair over the whole
@@ -71,6 +79,19 @@ class ExperimentRunner {
   /// or tripped token surfaces as DeadlineExceeded / Aborted.
   Result<RunResult> Run(const rec::ModelConfig& config, corpus::Source source,
                         const resilience::CancelContext* cancel = nullptr);
+
+  /// The engine context Run() uses for (config, source) — exposed so the
+  /// serving path and the CLI score with exactly the run's identity (seed,
+  /// iteration scale, train-set accessor), which snapshot loading verifies.
+  rec::EngineContext MakeContext(const rec::ModelConfig& config,
+                                 corpus::Source source,
+                                 const resilience::CancelContext* cancel =
+                                     nullptr);
+
+  /// Snapshot path of (config, source) under options().snapshot_dir:
+  /// `<dir>/<config-fingerprint>-<source>.snap`. Empty when no dir is set.
+  std::string SnapshotPath(const rec::ModelConfig& config,
+                           corpus::Source source) const;
 
   /// The split of one user (must have survived Init()).
   const corpus::UserSplit& SplitOf(corpus::UserId u) const;

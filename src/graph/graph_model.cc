@@ -71,4 +71,8 @@ NgramGraph GraphModeler::BuildUserGraph(
   return user;
 }
 
+void GraphModeler::RestoreVocabulary(const std::vector<std::string>& terms) {
+  for (const std::string& term : terms) vocab_.Intern(term);
+}
+
 }  // namespace microrec::graph

@@ -58,6 +58,14 @@ class GraphModeler {
   const GraphConfig& config() const { return config_; }
   size_t vocabulary_size() const { return vocab_.size(); }
 
+  /// Interned n-gram terms, exposed for snapshot persistence (the
+  /// serialization itself lives in the rec layer).
+  const text::Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Rebuilds the vocabulary from a persisted term list on a freshly
+  /// constructed modeler (graph edge keys reference these term ids).
+  void RestoreVocabulary(const std::vector<std::string>& terms);
+
  private:
   std::vector<TermId> ExtractTerms(const std::vector<std::string>& doc);
 

@@ -5,10 +5,12 @@
 #include <unordered_set>
 
 #include "bag/bag_model.h"
+#include "corpus/sources.h"
 #include "graph/graph_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/llda_labels.h"
+#include "snapshot/snapshot.h"
 #include "topic/btm.h"
 #include "topic/hdp.h"
 #include "topic/hlda.h"
@@ -49,16 +51,110 @@ obs::Counter* ScoreCounter() {
   return counter;
 }
 
+obs::Counter* WarmStartCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.warm_starts");
+  return counter;
+}
+
+obs::Counter* WarmMissCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.warm_miss");
+  return counter;
+}
+
+// ---- Shared snapshot plumbing. ----
+
+std::vector<std::string> VocabTerms(const text::Vocabulary& vocab) {
+  std::vector<std::string> terms;
+  terms.reserve(vocab.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    terms.push_back(vocab.TermOf(static_cast<text::TermId>(i)));
+  }
+  return terms;
+}
+
+snapshot::Header MakeSnapshotHeader(const ModelConfig& config,
+                                    const EngineContext& ctx,
+                                    uint64_t vocab_fingerprint) {
+  snapshot::Header header;
+  header.model = std::string(ModelKindName(config.kind));
+  header.source = std::string(corpus::SourceName(ctx.source));
+  header.seed = ctx.seed;
+  header.iteration_scale = ctx.iteration_scale;
+  header.config_fingerprint = config.Fingerprint();
+  header.vocab_fingerprint = vocab_fingerprint;
+  return header;
+}
+
+Status VerifySnapshotIdentity(const snapshot::File& file,
+                              const ModelConfig& config,
+                              const EngineContext& ctx) {
+  return file.VerifyIdentity(std::string(ModelKindName(config.kind)),
+                             std::string(corpus::SourceName(ctx.source)),
+                             ctx.seed, ctx.iteration_scale,
+                             config.Fingerprint());
+}
+
+// FNV-1a mixing of one 64-bit value into a running hash; the bag/graph
+// engines bind their header's vocabulary fingerprint to the full sorted
+// (user id, per-user vocabulary fingerprint) sequence.
+uint64_t MixFingerprint(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFFu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+void SaveRngState(const Rng& rng, snapshot::Encoder* enc) {
+  Rng::State state = rng.SaveState();
+  enc->PutU64(state.state);
+  enc->PutU64(state.inc);
+  enc->PutU8(state.has_cached_normal ? 1 : 0);
+  enc->PutF64(state.cached_normal);
+}
+
+Status LoadRngState(snapshot::Decoder* dec, Rng* rng) {
+  Rng::State state;
+  uint8_t has_cached = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&state.state));
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&state.inc));
+  MICROREC_RETURN_IF_ERROR(dec->ReadU8(&has_cached));
+  MICROREC_RETURN_IF_ERROR(dec->ReadF64(&state.cached_normal));
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  state.has_cached_normal = has_cached != 0;
+  rng->RestoreState(state);
+  return Status::OK();
+}
+
+void SaveDistribution(uint64_t key, const std::vector<double>& dist,
+                      snapshot::Encoder* enc) {
+  enc->PutU64(key);
+  enc->PutVecF64(dist);
+}
+
 // ---- Bag engine (TN / CN). ----
 
 class BagEngine : public Engine {
  public:
   explicit BagEngine(const ModelConfig& config) : config_(config) {}
 
-  Status Prepare(const EngineContext&) override { return Status::OK(); }
+  Status Prepare(const EngineContext& ctx) override {
+    if (!ctx.warm_start_snapshot.empty()) {
+      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      if (loaded.ok()) return Status::OK();
+      if (loaded.code() != StatusCode::kNotFound) return loaded;
+      WarmMissCounter()->Increment();
+    }
+    return Status::OK();
+  }
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    if (loaded_from_snapshot_ && users_.count(u) > 0) return Status::OK();
     obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.bag);
     std::vector<bag::TokenDoc> docs;
@@ -78,6 +174,109 @@ class BagEngine : public Engine {
     return state.modeler.Score(state.vector, doc);
   }
 
+  Status SaveSnapshot(const std::string& path,
+                      const EngineContext& ctx) const override {
+    std::vector<UserId> ids;
+    ids.reserve(users_.size());
+    for (const auto& [u, state] : users_) ids.push_back(u);
+    std::sort(ids.begin(), ids.end());
+
+    snapshot::Encoder enc;
+    enc.PutU64(ids.size());
+    uint64_t fingerprint = kFnvBasis;
+    for (UserId u : ids) {
+      const UserState& state = *users_.at(u);
+      std::vector<std::string> terms = VocabTerms(state.modeler.vocabulary());
+      enc.PutU64(u);
+      enc.PutVecString(terms);
+      enc.PutVecU32(state.modeler.doc_frequencies());
+      enc.PutU64(state.modeler.num_train_docs());
+      std::vector<uint32_t> vec_terms;
+      std::vector<double> vec_weights;
+      vec_terms.reserve(state.vector.size());
+      vec_weights.reserve(state.vector.size());
+      for (const auto& [term, weight] : state.vector.entries()) {
+        vec_terms.push_back(term);
+        vec_weights.push_back(weight);
+      }
+      enc.PutVecU32(vec_terms);
+      enc.PutVecF64(vec_weights);
+      fingerprint = MixFingerprint(fingerprint, u);
+      fingerprint =
+          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+    }
+    snapshot::Writer writer(MakeSnapshotHeader(config_, ctx, fingerprint));
+    writer.AddSection("users", enc.Release());
+    return writer.Commit(path);
+  }
+
+  Status LoadSnapshot(const std::string& path,
+                      const EngineContext& ctx) override {
+    Result<snapshot::File> file = snapshot::File::Load(path);
+    if (!file.ok()) return file.status();
+    MICROREC_RETURN_IF_ERROR(VerifySnapshotIdentity(*file, config_, ctx));
+    Result<snapshot::Decoder> dec = file->OpenSection("users");
+    if (!dec.ok()) return dec.status();
+    uint64_t count = 0;
+    MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+    std::unordered_map<UserId, std::unique_ptr<UserState>> users;
+    uint64_t fingerprint = kFnvBasis;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t user = 0;
+      std::vector<std::string> terms;
+      std::vector<uint32_t> df;
+      uint64_t num_train_docs = 0;
+      std::vector<uint32_t> vec_terms;
+      std::vector<double> vec_weights;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&df));
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_train_docs));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&vec_terms));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&vec_weights));
+      if (df.size() > terms.size()) {
+        return Status::InvalidArgument(
+            file->origin() + ": bag user " + std::to_string(user) + " has " +
+            std::to_string(df.size()) + " document frequencies for " +
+            std::to_string(terms.size()) + " terms");
+      }
+      if (vec_terms.size() != vec_weights.size()) {
+        return Status::InvalidArgument(
+            file->origin() + ": bag user " + std::to_string(user) +
+            " vector has mismatched term/weight counts");
+      }
+      std::vector<bag::SparseVector::Entry> entries;
+      entries.reserve(vec_terms.size());
+      for (size_t e = 0; e < vec_terms.size(); ++e) {
+        if (vec_terms[e] >= terms.size()) {
+          return Status::InvalidArgument(
+              file->origin() + ": bag user " + std::to_string(user) +
+              " vector references term " + std::to_string(vec_terms[e]) +
+              " outside vocabulary of " + std::to_string(terms.size()));
+        }
+        entries.emplace_back(vec_terms[e], vec_weights[e]);
+      }
+      auto state = std::make_unique<UserState>(config_.bag);
+      state->modeler.RestoreFitted(terms, std::move(df), num_train_docs);
+      state->vector = bag::SparseVector::FromUnsorted(std::move(entries));
+      users[static_cast<UserId>(user)] = std::move(state);
+      fingerprint = MixFingerprint(fingerprint, user);
+      fingerprint =
+          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+    }
+    MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+    if (fingerprint != file->header().vocab_fingerprint) {
+      return Status::FailedPrecondition(
+          file->origin() + ": vocabulary fingerprint mismatch (snapshot " +
+          std::to_string(file->header().vocab_fingerprint) + ", computed " +
+          std::to_string(fingerprint) + ")");
+    }
+    users_ = std::move(users);
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
   struct UserState {
     explicit UserState(const bag::BagConfig& config) : modeler(config) {}
@@ -86,6 +285,7 @@ class BagEngine : public Engine {
   };
   ModelConfig config_;
   std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+  bool loaded_from_snapshot_ = false;
 };
 
 // ---- Graph engine (TNG / CNG). ----
@@ -94,10 +294,19 @@ class GraphEngine : public Engine {
  public:
   explicit GraphEngine(const ModelConfig& config) : config_(config) {}
 
-  Status Prepare(const EngineContext&) override { return Status::OK(); }
+  Status Prepare(const EngineContext& ctx) override {
+    if (!ctx.warm_start_snapshot.empty()) {
+      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      if (loaded.ok()) return Status::OK();
+      if (loaded.code() != StatusCode::kNotFound) return loaded;
+      WarmMissCounter()->Increment();
+    }
+    return Status::OK();
+  }
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    if (loaded_from_snapshot_ && users_.count(u) > 0) return Status::OK();
     obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.graph);
     std::vector<std::vector<std::string>> docs;
@@ -116,6 +325,101 @@ class GraphEngine : public Engine {
     return state.modeler.Score(state.graph, doc);
   }
 
+  Status SaveSnapshot(const std::string& path,
+                      const EngineContext& ctx) const override {
+    std::vector<UserId> ids;
+    ids.reserve(users_.size());
+    for (const auto& [u, state] : users_) ids.push_back(u);
+    std::sort(ids.begin(), ids.end());
+
+    snapshot::Encoder enc;
+    enc.PutU64(ids.size());
+    uint64_t fingerprint = kFnvBasis;
+    for (UserId u : ids) {
+      const UserState& state = *users_.at(u);
+      std::vector<std::string> terms = VocabTerms(state.modeler.vocabulary());
+      enc.PutU64(u);
+      enc.PutVecString(terms);
+      // Edges sorted by canonical key so the same graph always serializes
+      // to the same bytes (unordered_map order is process-dependent).
+      std::vector<uint64_t> keys;
+      keys.reserve(state.graph.size());
+      for (const auto& [key, weight] : state.graph.edges()) {
+        keys.push_back(key);
+      }
+      std::sort(keys.begin(), keys.end());
+      std::vector<double> weights;
+      weights.reserve(keys.size());
+      for (uint64_t key : keys) {
+        weights.push_back(state.graph.edges().at(key));
+      }
+      enc.PutVecU64(keys);
+      enc.PutVecF64(weights);
+      fingerprint = MixFingerprint(fingerprint, u);
+      fingerprint =
+          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+    }
+    snapshot::Writer writer(MakeSnapshotHeader(config_, ctx, fingerprint));
+    writer.AddSection("users", enc.Release());
+    return writer.Commit(path);
+  }
+
+  Status LoadSnapshot(const std::string& path,
+                      const EngineContext& ctx) override {
+    Result<snapshot::File> file = snapshot::File::Load(path);
+    if (!file.ok()) return file.status();
+    MICROREC_RETURN_IF_ERROR(VerifySnapshotIdentity(*file, config_, ctx));
+    Result<snapshot::Decoder> dec = file->OpenSection("users");
+    if (!dec.ok()) return dec.status();
+    uint64_t count = 0;
+    MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+    std::unordered_map<UserId, std::unique_ptr<UserState>> users;
+    uint64_t fingerprint = kFnvBasis;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t user = 0;
+      std::vector<std::string> terms;
+      std::vector<uint64_t> keys;
+      std::vector<double> weights;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecU64(&keys));
+      MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&weights));
+      if (keys.size() != weights.size()) {
+        return Status::InvalidArgument(
+            file->origin() + ": graph user " + std::to_string(user) +
+            " has mismatched edge key/weight counts");
+      }
+      auto state = std::make_unique<UserState>(config_.graph);
+      state->modeler.RestoreVocabulary(terms);
+      for (size_t e = 0; e < keys.size(); ++e) {
+        uint32_t a = static_cast<uint32_t>(keys[e] >> 32);
+        uint32_t b = static_cast<uint32_t>(keys[e] & 0xFFFFFFFFu);
+        if (a >= terms.size() || b >= terms.size()) {
+          return Status::InvalidArgument(
+              file->origin() + ": graph user " + std::to_string(user) +
+              " edge references term outside vocabulary of " +
+              std::to_string(terms.size()));
+        }
+        state->graph.AddEdgeByKey(keys[e], weights[e]);
+      }
+      users[static_cast<UserId>(user)] = std::move(state);
+      fingerprint = MixFingerprint(fingerprint, user);
+      fingerprint =
+          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+    }
+    MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+    if (fingerprint != file->header().vocab_fingerprint) {
+      return Status::FailedPrecondition(
+          file->origin() + ": vocabulary fingerprint mismatch (snapshot " +
+          std::to_string(file->header().vocab_fingerprint) + ", computed " +
+          std::to_string(fingerprint) + ")");
+    }
+    users_ = std::move(users);
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
   struct UserState {
     explicit UserState(const graph::GraphConfig& config) : modeler(config) {}
@@ -124,6 +428,7 @@ class GraphEngine : public Engine {
   };
   ModelConfig config_;
   std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+  bool loaded_from_snapshot_ = false;
 };
 
 // ---- Topic engine (LDA, LLDA, HDP, HLDA, BTM, PLSA). ----
@@ -135,6 +440,12 @@ class TopicEngine : public Engine {
 
   Status Prepare(const EngineContext& ctx) override {
     MICROREC_SPAN("topic_prepare");
+    if (!ctx.warm_start_snapshot.empty()) {
+      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      if (loaded.ok()) return Status::OK();
+      if (loaded.code() != StatusCode::kNotFound) return loaded;
+      WarmMissCounter()->Increment();
+    }
     rng_ = Rng(ctx.seed, 97);
     const auto& pre = *ctx.pre;
     const TopicRunConfig& tc = config_.topic;
@@ -189,7 +500,17 @@ class TopicEngine : public Engine {
     registry.GetGauge("topic.docset.tokens")
         ->Set(static_cast<double>(docs_.total_tokens()));
 
-    // Instantiate and train the model.
+    MICROREC_RETURN_IF_ERROR(
+        MakeModel(ctx, labels != nullptr ? labels->num_labels() : 0));
+    return model_->Train(docs_, &rng_);
+  }
+
+ private:
+  /// Instantiates (but does not train) the configured model. LLDA's label
+  /// count is corpus-derived: Prepare() passes it from the label scheme; a
+  /// warm start passes 0 and LoadState adopts the persisted count.
+  Status MakeModel(const EngineContext& ctx, size_t llda_num_labels) {
+    const TopicRunConfig& tc = config_.topic;
     const int iters = ScaledIterations(tc.iterations, ctx.iteration_scale);
     switch (config_.kind) {
       case ModelKind::kLDA: {
@@ -204,7 +525,7 @@ class TopicEngine : public Engine {
       }
       case ModelKind::kLLDA: {
         topic::LldaConfig lc;
-        lc.num_labels = labels->num_labels();
+        lc.num_labels = llda_num_labels;
         lc.num_latent_topics = tc.num_topics;
         lc.alpha = tc.alpha;
         lc.beta = tc.beta;
@@ -259,13 +580,17 @@ class TopicEngine : public Engine {
       default:
         return Status::InvalidArgument("not a topic model");
     }
-    return model_->Train(docs_, &rng_);
+    return Status::OK();
   }
 
+ public:
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
     if (model_ == nullptr) {
       return Status::FailedPrecondition("Prepare() not called");
+    }
+    if (loaded_from_snapshot_ && user_models_.count(u) > 0) {
+      return Status::OK();
     }
     obs::ScopedHistogramTimer timer(BuildUserHistogram());
     // Documents with no vocabulary evidence (all words unseen in training)
@@ -296,6 +621,125 @@ class TopicEngine : public Engine {
     return topic::TopicCosine(user, doc);
   }
 
+  Status SaveSnapshot(const std::string& path,
+                      const EngineContext& ctx) const override {
+    if (model_ == nullptr) {
+      return Status::FailedPrecondition("SaveSnapshot() before Prepare()");
+    }
+    std::vector<std::string> terms = docs_.Terms();
+    snapshot::Writer writer(MakeSnapshotHeader(
+        config_, ctx, snapshot::FingerprintTerms(terms)));
+    {
+      snapshot::Encoder enc;
+      enc.PutVecString(terms);
+      writer.AddSection("vocab", enc.Release());
+    }
+    {
+      snapshot::Encoder enc;
+      model_->SaveState(&enc);
+      writer.AddSection("model", enc.Release());
+    }
+    {
+      // Generator state as of now: a warm-started engine resumes the draw
+      // sequence exactly where this one left off, so inference it performs
+      // after loading is bit-identical to inference this one would perform.
+      snapshot::Encoder enc;
+      SaveRngState(rng_, &enc);
+      writer.AddSection("rng", enc.Release());
+    }
+    {
+      snapshot::Encoder enc;
+      std::vector<UserId> ids;
+      ids.reserve(user_models_.size());
+      for (const auto& [u, dist] : user_models_) ids.push_back(u);
+      std::sort(ids.begin(), ids.end());
+      enc.PutU64(ids.size());
+      for (UserId u : ids) SaveDistribution(u, user_models_.at(u), &enc);
+      writer.AddSection("users", enc.Release());
+    }
+    {
+      // The inference cache makes warm scoring of already-seen tweets a
+      // lookup instead of a Gibbs fold-in — this is what turns
+      // train-once/recommend-many into milliseconds per query.
+      snapshot::Encoder enc;
+      std::vector<TweetId> ids;
+      ids.reserve(infer_cache_.size());
+      for (const auto& [id, dist] : infer_cache_) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      enc.PutU64(ids.size());
+      for (TweetId id : ids) SaveDistribution(id, infer_cache_.at(id), &enc);
+      writer.AddSection("infer_cache", enc.Release());
+    }
+    return writer.Commit(path);
+  }
+
+  Status LoadSnapshot(const std::string& path,
+                      const EngineContext& ctx) override {
+    Result<snapshot::File> file = snapshot::File::Load(path);
+    if (!file.ok()) return file.status();
+    MICROREC_RETURN_IF_ERROR(VerifySnapshotIdentity(*file, config_, ctx));
+
+    Result<snapshot::Decoder> vocab_dec = file->OpenSection("vocab");
+    if (!vocab_dec.ok()) return vocab_dec.status();
+    std::vector<std::string> terms;
+    MICROREC_RETURN_IF_ERROR(vocab_dec->ReadVecString(&terms));
+    MICROREC_RETURN_IF_ERROR(vocab_dec->ExpectEnd());
+    const uint64_t fingerprint = snapshot::FingerprintTerms(terms);
+    if (fingerprint != file->header().vocab_fingerprint) {
+      return Status::FailedPrecondition(
+          file->origin() + ": vocabulary fingerprint mismatch (snapshot " +
+          std::to_string(file->header().vocab_fingerprint) + ", computed " +
+          std::to_string(fingerprint) + ")");
+    }
+    docs_ = topic::DocSet();
+    docs_.RestoreVocabulary(terms);
+
+    MICROREC_RETURN_IF_ERROR(MakeModel(ctx, /*llda_num_labels=*/0));
+    Result<snapshot::Decoder> model_dec = file->OpenSection("model");
+    if (!model_dec.ok()) return model_dec.status();
+    MICROREC_RETURN_IF_ERROR(model_->LoadState(&*model_dec));
+
+    Result<snapshot::Decoder> rng_dec = file->OpenSection("rng");
+    if (!rng_dec.ok()) return rng_dec.status();
+    MICROREC_RETURN_IF_ERROR(LoadRngState(&*rng_dec, &rng_));
+
+    std::unordered_map<UserId, std::vector<double>> user_models;
+    {
+      Result<snapshot::Decoder> dec = file->OpenSection("users");
+      if (!dec.ok()) return dec.status();
+      uint64_t count = 0;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t user = 0;
+        std::vector<double> dist;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
+        user_models[static_cast<UserId>(user)] = std::move(dist);
+      }
+      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+    }
+    std::unordered_map<TweetId, std::vector<double>> infer_cache;
+    {
+      Result<snapshot::Decoder> dec = file->OpenSection("infer_cache");
+      if (!dec.ok()) return dec.status();
+      uint64_t count = 0;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t tweet = 0;
+        std::vector<double> dist;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&tweet));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
+        infer_cache[tweet] = std::move(dist);
+      }
+      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+    }
+    user_models_ = std::move(user_models);
+    infer_cache_ = std::move(infer_cache);
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
   // Per-tweet topic distributions are shared across users (the same test or
   // train tweet can appear for many users), so inference is cached.
@@ -322,6 +766,7 @@ class TopicEngine : public Engine {
   std::unique_ptr<topic::TopicModel> model_;
   std::unordered_map<TweetId, std::vector<double>> infer_cache_;
   std::unordered_map<UserId, std::vector<double>> user_models_;
+  bool loaded_from_snapshot_ = false;
 };
 
 }  // namespace

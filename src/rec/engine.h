@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "corpus/split.h"
@@ -46,6 +47,11 @@ struct EngineContext {
   /// Optional deadline / cancellation, honored between Gibbs sweeps by the
   /// topic engines. Not owned; may be nullptr.
   const resilience::CancelContext* cancel = nullptr;
+  /// Snapshot to warm-start from. When non-empty, Prepare() first attempts
+  /// LoadSnapshot(warm_start_snapshot): on success the training phase is
+  /// skipped entirely; a missing file falls back to cold training; any
+  /// other load failure (corruption, identity mismatch) propagates.
+  std::string warm_start_snapshot;
 };
 
 /// Abstract engine; instances are single-use (one configuration, one
@@ -65,6 +71,22 @@ class Engine {
   /// Ranking score of test tweet `d` for user `u` (higher = more relevant).
   virtual double Score(corpus::UserId u, corpus::TweetId d,
                        const EngineContext& ctx) = 0;
+
+  /// Persists everything needed to serve without retraining — the trained
+  /// global model (topic families), every built user model, and for topic
+  /// engines the inference cache and generator state — atomically to
+  /// `path` in microrec.snap/1 format. Valid after Prepare().
+  virtual Status SaveSnapshot(const std::string& path,
+                              const EngineContext& ctx) const = 0;
+
+  /// Restores a SaveSnapshot() file into a freshly constructed engine of
+  /// the same configuration. Verifies the header identity (model, source,
+  /// seed, iteration_scale, config fingerprint) and vocabulary fingerprint
+  /// against `ctx` before adopting anything; afterwards BuildUser() is a
+  /// no-op for persisted users and Score() is bit-identical to the engine
+  /// that saved.
+  virtual Status LoadSnapshot(const std::string& path,
+                              const EngineContext& ctx) = 0;
 };
 
 /// Instantiates the engine for a configuration.

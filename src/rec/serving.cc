@@ -1,0 +1,238 @@
+#include "rec/serving.h"
+
+#include <algorithm>
+
+#include "corpus/corpus.h"
+#include "obs/metrics.h"
+
+namespace microrec::rec {
+namespace {
+
+obs::Counter* QueryCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("rec.queries");
+  return c;
+}
+
+obs::Counter* DegradedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("rec.degraded");
+  return c;
+}
+
+obs::Gauge* RungGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Global().GetGauge("rec.fallback_rung");
+  return g;
+}
+
+/// Deadline checks between candidate scores are cheap (one clock read) but
+/// not free; scoring batches amortize them.
+constexpr size_t kDeadlineStride = 16;
+
+void SortDescending(std::vector<Recommendation>* ranking) {
+  std::sort(ranking->begin(), ranking->end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.tweet < b.tweet;
+            });
+}
+
+}  // namespace
+
+std::string_view ServingRungName(ServingRung rung) {
+  switch (rung) {
+    case ServingRung::kPrimary:
+      return "primary";
+    case ServingRung::kBagFallback:
+      return "bag-fallback";
+    case ServingRung::kPopularity:
+      return "popularity";
+  }
+  return "unknown";
+}
+
+ModelConfig ServingOptions::DefaultFallback() {
+  ModelConfig config;
+  config.kind = ModelKind::kTN;
+  config.bag.kind = bag::NgramKind::kToken;
+  config.bag.n = 1;
+  config.bag.weighting = bag::Weighting::kTF;
+  config.bag.aggregation = bag::Aggregation::kCentroid;
+  config.bag.similarity = bag::BagSimilarity::kCosine;
+  return config;
+}
+
+DegradingRecommender::DegradingRecommender(const EngineContext& ctx,
+                                           ServingOptions options)
+    : ctx_(ctx), options_(std::move(options)) {
+  // Popularity state is precomputed eagerly: rung 2 must never block on
+  // anything at query time, it is the "always answers" floor.
+  if (ctx_.pre != nullptr) {
+    for (const corpus::Tweet& t : ctx_.pre->corpus().tweets()) {
+      if (t.IsRetweet()) ++retweet_counts_[t.retweet_of];
+    }
+  }
+}
+
+DegradingRecommender::~DegradingRecommender() = default;
+
+Status DegradingRecommender::EnsurePrimary() {
+  if (primary_state_ == PrimaryState::kReady) return Status::OK();
+  if (primary_state_ == PrimaryState::kFailed) return primary_status_;
+  primary_state_ = PrimaryState::kFailed;  // until proven otherwise
+  primary_ = MakeEngine(options_.primary);
+  if (primary_ == nullptr) {
+    primary_status_ = Status::InvalidArgument(
+        "serving: no engine for primary configuration " +
+        options_.primary.ToString());
+    return primary_status_;
+  }
+  primary_status_ = primary_->LoadSnapshot(options_.snapshot_path, ctx_);
+  if (!primary_status_.ok()) {
+    primary_.reset();
+    return primary_status_;
+  }
+  primary_state_ = PrimaryState::kReady;
+  return Status::OK();
+}
+
+Status DegradingRecommender::EnsureFallbackUser(corpus::UserId u) {
+  if (fallback_ == nullptr) {
+    fallback_ = MakeEngine(options_.fallback);
+    if (fallback_ == nullptr) {
+      return Status::InvalidArgument(
+          "serving: no engine for fallback configuration " +
+          options_.fallback.ToString());
+    }
+    // Bag engines have no global phase, so Prepare is instant; a cold
+    // context without the warm-start path keeps it that way.
+    EngineContext cold = ctx_;
+    cold.warm_start_snapshot.clear();
+    MICROREC_RETURN_IF_ERROR(fallback_->Prepare(cold));
+  }
+  if (fallback_users_.count(u) != 0) return Status::OK();
+  if (!ctx_.train_set) {
+    return Status::FailedPrecondition(
+        "serving: context has no train_set accessor");
+  }
+  MICROREC_RETURN_IF_ERROR(fallback_->BuildUser(u, ctx_.train_set(u), ctx_));
+  fallback_users_.insert(u);
+  return Status::OK();
+}
+
+Status DegradingRecommender::ScoreWith(
+    Engine* engine, corpus::UserId u,
+    const std::vector<corpus::TweetId>& candidates,
+    const resilience::Deadline& deadline,
+    std::vector<Recommendation>* out) const {
+  out->clear();
+  out->reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i % kDeadlineStride == 0 && deadline.Expired()) {
+      return Status::DeadlineExceeded("serving: query deadline expired after " +
+                                      std::to_string(i) + " of " +
+                                      std::to_string(candidates.size()) +
+                                      " candidates");
+    }
+    out->push_back(
+        Recommendation{candidates[i], engine->Score(u, candidates[i], ctx_)});
+  }
+  SortDescending(out);
+  return Status::OK();
+}
+
+std::vector<Recommendation> DegradingRecommender::PopularityRanking(
+    const std::vector<corpus::TweetId>& candidates) const {
+  std::vector<Recommendation> ranking;
+  ranking.reserve(candidates.size());
+  const corpus::Corpus* corpus =
+      ctx_.pre != nullptr ? &ctx_.pre->corpus() : nullptr;
+  for (corpus::TweetId id : candidates) {
+    double count = 0.0;
+    if (corpus != nullptr && id < corpus->num_tweets()) {
+      const corpus::Tweet& t = corpus->tweet(id);
+      // A retweet candidate inherits the popularity of the original post it
+      // forwards; an original is keyed by its own id.
+      corpus::TweetId key = t.IsRetweet() ? t.retweet_of : t.id;
+      auto it = retweet_counts_.find(key);
+      if (it != retweet_counts_.end()) {
+        count = static_cast<double>(it->second);
+      }
+    }
+    ranking.push_back(Recommendation{id, count});
+  }
+  // Recency breaks popularity ties: a fresher tweet ranks above an equally
+  // retweeted stale one (then tweet id, for full determinism).
+  std::stable_sort(
+      ranking.begin(), ranking.end(),
+      [corpus](const Recommendation& a, const Recommendation& b) {
+        if (a.score != b.score) return a.score > b.score;
+        if (corpus != nullptr && a.tweet < corpus->num_tweets() &&
+            b.tweet < corpus->num_tweets()) {
+          corpus::Timestamp ta = corpus->tweet(a.tweet).time;
+          corpus::Timestamp tb = corpus->tweet(b.tweet).time;
+          if (ta != tb) return ta > tb;
+        }
+        return a.tweet < b.tweet;
+      });
+  return ranking;
+}
+
+RecommendResult DegradingRecommender::Recommend(
+    corpus::UserId u, const std::vector<corpus::TweetId>& candidates) {
+  QueryCounter()->Increment();
+  const resilience::Deadline deadline =
+      options_.query_deadline_seconds > 0.0
+          ? resilience::Deadline::After(options_.query_deadline_seconds)
+          : resilience::Deadline::Infinite();
+
+  RecommendResult result;
+
+  // Rung 0: the requested model, warm-started from its snapshot.
+  Status primary = EnsurePrimary();
+  if (primary.ok() && !deadline.Expired()) {
+    // Users absent from the snapshot are modeled on demand (the engine
+    // skips the ones the snapshot already restored).
+    if (primary_users_.count(u) == 0 && ctx_.train_set) {
+      primary = primary_->BuildUser(u, ctx_.train_set(u), ctx_);
+      if (primary.ok()) primary_users_.insert(u);
+    }
+    if (primary.ok()) {
+      primary = ScoreWith(primary_.get(), u, candidates, deadline,
+                          &result.ranking);
+    }
+    if (primary.ok()) {
+      result.rung = ServingRung::kPrimary;
+      RungGauge()->Set(0.0);
+      return result;
+    }
+  } else if (primary.ok()) {
+    primary = Status::DeadlineExceeded(
+        "serving: query deadline expired before primary scoring");
+  }
+  result.degraded_reason = primary.ToString();
+
+  // Rung 1: the cached bag-of-words fallback.
+  Status fallback = EnsureFallbackUser(u);
+  if (fallback.ok()) {
+    fallback =
+        ScoreWith(fallback_.get(), u, candidates, deadline, &result.ranking);
+  }
+  if (fallback.ok()) {
+    result.rung = ServingRung::kBagFallback;
+    DegradedCounter()->Increment();
+    RungGauge()->Set(1.0);
+    return result;
+  }
+  result.degraded_reason += "; " + fallback.ToString();
+
+  // Rung 2: popularity — no model state, no deadline checks, always ranks.
+  result.rung = ServingRung::kPopularity;
+  result.ranking = PopularityRanking(candidates);
+  DegradedCounter()->Increment();
+  RungGauge()->Set(2.0);
+  return result;
+}
+
+}  // namespace microrec::rec

@@ -1,0 +1,125 @@
+// The degradation-aware serving path (train-once / recommend-many): ranks a
+// user's candidate tweets under a per-query deadline, walking a three-rung
+// ladder instead of failing —
+//   rung 0  the requested configuration, warm-started from a snapshot;
+//   rung 1  a cached TN bag-of-words fallback built directly from the
+//           user's train set (no global training phase, Section 3.2);
+//   rung 2  a popularity baseline (global retweet counts, recency
+//           tiebreak) that needs no model state and cannot fail.
+// Every degradation is counted in `rec.degraded` and the rung served is
+// published in the `rec.fallback_rung` gauge, so an operator can see a
+// corrupted snapshot or an overloaded box in the run report instead of a
+// crash log.
+#ifndef MICROREC_REC_SERVING_H_
+#define MICROREC_REC_SERVING_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rec/engine.h"
+#include "rec/model_config.h"
+#include "resilience/deadline.h"
+#include "util/status.h"
+
+namespace microrec::rec {
+
+/// Which rung of the ladder produced a ranking. Numeric values are what
+/// the `rec.fallback_rung` gauge reports.
+enum class ServingRung : int {
+  kPrimary = 0,
+  kBagFallback = 1,
+  kPopularity = 2,
+};
+
+std::string_view ServingRungName(ServingRung rung);
+
+/// Serving configuration. `primary` + `snapshot_path` name the trained
+/// state produced by Engine::SaveSnapshot; the fallback configuration
+/// defaults to plain TN (token unigrams, TF weighting) because it is the
+/// cheapest model of Table 5 that still personalizes.
+struct ServingOptions {
+  ModelConfig primary;
+  std::string snapshot_path;
+  /// Per-query budget in seconds; <= 0 means unlimited. The ladder drops a
+  /// rung whenever the remaining budget expires mid-phase.
+  double query_deadline_seconds = 0.0;
+  ModelConfig fallback = DefaultFallback();
+
+  /// TN, token unigrams, TF weighting, cosine — the rung-1 model.
+  static ModelConfig DefaultFallback();
+};
+
+struct Recommendation {
+  corpus::TweetId tweet = corpus::kInvalidTweet;
+  double score = 0.0;
+};
+
+/// One query's outcome. `ranking` is always non-empty when `candidates`
+/// was; `degraded_reason` is empty on rung 0 and otherwise explains the
+/// first failure that pushed the query down the ladder.
+struct RecommendResult {
+  ServingRung rung = ServingRung::kPrimary;
+  std::vector<Recommendation> ranking;  // descending score
+  std::string degraded_reason;
+};
+
+/// Serves rankings for one (configuration, source) pair. The primary
+/// engine is loaded lazily on the first query and cached across queries;
+/// a load failure (missing file, corruption, identity mismatch — or an
+/// injected `snapshot.load` fault) is remembered so later queries go
+/// straight to the fallback instead of re-reading a bad file.
+///
+/// Not thread-safe; `ctx.pre`, `ctx.train_set` and the cohort data they
+/// reference must outlive the recommender.
+class DegradingRecommender {
+ public:
+  DegradingRecommender(const EngineContext& ctx, ServingOptions options);
+  ~DegradingRecommender();
+
+  /// Ranks `candidates` for user `u`. Never returns an error for runtime
+  /// degradation causes (bad snapshot, expired deadline, fallback build
+  /// failure); the popularity rung always produces a ranking.
+  RecommendResult Recommend(corpus::UserId u,
+                            const std::vector<corpus::TweetId>& candidates);
+
+  /// Status of the lazy primary load: OK before the first query and after
+  /// a successful load, otherwise the remembered failure.
+  const Status& primary_status() const { return primary_status_; }
+
+ private:
+  enum class PrimaryState { kUntried, kReady, kFailed };
+
+  /// Loads the primary engine from the snapshot once; degrades on failure.
+  Status EnsurePrimary();
+  /// Lazily builds the rung-1 bag model of `u` from her train set.
+  Status EnsureFallbackUser(corpus::UserId u);
+
+  Status ScoreWith(Engine* engine, corpus::UserId u,
+                   const std::vector<corpus::TweetId>& candidates,
+                   const resilience::Deadline& deadline,
+                   std::vector<Recommendation>* out) const;
+  std::vector<Recommendation> PopularityRanking(
+      const std::vector<corpus::TweetId>& candidates) const;
+
+  EngineContext ctx_;
+  ServingOptions options_;
+
+  PrimaryState primary_state_ = PrimaryState::kUntried;
+  Status primary_status_;
+  std::unique_ptr<Engine> primary_;
+  std::unordered_set<corpus::UserId> primary_users_;
+
+  std::unique_ptr<Engine> fallback_;
+  std::unordered_set<corpus::UserId> fallback_users_;
+
+  /// Global retweet count per original tweet id, built once.
+  std::unordered_map<corpus::TweetId, uint64_t> retweet_counts_;
+};
+
+}  // namespace microrec::rec
+
+#endif  // MICROREC_REC_SERVING_H_

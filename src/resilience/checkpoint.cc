@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "resilience/fault.h"
+#include "util/fs.h"
 
 namespace microrec::resilience {
 
@@ -380,6 +381,10 @@ Status SweepCheckpoint::Append(CheckpointRecord record) {
 }
 
 Status SweepCheckpoint::WriteAll() const {
+  // Benches tag checkpoint paths per sweep ("sweeps/ck.jsonl.LDA-R"); the
+  // directory may not exist yet and ofstream would fail with a message that
+  // doesn't say why.
+  MICROREC_RETURN_IF_ERROR(util::EnsureParentDirectory(path_));
   const std::string tmp_path = path_ + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::trunc);

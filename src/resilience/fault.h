@@ -96,6 +96,8 @@ inline constexpr std::string_view kSitePoolTask = "pool.task";
 inline constexpr std::string_view kSiteEngineScore = "engine.score";
 inline constexpr std::string_view kSiteSweepConfig = "sweep.config";
 inline constexpr std::string_view kSiteCheckpointWrite = "checkpoint.write";
+inline constexpr std::string_view kSiteSnapshotWrite = "snapshot.write";
+inline constexpr std::string_view kSiteSnapshotLoad = "snapshot.load";
 
 }  // namespace microrec::resilience
 

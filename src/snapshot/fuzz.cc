@@ -1,0 +1,81 @@
+#include "snapshot/fuzz.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace microrec::snapshot {
+
+std::string Mutation::ToString() const {
+  switch (kind) {
+    case MutationKind::kTruncate:
+      return "truncate to " + std::to_string(offset) + " bytes (dropped " +
+             std::to_string(length) + ")";
+    case MutationKind::kBitFlip:
+      return "flip bit " + std::to_string(bit) + " of byte " +
+             std::to_string(offset);
+    case MutationKind::kSplice:
+      return "splice " + std::to_string(length) + " bytes into offset " +
+             std::to_string(offset);
+  }
+  return "unknown mutation";
+}
+
+std::string Mutate(const std::string& pristine, uint64_t seed, uint64_t index,
+                   Mutation* mutation) {
+  // Stream id from the case index gives every case an independent PCG
+  // stream; the same (seed, index) therefore always produces the same
+  // mutant regardless of how many cases ran before it.
+  Rng rng(seed, /*stream=*/index * 2 + 1);
+  Mutation applied;
+  std::string mutant = pristine;
+  const size_t n = pristine.size();
+
+  switch (index % 3) {
+    case 0: {  // truncate
+      applied.kind = MutationKind::kTruncate;
+      // Bias toward cutting inside the file's structural fields: half the
+      // cases cut in the first 64 bytes (magic + header framing).
+      size_t keep = rng.Bernoulli(0.5) && n > 0
+                        ? rng.UniformU32(static_cast<uint32_t>(
+                              std::min<size_t>(n, 64)))
+                        : (n > 0 ? rng.UniformU32(static_cast<uint32_t>(n))
+                                 : 0);
+      applied.offset = keep;
+      applied.length = n - keep;
+      mutant.resize(keep);
+      break;
+    }
+    case 1: {  // single-bit flip
+      applied.kind = MutationKind::kBitFlip;
+      if (n > 0) {
+        applied.offset = rng.UniformU32(static_cast<uint32_t>(n));
+        applied.bit = static_cast<int>(rng.UniformU32(8));
+        mutant[applied.offset] =
+            static_cast<char>(static_cast<unsigned char>(
+                                  mutant[applied.offset]) ^
+                              (1u << applied.bit));
+      }
+      applied.length = 1;
+      break;
+    }
+    default: {  // splice: overwrite a span with bytes from elsewhere
+      applied.kind = MutationKind::kSplice;
+      if (n > 1) {
+        applied.offset = rng.UniformU32(static_cast<uint32_t>(n));
+        size_t max_len = std::min<size_t>(n - applied.offset, 256);
+        applied.length =
+            1 + rng.UniformU32(static_cast<uint32_t>(max_len));
+        size_t src = rng.UniformU32(static_cast<uint32_t>(n));
+        for (size_t i = 0; i < applied.length; ++i) {
+          mutant[applied.offset + i] = pristine[(src + i) % n];
+        }
+      }
+      break;
+    }
+  }
+  if (mutation != nullptr) *mutation = applied;
+  return mutant;
+}
+
+}  // namespace microrec::snapshot

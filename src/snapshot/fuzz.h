@@ -1,0 +1,39 @@
+// Deterministic structure-aware mutation harness for persisted formats.
+// Given a well-formed byte string, produces seeded corruptions — truncation,
+// single-bit flips, and section splices — that the loaders must reject with
+// a Status (never a crash, never an unbounded allocation). The same (seed,
+// case index) always yields the same mutant, so a CI failure replays locally
+// with nothing but the two integers from the log.
+#ifndef MICROREC_SNAPSHOT_FUZZ_H_
+#define MICROREC_SNAPSHOT_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+namespace microrec::snapshot {
+
+enum class MutationKind {
+  kTruncate,  // drop a suffix (possibly to zero bytes)
+  kBitFlip,   // flip one bit anywhere in the file
+  kSplice,    // replace a span with bytes copied from elsewhere in the file
+};
+
+/// Description of one applied mutation, for failure reports.
+struct Mutation {
+  MutationKind kind = MutationKind::kTruncate;
+  size_t offset = 0;  // first affected byte
+  size_t length = 0;  // bytes removed / spliced (1 for a bit flip)
+  int bit = 0;        // flipped bit index (kBitFlip only)
+
+  std::string ToString() const;
+};
+
+/// Produces the `index`-th deterministic mutant of `pristine` for `seed`.
+/// Cycles through the three kinds so every budget exercises all of them.
+/// `mutation` (optional) receives what was done.
+std::string Mutate(const std::string& pristine, uint64_t seed, uint64_t index,
+                   Mutation* mutation = nullptr);
+
+}  // namespace microrec::snapshot
+
+#endif  // MICROREC_SNAPSHOT_FUZZ_H_

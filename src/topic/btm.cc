@@ -159,4 +159,39 @@ std::vector<double> Btm::InferDocument(const std::vector<TermId>& words,
   return theta;
 }
 
+void Btm::SaveState(snapshot::Encoder* enc) const {
+  SaveFlatPhi(enc, vocab_size_, config_.num_topics, phi_);
+  enc->PutVecF64(theta_);
+  enc->PutU64(num_train_biterms_);
+}
+
+Status Btm::LoadState(snapshot::Decoder* dec) {
+  size_t vocab = 0;
+  size_t topics = 0;
+  std::vector<double> phi;
+  MICROREC_RETURN_IF_ERROR(LoadFlatPhi(dec, "BTM", &vocab, &topics, &phi));
+  if (topics != config_.num_topics) {
+    return Status::FailedPrecondition(
+        "BTM snapshot trained with " + std::to_string(topics) +
+        " topics, configuration expects " +
+        std::to_string(config_.num_topics));
+  }
+  std::vector<double> theta;
+  MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&theta));
+  if (theta.size() != topics) {
+    return Status::InvalidArgument(
+        "BTM snapshot theta has " + std::to_string(theta.size()) +
+        " entries for " + std::to_string(topics) + " topics");
+  }
+  uint64_t biterms = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&biterms));
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  vocab_size_ = vocab;
+  phi_ = std::move(phi);
+  theta_ = std::move(theta);
+  num_train_biterms_ = biterms;
+  trained_ = true;
+  return Status::OK();
+}
+
 }  // namespace microrec::topic

@@ -57,6 +57,9 @@ class Btm : public TopicModel {
   static std::vector<std::pair<TermId, TermId>> ExtractBiterms(
       const std::vector<TermId>& words, int window);
 
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   BtmConfig config_;
   size_t vocab_size_ = 0;

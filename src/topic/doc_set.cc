@@ -28,4 +28,17 @@ std::vector<TermId> DocSet::Lookup(
   return out;
 }
 
+std::vector<std::string> DocSet::Terms() const {
+  std::vector<std::string> terms;
+  terms.reserve(vocab_.size());
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    terms.push_back(vocab_.TermOf(static_cast<TermId>(i)));
+  }
+  return terms;
+}
+
+void DocSet::RestoreVocabulary(const std::vector<std::string>& terms) {
+  for (const std::string& term : terms) vocab_.Intern(term);
+}
+
 }  // namespace microrec::topic

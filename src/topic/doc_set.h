@@ -42,6 +42,16 @@ class DocSet {
   /// Total number of word occurrences across all documents.
   size_t total_tokens() const { return total_tokens_; }
 
+  /// The interned terms in id order (term i has TermId i) — what a
+  /// snapshot persists so Lookup() works after a warm start.
+  std::vector<std::string> Terms() const;
+
+  /// Rebuilds the vocabulary from a persisted term list. Only valid on an
+  /// empty DocSet; training documents are *not* restored — after this only
+  /// Lookup() (inference) is meaningful, which is all a warm-started
+  /// engine needs.
+  void RestoreVocabulary(const std::vector<std::string>& terms);
+
  private:
   text::Vocabulary vocab_;
   std::vector<TopicDoc> docs_;

@@ -220,4 +220,37 @@ std::vector<double> Hdp::InferDocument(const std::vector<TermId>& words,
   return theta;
 }
 
+void Hdp::SaveState(snapshot::Encoder* enc) const {
+  SaveFlatPhi(enc, vocab_size_, num_topics_, phi_);
+  enc->PutVecF64(global_b_);
+}
+
+Status Hdp::LoadState(snapshot::Decoder* dec) {
+  size_t vocab = 0;
+  size_t topics = 0;
+  std::vector<double> phi;
+  MICROREC_RETURN_IF_ERROR(LoadFlatPhi(dec, "HDP", &vocab, &topics, &phi));
+  if (topics > config_.max_topics) {
+    return Status::FailedPrecondition(
+        "HDP snapshot has " + std::to_string(topics) +
+        " topics, above the configured ceiling of " +
+        std::to_string(config_.max_topics));
+  }
+  std::vector<double> global_b;
+  MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&global_b));
+  if (global_b.size() != topics) {
+    return Status::InvalidArgument(
+        "HDP snapshot stick weights have " +
+        std::to_string(global_b.size()) + " entries for " +
+        std::to_string(topics) + " topics");
+  }
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  vocab_size_ = vocab;
+  num_topics_ = topics;
+  phi_ = std::move(phi);
+  global_b_ = std::move(global_b);
+  trained_ = true;
+  return Status::OK();
+}
+
 }  // namespace microrec::topic

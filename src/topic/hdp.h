@@ -53,6 +53,10 @@ class Hdp : public TopicModel {
     return trained_ ? phi_[topic * vocab_size_ + word] : 0.0;
   }
 
+  /// LoadState adopts the persisted (posterior-sampled) topic count.
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   HdpConfig config_;
   size_t vocab_size_ = 0;

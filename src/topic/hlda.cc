@@ -373,4 +373,106 @@ std::vector<double> Hlda::InferDocument(const std::vector<TermId>& words,
   return theta;
 }
 
+void Hlda::SaveState(snapshot::Encoder* enc) const {
+  enc->PutU64(vocab_size_);
+  enc->PutU64(node_words_.size());
+  for (const auto& node : node_words_) {
+    // unordered_map iteration order is not stable across processes; sort by
+    // TermId so the same tree always serializes to the same bytes.
+    std::vector<std::pair<TermId, uint32_t>> entries(node.begin(), node.end());
+    std::sort(entries.begin(), entries.end());
+    std::vector<uint32_t> terms;
+    std::vector<uint32_t> counts;
+    terms.reserve(entries.size());
+    counts.reserve(entries.size());
+    for (const auto& [term, count] : entries) {
+      terms.push_back(term);
+      counts.push_back(count);
+    }
+    enc->PutVecU32(terms);
+    enc->PutVecU32(counts);
+  }
+  enc->PutVecU32(node_totals_);
+  enc->PutU64(paths_.size());
+  for (const std::vector<uint32_t>& path : paths_) enc->PutVecU32(path);
+  enc->PutVecU32(path_docs_);
+}
+
+Status Hlda::LoadState(snapshot::Decoder* dec) {
+  uint64_t vocab = 0;
+  uint64_t num_nodes = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&vocab));
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_nodes));
+  // Every node costs at least two 8-byte vector length prefixes.
+  if (num_nodes > dec->remaining() / 16) {
+    return Status::InvalidArgument(
+        "HLDA snapshot node count " + std::to_string(num_nodes) +
+        " exceeds remaining bytes at offset " + std::to_string(dec->offset()));
+  }
+  std::vector<std::unordered_map<TermId, uint32_t>> node_words(num_nodes);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    std::vector<uint32_t> terms;
+    std::vector<uint32_t> counts;
+    MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&terms));
+    MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&counts));
+    if (terms.size() != counts.size()) {
+      return Status::InvalidArgument(
+          "HLDA snapshot node " + std::to_string(n) + " has " +
+          std::to_string(terms.size()) + " terms but " +
+          std::to_string(counts.size()) + " counts");
+    }
+    node_words[n].reserve(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i] >= vocab) {
+        return Status::InvalidArgument(
+            "HLDA snapshot node " + std::to_string(n) + " references term " +
+            std::to_string(terms[i]) + " outside vocabulary of " +
+            std::to_string(vocab));
+      }
+      node_words[n][terms[i]] = counts[i];
+    }
+  }
+  std::vector<uint32_t> node_totals;
+  MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&node_totals));
+  if (node_totals.size() != num_nodes) {
+    return Status::InvalidArgument(
+        "HLDA snapshot has " + std::to_string(node_totals.size()) +
+        " node totals for " + std::to_string(num_nodes) + " nodes");
+  }
+  uint64_t num_paths = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_paths));
+  if (num_paths > dec->remaining() / 8) {
+    return Status::InvalidArgument(
+        "HLDA snapshot path count " + std::to_string(num_paths) +
+        " exceeds remaining bytes at offset " + std::to_string(dec->offset()));
+  }
+  std::vector<std::vector<uint32_t>> paths(num_paths);
+  for (uint64_t p = 0; p < num_paths; ++p) {
+    MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&paths[p]));
+    for (uint32_t node : paths[p]) {
+      if (node >= num_nodes) {
+        return Status::InvalidArgument(
+            "HLDA snapshot path " + std::to_string(p) + " references node " +
+            std::to_string(node) + " outside tree of " +
+            std::to_string(num_nodes));
+      }
+    }
+  }
+  std::vector<uint32_t> path_docs;
+  MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&path_docs));
+  if (path_docs.size() != num_paths) {
+    return Status::InvalidArgument(
+        "HLDA snapshot has " + std::to_string(path_docs.size()) +
+        " path document counts for " + std::to_string(num_paths) + " paths");
+  }
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  vocab_size_ = vocab;
+  node_words_ = std::move(node_words);
+  node_totals_ = std::move(node_totals);
+  paths_ = std::move(paths);
+  path_docs_ = std::move(path_docs);
+  trained_ = true;
+  return Status::OK();
+}
+
 }  // namespace microrec::topic

@@ -53,6 +53,12 @@ class Hlda : public TopicModel {
   /// Smoothed Dirichlet-multinomial estimate from the node's counts.
   double TopicWordProb(size_t topic, TermId word) const override;
 
+  /// Persists the frozen tree: per-node word counts (serialized sorted by
+  /// TermId for byte determinism), node totals, every root-to-leaf path
+  /// and its document count.
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   HldaConfig config_;
   size_t vocab_size_ = 0;

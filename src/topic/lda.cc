@@ -136,4 +136,26 @@ std::vector<double> Lda::TopicWordDistribution(size_t topic) const {
   return out;
 }
 
+void Lda::SaveState(snapshot::Encoder* enc) const {
+  SaveFlatPhi(enc, vocab_size_, config_.num_topics, phi_);
+}
+
+Status Lda::LoadState(snapshot::Decoder* dec) {
+  size_t vocab = 0;
+  size_t topics = 0;
+  std::vector<double> phi;
+  MICROREC_RETURN_IF_ERROR(LoadFlatPhi(dec, "LDA", &vocab, &topics, &phi));
+  if (topics != config_.num_topics) {
+    return Status::FailedPrecondition(
+        "LDA snapshot trained with " + std::to_string(topics) +
+        " topics, configuration expects " +
+        std::to_string(config_.num_topics));
+  }
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  vocab_size_ = vocab;
+  phi_ = std::move(phi);
+  trained_ = true;
+  return Status::OK();
+}
+
 }  // namespace microrec::topic

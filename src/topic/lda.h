@@ -51,6 +51,9 @@ class Lda : public TopicModel {
 
   const LdaConfig& config() const { return config_; }
 
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   LdaConfig config_;
   size_t vocab_size_ = 0;

@@ -139,4 +139,39 @@ std::vector<double> Llda::InferDocument(const std::vector<TermId>& words,
   return theta;
 }
 
+void Llda::SaveState(snapshot::Encoder* enc) const {
+  enc->PutU64(config_.num_labels);
+  enc->PutU64(config_.num_latent_topics);
+  SaveFlatPhi(enc, vocab_size_, config_.TotalTopics(), phi_);
+}
+
+Status Llda::LoadState(snapshot::Decoder* dec) {
+  uint64_t num_labels = 0;
+  uint64_t num_latent = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_labels));
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_latent));
+  if (num_latent != config_.num_latent_topics) {
+    return Status::FailedPrecondition(
+        "LLDA snapshot trained with " + std::to_string(num_latent) +
+        " latent topics, configuration expects " +
+        std::to_string(config_.num_latent_topics));
+  }
+  size_t vocab = 0;
+  size_t topics = 0;
+  std::vector<double> phi;
+  MICROREC_RETURN_IF_ERROR(LoadFlatPhi(dec, "LLDA", &vocab, &topics, &phi));
+  if (topics != num_labels + num_latent) {
+    return Status::InvalidArgument(
+        "LLDA snapshot topic count " + std::to_string(topics) +
+        " does not equal labels + latent (" + std::to_string(num_labels) +
+        " + " + std::to_string(num_latent) + ")");
+  }
+  MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+  config_.num_labels = num_labels;
+  vocab_size_ = vocab;
+  phi_ = std::move(phi);
+  trained_ = true;
+  return Status::OK();
+}
+
 }  // namespace microrec::topic

@@ -57,6 +57,12 @@ class Llda : public TopicModel {
     return trained_ ? phi_[topic * vocab_size_ + word] : 0.0;
   }
 
+  /// LoadState adopts the persisted label count into the configuration
+  /// (num_labels is derived from the training corpus, which a warm-started
+  /// engine never sees); the latent-topic count must match.
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   LldaConfig config_;
   size_t vocab_size_ = 0;

@@ -55,6 +55,9 @@ class Plsa : public TopicModel {
                                     size_t num_topics,
                                     size_t avg_doc_terms = 10);
 
+  void SaveState(snapshot::Encoder* enc) const override;
+  Status LoadState(snapshot::Decoder* dec) override;
+
  private:
   PlsaConfig config_;
   size_t vocab_size_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
@@ -117,6 +118,40 @@ std::vector<double> AggregateDistributions(
     user[i] = value;
   }
   return user;
+}
+
+void SaveFlatPhi(snapshot::Encoder* enc, size_t vocab_size, size_t num_topics,
+                 const std::vector<double>& phi) {
+  enc->PutU64(vocab_size);
+  enc->PutU64(num_topics);
+  enc->PutVecF64(phi);
+}
+
+Status LoadFlatPhi(snapshot::Decoder* dec, const char* model,
+                   size_t* vocab_size, size_t* num_topics,
+                   std::vector<double>* phi) {
+  uint64_t vocab = 0;
+  uint64_t topics = 0;
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&vocab));
+  MICROREC_RETURN_IF_ERROR(dec->ReadU64(&topics));
+  // The cell count must equal vocab * topics; compute the product with an
+  // overflow guard so a corrupted dimension cannot wrap it into a match.
+  if (vocab != 0 && topics > SIZE_MAX / vocab) {
+    return Status::InvalidArgument(
+        std::string(model) + " snapshot dimensions overflow at offset " +
+        std::to_string(dec->offset()));
+  }
+  MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(phi));
+  if (phi->size() != vocab * topics) {
+    return Status::InvalidArgument(
+        std::string(model) + " snapshot phi has " +
+        std::to_string(phi->size()) + " cells, dimensions say " +
+        std::to_string(vocab) + " x " + std::to_string(topics) +
+        " (at offset " + std::to_string(dec->offset()) + ")");
+  }
+  *vocab_size = vocab;
+  *num_topics = topics;
+  return Status::OK();
 }
 
 }  // namespace microrec::topic

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "resilience/deadline.h"
+#include "snapshot/format.h"
 #include "topic/doc_set.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -46,7 +47,31 @@ class TopicModel {
   /// Smoothed probability of `word` under topic `topic` (φ_z,w). Valid
   /// after Train(); topics index [0, num_topics()).
   virtual double TopicWordProb(size_t topic, TermId word) const = 0;
+
+  /// Serializes the trained posterior (φ and any model-specific state —
+  /// HDP stick weights, the HLDA tree) into a snapshot section payload.
+  /// Valid only after a successful Train().
+  virtual void SaveState(snapshot::Encoder* enc) const = 0;
+
+  /// Restores state written by SaveState() into a model constructed with
+  /// the *same* configuration; afterwards InferDocument() behaves exactly
+  /// as on the instance that trained. Structural damage and configuration
+  /// mismatches yield non-OK (the decoder carries file offsets).
+  /// Nonparametric dimensions (HDP topic count, LLDA label count) are
+  /// adopted from the persisted state.
+  virtual Status LoadState(snapshot::Decoder* dec) = 0;
 };
+
+/// Serialization of the flat [topic * vocab + word] φ matrix shared by the
+/// parametric samplers (LDA, LLDA, PLSA, BTM) and HDP: dimensions first,
+/// then the row-major cells. LoadFlatPhi rejects a cell count that does not
+/// match the dimensions (a spliced or bit-flipped length field) before the
+/// caller adopts anything.
+void SaveFlatPhi(snapshot::Encoder* enc, size_t vocab_size, size_t num_topics,
+                 const std::vector<double>& phi);
+Status LoadFlatPhi(snapshot::Decoder* dec, const char* model,
+                   size_t* vocab_size, size_t* num_topics,
+                   std::vector<double>* phi);
 
 /// True when the summed mass of `weights` is finite — the cheap one-pass
 /// health check the samplers run once per sweep on their posterior scratch

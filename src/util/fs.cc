@@ -1,0 +1,24 @@
+#include "util/fs.h"
+
+#include <filesystem>
+
+namespace microrec::util {
+
+Status EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Status EnsureParentDirectory(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return Status::OK();
+  return EnsureDirectory(parent.string());
+}
+
+}  // namespace microrec::util

@@ -1,0 +1,22 @@
+// Small filesystem helpers shared by everything that writes durable
+// artifacts (sweep checkpoints, model snapshots, bench reports).
+#ifndef MICROREC_UTIL_FS_H_
+#define MICROREC_UTIL_FS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace microrec::util {
+
+/// Creates `dir` (and any missing ancestors). OK when it already exists;
+/// Internal with the failing path and OS error otherwise.
+Status EnsureDirectory(const std::string& dir);
+
+/// Creates the parent directory of `path` so a subsequent open-for-write
+/// cannot fail with ENOENT. A bare filename (no parent) is a no-op.
+Status EnsureParentDirectory(const std::string& path);
+
+}  // namespace microrec::util
+
+#endif  // MICROREC_UTIL_FS_H_

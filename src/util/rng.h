@@ -85,6 +85,25 @@ class Rng {
   /// shuffle otherwise). Result order is unspecified.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// Complete generator state, for persistence. Restoring a saved state
+  /// replays the exact draw sequence (including the Box-Muller cache), which
+  /// is what makes warm-started scoring bit-identical to the original run.
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const {
+    return State{state_, inc_, has_cached_normal_, cached_normal_};
+  }
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kAborted:
       return "Aborted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }
@@ -31,7 +33,8 @@ Result<StatusCode> ParseStatusCode(std::string_view name) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
         StatusCode::kFailedPrecondition, StatusCode::kInternal,
-        StatusCode::kDeadlineExceeded, StatusCode::kAborted}) {
+        StatusCode::kDeadlineExceeded, StatusCode::kAborted,
+        StatusCode::kDataLoss}) {
     if (name == StatusCodeName(code)) return code;
   }
   return Status::Internal("unknown status code name: " + std::string(name));

@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal,
   kDeadlineExceeded,
   kAborted,
+  kDataLoss,
 };
 
 /// Canonical name of a code ("OK", "InvalidArgument", ...). Stable: the
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
   /// Rebuilds a status from its persisted (code, message) pair.
   static Status FromCode(StatusCode code, std::string msg) {

@@ -1,0 +1,324 @@
+// Warm-start equivalence: for every model family, an engine restored from
+// SaveSnapshot() must score bit-identically (EXPECT_EQ on doubles, no
+// tolerance) to the engine that trained — the contract DESIGN.md §8 makes
+// for the train-once / recommend-many path. Also exercises the engine-level
+// corruption matrix: a truncated, bit-flipped, version-skewed or
+// identity-mismatched snapshot must surface as a Status, never as silently
+// adopted state.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rec/engine.h"
+#include "snapshot/snapshot.h"
+
+namespace microrec::rec {
+namespace {
+
+using corpus::Source;
+using corpus::TweetId;
+using corpus::UserId;
+
+// Same miniature cats-vs-stocks world as engine_test.cc: ego retweets cat
+// posts, a rival retweets stock posts, so the pooled training corpus
+// covers both themes.
+class EngineSnapshotFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ego_ = world_.AddUser("ego");
+    cats_ = world_.AddUser("cats_feed");
+    stocks_ = world_.AddUser("stocks_feed");
+    ASSERT_TRUE(world_.graph().AddFollow(ego_, cats_).ok());
+    ASSERT_TRUE(world_.graph().AddFollow(ego_, stocks_).ok());
+
+    const char* cat_texts[] = {
+        "fluffy cat naps on warm windowsill",
+        "my cat chases the red laser dot",
+        "cute kitten plays with yarn ball cat",
+        "cat purrs softly during long nap",
+    };
+    const char* stock_texts[] = {
+        "stocks rally as markets open higher",
+        "bond yields fall after rate decision",
+        "tech stocks lead the market rebound",
+        "investors rotate into value funds",
+    };
+    corpus::Timestamp t = 0;
+    for (const char* text : cat_texts) {
+      cat_posts_.push_back(*world_.AddTweet(cats_, t += 10, text));
+    }
+    for (const char* text : stock_texts) {
+      stock_posts_.push_back(*world_.AddTweet(stocks_, t += 10, text));
+    }
+    rival_ = world_.AddUser("rival");
+    ASSERT_TRUE(world_.graph().AddFollow(rival_, stocks_).ok());
+    for (int i = 0; i < 3; ++i) {
+      (void)*world_.AddTweet(ego_, t += 10, "", cat_posts_[i]);
+      (void)*world_.AddTweet(rival_, t += 10, "", stock_posts_[i]);
+    }
+    test_cat_ = *world_.AddTweet(cats_, t += 10,
+                                 "my sleepy cat naps in the warm sun");
+    test_stock_ = *world_.AddTweet(
+        stocks_, t += 10, "bond yields rise as tech stocks slip today");
+    world_.Finalize();
+
+    pre_ = std::make_unique<PreprocessedCorpus>(
+        world_, std::vector<TweetId>{}, /*stop_top_k=*/0);
+
+    train_.docs = world_.RetweetsOf(ego_);
+    train_.positive.assign(train_.docs.size(), true);
+    rival_train_.docs = world_.RetweetsOf(rival_);
+    rival_train_.positive.assign(rival_train_.docs.size(), true);
+
+    users_ = {ego_, rival_};
+    ctx_.pre = pre_.get();
+    ctx_.source = Source::kR;
+    ctx_.users = &users_;
+    ctx_.train_set = [this](UserId u) -> const corpus::LabeledTrainSet& {
+      return u == ego_ ? train_ : rival_train_;
+    };
+    ctx_.seed = 11;
+    ctx_.iteration_scale = 0.1;
+    ctx_.llda_min_hashtag_count = 1;
+
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("microrec_engine_snap_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// A small but representative configuration per model family.
+  static ModelConfig SmallConfig(ModelKind kind) {
+    ModelConfig config;
+    config.kind = kind;
+    switch (kind) {
+      case ModelKind::kTN:
+        config.bag.kind = bag::NgramKind::kToken;
+        config.bag.n = 1;
+        config.bag.weighting = bag::Weighting::kTFIDF;
+        config.bag.aggregation = bag::Aggregation::kCentroid;
+        config.bag.similarity = bag::BagSimilarity::kCosine;
+        break;
+      case ModelKind::kCN:
+        config.bag.kind = bag::NgramKind::kChar;
+        config.bag.n = 3;
+        config.bag.weighting = bag::Weighting::kTF;
+        config.bag.aggregation = bag::Aggregation::kSum;
+        config.bag.similarity = bag::BagSimilarity::kGeneralizedJaccard;
+        break;
+      case ModelKind::kTNG:
+        config.graph.kind = bag::NgramKind::kToken;
+        config.graph.n = 1;
+        config.graph.similarity = graph::GraphSimilarity::kValue;
+        break;
+      case ModelKind::kCNG:
+        config.graph.kind = bag::NgramKind::kChar;
+        config.graph.n = 3;
+        config.graph.similarity = graph::GraphSimilarity::kContainment;
+        break;
+      case ModelKind::kHLDA:
+        config.topic.iterations = 300;
+        config.topic.levels = 3;
+        config.topic.alpha = 2.0;
+        config.topic.beta = 0.1;
+        config.topic.pooling = corpus::Pooling::kNone;
+        break;
+      default:  // LDA / LLDA / HDP / BTM / PLSA
+        config.topic.num_topics = 4;
+        config.topic.iterations = 500;
+        config.topic.pooling = corpus::Pooling::kNone;
+        config.topic.beta = 0.01;
+        break;
+    }
+    return config;
+  }
+
+  std::string Path(const std::string& name) const {
+    return dir_ + "/" + name + ".snap";
+  }
+
+  /// Trains `config` under `ctx`, saves, restores into a fresh engine, and
+  /// asserts both test tweets score bit-identically.
+  void ExpectBitIdenticalRoundTrip(const ModelConfig& config,
+                                   const EngineContext& ctx,
+                                   const std::string& tag) {
+    SCOPED_TRACE(tag);
+    auto trained = MakeEngine(config);
+    ASSERT_TRUE(trained->Prepare(ctx).ok());
+    ASSERT_TRUE(trained->BuildUser(ego_, train_, ctx).ok());
+    const double cat = trained->Score(ego_, test_cat_, ctx);
+    const double stock = trained->Score(ego_, test_stock_, ctx);
+
+    const std::string path = Path(tag);
+    ASSERT_TRUE(trained->SaveSnapshot(path, ctx).ok());
+
+    auto restored = MakeEngine(config);
+    Status load = restored->LoadSnapshot(path, ctx);
+    ASSERT_TRUE(load.ok()) << load.ToString();
+    // BuildUser must be a no-op for a persisted user.
+    ASSERT_TRUE(restored->BuildUser(ego_, train_, ctx).ok());
+    EXPECT_EQ(restored->Score(ego_, test_cat_, ctx), cat);
+    EXPECT_EQ(restored->Score(ego_, test_stock_, ctx), stock);
+  }
+
+  corpus::Corpus world_;
+  std::unique_ptr<PreprocessedCorpus> pre_;
+  corpus::LabeledTrainSet train_, rival_train_;
+  std::vector<UserId> users_;
+  EngineContext ctx_;
+  UserId ego_ = 0, cats_ = 0, stocks_ = 0, rival_ = 0;
+  std::vector<TweetId> cat_posts_, stock_posts_;
+  TweetId test_cat_ = 0, test_stock_ = 0;
+  std::string dir_;
+};
+
+TEST_F(EngineSnapshotFixture, AllNineModelsRoundTripBitIdentically) {
+  for (ModelKind kind : kEvaluatedModels) {
+    ExpectBitIdenticalRoundTrip(SmallConfig(kind), ctx_,
+                                std::string(ModelKindName(kind)));
+  }
+}
+
+TEST_F(EngineSnapshotFixture, PlsaRoundTripsBitIdentically) {
+  ExpectBitIdenticalRoundTrip(SmallConfig(ModelKind::kPLSA), ctx_, "PLSA");
+}
+
+TEST_F(EngineSnapshotFixture, TopicModelsRoundTripAcrossSourcesAndSeeds) {
+  // The identity header binds (source, seed); the equivalence must hold at
+  // every binding, not just the default one.
+  for (Source source : {Source::kR, Source::kT}) {
+    for (uint64_t seed : {uint64_t{11}, uint64_t{12}}) {
+      EngineContext ctx = ctx_;
+      ctx.source = source;
+      ctx.seed = seed;
+      std::string tag = "LDA-" + std::string(corpus::SourceName(source)) +
+                        "-seed" + std::to_string(seed);
+      ExpectBitIdenticalRoundTrip(SmallConfig(ModelKind::kLDA), ctx, tag);
+    }
+  }
+}
+
+TEST_F(EngineSnapshotFixture, PrepareWarmStartsFromSnapshot) {
+  ModelConfig config = SmallConfig(ModelKind::kBTM);
+  auto trained = MakeEngine(config);
+  ASSERT_TRUE(trained->Prepare(ctx_).ok());
+  ASSERT_TRUE(trained->BuildUser(ego_, train_, ctx_).ok());
+  const double cat = trained->Score(ego_, test_cat_, ctx_);
+  const std::string path = Path("warm");
+  ASSERT_TRUE(trained->SaveSnapshot(path, ctx_).ok());
+
+  EngineContext warm = ctx_;
+  warm.warm_start_snapshot = path;
+  auto restored = MakeEngine(config);
+  ASSERT_TRUE(restored->Prepare(warm).ok());
+  ASSERT_TRUE(restored->BuildUser(ego_, train_, warm).ok());
+  EXPECT_EQ(restored->Score(ego_, test_cat_, warm), cat);
+}
+
+TEST_F(EngineSnapshotFixture, PrepareFallsBackToColdTrainOnMissingSnapshot) {
+  EngineContext warm = ctx_;
+  warm.warm_start_snapshot = Path("never_written");
+  auto engine = MakeEngine(SmallConfig(ModelKind::kTN));
+  ASSERT_TRUE(engine->Prepare(warm).ok());
+  ASSERT_TRUE(engine->BuildUser(ego_, train_, warm).ok());
+  EXPECT_GT(engine->Score(ego_, test_cat_, warm),
+            engine->Score(ego_, test_stock_, warm));
+}
+
+// ---- Engine-level corruption matrix (TN keeps it fast; the container
+// layer is shared by every family). ----
+
+class EngineSnapshotCorruptionTest : public EngineSnapshotFixture {
+ protected:
+  void SetUp() override {
+    EngineSnapshotFixture::SetUp();
+    config_ = SmallConfig(ModelKind::kTN);
+    auto engine = MakeEngine(config_);
+    ASSERT_TRUE(engine->Prepare(ctx_).ok());
+    ASSERT_TRUE(engine->BuildUser(ego_, train_, ctx_).ok());
+    good_path_ = Path("good");
+    ASSERT_TRUE(engine->SaveSnapshot(good_path_, ctx_).ok());
+    std::ifstream in(good_path_, std::ios::binary);
+    good_bytes_.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    ASSERT_GT(good_bytes_.size(), snapshot::kMagicSize);
+  }
+
+  Status LoadBytes(const std::string& bytes, const std::string& name) {
+    const std::string path = Path(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    auto engine = MakeEngine(config_);
+    return engine->LoadSnapshot(path, ctx_);
+  }
+
+  ModelConfig config_;
+  std::string good_path_;
+  std::string good_bytes_;
+};
+
+TEST_F(EngineSnapshotCorruptionTest, TruncationIsAnError) {
+  Status st = LoadBytes(good_bytes_.substr(0, good_bytes_.size() / 2),
+                        "truncated");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(EngineSnapshotCorruptionTest, BitFlipIsDataLoss) {
+  std::string bytes = good_bytes_;
+  bytes[bytes.size() - 3] = static_cast<char>(bytes[bytes.size() - 3] ^ 0x40);
+  Status st = LoadBytes(bytes, "bitflip");
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.ToString();
+}
+
+TEST_F(EngineSnapshotCorruptionTest, VersionSkewIsFailedPrecondition) {
+  std::string bytes = good_bytes_;
+  bytes[14] = '2';  // "microrec.snap/2\n"
+  Status st = LoadBytes(bytes, "skew");
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+}
+
+TEST_F(EngineSnapshotCorruptionTest, SeedMismatchIsFailedPrecondition) {
+  auto engine = MakeEngine(config_);
+  EngineContext other = ctx_;
+  other.seed = 12;
+  Status st = engine->LoadSnapshot(good_path_, other);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_NE(st.message().find("seed"), std::string::npos) << st.ToString();
+}
+
+TEST_F(EngineSnapshotCorruptionTest, VocabFingerprintMismatchRejected) {
+  // Re-author the container with a perturbed vocabulary fingerprint but
+  // valid CRCs: only the identity check can catch this one.
+  Result<snapshot::File> file = snapshot::File::Load(good_path_);
+  ASSERT_TRUE(file.ok());
+  snapshot::Header header = file->header();
+  header.vocab_fingerprint ^= 1;
+  snapshot::Writer writer(header);
+  for (const snapshot::Section& section : file->sections()) {
+    if (section.name != "header") {
+      writer.AddSection(section.name, section.payload);
+    }
+  }
+  const std::string path = Path("vocab_mismatch");
+  ASSERT_TRUE(writer.Commit(path).ok());
+
+  auto engine = MakeEngine(config_);
+  Status st = engine->LoadSnapshot(path, ctx_);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_NE(st.message().find("fingerprint"), std::string::npos)
+      << st.ToString();
+}
+
+}  // namespace
+}  // namespace microrec::rec

@@ -1,0 +1,211 @@
+// The degradation ladder end to end: rung 0 serves from a warm snapshot,
+// an injected snapshot.load fault pushes queries to the rung-1 bag
+// fallback (and increments rec.degraded), and an already-expired deadline
+// lands on the rung-2 popularity baseline — which must produce a ranking
+// no matter what.
+#include "rec/serving.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "resilience/fault.h"
+
+namespace microrec::rec {
+namespace {
+
+using corpus::Source;
+using corpus::TweetId;
+using corpus::UserId;
+
+class ServingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ego_ = world_.AddUser("ego");
+    cats_ = world_.AddUser("cats_feed");
+    stocks_ = world_.AddUser("stocks_feed");
+    ASSERT_TRUE(world_.graph().AddFollow(ego_, cats_).ok());
+    ASSERT_TRUE(world_.graph().AddFollow(ego_, stocks_).ok());
+
+    const char* cat_texts[] = {
+        "fluffy cat naps on warm windowsill",
+        "my cat chases the red laser dot",
+        "cute kitten plays with yarn ball cat",
+        "cat purrs softly during long nap",
+    };
+    const char* stock_texts[] = {
+        "stocks rally as markets open higher",
+        "bond yields fall after rate decision",
+        "tech stocks lead the market rebound",
+        "investors rotate into value funds",
+    };
+    corpus::Timestamp t = 0;
+    for (const char* text : cat_texts) {
+      cat_posts_.push_back(*world_.AddTweet(cats_, t += 10, text));
+    }
+    for (const char* text : stock_texts) {
+      stock_posts_.push_back(*world_.AddTweet(stocks_, t += 10, text));
+    }
+    rival_ = world_.AddUser("rival");
+    ASSERT_TRUE(world_.graph().AddFollow(rival_, stocks_).ok());
+    for (int i = 0; i < 3; ++i) {
+      (void)*world_.AddTweet(ego_, t += 10, "", cat_posts_[i]);
+      (void)*world_.AddTweet(rival_, t += 10, "", stock_posts_[i]);
+    }
+    test_cat_ = *world_.AddTweet(cats_, t += 10,
+                                 "my sleepy cat naps in the warm sun");
+    test_stock_ = *world_.AddTweet(
+        stocks_, t += 10, "bond yields rise as tech stocks slip today");
+    world_.Finalize();
+
+    pre_ = std::make_unique<PreprocessedCorpus>(
+        world_, std::vector<TweetId>{}, /*stop_top_k=*/0);
+    train_.docs = world_.RetweetsOf(ego_);
+    train_.positive.assign(train_.docs.size(), true);
+    rival_train_.docs = world_.RetweetsOf(rival_);
+    rival_train_.positive.assign(rival_train_.docs.size(), true);
+
+    users_ = {ego_, rival_};
+    ctx_.pre = pre_.get();
+    ctx_.source = Source::kR;
+    ctx_.users = &users_;
+    ctx_.train_set = [this](UserId u) -> const corpus::LabeledTrainSet& {
+      return u == ego_ ? train_ : rival_train_;
+    };
+    ctx_.seed = 11;
+    ctx_.iteration_scale = 0.1;
+    ctx_.llda_min_hashtag_count = 1;
+
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("microrec_serving_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed())))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    // Train-once: persist the primary engine the recommender will load.
+    primary_config_.kind = ModelKind::kTN;
+    primary_config_.bag.kind = bag::NgramKind::kToken;
+    primary_config_.bag.n = 1;
+    primary_config_.bag.weighting = bag::Weighting::kTFIDF;
+    primary_config_.bag.aggregation = bag::Aggregation::kCentroid;
+    primary_config_.bag.similarity = bag::BagSimilarity::kCosine;
+    snapshot_path_ = dir_ + "/primary.snap";
+    auto engine = MakeEngine(primary_config_);
+    ASSERT_TRUE(engine->Prepare(ctx_).ok());
+    ASSERT_TRUE(engine->BuildUser(ego_, train_, ctx_).ok());
+    ASSERT_TRUE(engine->SaveSnapshot(snapshot_path_, ctx_).ok());
+  }
+
+  void TearDown() override {
+    resilience::ClearFaults();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ServingOptions Options() const {
+    ServingOptions options;
+    options.primary = primary_config_;
+    options.snapshot_path = snapshot_path_;
+    return options;
+  }
+
+  static uint64_t DegradedCount() {
+    return obs::MetricsRegistry::Global().GetCounter("rec.degraded")->value();
+  }
+
+  corpus::Corpus world_;
+  std::unique_ptr<PreprocessedCorpus> pre_;
+  corpus::LabeledTrainSet train_, rival_train_;
+  std::vector<UserId> users_;
+  EngineContext ctx_;
+  UserId ego_ = 0, cats_ = 0, stocks_ = 0, rival_ = 0;
+  std::vector<TweetId> cat_posts_, stock_posts_;
+  TweetId test_cat_ = 0, test_stock_ = 0;
+  ModelConfig primary_config_;
+  std::string snapshot_path_;
+  std::string dir_;
+};
+
+TEST_F(ServingFixture, PrimaryRungServesFromSnapshot) {
+  DegradingRecommender rec(ctx_, Options());
+  RecommendResult result = rec.Recommend(ego_, {test_stock_, test_cat_});
+  EXPECT_EQ(result.rung, ServingRung::kPrimary);
+  EXPECT_TRUE(result.degraded_reason.empty()) << result.degraded_reason;
+  ASSERT_EQ(result.ranking.size(), 2u);
+  EXPECT_EQ(result.ranking[0].tweet, test_cat_);
+  EXPECT_GT(result.ranking[0].score, result.ranking[1].score);
+  EXPECT_TRUE(rec.primary_status().ok());
+}
+
+TEST_F(ServingFixture, InjectedLoadFaultDegradesToBagFallback) {
+  resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                       resilience::FaultSpec{.every_nth = 1});
+  DegradingRecommender rec(ctx_, Options());
+  const uint64_t degraded_before = DegradedCount();
+  RecommendResult result = rec.Recommend(ego_, {test_stock_, test_cat_});
+  resilience::ClearFaults();
+
+  EXPECT_EQ(result.rung, ServingRung::kBagFallback);
+  EXPECT_FALSE(result.degraded_reason.empty());
+  ASSERT_EQ(result.ranking.size(), 2u);
+  // The TN fallback still personalizes: cat post on top.
+  EXPECT_EQ(result.ranking[0].tweet, test_cat_);
+  EXPECT_FALSE(rec.primary_status().ok());
+  EXPECT_EQ(DegradedCount(), degraded_before + 1);
+}
+
+TEST_F(ServingFixture, PrimaryLoadFailureIsRememberedAcrossQueries) {
+  resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                       resilience::FaultSpec{.every_nth = 1});
+  DegradingRecommender rec(ctx_, Options());
+  (void)rec.Recommend(ego_, {test_cat_});
+  // Faults cleared: a fresh load would now succeed, but the failure was
+  // cached — the bad snapshot is not re-read on every query.
+  resilience::ClearFaults();
+  RecommendResult result = rec.Recommend(ego_, {test_stock_, test_cat_});
+  EXPECT_EQ(result.rung, ServingRung::kBagFallback);
+  EXPECT_FALSE(rec.primary_status().ok());
+}
+
+TEST_F(ServingFixture, MissingSnapshotDegradesButStillRanks) {
+  ServingOptions options = Options();
+  options.snapshot_path = dir_ + "/absent.snap";
+  DegradingRecommender rec(ctx_, options);
+  RecommendResult result = rec.Recommend(ego_, {test_stock_, test_cat_});
+  EXPECT_EQ(result.rung, ServingRung::kBagFallback);
+  ASSERT_EQ(result.ranking.size(), 2u);
+  EXPECT_EQ(result.ranking[0].tweet, test_cat_);
+}
+
+TEST_F(ServingFixture, ExpiredDeadlineLandsOnPopularityRung) {
+  ServingOptions options = Options();
+  options.snapshot_path = dir_ + "/absent.snap";
+  options.query_deadline_seconds = 1e-9;  // expired before scoring starts
+  DegradingRecommender rec(ctx_, options);
+  // cat_posts_[0] was retweeted (popularity 1); stock_posts_[3] never was.
+  RecommendResult result =
+      rec.Recommend(ego_, {stock_posts_[3], cat_posts_[0]});
+  EXPECT_EQ(result.rung, ServingRung::kPopularity);
+  ASSERT_EQ(result.ranking.size(), 2u);
+  EXPECT_EQ(result.ranking[0].tweet, cat_posts_[0]);
+  EXPECT_FALSE(result.degraded_reason.empty());
+}
+
+TEST_F(ServingFixture, EmptyCandidateListYieldsEmptyRanking) {
+  DegradingRecommender rec(ctx_, Options());
+  RecommendResult result = rec.Recommend(ego_, {});
+  EXPECT_TRUE(result.ranking.empty());
+}
+
+TEST_F(ServingFixture, RungNamesAreStable) {
+  EXPECT_EQ(ServingRungName(ServingRung::kPrimary), "primary");
+  EXPECT_EQ(ServingRungName(ServingRung::kBagFallback), "bag-fallback");
+  EXPECT_EQ(ServingRungName(ServingRung::kPopularity), "popularity");
+}
+
+}  // namespace
+}  // namespace microrec::rec

@@ -10,6 +10,13 @@
 //                                         fault isolation and checkpointing
 //   microrec suggest <dir> <user_handle> [top_k]
 //                                         hashtag suggestions for one user
+//   microrec train <dir> <model> <source> [iter_scale]
+//                                         train once, snapshot the engine to
+//                                         --snapshot-dir (DESIGN.md §8)
+//   microrec recommend <dir> <model> <source> [iter_scale]
+//                                         rank every user's test candidates
+//                                         from the snapshot, degrading under
+//                                         --deadline instead of failing
 //
 // Global observability flags (usable with every command):
 //   --metrics=<path>   write a metrics-registry snapshot as JSON at exit
@@ -23,10 +30,20 @@
 //                         isolating it and sweeping on
 //   --max-configs=<n>     cap the (validity-filtered) grid at n configs
 //   --timeout=<seconds>   per-configuration deadline (0 = none)
-// Fault injection is armed via MICROREC_FAULTS (see src/resilience/fault.h).
+//
+// Serving flags (train / recommend):
+//   --snapshot-dir=<dir>  snapshot store (default "snapshots")
+//   --deadline=<seconds>  per-query budget for recommend (0 = none)
+//   --user=<handle>       recommend for one user instead of the cohort
+//   --top-k=<n>           print the top n recommendations (default 5)
+//
+// Unknown flags and malformed `--key=value` pairs are rejected with the
+// offending token and a usage hint (util/cli_flags.h). Fault injection is
+// armed via MICROREC_FAULTS (see src/resilience/fault.h).
 //
 // The <dir> format is the TSV layout documented in corpus/io.h, so real
 // datasets can be imported by producing users.tsv / tweets.tsv.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -40,7 +57,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/hashtag_rec.h"
+#include "rec/serving.h"
 #include "synth/generator.h"
+#include "util/cli_flags.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
 
@@ -53,6 +72,9 @@ int Fail(const Status& status) {
   return 1;
 }
 
+constexpr const char kUsageLine[] =
+    "microrec [--metrics=<path>] [--trace=<path>] <command> <dir> ...";
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -64,8 +86,23 @@ int Usage() {
       "  microrec sweep [--checkpoint=<path>] [--fail-fast]"
       " [--max-configs=<n>] [--timeout=<s>]\n"
       "                 <dir> <model> <source> [iter_scale]\n"
-      "  microrec suggest <dir> <user_handle> [top_k]\n");
+      "  microrec suggest <dir> <user_handle> [top_k]\n"
+      "  microrec train [--snapshot-dir=<dir>] <dir> <model> <source>"
+      " [iter_scale]\n"
+      "  microrec recommend [--snapshot-dir=<dir>] [--deadline=<s>]"
+      " [--user=<handle>] [--top-k=<n>]\n"
+      "                     <dir> <model> <source> [iter_scale]\n");
   return 2;
+}
+
+/// Strict positional-number parse (the flag parser covers --key=value; the
+/// optional iter_scale / seed positionals get the same rigor).
+bool ParsePositionalDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
 }
 
 /// One-line attribution of where the run's wall-clock went, from the
@@ -188,6 +225,25 @@ int Stats(const std::string& dir) {
   return 0;
 }
 
+// Default configuration of the requested model: the first entry of its
+// grid that is valid for this source (PLSA gets a hand-rolled config).
+// Shared by evaluate, train and recommend so a snapshot written by `train`
+// carries exactly the configuration fingerprint `recommend` expects.
+Result<rec::ModelConfig> DefaultConfig(rec::ModelKind kind,
+                                       corpus::Source source) {
+  rec::ModelConfig config;
+  config.kind = kind;
+  if (kind == rec::ModelKind::kPLSA) return config;
+  for (const rec::ModelConfig& candidate : rec::EnumerateConfigs(kind)) {
+    if (candidate.IsValidForSource(corpus::HasNegativeExamples(source))) {
+      return candidate;
+    }
+  }
+  return Status::InvalidArgument(
+      "no valid configuration of " + std::string(rec::ModelKindName(kind)) +
+      " for source " + std::string(corpus::SourceName(source)));
+}
+
 int Evaluate(const std::string& dir, const std::string& model_name,
              const std::string& source_name, double iter_scale) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
@@ -202,26 +258,11 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
 
-  // Default configuration of the requested model: the first entry of its
-  // grid that is valid for this source (PLSA gets a hand-rolled config).
-  rec::ModelConfig config;
-  config.kind = *kind;
-  if (*kind != rec::ModelKind::kPLSA) {
-    bool found = false;
-    for (const rec::ModelConfig& candidate : rec::EnumerateConfigs(*kind)) {
-      if (candidate.IsValidForSource(corpus::HasNegativeExamples(*source))) {
-        config = candidate;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      return Fail(Status::InvalidArgument("no valid configuration"));
-    }
-  }
-  Result<eval::RunResult> run = runner.Run(config, *source);
+  Result<rec::ModelConfig> config = DefaultConfig(*kind, *source);
+  if (!config.ok()) return Fail(config.status());
+  Result<eval::RunResult> run = runner.Run(*config, *source);
   if (!run.ok()) return Fail(run.status());
-  std::printf("configuration: %s\n", config.ToString().c_str());
+  std::printf("configuration: %s\n", config->ToString().c_str());
   std::printf("MAP (All Users): %.3f over %zu users\n", run->Map(),
               run->users.size());
   std::printf("TTime %.2fs  ETime %.2fs\n", run->ttime_seconds,
@@ -229,6 +270,112 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   std::printf("baselines: RAN %.3f  CHR %.3f\n",
               runner.RandomMap(corpus::UserType::kAllUsers, 500),
               runner.ChronologicalMap(corpus::UserType::kAllUsers));
+  return 0;
+}
+
+/// Serving flags shared by the train and recommend commands.
+struct ServingFlags {
+  std::string snapshot_dir = "snapshots";
+  double deadline_seconds = 0.0;
+  std::string user_handle;
+  size_t top_k = 5;
+};
+
+int Train(const std::string& dir, const std::string& model_name,
+          const std::string& source_name, double iter_scale,
+          const ServingFlags& flags) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = iter_scale;
+  options.snapshot_dir = flags.snapshot_dir;
+  options.snapshot_save = true;
+  // Loading too: re-running train refreshes the snapshot without retraining
+  // (the warm-started run re-persists its caches).
+  options.snapshot_load = true;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  Result<rec::ModelConfig> config = DefaultConfig(*kind, *source);
+  if (!config.ok()) return Fail(config.status());
+  Result<eval::RunResult> run = runner.Run(*config, *source);
+  if (!run.ok()) return Fail(run.status());
+  std::printf("configuration: %s\n", config->ToString().c_str());
+  std::printf("MAP (All Users): %.3f over %zu users\n", run->Map(),
+              run->users.size());
+  std::printf("TTime %.2fs  ETime %.2fs\n", run->ttime_seconds,
+              run->etime_seconds);
+  std::printf("snapshot: %s\n",
+              runner.SnapshotPath(*config, *source).c_str());
+  return 0;
+}
+
+int Recommend(const std::string& dir, const std::string& model_name,
+              const std::string& source_name, double iter_scale,
+              const ServingFlags& flags) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = iter_scale;
+  options.snapshot_dir = flags.snapshot_dir;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  Result<rec::ModelConfig> config = DefaultConfig(*kind, *source);
+  if (!config.ok()) return Fail(config.status());
+
+  std::vector<corpus::UserId> users;
+  if (flags.user_handle.empty()) {
+    users = runner.GroupUsers(corpus::UserType::kAllUsers);
+  } else {
+    const corpus::Corpus& corpus = stack->corpus();
+    for (corpus::UserId u : runner.GroupUsers(corpus::UserType::kAllUsers)) {
+      if (corpus.user(u).handle == flags.user_handle) users.push_back(u);
+    }
+    if (users.empty()) {
+      return Fail(Status::NotFound("no evaluable user with handle " +
+                                   flags.user_handle));
+    }
+  }
+
+  rec::ServingOptions serving;
+  serving.primary = *config;
+  serving.snapshot_path = runner.SnapshotPath(*config, *source);
+  serving.query_deadline_seconds = flags.deadline_seconds;
+  rec::EngineContext ctx = runner.MakeContext(*config, *source);
+  rec::DegradingRecommender server(ctx, serving);
+
+  size_t rung_counts[3] = {0, 0, 0};
+  for (corpus::UserId u : users) {
+    const corpus::UserSplit& split = runner.SplitOf(u);
+    rec::RecommendResult result = server.Recommend(u, split.TestSet());
+    rung_counts[static_cast<int>(result.rung)]++;
+    std::printf("%s (%s):\n", stack->corpus().user(u).handle.c_str(),
+                std::string(rec::ServingRungName(result.rung)).c_str());
+    const size_t n = std::min(flags.top_k, result.ranking.size());
+    for (size_t i = 0; i < n; ++i) {
+      const corpus::Tweet& tweet =
+          stack->corpus().tweet(result.ranking[i].tweet);
+      std::printf("  %6.3f  %s\n", result.ranking[i].score,
+                  tweet.text.c_str());
+    }
+  }
+  std::printf("served: %zu primary / %zu bag-fallback / %zu popularity\n",
+              rung_counts[0], rung_counts[1], rung_counts[2]);
+  if (!server.primary_status().ok()) {
+    std::fprintf(stderr, "degraded: %s\n",
+                 server.primary_status().ToString().c_str());
+  }
   return 0;
 }
 
@@ -336,10 +483,25 @@ int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
   return 0;
 }
 
-int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags) {
+/// Optional trailing iter_scale positional; rejects garbage instead of the
+/// old atof-silently-zero behavior.
+bool IterScaleArg(const std::vector<std::string>& args, size_t index,
+                  double* iter_scale) {
+  if (args.size() <= index) return true;
+  if (!ParsePositionalDouble(args[index], iter_scale) || *iter_scale <= 0.0) {
+    std::fprintf(stderr, "error: bad iter_scale '%s'\n",
+                 args[index].c_str());
+    return false;
+  }
+  return true;
+}
+
+int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
+             const ServingFlags& serving) {
   if (args.size() < 2) return Usage();
   const std::string& command = args[0];
   const std::string& dir = args[1];
+  double iter_scale = 0.03;
   if (command == "generate") {
     uint64_t seed =
         args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 42;
@@ -347,11 +509,11 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags) {
   }
   if (command == "stats") return Stats(dir);
   if (command == "evaluate" && args.size() >= 4) {
-    double iter_scale = args.size() > 4 ? std::atof(args[4].c_str()) : 0.03;
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
     return Evaluate(dir, args[2], args[3], iter_scale);
   }
   if (command == "sweep" && args.size() >= 4) {
-    double iter_scale = args.size() > 4 ? std::atof(args[4].c_str()) : 0.03;
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
     return Sweep(dir, args[2], args[3], iter_scale, flags);
   }
   if (command == "suggest" && args.size() >= 3) {
@@ -359,38 +521,54 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags) {
         args.size() > 3 ? static_cast<size_t>(std::atoi(args[3].c_str())) : 10;
     return Suggest(dir, args[2], top_k);
   }
+  if (command == "train" && args.size() >= 4) {
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
+    return Train(dir, args[2], args[3], iter_scale, serving);
+  }
+  if (command == "recommend" && args.size() >= 4) {
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
+    return Recommend(dir, args[2], args[3], iter_scale, serving);
+  }
   return Usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path;
-  bool observed = false;
+  std::string metrics_path, trace_path;
   SweepFlags flags;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (StartsWith(arg, "--metrics=")) {
-      metrics_path = arg.substr(10);
-      observed = true;
-    } else if (StartsWith(arg, "--trace=")) {
-      obs::StartTracing(arg.substr(8));
-      observed = true;
-    } else if (StartsWith(arg, "--checkpoint=")) {
-      flags.checkpoint_path = arg.substr(13);
-    } else if (arg == "--fail-fast") {
-      flags.fail_fast = true;
-    } else if (StartsWith(arg, "--max-configs=")) {
-      flags.max_configs = static_cast<size_t>(
-          std::strtoull(arg.substr(14).c_str(), nullptr, 10));
-    } else if (StartsWith(arg, "--timeout=")) {
-      flags.timeout_seconds = std::atof(arg.substr(10).c_str());
-    } else {
-      args.push_back(std::move(arg));
-    }
+  ServingFlags serving;
+
+  FlagParser parser(kUsageLine);
+  parser.AddString("metrics", &metrics_path, "write metrics JSON at exit");
+  parser.AddString("trace", &trace_path, "write Chrome trace JSON");
+  parser.AddString("checkpoint", &flags.checkpoint_path,
+                   "sweep: JSONL checkpoint for resume");
+  parser.AddBool("fail-fast", &flags.fail_fast,
+                 "sweep: abort on first failed configuration");
+  parser.AddSize("max-configs", &flags.max_configs,
+                 "sweep: cap the configuration grid");
+  parser.AddDouble("timeout", &flags.timeout_seconds,
+                   "sweep: per-configuration deadline in seconds");
+  parser.AddString("snapshot-dir", &serving.snapshot_dir,
+                   "train/recommend: snapshot store directory");
+  parser.AddDouble("deadline", &serving.deadline_seconds,
+                   "recommend: per-query budget in seconds");
+  parser.AddString("user", &serving.user_handle,
+                   "recommend: serve one handle instead of the cohort");
+  parser.AddSize("top-k", &serving.top_k,
+                 "recommend: recommendations printed per user");
+
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  Result<std::vector<std::string>> args = parser.Parse(raw);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    return Usage();
   }
-  int code = Dispatch(args, flags);
+  const bool observed = !metrics_path.empty() || !trace_path.empty();
+  if (!trace_path.empty()) obs::StartTracing(trace_path);
+
+  int code = Dispatch(*args, flags, serving);
   if (observed) PrintPhaseSummary();
   if (!metrics_path.empty() && !WriteMetricsFile(metrics_path)) code = 1;
   obs::StopTracing();
