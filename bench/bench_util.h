@@ -252,6 +252,20 @@ inline int FinishBench(const BenchIo& io, const char* bench_name) {
             snapshot.FindCounter("snapshot.writes")) {
       report.AddScalar("snapshot_writes", static_cast<double>(c->value));
     }
+    // Ranking hot path: how much work the inverted-index pruning skipped,
+    // and whether any score came out non-finite (a model bug indicator).
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("rec.ranker.candidates")) {
+      report.AddScalar("ranker_candidates", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("rec.ranker.pruned")) {
+      report.AddScalar("ranker_pruned", static_cast<double>(c->value));
+    }
+    if (const obs::CounterSnapshot* c =
+            snapshot.FindCounter("rec.nonfinite_scores")) {
+      report.AddScalar("nonfinite_scores", static_cast<double>(c->value));
+    }
     report.AddText("iter_scale",
                    FormatDouble(EnvDouble("MICROREC_ITER_SCALE", 0.03), 3));
     report.AttachMetrics(std::move(snapshot));

@@ -1,0 +1,43 @@
+#include "bag/inverted_index.h"
+
+#include <algorithm>
+
+namespace microrec::bag {
+
+void InvertedIndex::Reserve(size_t num_docs) {
+  // A tweet has a handful of n-grams; 8 postings per doc is a generous
+  // first guess that avoids most rehashing.
+  postings_.reserve(num_docs * 8);
+}
+
+void InvertedIndex::Add(uint32_t doc, const SparseVector& vec) {
+  for (const auto& [term, weight] : vec.entries()) {
+    (void)weight;
+    postings_[term].push_back(doc);
+  }
+  num_postings_ += vec.size();
+  max_doc_id_ = std::max(max_doc_id_, doc);
+  ++num_docs_;
+}
+
+std::vector<uint32_t> InvertedIndex::Overlapping(
+    const SparseVector& query) const {
+  std::vector<uint32_t> hits;
+  if (num_docs_ == 0 || query.empty()) return hits;
+  std::vector<uint8_t> seen(static_cast<size_t>(max_doc_id_) + 1, 0);
+  for (const auto& [term, weight] : query.entries()) {
+    (void)weight;
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    for (uint32_t doc : it->second) {
+      if (!seen[doc]) {
+        seen[doc] = 1;
+        hits.push_back(doc);
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+}  // namespace microrec::bag

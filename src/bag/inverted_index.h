@@ -1,0 +1,48 @@
+// Term -> document postings over sparse vectors, used by the ranking hot
+// path to prune candidates: a candidate whose support is disjoint from the
+// query profile scores exactly 0 under every bag similarity (cosine, JS,
+// GJS — all zero-guarded), so only documents reachable from the profile's
+// terms ever hit the similarity kernel.
+#ifndef MICROREC_BAG_INVERTED_INDEX_H_
+#define MICROREC_BAG_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bag/sparse_vector.h"
+
+namespace microrec::bag {
+
+/// Maps every term of the added documents to the (dense, caller-assigned)
+/// ids of the documents containing it. Ids are expected to be small slot
+/// indices (0..N-1), not corpus-wide tweet ids — Overlapping() allocates a
+/// bitmap over max_doc_id+1.
+class InvertedIndex {
+ public:
+  /// Pre-sizes the postings map for `num_docs` documents.
+  void Reserve(size_t num_docs);
+
+  /// Adds the support of `vec` under document id `doc`. Entries with
+  /// weight 0 still count: the similarity kernels see them too.
+  void Add(uint32_t doc, const SparseVector& vec);
+
+  /// Sorted unique ids of the added documents sharing at least one term
+  /// with `query`. The sort makes downstream scoring order (and therefore
+  /// floating-point results) independent of postings-map iteration order.
+  std::vector<uint32_t> Overlapping(const SparseVector& query) const;
+
+  size_t num_docs() const { return num_docs_; }
+  size_t num_postings() const { return num_postings_; }
+  bool empty() const { return num_docs_ == 0; }
+
+ private:
+  std::unordered_map<TermId, std::vector<uint32_t>> postings_;
+  size_t num_docs_ = 0;
+  size_t num_postings_ = 0;
+  uint32_t max_doc_id_ = 0;
+};
+
+}  // namespace microrec::bag
+
+#endif  // MICROREC_BAG_INVERTED_INDEX_H_

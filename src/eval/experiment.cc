@@ -7,8 +7,10 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rec/ranker.h"
 #include "resilience/fault.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace microrec::eval {
 
@@ -152,10 +154,21 @@ Result<RunResult> ExperimentRunner::Run(
   // ---- ETime: score and rank every user's test set. ----
   obs::Histogram* user_score_hist =
       registry.GetHistogram("eval.user.score_seconds");
+  // Pool construction (thread spawn) happens outside the timed section so
+  // ETime charges scoring, not setup. The score cache stays off: every
+  // candidate is scored exactly once per run, and a cache would make the
+  // measured ETime unrepresentative of the paper's protocol.
+  std::unique_ptr<ThreadPool> score_pool;
+  rec::RankerOptions ranker_options;
+  if (options_.score_threads > 1) {
+    score_pool = std::make_unique<ThreadPool>(options_.score_threads);
+    ranker_options.pool = score_pool.get();
+  }
+  rec::BatchRanker ranker(engine.get(), &ctx, ranker_options);
   {
     ScopedTimer test_timer(&etime);
     MICROREC_SPAN("score_users");
-    Rng tie_rng(options_.seed, 1299709);
+    Rng tie_rng(options_.seed, rec::kTieBreakStream);
     for (corpus::UserId u : all_) {
       obs::TraceSpan user_span("score_user");
       obs::ScopedHistogramTimer user_timer(user_score_hist);
@@ -164,27 +177,22 @@ Result<RunResult> ExperimentRunner::Run(
       }
       MICROREC_FAULT_POINT(resilience::kSiteEngineScore);
       const corpus::UserSplit& split = splits_.at(u);
-      struct Scored {
-        double score;
-        bool relevant;
-      };
-      std::vector<Scored> scored;
-      scored.reserve(split.positives.size() + split.negatives.size());
-      for (corpus::TweetId id : split.positives) {
-        scored.push_back({engine->Score(u, id, ctx), true});
-      }
-      for (corpus::TweetId id : split.negatives) {
-        scored.push_back({engine->Score(u, id, ctx), false});
-      }
-      // Random permutation before the stable sort gives unbiased tie-breaks.
-      tie_rng.Shuffle(scored);
-      std::stable_sort(scored.begin(), scored.end(),
-                       [](const Scored& a, const Scored& b) {
-                         return a.score > b.score;
-                       });
+      // Positives first: RankedItem::index < |positives| recovers the
+      // relevance label after ranking.
+      std::vector<corpus::TweetId> candidates;
+      candidates.reserve(split.positives.size() + split.negatives.size());
+      candidates.insert(candidates.end(), split.positives.begin(),
+                        split.positives.end());
+      candidates.insert(candidates.end(), split.negatives.begin(),
+                        split.negatives.end());
+      Result<std::vector<rec::RankedItem>> ranked =
+          ranker.Rank(u, candidates, &tie_rng);
+      if (!ranked.ok()) return ranked.status();
       std::vector<bool> relevant;
-      relevant.reserve(scored.size());
-      for (const Scored& s : scored) relevant.push_back(s.relevant);
+      relevant.reserve(ranked->size());
+      for (const rec::RankedItem& item : *ranked) {
+        relevant.push_back(item.index < split.positives.size());
+      }
       result.users.push_back(u);
       result.aps.push_back(AveragePrecision(relevant));
     }

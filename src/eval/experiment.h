@@ -40,6 +40,10 @@ struct RunOptions {
   std::string snapshot_dir;
   bool snapshot_save = false;
   bool snapshot_load = false;
+  /// Threads for the sharded scoring phase (BatchRanker). 1 keeps the
+  /// paper's single-threaded ETime semantics; rankings are bit-identical
+  /// at any value (see DESIGN.md §9), only wall-clock changes.
+  size_t score_threads = 1;
 };
 
 /// Outcome of evaluating one (configuration, source) pair over the whole

@@ -138,9 +138,26 @@ void SaveDistribution(uint64_t key, const std::vector<double>& dist,
 
 // ---- Bag engine (TN / CN). ----
 
-class BagEngine : public Engine {
+class BagEngine : public Engine, public SparseProfileScorer {
  public:
   explicit BagEngine(const ModelConfig& config) : config_(config) {}
+
+  SparseProfileScorer* sparse_scorer() override { return this; }
+
+  const bag::SparseVector* Profile(UserId u) const override {
+    auto it = users_.find(u);
+    return it == users_.end() ? nullptr : &it->second->vector;
+  }
+
+  bag::SparseVector Embed(UserId u, TweetId d,
+                          const EngineContext& ctx) override {
+    return users_.at(u)->modeler.EmbedDocument(ctx.pre->Filtered(d));
+  }
+
+  double Kernel(UserId u, const bag::SparseVector& profile,
+                const bag::SparseVector& doc) const override {
+    return users_.at(u)->modeler.Score(profile, doc);
+  }
 
   Status Prepare(const EngineContext& ctx) override {
     if (!ctx.warm_start_snapshot.empty()) {

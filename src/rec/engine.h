@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bag/sparse_vector.h"
 #include "corpus/split.h"
 #include "rec/model_config.h"
 #include "rec/preprocessed.h"
@@ -54,6 +55,31 @@ struct EngineContext {
   std::string warm_start_snapshot;
 };
 
+/// Optional capability for engines whose user models are sparse term
+/// vectors (the bag family, TN / CN). BatchRanker uses it to run the
+/// pruned, sharded scoring fast path: candidates are embedded once (on the
+/// caller thread — embedding interns vocabulary and is not thread-safe),
+/// indexed by term, and only candidates whose support overlaps the profile
+/// reach the similarity kernel; the rest score exactly 0, which is what
+/// every zero-guarded bag similarity returns for disjoint supports.
+class SparseProfileScorer {
+ public:
+  virtual ~SparseProfileScorer() = default;
+
+  /// The user's profile vector; nullptr before BuildUser().
+  virtual const bag::SparseVector* Profile(corpus::UserId u) const = 0;
+
+  /// Embeds candidate `d` exactly as Score() would (interning previously
+  /// unseen terms). Must be called from one thread at a time.
+  virtual bag::SparseVector Embed(corpus::UserId u, corpus::TweetId d,
+                                  const EngineContext& ctx) = 0;
+
+  /// The configured similarity kernel on pre-embedded vectors. Pure and
+  /// thread-safe: safe to fan out across shards.
+  virtual double Kernel(corpus::UserId u, const bag::SparseVector& profile,
+                        const bag::SparseVector& doc) const = 0;
+};
+
 /// Abstract engine; instances are single-use (one configuration, one
 /// source, one run) and not thread-safe.
 class Engine {
@@ -87,6 +113,10 @@ class Engine {
   /// that saved.
   virtual Status LoadSnapshot(const std::string& path,
                               const EngineContext& ctx) = 0;
+
+  /// Sparse-profile capability for BatchRanker's pruned fast path; nullptr
+  /// for families without sparse user-term profiles (graph, topic).
+  virtual SparseProfileScorer* sparse_scorer() { return nullptr; }
 };
 
 /// Instantiates the engine for a configuration.

@@ -1,0 +1,132 @@
+// The shared score -> rank hot path (DESIGN.md §9). Both the experiment
+// runner (ETime, Fig. 7) and the degradation-aware serving ladder rank
+// through BatchRanker, so evaluation and serving cannot drift apart on
+// ordering semantics:
+//
+//   * one canonical tie-break protocol — a seeded permutation of the
+//     candidate list followed by a stable sort on descending score (the
+//     unbiased-tie protocol the experiment runner has always used);
+//   * non-finite scores (e.g. a corrupted snapshot weight) are mapped to
+//     -infinity before any comparator sees them — a single NaN otherwise
+//     violates std::sort's strict-weak-ordering precondition, which is UB —
+//     and counted in `rec.nonfinite_scores`;
+//   * a pruned fast path for sparse-profile engines (bag TN / CN): the
+//     candidates are embedded once, indexed term -> candidate, and only
+//     candidates whose support overlaps the user profile reach the
+//     similarity kernel, sharded over a ThreadPool. Pruned candidates
+//     score exactly 0.0 — bit-identical to what every zero-guarded bag
+//     similarity returns for disjoint supports — so the fast path's
+//     ranking is byte-for-byte the brute-force ranking at any thread
+//     count (`rec.ranker.candidates` / `rec.ranker.pruned` make the
+//     pruning win visible in run reports);
+//   * a bounded top-K heap selection when only the head of the ranking is
+//     needed (serving), instead of materialising and sorting the full
+//     candidate set;
+//   * an optional per-user score cache so repeated candidates across
+//     queries skip embedding and the kernel entirely.
+#ifndef MICROREC_REC_RANKER_H_
+#define MICROREC_REC_RANKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rec/engine.h"
+#include "resilience/deadline.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace microrec::rec {
+
+/// The Rng stream id of the canonical tie-break permutation. Evaluation
+/// and serving both derive their tie-break generator from this stream so
+/// "same seed" means "same tie resolution" everywhere.
+inline constexpr uint64_t kTieBreakStream = 1299709;
+
+/// One ranked candidate. `index` is the candidate's position in the input
+/// list, which is how the experiment runner recovers relevance labels
+/// (positives precede negatives in the candidate list it builds).
+struct RankedItem {
+  corpus::TweetId tweet = corpus::kInvalidTweet;
+  double score = 0.0;   // after non-finite mapping
+  uint32_t index = 0;   // position in the input candidate list
+};
+
+struct RankerOptions {
+  /// 0 = full ranking; otherwise only the best `top_k` items are returned,
+  /// selected with a bounded heap (identical to the first top_k entries of
+  /// the full canonical ranking).
+  size_t top_k = 0;
+  /// Candidates per scoring shard: the unit of parallel kernel work and of
+  /// deadline re-checks (a deadline is consulted at every shard boundary,
+  /// not just once per query).
+  size_t shard_size = 64;
+  /// Pool for the sharded kernel phase; nullptr scores on the caller
+  /// thread. Rankings are bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Per-user score-cache entries (0 disables). Cached scores are exact,
+  /// so caching never changes a ranking, only skips recomputation.
+  size_t score_cache_capacity = 0;
+};
+
+/// Maps every non-finite score to -infinity in place (so ties among them
+/// still break canonically at the bottom of the ranking) and bumps the
+/// `rec.nonfinite_scores` counter per occurrence. Returns how many scores
+/// were mapped.
+size_t SanitizeScores(std::vector<double>* scores);
+
+/// The canonical tie-break order over `scores`: Fisher-Yates permutation
+/// drawn from `tie_rng` (consuming exactly one Shuffle of size n, whether
+/// or not top_k truncates), then a stable sort on descending score.
+/// Returns candidate indices in rank order — all of them for top_k == 0,
+/// otherwise the best top_k via bounded-heap selection. `tie_rng` may be
+/// nullptr (no permutation: ties break by input position). Scores must be
+/// NaN-free; call SanitizeScores first.
+std::vector<uint32_t> CanonicalOrder(const std::vector<double>& scores,
+                                     Rng* tie_rng, size_t top_k = 0);
+
+/// Batched, sharded scoring + canonical ranking over one engine. Not
+/// thread-safe itself (internal parallelism only); the engine and context
+/// must outlive the ranker.
+class BatchRanker {
+ public:
+  BatchRanker(Engine* engine, const EngineContext* ctx,
+              RankerOptions options);
+
+  /// Scores `candidates` for user `u` and returns them in canonical rank
+  /// order. Advances `tie_rng` by exactly one Shuffle of candidates.size()
+  /// elements (nullptr = no permutation). The deadline, when given, is
+  /// re-checked at every shard boundary; expiry aborts with
+  /// DeadlineExceeded before any ranking is produced.
+  Result<std::vector<RankedItem>> Rank(
+      corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
+      Rng* tie_rng, const resilience::Deadline* deadline = nullptr);
+
+  const RankerOptions& options() const { return options_; }
+
+ private:
+  /// Pruned sparse-profile scoring into `scores` (pre-sized, zero-filled).
+  Status ScoreSparse(SparseProfileScorer* scorer, corpus::UserId u,
+                     const std::vector<corpus::TweetId>& candidates,
+                     const std::vector<uint8_t>& cached,
+                     const resilience::Deadline* deadline,
+                     std::vector<double>* scores);
+  /// Engine::Score fallback for families without sparse profiles.
+  Status ScoreGeneric(corpus::UserId u,
+                      const std::vector<corpus::TweetId>& candidates,
+                      const std::vector<uint8_t>& cached,
+                      const resilience::Deadline* deadline,
+                      std::vector<double>* scores);
+
+  Engine* engine_;
+  const EngineContext* ctx_;
+  RankerOptions options_;
+  std::unordered_map<corpus::UserId,
+                     std::unordered_map<corpus::TweetId, double>>
+      cache_;
+};
+
+}  // namespace microrec::rec
+
+#endif  // MICROREC_REC_RANKER_H_

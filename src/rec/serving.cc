@@ -4,6 +4,8 @@
 
 #include "corpus/corpus.h"
 #include "obs/metrics.h"
+#include "rec/ranker.h"
+#include "util/thread_pool.h"
 
 namespace microrec::rec {
 namespace {
@@ -26,17 +28,11 @@ obs::Gauge* RungGauge() {
   return g;
 }
 
-/// Deadline checks between candidate scores are cheap (one clock read) but
-/// not free; scoring batches amortize them.
-constexpr size_t kDeadlineStride = 16;
-
-void SortDescending(std::vector<Recommendation>* ranking) {
-  std::sort(ranking->begin(), ranking->end(),
-            [](const Recommendation& a, const Recommendation& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.tweet < b.tweet;
-            });
-}
+/// Candidates per scoring shard: the unit of parallel kernel work and of
+/// deadline re-checks. A deadline check is one clock read — cheap but not
+/// free — so shards amortize it without letting an expired query run on
+/// for hundreds of candidates.
+constexpr size_t kScoreShardSize = 16;
 
 }  // namespace
 
@@ -65,7 +61,14 @@ ModelConfig ServingOptions::DefaultFallback() {
 
 DegradingRecommender::DegradingRecommender(const EngineContext& ctx,
                                            ServingOptions options)
-    : ctx_(ctx), options_(std::move(options)) {
+    : ctx_(ctx),
+      options_(std::move(options)),
+      // The same seed-derived stream the experiment runner ranks with:
+      // evaluation and serving resolve ties identically (DESIGN.md §9).
+      tie_rng_(ctx.seed, kTieBreakStream) {
+  if (options_.score_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.score_threads);
+  }
   // Popularity state is precomputed eagerly: rung 2 must never block on
   // anything at query time, it is the "always answers" floor.
   if (ctx_.pre != nullptr) {
@@ -93,6 +96,7 @@ Status DegradingRecommender::EnsurePrimary() {
     primary_.reset();
     return primary_status_;
   }
+  primary_ranker_ = MakeRanker(primary_.get());
   primary_state_ = PrimaryState::kReady;
   return Status::OK();
 }
@@ -110,6 +114,7 @@ Status DegradingRecommender::EnsureFallbackUser(corpus::UserId u) {
     EngineContext cold = ctx_;
     cold.warm_start_snapshot.clear();
     MICROREC_RETURN_IF_ERROR(fallback_->Prepare(cold));
+    fallback_ranker_ = MakeRanker(fallback_.get());
   }
   if (fallback_users_.count(u) != 0) return Status::OK();
   if (!ctx_.train_set) {
@@ -121,24 +126,29 @@ Status DegradingRecommender::EnsureFallbackUser(corpus::UserId u) {
   return Status::OK();
 }
 
-Status DegradingRecommender::ScoreWith(
-    Engine* engine, corpus::UserId u,
+std::unique_ptr<BatchRanker> DegradingRecommender::MakeRanker(
+    Engine* engine) const {
+  RankerOptions ranker_options;
+  ranker_options.top_k = options_.top_k;
+  ranker_options.shard_size = kScoreShardSize;
+  ranker_options.pool = pool_.get();
+  ranker_options.score_cache_capacity = options_.score_cache_capacity;
+  return std::make_unique<BatchRanker>(engine, &ctx_, ranker_options);
+}
+
+Status DegradingRecommender::RankWith(
+    BatchRanker* ranker, corpus::UserId u,
     const std::vector<corpus::TweetId>& candidates,
     const resilience::Deadline& deadline,
-    std::vector<Recommendation>* out) const {
+    std::vector<Recommendation>* out) {
+  Result<std::vector<RankedItem>> ranked =
+      ranker->Rank(u, candidates, &tie_rng_, &deadline);
+  if (!ranked.ok()) return ranked.status();
   out->clear();
-  out->reserve(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if (i % kDeadlineStride == 0 && deadline.Expired()) {
-      return Status::DeadlineExceeded("serving: query deadline expired after " +
-                                      std::to_string(i) + " of " +
-                                      std::to_string(candidates.size()) +
-                                      " candidates");
-    }
-    out->push_back(
-        Recommendation{candidates[i], engine->Score(u, candidates[i], ctx_)});
+  out->reserve(ranked->size());
+  for (const RankedItem& item : *ranked) {
+    out->push_back(Recommendation{item.tweet, item.score});
   }
-  SortDescending(out);
   return Status::OK();
 }
 
@@ -199,8 +209,8 @@ RecommendResult DegradingRecommender::Recommend(
       if (primary.ok()) primary_users_.insert(u);
     }
     if (primary.ok()) {
-      primary = ScoreWith(primary_.get(), u, candidates, deadline,
-                          &result.ranking);
+      primary = RankWith(primary_ranker_.get(), u, candidates, deadline,
+                         &result.ranking);
     }
     if (primary.ok()) {
       result.rung = ServingRung::kPrimary;
@@ -216,8 +226,8 @@ RecommendResult DegradingRecommender::Recommend(
   // Rung 1: the cached bag-of-words fallback.
   Status fallback = EnsureFallbackUser(u);
   if (fallback.ok()) {
-    fallback =
-        ScoreWith(fallback_.get(), u, candidates, deadline, &result.ranking);
+    fallback = RankWith(fallback_ranker_.get(), u, candidates, deadline,
+                        &result.ranking);
   }
   if (fallback.ok()) {
     result.rung = ServingRung::kBagFallback;
@@ -230,6 +240,9 @@ RecommendResult DegradingRecommender::Recommend(
   // Rung 2: popularity — no model state, no deadline checks, always ranks.
   result.rung = ServingRung::kPopularity;
   result.ranking = PopularityRanking(candidates);
+  if (options_.top_k > 0 && result.ranking.size() > options_.top_k) {
+    result.ranking.resize(options_.top_k);
+  }
   DegradedCounter()->Increment();
   RungGauge()->Set(2.0);
   return result;

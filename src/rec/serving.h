@@ -10,6 +10,11 @@
 // published in the `rec.fallback_rung` gauge, so an operator can see a
 // corrupted snapshot or an overloaded box in the run report instead of a
 // crash log.
+//
+// Rungs 0 and 1 rank through rec::BatchRanker — the same batched, pruned
+// scoring path and canonical tie-break protocol the experiment runner
+// uses — so a score served online is ordered exactly as it would be in
+// offline evaluation.
 #ifndef MICROREC_REC_SERVING_H_
 #define MICROREC_REC_SERVING_H_
 
@@ -23,9 +28,16 @@
 #include "rec/engine.h"
 #include "rec/model_config.h"
 #include "resilience/deadline.h"
+#include "util/rng.h"
 #include "util/status.h"
 
+namespace microrec {
+class ThreadPool;
+}
+
 namespace microrec::rec {
+
+class BatchRanker;
 
 /// Which rung of the ladder produced a ranking. Numeric values are what
 /// the `rec.fallback_rung` gauge reports.
@@ -45,9 +57,21 @@ struct ServingOptions {
   ModelConfig primary;
   std::string snapshot_path;
   /// Per-query budget in seconds; <= 0 means unlimited. The ladder drops a
-  /// rung whenever the remaining budget expires mid-phase.
+  /// rung whenever the remaining budget expires mid-phase; scoring re-checks
+  /// the budget every shard of candidates, not just once per query.
   double query_deadline_seconds = 0.0;
   ModelConfig fallback = DefaultFallback();
+  /// Return only the best `top_k` recommendations (0 = rank everything).
+  /// Selection uses the ranker's bounded heap: the result is exactly the
+  /// head of the full canonical ranking.
+  size_t top_k = 0;
+  /// Threads for the sharded scoring phase; 1 scores on the query thread.
+  /// Rankings are bit-identical at any value.
+  size_t score_threads = 1;
+  /// Per-user ranker score-cache entries (0 disables): repeat candidates
+  /// across queries skip embedding and the similarity kernel. Cached
+  /// scores are exact, so caching never changes a ranking.
+  size_t score_cache_capacity = 0;
 
   /// TN, token unigrams, TF weighting, cosine — the rung-1 model.
   static ModelConfig DefaultFallback();
@@ -98,22 +122,36 @@ class DegradingRecommender {
   /// Lazily builds the rung-1 bag model of `u` from her train set.
   Status EnsureFallbackUser(corpus::UserId u);
 
-  Status ScoreWith(Engine* engine, corpus::UserId u,
-                   const std::vector<corpus::TweetId>& candidates,
-                   const resilience::Deadline& deadline,
-                   std::vector<Recommendation>* out) const;
+  /// Builds a BatchRanker over `engine` with this recommender's options
+  /// (top-K, shard size, pool, score cache).
+  std::unique_ptr<BatchRanker> MakeRanker(Engine* engine) const;
+
+  /// Ranks through `ranker` under the canonical tie-break protocol
+  /// (rec::kTieBreakStream), converting RankedItems to Recommendations.
+  Status RankWith(BatchRanker* ranker, corpus::UserId u,
+                  const std::vector<corpus::TweetId>& candidates,
+                  const resilience::Deadline& deadline,
+                  std::vector<Recommendation>* out);
   std::vector<Recommendation> PopularityRanking(
       const std::vector<corpus::TweetId>& candidates) const;
 
   EngineContext ctx_;
   ServingOptions options_;
 
+  /// One tie-break stream for the recommender's lifetime: every ranking
+  /// attempt advances it, so repeated queries break ties independently but
+  /// a fixed seed replays the exact query sequence.
+  Rng tie_rng_;
+  std::unique_ptr<ThreadPool> pool_;
+
   PrimaryState primary_state_ = PrimaryState::kUntried;
   Status primary_status_;
   std::unique_ptr<Engine> primary_;
+  std::unique_ptr<BatchRanker> primary_ranker_;
   std::unordered_set<corpus::UserId> primary_users_;
 
   std::unique_ptr<Engine> fallback_;
+  std::unique_ptr<BatchRanker> fallback_ranker_;
   std::unordered_set<corpus::UserId> fallback_users_;
 
   /// Global retweet count per original tweet id, built once.

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -114,6 +115,19 @@ void ThreadPool::ParallelFor(size_t count,
     });
   }
   Wait();
+}
+
+void ThreadPool::ParallelForShards(
+    size_t count, size_t shard_size,
+    const std::function<void(size_t, size_t)>& fn) {
+  assert(shard_size > 0);
+  if (count == 0) return;
+  const size_t num_shards = (count + shard_size - 1) / shard_size;
+  ParallelFor(num_shards, [count, shard_size, &fn](size_t shard) {
+    const size_t begin = shard * shard_size;
+    const size_t end = std::min(begin + shard_size, count);
+    fn(begin, end);
+  });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -47,6 +47,14 @@ class ThreadPool {
   /// like Wait(); remaining indices are skipped after a throw.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Runs `fn(begin, end)` over contiguous shards of [0, count), each at
+  /// most `shard_size` indices. Shard boundaries depend only on (count,
+  /// shard_size) — never on thread count or scheduling — so a computation
+  /// that writes result slot i inside its shard produces bit-identical
+  /// output for any pool size. Rethrows like Wait().
+  void ParallelForShards(size_t count, size_t shard_size,
+                         const std::function<void(size_t, size_t)>& fn);
+
   /// Tasks discarded unrun because an earlier task threw (test hook).
   size_t cancelled_tasks() const;
 

@@ -1,0 +1,104 @@
+#include "bag/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace microrec::bag {
+namespace {
+
+SparseVector Vec(std::vector<std::pair<TermId, double>> entries) {
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+TEST(InvertedIndexTest, EmptyIndexOverlapsNothing) {
+  InvertedIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.num_docs(), 0u);
+  EXPECT_TRUE(index.Overlapping(Vec({{1, 1.0}})).empty());
+}
+
+TEST(InvertedIndexTest, OverlappingFindsSharedTerms) {
+  InvertedIndex index;
+  index.Add(0, Vec({{1, 1.0}, {2, 1.0}}));
+  index.Add(1, Vec({{3, 1.0}}));
+  index.Add(2, Vec({{2, 1.0}, {4, 1.0}}));
+
+  EXPECT_EQ(index.num_docs(), 3u);
+  EXPECT_EQ(index.num_postings(), 5u);
+  EXPECT_EQ(index.Overlapping(Vec({{2, 5.0}})),
+            (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(index.Overlapping(Vec({{3, 1.0}})), (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(index.Overlapping(Vec({{9, 1.0}})).empty());
+  EXPECT_TRUE(index.Overlapping(SparseVector()).empty());
+}
+
+TEST(InvertedIndexTest, ResultIsSortedAndDeduplicated) {
+  InvertedIndex index;
+  // Doc 5 shares two query terms — it must appear once, and ids must come
+  // back sorted no matter the insertion order.
+  index.Add(5, Vec({{1, 1.0}, {2, 1.0}}));
+  index.Add(3, Vec({{1, 1.0}}));
+  index.Add(4, Vec({{2, 1.0}}));
+  std::vector<uint32_t> hits =
+      index.Overlapping(Vec({{1, 1.0}, {2, 1.0}}));
+  EXPECT_EQ(hits, (std::vector<uint32_t>{3, 4, 5}));
+}
+
+TEST(InvertedIndexTest, ZeroWeightEntriesStillIndexed) {
+  // The similarity kernels see zero-weight entries (Jaccard support does),
+  // so pruning must not drop them.
+  InvertedIndex index;
+  index.Add(0, Vec({{7, 0.0}}));
+  EXPECT_EQ(index.Overlapping(Vec({{7, 1.0}})),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(InvertedIndexTest, SparseDocIdsAreSupported) {
+  // Caller-assigned slot ids need not be contiguous.
+  InvertedIndex index;
+  index.Add(100, Vec({{1, 1.0}}));
+  index.Add(7, Vec({{1, 1.0}}));
+  EXPECT_EQ(index.Overlapping(Vec({{1, 1.0}})),
+            (std::vector<uint32_t>{7, 100}));
+}
+
+TEST(InvertedIndexTest, RandomizedAgainstBruteForceScan) {
+  Rng rng(123, 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    InvertedIndex index;
+    std::vector<SparseVector> docs;
+    const size_t num_docs = 1 + rng.UniformU32(30);
+    for (size_t d = 0; d < num_docs; ++d) {
+      std::vector<std::pair<TermId, double>> entries;
+      const size_t terms = rng.UniformU32(6);  // possibly empty
+      for (size_t t = 0; t < terms; ++t) {
+        entries.push_back({rng.UniformU32(15), 1.0});
+      }
+      docs.push_back(SparseVector::FromUnsorted(std::move(entries)));
+      index.Add(static_cast<uint32_t>(d), docs.back());
+    }
+    std::vector<std::pair<TermId, double>> query_entries;
+    for (size_t t = 0; t < rng.UniformU32(6); ++t) {
+      query_entries.push_back({rng.UniformU32(15), 1.0});
+    }
+    SparseVector query = SparseVector::FromUnsorted(std::move(query_entries));
+
+    std::vector<uint32_t> expected;
+    for (size_t d = 0; d < num_docs; ++d) {
+      bool shares = false;
+      for (const auto& [term, weight] : docs[d].entries()) {
+        for (const auto& [query_term, query_weight] : query.entries()) {
+          if (term == query_term) shares = true;
+        }
+      }
+      if (shares) expected.push_back(static_cast<uint32_t>(d));
+    }
+    EXPECT_EQ(index.Overlapping(query), expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace microrec::bag

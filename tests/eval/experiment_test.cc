@@ -142,6 +142,25 @@ TEST_F(RunnerFixture, DeterministicAcrossRuns) {
   EXPECT_EQ(a->aps, b->aps);
 }
 
+TEST_F(RunnerFixture, ScoreThreadsDoNotChangeResults) {
+  // The BatchRanker contract (DESIGN.md §9): sharding the kernel phase
+  // over any thread count yields bit-identical rankings, hence
+  // bit-identical per-user APs. Exact double equality is deliberate.
+  Result<RunResult> single = runner_->Run(SimpleTn(), Source::kR);
+  ASSERT_TRUE(single.ok());
+
+  RunOptions options;
+  options.topic_iteration_scale = 0.01;
+  options.score_threads = 4;
+  ExperimentRunner threaded(pre_, cohort_, options);
+  ASSERT_TRUE(threaded.Init().ok());
+  Result<RunResult> multi = threaded.Run(SimpleTn(), Source::kR);
+  ASSERT_TRUE(multi.ok());
+
+  EXPECT_EQ(single->users, multi->users);
+  EXPECT_EQ(single->aps, multi->aps);
+}
+
 TEST_F(RunnerFixture, BaselinesAreReasonable) {
   double ran = runner_->RandomMap(UserType::kAllUsers, 300);
   double chr = runner_->ChronologicalMap(UserType::kAllUsers);

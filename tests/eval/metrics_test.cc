@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "rec/ranker.h"
+#include "util/rng.h"
+
 namespace microrec::eval {
 namespace {
 
@@ -98,6 +103,88 @@ TEST(NdcgTest, CutoffLimitsCredit) {
 TEST(NdcgTest, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(NdcgAtK({}), 0.0);
   EXPECT_DOUBLE_EQ(NdcgAtK({false, false}), 0.0);
+}
+
+TEST(SingleItemListTest, AllMetricsAgree) {
+  // A one-item ranking is either perfect or worthless — every metric must
+  // agree on both readings.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true}), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({true}), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({true}), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({true}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({false}), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({false}), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({false}), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({false}, 1), 0.0);
+}
+
+TEST(AllIrrelevantTest, EveryMetricIsZeroNotNan) {
+  // Degenerate splits produce all-irrelevant rankings; metrics must return
+  // a clean 0, never a 0/0 NaN.
+  const std::vector<bool> none(7, false);
+  for (double v : {AveragePrecision(none), ReciprocalRank(none),
+                   NdcgAtK(none), NdcgAtK(none, 3), PrecisionAtN(none, 5)}) {
+    EXPECT_FALSE(std::isnan(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(NdcgTest, KBeyondListLengthEqualsFullList) {
+  const std::vector<bool> ranked = {false, true, false, true};
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, 100), NdcgAtK(ranked));
+  EXPECT_DOUBLE_EQ(NdcgAtK(ranked, ranked.size()), NdcgAtK(ranked));
+}
+
+TEST(NdcgTest, IdcgClampsWhenMoreRelevantThanK) {
+  // Three relevant items but k=2: the ideal list also only shows 2, so a
+  // ranking whose top-2 are both relevant must score exactly 1 — if the
+  // implementation normalised by the full-list IDCG it would score < 1.
+  EXPECT_DOUBLE_EQ(NdcgAtK({true, true, true, false}, 2), 1.0);
+  // Cross-check an imperfect top-k against the hand-computed clamped IDCG:
+  // relevant at ranks 1 and 3 with k=3, |R|=3 → DCG = 1 + 1/log2(4),
+  // IDCG(k=3) = 1 + 1/log2(3) + 1/log2(4).
+  const double dcg = 1.0 + 1.0 / std::log2(4.0);
+  const double idcg = 1.0 + 1.0 / std::log2(3.0) + 1.0 / std::log2(4.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({true, false, true, true, true}, 3), dcg / idcg);
+}
+
+TEST(TiePermutationTest, MetricsInvariantWhenTiesShareLabels) {
+  // The canonical tie-break (DESIGN.md §9) permutes equal-scored items at
+  // random. When tied items carry the same relevance label, that freedom
+  // must not move any metric: permute tied blocks with many seeds and
+  // check AP/RR/NDCG are bit-stable.
+  //
+  // Score groups: {A A} {B B B} {C} with labels {1 1} {0 0 0} {1}.
+  const std::vector<double> scores = {0.9, 0.9, 0.5, 0.5, 0.5, 0.1};
+  const std::vector<bool> labels = {true, true, false, false, false, true};
+  const double ap0 = AveragePrecision(labels);
+  const double rr0 = ReciprocalRank(labels);
+  const double ndcg0 = NdcgAtK(labels, 4);
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    Rng tie_rng(seed, rec::kTieBreakStream);
+    std::vector<uint32_t> order = rec::CanonicalOrder(scores, &tie_rng);
+    std::vector<bool> permuted;
+    for (uint32_t idx : order) permuted.push_back(labels[idx]);
+    EXPECT_DOUBLE_EQ(AveragePrecision(permuted), ap0) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(ReciprocalRank(permuted), rr0) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(NdcgAtK(permuted, 4), ndcg0) << "seed " << seed;
+  }
+}
+
+TEST(TiePermutationTest, MixedLabelTiesDoMoveAp) {
+  // Sanity check of the test above: when a tied block mixes labels the
+  // permutation CAN change AP — that is exactly why one canonical seeded
+  // order everywhere (not per-call std::sort) matters.
+  const std::vector<double> scores = {0.5, 0.5};
+  const std::vector<bool> labels = {true, false};
+  bool saw_first = false, saw_second = false;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    Rng tie_rng(seed, rec::kTieBreakStream);
+    std::vector<uint32_t> order = rec::CanonicalOrder(scores, &tie_rng);
+    (order[0] == 0 ? saw_first : saw_second) = true;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
 }
 
 TEST(NdcgTest, MonotoneInRankOfPositive) {

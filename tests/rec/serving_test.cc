@@ -201,6 +201,76 @@ TEST_F(ServingFixture, EmptyCandidateListYieldsEmptyRanking) {
   EXPECT_TRUE(result.ranking.empty());
 }
 
+TEST_F(ServingFixture, SameSeedServesIdenticalRankings) {
+  // Two recommenders built from the same snapshot and seed must agree on
+  // every ranked position and score — the old per-query std::sort made
+  // tied scores land in unspecified order.
+  DegradingRecommender a(ctx_, Options());
+  DegradingRecommender b(ctx_, Options());
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_,
+                                           cat_posts_[3], stock_posts_[3]};
+  RecommendResult ra = a.Recommend(ego_, candidates);
+  RecommendResult rb = b.Recommend(ego_, candidates);
+  ASSERT_EQ(ra.ranking.size(), rb.ranking.size());
+  for (size_t i = 0; i < ra.ranking.size(); ++i) {
+    EXPECT_EQ(ra.ranking[i].tweet, rb.ranking[i].tweet);
+    EXPECT_EQ(ra.ranking[i].score, rb.ranking[i].score);
+  }
+}
+
+TEST_F(ServingFixture, ScoreThreadsDoNotChangeServedRanking) {
+  ServingOptions threaded = Options();
+  threaded.score_threads = 4;
+  DegradingRecommender single(ctx_, Options());
+  DegradingRecommender multi(ctx_, threaded);
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_,
+                                           cat_posts_[3], stock_posts_[3]};
+  RecommendResult rs = single.Recommend(ego_, candidates);
+  RecommendResult rm = multi.Recommend(ego_, candidates);
+  ASSERT_EQ(rs.ranking.size(), rm.ranking.size());
+  for (size_t i = 0; i < rs.ranking.size(); ++i) {
+    EXPECT_EQ(rs.ranking[i].tweet, rm.ranking[i].tweet);
+    EXPECT_EQ(rs.ranking[i].score, rm.ranking[i].score);  // bit-identical
+  }
+}
+
+TEST_F(ServingFixture, TopKTruncatesPrimaryRanking) {
+  ServingOptions options = Options();
+  options.top_k = 1;
+  DegradingRecommender rec(ctx_, options);
+  RecommendResult result = rec.Recommend(ego_, {test_stock_, test_cat_});
+  EXPECT_EQ(result.rung, ServingRung::kPrimary);
+  ASSERT_EQ(result.ranking.size(), 1u);
+  EXPECT_EQ(result.ranking[0].tweet, test_cat_);
+}
+
+TEST_F(ServingFixture, TopKTruncatesPopularityRung) {
+  ServingOptions options = Options();
+  options.snapshot_path = dir_ + "/absent.snap";
+  options.query_deadline_seconds = 1e-9;
+  options.top_k = 1;
+  DegradingRecommender rec(ctx_, options);
+  RecommendResult result =
+      rec.Recommend(ego_, {stock_posts_[3], cat_posts_[0]});
+  EXPECT_EQ(result.rung, ServingRung::kPopularity);
+  ASSERT_EQ(result.ranking.size(), 1u);
+  EXPECT_EQ(result.ranking[0].tweet, cat_posts_[0]);
+}
+
+TEST_F(ServingFixture, ScoreCacheKeepsServedRankingStable) {
+  ServingOptions options = Options();
+  options.score_cache_capacity = 64;
+  DegradingRecommender rec(ctx_, options);
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_};
+  RecommendResult first = rec.Recommend(ego_, candidates);
+  RecommendResult second = rec.Recommend(ego_, candidates);
+  ASSERT_EQ(first.ranking.size(), second.ranking.size());
+  for (size_t i = 0; i < first.ranking.size(); ++i) {
+    EXPECT_EQ(first.ranking[i].tweet, second.ranking[i].tweet);
+    EXPECT_EQ(first.ranking[i].score, second.ranking[i].score);
+  }
+}
+
 TEST_F(ServingFixture, RungNamesAreStable) {
   EXPECT_EQ(ServingRungName(ServingRung::kPrimary), "primary");
   EXPECT_EQ(ServingRungName(ServingRung::kBagFallback), "bag-fallback");

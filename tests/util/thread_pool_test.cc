@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace microrec {
@@ -115,6 +118,66 @@ TEST(ThreadPoolTest, ParallelForRethrowsAndSkipsRemainder) {
                                 }),
                std::runtime_error);
   EXPECT_LT(visited.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(103);  // not a multiple of shard size
+  pool.ParallelForShards(hits.size(), 10, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsBoundariesIgnoreThreadCount) {
+  // The determinism contract: shard boundaries are a pure function of
+  // (count, shard_size). Record them under different pool sizes.
+  auto boundaries = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> shards;
+    pool.ParallelForShards(47, 9, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      shards.push_back({begin, end});
+    });
+    std::sort(shards.begin(), shards.end());
+    return shards;
+  };
+  const auto expected = std::vector<std::pair<size_t, size_t>>{
+      {0, 9}, {9, 18}, {18, 27}, {27, 36}, {36, 45}, {45, 47}};
+  EXPECT_EQ(boundaries(1), expected);
+  EXPECT_EQ(boundaries(2), expected);
+  EXPECT_EQ(boundaries(7), expected);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelForShards(0, 8,
+                         [](size_t, size_t) { FAIL() << "must not run"; });
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForShardsOversizedShardRunsOnce) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.ParallelForShards(5, 100, [&calls](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForShardsRethrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelForShards(100, 5,
+                             [](size_t begin, size_t) {
+                               if (begin == 10) {
+                                 throw std::runtime_error("shard dies");
+                               }
+                             }),
+      std::runtime_error);
 }
 
 TEST(ThreadPoolTest, FirstOfManyExceptionsWins) {

@@ -35,7 +35,13 @@
 //   --snapshot-dir=<dir>  snapshot store (default "snapshots")
 //   --deadline=<seconds>  per-query budget for recommend (0 = none)
 //   --user=<handle>       recommend for one user instead of the cohort
-//   --top-k=<n>           print the top n recommendations (default 5)
+//   --top-k=<n>           print the top n recommendations (default 5;
+//                         0 prints the full ranking)
+//
+// Scoring flags (evaluate / recommend):
+//   --threads=<n>         threads for the sharded scoring phase (default 1).
+//                         Rankings are bit-identical at any thread count
+//                         (DESIGN.md §9); only wall-clock changes.
 //
 // Unknown flags and malformed `--key=value` pairs are rejected with the
 // offending token and a usage hint (util/cli_flags.h). Fault injection is
@@ -81,7 +87,8 @@ int Usage() {
       "usage: microrec [--metrics=<path>] [--trace=<path>] <command>\n"
       "  microrec generate <dir> [seed]\n"
       "  microrec stats <dir>\n"
-      "  microrec evaluate <dir> <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
+      "  microrec evaluate [--threads=<n>] <dir>"
+      " <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
       " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
       "  microrec sweep [--checkpoint=<path>] [--fail-fast]"
       " [--max-configs=<n>] [--timeout=<s>]\n"
@@ -90,7 +97,7 @@ int Usage() {
       "  microrec train [--snapshot-dir=<dir>] <dir> <model> <source>"
       " [iter_scale]\n"
       "  microrec recommend [--snapshot-dir=<dir>] [--deadline=<s>]"
-      " [--user=<handle>] [--top-k=<n>]\n"
+      " [--user=<handle>] [--top-k=<n>] [--threads=<n>]\n"
       "                     <dir> <model> <source> [iter_scale]\n");
   return 2;
 }
@@ -245,7 +252,8 @@ Result<rec::ModelConfig> DefaultConfig(rec::ModelKind kind,
 }
 
 int Evaluate(const std::string& dir, const std::string& model_name,
-             const std::string& source_name, double iter_scale) {
+             const std::string& source_name, double iter_scale,
+             size_t threads) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -255,6 +263,7 @@ int Evaluate(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
+  options.score_threads = threads;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
 
@@ -273,12 +282,14 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   return 0;
 }
 
-/// Serving flags shared by the train and recommend commands.
+/// Serving flags shared by the train and recommend commands (`threads`
+/// also applies to evaluate).
 struct ServingFlags {
   std::string snapshot_dir = "snapshots";
   double deadline_seconds = 0.0;
   std::string user_handle;
   size_t top_k = 5;
+  size_t threads = 1;
 };
 
 int Train(const std::string& dir, const std::string& model_name,
@@ -352,6 +363,12 @@ int Recommend(const std::string& dir, const std::string& model_name,
   serving.primary = *config;
   serving.snapshot_path = runner.SnapshotPath(*config, *source);
   serving.query_deadline_seconds = flags.deadline_seconds;
+  serving.top_k = flags.top_k;  // 0 = full ranking
+  serving.score_threads = flags.threads;
+  // Cohort users are queried with overlapping candidate sets across rungs;
+  // a modest per-user cache keeps repeat scores free without bounding memory
+  // by corpus size.
+  serving.score_cache_capacity = 4096;
   rec::EngineContext ctx = runner.MakeContext(*config, *source);
   rec::DegradingRecommender server(ctx, serving);
 
@@ -362,11 +379,10 @@ int Recommend(const std::string& dir, const std::string& model_name,
     rung_counts[static_cast<int>(result.rung)]++;
     std::printf("%s (%s):\n", stack->corpus().user(u).handle.c_str(),
                 std::string(rec::ServingRungName(result.rung)).c_str());
-    const size_t n = std::min(flags.top_k, result.ranking.size());
-    for (size_t i = 0; i < n; ++i) {
-      const corpus::Tweet& tweet =
-          stack->corpus().tweet(result.ranking[i].tweet);
-      std::printf("  %6.3f  %s\n", result.ranking[i].score,
+    for (const rec::Recommendation& r : result.ranking) {
+      const corpus::Tweet& tweet = stack->corpus().tweet(r.tweet);
+      std::printf("  %6.3f  t%llu  %s\n", r.score,
+                  static_cast<unsigned long long>(r.tweet),
                   tweet.text.c_str());
     }
   }
@@ -510,7 +526,7 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
   if (command == "stats") return Stats(dir);
   if (command == "evaluate" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Evaluate(dir, args[2], args[3], iter_scale);
+    return Evaluate(dir, args[2], args[3], iter_scale, serving.threads);
   }
   if (command == "sweep" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
@@ -557,7 +573,9 @@ int main(int argc, char** argv) {
   parser.AddString("user", &serving.user_handle,
                    "recommend: serve one handle instead of the cohort");
   parser.AddSize("top-k", &serving.top_k,
-                 "recommend: recommendations printed per user");
+                 "recommend: recommendations printed per user (0 = all)");
+  parser.AddSize("threads", &serving.threads,
+                 "evaluate/recommend: scoring threads (default 1)");
 
   std::vector<std::string> raw(argv + 1, argv + argc);
   Result<std::vector<std::string>> args = parser.Parse(raw);
