@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §6): the graph user-model merge operator. The paper
+// Ablation (DESIGN.md §11): the graph user-model merge operator. The paper
 // builds user n-gram graphs with the incremental `update` (running-average)
 // operator; this bench compares it against naive edge-weight summation for
 // TNG and CNG across three sources.

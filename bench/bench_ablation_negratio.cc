@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §6): sensitivity to the negative-sampling ratio. The
+// Ablation (DESIGN.md §11): sensitivity to the negative-sampling ratio. The
 // paper samples 4 negatives per positive (following Chen et al. [17]); this
 // bench sweeps 1:1 .. 1:8 and reports model MAP against the RAN baseline —
 // absolute MAP falls as negatives grow, but the margin over RAN (the actual

@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §6): the pre-processing pipeline of Section 4 —
+// Ablation (DESIGN.md §11): the pre-processing pipeline of Section 4 —
 // (i) removal of the 100 most frequent tokens (language-agnostic stop
 // words) and (ii) repeated-letter squeezing — toggled independently, with
 // TN and CN on the R source as probes. Each variant rebuilds the

@@ -13,6 +13,9 @@
 //   MICROREC_WARM_START  "1" warm-starts each run from its snapshot when
 //                        one exists — TTime collapses to load time
 //                        (--snapshot-dir= / --warm-start flags work too)
+//   MICROREC_TRAIN_THREADS  threads for sharded topic-model training
+//                        (default 1 = the paper's sequential sampler;
+//                        > 1 is statistically equivalent, DESIGN.md §10)
 //
 // Every bench also understands observability flags (see DESIGN.md):
 //   --report=<path>   structured JSON run report (metrics snapshot incl.
@@ -109,6 +112,7 @@ inline Workbench MakeWorkbench() {
 
   eval::RunOptions options;
   options.topic_iteration_scale = EnvDouble("MICROREC_ITER_SCALE", 0.03);
+  options.train_threads = EnvSize("MICROREC_TRAIN_THREADS", 1);
   options.seed = spec.seed;
   if (const char* dir = std::getenv("MICROREC_SNAPSHOT_DIR");
       dir != nullptr && dir[0] != '\0') {

@@ -32,7 +32,10 @@ double RunResult::MapOfGroup(const std::vector<corpus::UserId>& group) const {
 ExperimentRunner::ExperimentRunner(const rec::PreprocessedCorpus* pre,
                                    const corpus::UserCohort* cohort,
                                    RunOptions options)
-    : pre_(pre), cohort_(cohort), options_(options), rng_(options.seed, 11) {}
+    : pre_(pre),
+      cohort_(cohort),
+      options_(options),
+      rng_(options.seed, streams::kExperimentSplits) {}
 
 Status ExperimentRunner::Init() {
   auto keep = [this](const std::vector<corpus::UserId>& group,
@@ -99,6 +102,7 @@ rec::EngineContext ExperimentRunner::MakeContext(
              static_cast<uint64_t>(config.kind);
   ctx.iteration_scale = options_.topic_iteration_scale;
   ctx.llda_min_hashtag_count = options_.llda_min_hashtag_count;
+  ctx.train_threads = options_.train_threads;
   ctx.cancel = cancel;
   if (options_.snapshot_load) {
     ctx.warm_start_snapshot = SnapshotPath(config, source);
@@ -227,7 +231,7 @@ double ExperimentRunner::ChronologicalMap(corpus::UserType type) const {
 
 double ExperimentRunner::RandomMap(corpus::UserType type, int iterations) {
   std::vector<double> aps;
-  Rng ran_rng(options_.seed, 2147483647);
+  Rng ran_rng(options_.seed, streams::kRandomBaseline);
   for (corpus::UserId u : GroupUsers(type)) {
     aps.push_back(RandomOrderingAp(splits_.at(u), iterations, &ran_rng));
   }

@@ -44,6 +44,12 @@ struct RunOptions {
   /// paper's single-threaded ETime semantics; rankings are bit-identical
   /// at any value (see DESIGN.md §9), only wall-clock changes.
   size_t score_threads = 1;
+  /// Threads for sharded topic-model training (LDA / LLDA / BTM / PLSA;
+  /// HDP and HLDA stay sequential). 1 is bit-identical to the paper's
+  /// sequential sampler; > 1 is statistically equivalent but not
+  /// bit-identical (DESIGN.md §10) — TTime changes, MAP stays within the
+  /// statistical-equivalence band enforced by tests/topic/stat_equiv_test.
+  size_t train_threads = 1;
 };
 
 /// Outcome of evaluating one (configuration, source) pair over the whole

@@ -92,6 +92,12 @@ struct SweepOptions {
 /// as in the paper's grid. When `options.max_configs` > 0, the *valid*
 /// subset is evenly thinned to at most that many entries — thinning after
 /// the validity filter keeps the surviving spread comparable across sources.
+///
+/// Parallelism comes from the runner's RunOptions: `score_threads` shards
+/// the scoring phase (bit-identical rankings) and `train_threads` shards
+/// topic-model training (statistically equivalent; DESIGN.md §10). Both
+/// apply to every configuration of the sweep; the `topic.train.*` metrics
+/// record what each run actually used.
 Result<SweepResult> SweepConfigs(ExperimentRunner& runner,
                                  const std::vector<rec::ModelConfig>& configs,
                                  corpus::Source source,

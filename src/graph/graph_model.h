@@ -16,7 +16,7 @@ using bag::NgramKind;
 
 /// How document graphs are folded into the user graph. The paper uses the
 /// `update` running-average operator (Section 3.2); plain edge-weight
-/// summation is kept as an ablation target (DESIGN.md §6) — it biases the
+/// summation is kept as an ablation target (DESIGN.md §11) — it biases the
 /// user graph toward high-frequency edges and inflates |G|-normalised
 /// similarities for prolific users.
 enum class GraphMerge { kUpdate, kSum };

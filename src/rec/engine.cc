@@ -463,7 +463,7 @@ class TopicEngine : public Engine {
       if (loaded.code() != StatusCode::kNotFound) return loaded;
       WarmMissCounter()->Increment();
     }
-    rng_ = Rng(ctx.seed, 97);
+    rng_ = Rng(ctx.seed, streams::kTopicEngine);
     const auto& pre = *ctx.pre;
     const TopicRunConfig& tc = config_.topic;
 
@@ -529,6 +529,11 @@ class TopicEngine : public Engine {
   Status MakeModel(const EngineContext& ctx, size_t llda_num_labels) {
     const TopicRunConfig& tc = config_.topic;
     const int iters = ScaledIterations(tc.iterations, ctx.iteration_scale);
+    // Sharded-training options for the models that support them (LDA, LLDA,
+    // BTM, PLSA). HDP and HLDA are sequential by design — see their headers.
+    topic::TrainOptions train;
+    train.train_threads = ctx.train_threads;
+    train.merge_every = ctx.train_merge_every;
     switch (config_.kind) {
       case ModelKind::kLDA: {
         topic::LdaConfig lc;
@@ -536,6 +541,7 @@ class TopicEngine : public Engine {
         lc.alpha = tc.alpha;
         lc.beta = tc.beta;
         lc.train_iterations = iters;
+        lc.train = train;
         lc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Lda>(lc);
         break;
@@ -547,6 +553,7 @@ class TopicEngine : public Engine {
         lc.alpha = tc.alpha;
         lc.beta = tc.beta;
         lc.train_iterations = iters;
+        lc.train = train;
         lc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Llda>(lc);
         break;
@@ -558,6 +565,7 @@ class TopicEngine : public Engine {
         bc.beta = tc.beta;
         bc.train_iterations = iters;
         bc.window = tc.pooling == corpus::Pooling::kNone ? 0 : tc.window;
+        bc.train = train;
         bc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Btm>(bc);
         break;
@@ -590,6 +598,7 @@ class TopicEngine : public Engine {
         topic::PlsaConfig pc;
         pc.num_topics = tc.num_topics;
         pc.train_iterations = std::max(5, iters / 10);  // EM steps
+        pc.train = train;
         pc.cancel = ctx.cancel;
         model_ = std::make_unique<topic::Plsa>(pc);
         break;

@@ -45,6 +45,18 @@ struct EngineContext {
   /// LLDA hashtag-label frequency threshold (30 in the paper; lower it for
   /// small synthetic corpora).
   size_t llda_min_hashtag_count = 30;
+  /// Threads for sharded topic-model training (topic/parallel_gibbs.h).
+  /// 1 keeps the sequential sampler bit-for-bit; > 1 trains LDA / LLDA /
+  /// BTM / PLSA with AD-LDA-style document shards — statistically
+  /// equivalent, not bit-identical, to sequential (DESIGN.md §10). HDP and
+  /// HLDA ignore this and always train sequentially (see their headers).
+  /// Not part of snapshot identity: a snapshot trained at any thread count
+  /// loads under any other.
+  size_t train_threads = 1;
+  /// Iterations between count-table merges when train_threads > 1 (1 = the
+  /// classic AD-LDA barrier every sweep; higher trades staleness for fewer
+  /// merges).
+  int train_merge_every = 1;
   /// Optional deadline / cancellation, honored between Gibbs sweeps by the
   /// topic engines. Not owned; may be nullptr.
   const resilience::CancelContext* cancel = nullptr;

@@ -41,8 +41,10 @@ namespace microrec::rec {
 
 /// The Rng stream id of the canonical tie-break permutation. Evaluation
 /// and serving both derive their tie-break generator from this stream so
-/// "same seed" means "same tie resolution" everywhere.
-inline constexpr uint64_t kTieBreakStream = 1299709;
+/// "same seed" means "same tie resolution" everywhere. The id lives in the
+/// reserved-stream registry (util/rng.h) so nothing else — in particular no
+/// parallel-Gibbs shard substream — can collide with it.
+inline constexpr uint64_t kTieBreakStream = streams::kTieBreak;
 
 /// One ranked candidate. `index` is the candidate's position in the input
 /// list, which is how the experiment runner recovers relevance labels

@@ -50,6 +50,9 @@ uint64_t SiteStream(std::string_view site) {
     hash ^= static_cast<unsigned char>(c);
     hash *= 0x100000001b3ULL;
   }
+  // Hashed ids are not in the reserved-stream registry (util/rng.h): the
+  // caller also perturbs the seed, so a collision with a reserved id could
+  // not correlate sequences anyway.
   return hash | 1;  // PCG stream ids must be odd after internal shifting
 }
 

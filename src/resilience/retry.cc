@@ -37,7 +37,7 @@ Status RunWithRetry(const RetryPolicy& policy,
   static obs::Counter* exhausted =
       registry.GetCounter("resilience.retry.exhausted");
 
-  Rng jitter_rng(policy.seed, 0x9E77);
+  Rng jitter_rng(policy.seed, streams::kRetryJitter);
   Status last;
   const int attempts = std::max(1, policy.max_attempts);
   for (int attempt = 1; attempt <= attempts; ++attempt) {

@@ -65,32 +65,36 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
     ++n_kw[static_cast<size_t>(topic) * V + biterms[i].second];
   }
 
-  std::vector<double> weights(K);
-  obs::Histogram* sweep_hist =
-      obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
-  for (int iter = 0; iter < config_.train_iterations; ++iter) {
-    MICROREC_RETURN_IF_ERROR(GuardSweep(
-        "BTM", iter, config_.cancel,
-        iter == 0 ? nullptr : weights.data(), K));
-    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
-    for (size_t i = 0; i < B; ++i) {
-      const auto [w1, w2] = biterms[i];
-      const uint32_t old = z[i];
-      --n_z[old];
-      --n_kw[static_cast<size_t>(old) * V + w1];
-      --n_kw[static_cast<size_t>(old) * V + w2];
-      for (size_t k = 0; k < K; ++k) {
-        const double denom = 2.0 * n_z[k] + v_beta;
-        weights[k] = (n_z[k] + alpha) *
-                     (n_kw[k * V + w1] + beta) / denom *
-                     (n_kw[k * V + w2] + beta) / (denom + 1.0);
+  if (config_.train.train_threads > 1) {
+    MICROREC_RETURN_IF_ERROR(ParallelSweeps(rng, biterms, &z, &n_z, &n_kw));
+  } else {
+    std::vector<double> weights(K);
+    obs::Histogram* sweep_hist = obs::MetricsRegistry::Global().GetHistogram(
+        "topic.btm.sweep_seconds");
+    for (int iter = 0; iter < config_.train_iterations; ++iter) {
+      MICROREC_RETURN_IF_ERROR(GuardSweep(
+          "BTM", iter, config_.cancel,
+          iter == 0 ? nullptr : weights.data(), K));
+      obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+      for (size_t i = 0; i < B; ++i) {
+        const auto [w1, w2] = biterms[i];
+        const uint32_t old = z[i];
+        --n_z[old];
+        --n_kw[static_cast<size_t>(old) * V + w1];
+        --n_kw[static_cast<size_t>(old) * V + w2];
+        for (size_t k = 0; k < K; ++k) {
+          const double denom = 2.0 * n_z[k] + v_beta;
+          weights[k] = (n_z[k] + alpha) *
+                       (n_kw[k * V + w1] + beta) / denom *
+                       (n_kw[k * V + w2] + beta) / (denom + 1.0);
+        }
+        uint32_t fresh =
+            static_cast<uint32_t>(rng->Categorical(weights.data(), K));
+        z[i] = fresh;
+        ++n_z[fresh];
+        ++n_kw[static_cast<size_t>(fresh) * V + w1];
+        ++n_kw[static_cast<size_t>(fresh) * V + w2];
       }
-      uint32_t fresh =
-          static_cast<uint32_t>(rng->Categorical(weights.data(), K));
-      z[i] = fresh;
-      ++n_z[fresh];
-      ++n_kw[static_cast<size_t>(fresh) * V + w1];
-      ++n_kw[static_cast<size_t>(fresh) * V + w2];
     }
   }
 
@@ -106,6 +110,61 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
     }
   }
   trained_ = true;
+  return Status::OK();
+}
+
+Status Btm::ParallelSweeps(
+    Rng* rng, const std::vector<std::pair<TermId, TermId>>& biterms,
+    std::vector<uint32_t>* z, std::vector<uint32_t>* n_z,
+    std::vector<uint32_t>* n_kw) {
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+  const size_t B = biterms.size();
+
+  // Biterms are exchangeable, so the flat list itself is sharded; both
+  // count tables are replicated per shard and delta-merged.
+  ParallelGibbs driver(B, config_.train, rng->NextU64());
+  const size_t h_z = driver.AddCounts(n_z);
+  const size_t h_kw = driver.AddCounts(n_kw);
+  std::vector<std::vector<double>> scratch(driver.num_shards(),
+                                           std::vector<double>(K));
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "BTM", iter, config_.cancel,
+        iter == 0 ? nullptr : scratch[0].data(), K));
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+    driver.RunIteration(iter, [&](const ParallelGibbs::Shard& shard) {
+      double* weights = scratch[shard.index].data();
+      uint32_t* local_z = shard.Counts(h_z);
+      uint32_t* local_kw = shard.Counts(h_kw);
+      uint32_t* zs = z->data();
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        const auto [w1, w2] = biterms[i];
+        const uint32_t old = zs[i];
+        --local_z[old];
+        --local_kw[static_cast<size_t>(old) * V + w1];
+        --local_kw[static_cast<size_t>(old) * V + w2];
+        for (size_t k = 0; k < K; ++k) {
+          const double denom = 2.0 * local_z[k] + v_beta;
+          weights[k] = (local_z[k] + alpha) *
+                       (local_kw[k * V + w1] + beta) / denom *
+                       (local_kw[k * V + w2] + beta) / (denom + 1.0);
+        }
+        uint32_t fresh =
+            static_cast<uint32_t>(shard.rng->Categorical(weights, K));
+        zs[i] = fresh;
+        ++local_z[fresh];
+        ++local_kw[static_cast<size_t>(fresh) * V + w1];
+        ++local_kw[static_cast<size_t>(fresh) * V + w2];
+      }
+    });
+  }
+  driver.FlushMerge();
   return Status::OK();
 }
 

@@ -7,8 +7,10 @@
 #define MICROREC_TOPIC_BTM_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "topic/parallel_gibbs.h"
 #include "topic/topic_model.h"
 
 namespace microrec::topic {
@@ -24,6 +26,9 @@ struct BtmConfig {
   /// Max distance between the two words of a biterm; <= 0 means unbounded
   /// (whole document).
   int window = 30;
+  /// Sharded-training parallelism (parallel_gibbs.h); default sequential.
+  /// BTM shards the flat biterm list rather than documents.
+  TrainOptions train;
   /// Optional deadline / cancellation checked between sweeps (not owned).
   const resilience::CancelContext* cancel = nullptr;
 
@@ -61,6 +66,13 @@ class Btm : public TopicModel {
   Status LoadState(snapshot::Decoder* dec) override;
 
  private:
+  /// AD-LDA sweep phase over the flat biterm list (see Lda::ParallelSweeps);
+  /// n_z and n_kw are both replicated per shard and delta-merged.
+  Status ParallelSweeps(
+      Rng* rng, const std::vector<std::pair<TermId, TermId>>& biterms,
+      std::vector<uint32_t>* z, std::vector<uint32_t>* n_z,
+      std::vector<uint32_t>* n_kw);
+
   BtmConfig config_;
   size_t vocab_size_ = 0;
   std::vector<double> phi_;    // [topic * vocab + word]

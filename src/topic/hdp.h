@@ -3,6 +3,15 @@
 // number of topics is inferred, growing when a word is assigned to a fresh
 // topic (stick-breaking of the global measure G0) and shrinking when a
 // topic loses its last word.
+//
+// HDP is sequential by design and does not take topic::TrainOptions: the
+// sampler creates and retires topics mid-sweep, resizing the shared count
+// tables and the stick-breaking weights β. Sharded AD-LDA-style training
+// (parallel_gibbs.h) replicates *fixed-shape* count tables per shard and
+// delta-merges them at a barrier; concurrent shards disagreeing about which
+// topics exist has no meaningful merge. (Parallel HDP samplers exist — e.g.
+// split-merge or slice approaches — but they are different algorithms, not
+// a sharding of this one.)
 #ifndef MICROREC_TOPIC_HDP_H_
 #define MICROREC_TOPIC_HDP_H_
 

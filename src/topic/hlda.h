@@ -3,6 +3,13 @@
 // root-to-leaf path plus a distribution over the L levels of that path; the
 // branching factor is nonparametric (inferred), the depth is fixed
 // (3 levels in the paper's configuration, Table 4).
+//
+// HLDA is sequential by design and does not take topic::TrainOptions: each
+// sweep resamples whole document paths through a shared nCRP tree whose
+// nodes are created and garbage-collected mid-sweep. The sharded training
+// driver (parallel_gibbs.h) assumes fixed-shape count tables that can be
+// replicated and delta-merged; a mutable tree shared across shards would
+// race on structure, not just counts.
 #ifndef MICROREC_TOPIC_HLDA_H_
 #define MICROREC_TOPIC_HLDA_H_
 

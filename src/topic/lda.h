@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "topic/parallel_gibbs.h"
 #include "topic/topic_model.h"
 
 namespace microrec::topic {
@@ -23,6 +24,9 @@ struct LdaConfig {
   int train_iterations = 1000;
   /// Fold-in Gibbs sweeps when inferring an unseen document.
   int infer_iterations = 20;
+  /// Sharded-training parallelism (parallel_gibbs.h). The default is the
+  /// sequential sampler, bit-identical to all previous releases.
+  TrainOptions train;
   /// Optional deadline / cancellation checked between sweeps (not owned).
   const resilience::CancelContext* cancel = nullptr;
 
@@ -55,6 +59,18 @@ class Lda : public TopicModel {
   Status LoadState(snapshot::Decoder* dec) override;
 
  private:
+  /// AD-LDA sweep phase for train.train_threads > 1: documents are sharded
+  /// across a ParallelGibbs driver seeded from one draw of `rng`; n_dk rows
+  /// and z slots are shard-owned and written in place, n_kw / n_k are
+  /// replicated and delta-merged. Counts arrive exact; the sample path is
+  /// statistically (not bit-) equivalent to the sequential loop.
+  Status ParallelSweeps(const DocSet& docs, Rng* rng,
+                        const std::vector<TermId>& words,
+                        const std::vector<uint32_t>& doc_of,
+                        std::vector<uint32_t>* z, std::vector<uint32_t>* n_dk,
+                        std::vector<uint32_t>* n_kw,
+                        std::vector<uint32_t>* n_k);
+
   LdaConfig config_;
   size_t vocab_size_ = 0;
   // φ flattened as [topic * vocab + word], estimated from the final sample.

@@ -65,34 +65,40 @@ Status Llda::Train(const DocSet& docs, Rng* rng) {
     ++n_k[topic];
   }
 
-  std::vector<double> weights;
-  obs::Histogram* sweep_hist =
-      obs::MetricsRegistry::Global().GetHistogram("topic.llda.sweep_seconds");
-  for (int iter = 0; iter < config_.train_iterations; ++iter) {
-    MICROREC_RETURN_IF_ERROR(GuardSweep(
-        "LLDA", iter, config_.cancel,
-        weights.empty() ? nullptr : weights.data(), weights.size()));
-    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
-    for (size_t i = 0; i < N; ++i) {
-      const uint32_t d = doc_of[i];
-      const TermId w = words[i];
-      const auto& menu = allowed[d];
-      const uint32_t old = z[i];
-      --n_dk[d * K + old];
-      --n_kw[static_cast<size_t>(old) * V + w];
-      --n_k[old];
-      weights.resize(menu.size());
-      for (size_t m = 0; m < menu.size(); ++m) {
-        const uint32_t k = menu[m];
-        weights[m] = (n_dk[d * K + k] + alpha) *
-                     (n_kw[static_cast<size_t>(k) * V + w] + beta) /
-                     (n_k[k] + v_beta);
+  if (config_.train.train_threads > 1) {
+    MICROREC_RETURN_IF_ERROR(ParallelSweeps(docs, rng, words, doc_of,
+                                            allowed, &z, &n_dk, &n_kw,
+                                            &n_k));
+  } else {
+    std::vector<double> weights;
+    obs::Histogram* sweep_hist = obs::MetricsRegistry::Global().GetHistogram(
+        "topic.llda.sweep_seconds");
+    for (int iter = 0; iter < config_.train_iterations; ++iter) {
+      MICROREC_RETURN_IF_ERROR(GuardSweep(
+          "LLDA", iter, config_.cancel,
+          weights.empty() ? nullptr : weights.data(), weights.size()));
+      obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+      for (size_t i = 0; i < N; ++i) {
+        const uint32_t d = doc_of[i];
+        const TermId w = words[i];
+        const auto& menu = allowed[d];
+        const uint32_t old = z[i];
+        --n_dk[d * K + old];
+        --n_kw[static_cast<size_t>(old) * V + w];
+        --n_k[old];
+        weights.resize(menu.size());
+        for (size_t m = 0; m < menu.size(); ++m) {
+          const uint32_t k = menu[m];
+          weights[m] = (n_dk[d * K + k] + alpha) *
+                       (n_kw[static_cast<size_t>(k) * V + w] + beta) /
+                       (n_k[k] + v_beta);
+        }
+        uint32_t fresh = menu[rng->Categorical(weights.data(), menu.size())];
+        z[i] = fresh;
+        ++n_dk[d * K + fresh];
+        ++n_kw[static_cast<size_t>(fresh) * V + w];
+        ++n_k[fresh];
       }
-      uint32_t fresh = menu[rng->Categorical(weights.data(), menu.size())];
-      z[i] = fresh;
-      ++n_dk[d * K + fresh];
-      ++n_kw[static_cast<size_t>(fresh) * V + w];
-      ++n_k[fresh];
     }
   }
 
@@ -104,6 +110,71 @@ Status Llda::Train(const DocSet& docs, Rng* rng) {
     }
   }
   trained_ = true;
+  return Status::OK();
+}
+
+Status Llda::ParallelSweeps(
+    const DocSet& docs, Rng* rng, const std::vector<TermId>& words,
+    const std::vector<uint32_t>& doc_of,
+    const std::vector<std::vector<uint32_t>>& allowed,
+    std::vector<uint32_t>* z, std::vector<uint32_t>* n_dk,
+    std::vector<uint32_t>* n_kw, std::vector<uint32_t>* n_k) {
+  const size_t K = config_.TotalTopics();
+  const size_t V = vocab_size_;
+  const double alpha = config_.ResolvedAlpha();
+  const double beta = config_.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+  const size_t D = docs.num_docs();
+
+  std::vector<size_t> doc_begin(D + 1, 0);
+  for (uint32_t d : doc_of) ++doc_begin[d + 1];
+  for (size_t d = 0; d < D; ++d) doc_begin[d + 1] += doc_begin[d];
+
+  ParallelGibbs driver(D, config_.train, rng->NextU64());
+  const size_t h_kw = driver.AddCounts(n_kw);
+  const size_t h_k = driver.AddCounts(n_k);
+  // Menus vary per document, so each shard resizes its own weights buffer.
+  std::vector<std::vector<double>> scratch(driver.num_shards());
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.llda.sweep_seconds");
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "LLDA", iter, config_.cancel,
+        scratch[0].empty() ? nullptr : scratch[0].data(),
+        scratch[0].size()));
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+    driver.RunIteration(iter, [&](const ParallelGibbs::Shard& shard) {
+      std::vector<double>& weights = scratch[shard.index];
+      uint32_t* local_kw = shard.Counts(h_kw);
+      uint32_t* local_k = shard.Counts(h_k);
+      uint32_t* zs = z->data();
+      uint32_t* dk = n_dk->data();
+      for (size_t d = shard.begin; d < shard.end; ++d) {
+        const auto& menu = allowed[d];
+        for (size_t i = doc_begin[d]; i < doc_begin[d + 1]; ++i) {
+          const TermId w = words[i];
+          const uint32_t old = zs[i];
+          --dk[d * K + old];
+          --local_kw[static_cast<size_t>(old) * V + w];
+          --local_k[old];
+          weights.resize(menu.size());
+          for (size_t m = 0; m < menu.size(); ++m) {
+            const uint32_t k = menu[m];
+            weights[m] = (dk[d * K + k] + alpha) *
+                         (local_kw[static_cast<size_t>(k) * V + w] + beta) /
+                         (local_k[k] + v_beta);
+          }
+          uint32_t fresh =
+              menu[shard.rng->Categorical(weights.data(), menu.size())];
+          zs[i] = fresh;
+          ++dk[d * K + fresh];
+          ++local_kw[static_cast<size_t>(fresh) * V + w];
+          ++local_k[fresh];
+        }
+      }
+    });
+  }
+  driver.FlushMerge();
   return Status::OK();
 }
 

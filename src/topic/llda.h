@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "topic/parallel_gibbs.h"
 #include "topic/topic_model.h"
 
 namespace microrec::topic {
@@ -28,6 +29,8 @@ struct LldaConfig {
   double beta = 0.01;
   int train_iterations = 1000;
   int infer_iterations = 20;
+  /// Sharded-training parallelism (parallel_gibbs.h); default sequential.
+  TrainOptions train;
   /// Optional deadline / cancellation checked between sweeps (not owned).
   const resilience::CancelContext* cancel = nullptr;
 
@@ -64,6 +67,16 @@ class Llda : public TopicModel {
   Status LoadState(snapshot::Decoder* dec) override;
 
  private:
+  /// AD-LDA sweep phase (see Lda::ParallelSweeps); LLDA additionally
+  /// carries each document's allowed-topic menu into the shards.
+  Status ParallelSweeps(const DocSet& docs, Rng* rng,
+                        const std::vector<TermId>& words,
+                        const std::vector<uint32_t>& doc_of,
+                        const std::vector<std::vector<uint32_t>>& allowed,
+                        std::vector<uint32_t>* z, std::vector<uint32_t>* n_dk,
+                        std::vector<uint32_t>* n_kw,
+                        std::vector<uint32_t>* n_k);
+
   LldaConfig config_;
   size_t vocab_size_ = 0;
   std::vector<double> phi_;  // [topic * vocab + word]

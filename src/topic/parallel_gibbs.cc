@@ -1,0 +1,165 @@
+#include "topic/parallel_gibbs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace microrec::topic {
+
+namespace {
+
+obs::Gauge* ShardsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("topic.train.shards");
+  return gauge;
+}
+
+obs::Gauge* ThreadsGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("topic.train.threads");
+  return gauge;
+}
+
+obs::Histogram* MergeMsHistogram() {
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("topic.train.merge_ms");
+  return histogram;
+}
+
+}  // namespace
+
+ParallelGibbs::ParallelGibbs(size_t num_items, const TrainOptions& options,
+                             uint64_t seed)
+    : num_items_(num_items),
+      shard_size_((num_items + std::max<size_t>(options.train_threads, 1) -
+                   1) /
+                  std::max<size_t>(options.train_threads, 1)),
+      num_shards_(ThreadPool::NumShards(num_items, shard_size_)),
+      merge_every_(std::max(options.merge_every, 1)),
+      seed_(seed) {
+  assert(num_items > 0);
+  if (options.train_threads > 1 && num_shards_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(
+        std::min(options.train_threads, num_shards_));
+  }
+  ShardsGauge()->Set(static_cast<double>(num_shards_));
+  ThreadsGauge()->Set(
+      static_cast<double>(pool_ == nullptr ? 1 : pool_->num_threads()));
+}
+
+ParallelGibbs::~ParallelGibbs() = default;
+
+size_t ParallelGibbs::AddCounts(std::vector<uint32_t>* counts) {
+  assert(counts != nullptr);
+  Replica replica;
+  replica.global = counts;
+  replica.locals.resize(num_shards_);
+  replicas_.push_back(std::move(replica));
+  return replicas_.size() - 1;
+}
+
+size_t ParallelGibbs::AddAccumulator(std::vector<double>* acc) {
+  assert(acc != nullptr);
+  Accumulator accumulator;
+  accumulator.global = acc;
+  accumulator.locals.assign(num_shards_,
+                            std::vector<double>(acc->size(), 0.0));
+  accumulators_.push_back(std::move(accumulator));
+  return accumulators_.size() - 1;
+}
+
+uint32_t* ParallelGibbs::Shard::Counts(size_t handle) const {
+  return owner_->replicas_[handle].locals[index].data();
+}
+
+double* ParallelGibbs::Shard::Accumulator(size_t handle) const {
+  return owner_->accumulators_[handle].locals[index].data();
+}
+
+void ParallelGibbs::BeginBlock() {
+  for (Replica& replica : replicas_) {
+    replica.snapshot = *replica.global;
+    for (std::vector<uint32_t>& local : replica.locals) {
+      local = *replica.global;
+    }
+  }
+}
+
+void ParallelGibbs::RunIteration(
+    int iteration, const std::function<void(const Shard&)>& fn) {
+  obs::TraceSpan span("gibbs_parallel_iter");
+  if (pending_ == 0) BeginBlock();
+  for (Accumulator& accumulator : accumulators_) {
+    for (std::vector<double>& local : accumulator.locals) {
+      std::fill(local.begin(), local.end(), 0.0);
+    }
+  }
+  auto run_shard = [this, iteration, &fn](size_t s) {
+    Rng rng(seed_, streams::GibbsShardStream(
+                       s, static_cast<uint64_t>(iteration)));
+    Shard shard;
+    shard.index = s;
+    const auto [begin, end] =
+        ThreadPool::ShardBounds(num_items_, shard_size_, s);
+    shard.begin = begin;
+    shard.end = end;
+    shard.rng = &rng;
+    shard.owner_ = this;
+    fn(shard);
+  };
+  try {
+    if (pool_ != nullptr) {
+      pool_->ParallelFor(num_shards_, run_shard);
+    } else {
+      for (size_t s = 0; s < num_shards_; ++s) run_shard(s);
+    }
+  } catch (...) {
+    // The block's locals are inconsistent; discard them. The globals hold
+    // the last merged state, so the caller sees the pre-block posterior.
+    pending_ = 0;
+    throw;
+  }
+  ++pending_;
+  ReduceAccumulators();
+  if (pending_ >= merge_every_) MergeCounts();
+}
+
+void ParallelGibbs::FlushMerge() {
+  if (pending_ > 0) MergeCounts();
+}
+
+void ParallelGibbs::MergeCounts() {
+  pending_ = 0;
+  if (replicas_.empty()) return;
+  const auto start = std::chrono::steady_clock::now();
+  for (Replica& replica : replicas_) {
+    uint32_t* global = replica.global->data();
+    const uint32_t* snapshot = replica.snapshot.data();
+    const size_t n = replica.snapshot.size();
+    // global == snapshot here (only merges mutate the global), so adding
+    // each shard's wrapping delta yields snapshot + Σ (local − snapshot).
+    for (const std::vector<uint32_t>& local : replica.locals) {
+      const uint32_t* values = local.data();
+      for (size_t i = 0; i < n; ++i) global[i] += values[i] - snapshot[i];
+    }
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  MergeMsHistogram()->Record(ms);
+}
+
+void ParallelGibbs::ReduceAccumulators() {
+  for (Accumulator& accumulator : accumulators_) {
+    std::vector<double>& global = *accumulator.global;
+    std::fill(global.begin(), global.end(), 0.0);
+    for (const std::vector<double>& local : accumulator.locals) {
+      for (size_t i = 0; i < global.size(); ++i) global[i] += local[i];
+    }
+  }
+}
+
+}  // namespace microrec::topic

@@ -48,6 +48,12 @@ Status Plsa::Train(const DocSet& docs, Rng* rng) {
     std::copy(draw.begin(), draw.end(), phi_.begin() + k * V);
   }
 
+  if (config_.train.train_threads > 1) {
+    MICROREC_RETURN_IF_ERROR(ParallelSteps(docs, rng, &theta));
+    trained_ = true;
+    return Status::OK();
+  }
+
   std::vector<double> theta_acc(D * K);
   std::vector<double> phi_acc(K * V);
   std::vector<double> post(K);
@@ -96,6 +102,77 @@ Status Plsa::Train(const DocSet& docs, Rng* rng) {
     }
   }
   trained_ = true;
+  return Status::OK();
+}
+
+Status Plsa::ParallelSteps(const DocSet& docs, Rng* rng,
+                           std::vector<double>* theta) {
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const size_t D = docs.num_docs();
+
+  // θ accumulator rows are document-owned (written directly by the owning
+  // shard); the φ accumulator receives contributions from every shard, so
+  // it is registered with the driver and reduced in shard order at the
+  // barrier. The driver's RNG substreams go unused — EM draws nothing
+  // after initialisation — but the seed draw keeps the caller-rng state
+  // consistent with the Gibbs models' parallel paths.
+  std::vector<double> theta_acc(D * K);
+  std::vector<double> phi_acc(K * V);
+
+  ParallelGibbs driver(D, config_.train, rng->NextU64());
+  const size_t h_phi = driver.AddAccumulator(&phi_acc);
+  std::vector<std::vector<double>> scratch(driver.num_shards(),
+                                           std::vector<double>(K));
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.plsa.step_seconds");
+  for (int iter = 0; iter < config_.train_iterations; ++iter) {
+    MICROREC_RETURN_IF_ERROR(GuardSweep(
+        "PLSA", iter, config_.cancel,
+        iter == 0 ? nullptr : scratch[0].data(), K));
+    obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+    std::fill(theta_acc.begin(), theta_acc.end(), 0.0);
+    driver.RunIteration(iter, [&](const ParallelGibbs::Shard& shard) {
+      double* post = scratch[shard.index].data();
+      double* local_phi = shard.Accumulator(h_phi);
+      double* th = theta->data();
+      for (size_t d = shard.begin; d < shard.end; ++d) {
+        for (TermId w : docs.docs()[d].words) {
+          double total = 0.0;
+          for (size_t k = 0; k < K; ++k) {
+            post[k] = th[d * K + k] * phi_[k * V + w];
+            total += post[k];
+          }
+          if (total <= 0.0) continue;
+          for (size_t k = 0; k < K; ++k) {
+            double r = post[k] / total;
+            theta_acc[d * K + k] += r;
+            local_phi[k * V + w] += r;
+          }
+        }
+      }
+    });
+    // M-step stays sequential: it is O(|D|·|Z| + |Z|·|V|) against the
+    // E-step's O(tokens·|Z|), and it mutates θ and φ that the next
+    // iteration's shards all read.
+    double* th = theta->data();
+    for (size_t d = 0; d < D; ++d) {
+      double total = 0.0;
+      for (size_t k = 0; k < K; ++k) total += theta_acc[d * K + k];
+      if (total <= 0.0) continue;
+      for (size_t k = 0; k < K; ++k) {
+        th[d * K + k] = theta_acc[d * K + k] / total;
+      }
+    }
+    for (size_t k = 0; k < K; ++k) {
+      double total = 0.0;
+      for (size_t w = 0; w < V; ++w) total += phi_acc[k * V + w];
+      if (total <= 0.0) continue;
+      for (size_t w = 0; w < V; ++w) {
+        phi_[k * V + w] = phi_acc[k * V + w] / total;
+      }
+    }
+  }
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "topic/parallel_gibbs.h"
 #include "topic/topic_model.h"
 
 namespace microrec::topic {
@@ -20,6 +21,9 @@ struct PlsaConfig {
   size_t num_topics = 50;
   int train_iterations = 100;  // EM converges far faster than Gibbs
   int infer_iterations = 20;   // folding-in EM steps
+  /// Sharded-training parallelism (parallel_gibbs.h): the E-step is
+  /// data-parallel over documents; the M-step stays sequential.
+  TrainOptions train;
   /// Optional deadline / cancellation checked between EM steps (not owned).
   const resilience::CancelContext* cancel = nullptr;
 };
@@ -59,6 +63,15 @@ class Plsa : public TopicModel {
   Status LoadState(snapshot::Decoder* dec) override;
 
  private:
+  /// Parallel EM loop: E-step sharded over documents (θ accumulator rows
+  /// are document-owned; the φ accumulator is reduced across shards);
+  /// M-step runs sequentially after each iteration barrier. EM is
+  /// deterministic given the initialisation, so unlike the Gibbs samplers
+  /// this path is bit-identical to sequential at any thread count up to
+  /// floating-point reduction order (shard-ordered, hence deterministic).
+  Status ParallelSteps(const DocSet& docs, Rng* rng,
+                       std::vector<double>* theta);
+
   PlsaConfig config_;
   size_t vocab_size_ = 0;
   std::vector<double> phi_;  // [topic * vocab + word]

@@ -9,6 +9,22 @@ namespace {
 constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
 }  // namespace
 
+namespace streams {
+
+const std::vector<NamedStream>& ReservedStreams() {
+  static const std::vector<NamedStream>* all = new std::vector<NamedStream>{
+      {"default", kDefault},
+      {"experiment_splits", kExperimentSplits},
+      {"topic_engine", kTopicEngine},
+      {"retry_jitter", kRetryJitter},
+      {"tie_break", kTieBreak},
+      {"random_baseline", kRandomBaseline},
+  };
+  return *all;
+}
+
+}  // namespace streams
+
 Rng::Rng(uint64_t seed, uint64_t stream) {
   inc_ = (stream << 1u) | 1u;
   state_ = 0;

@@ -17,6 +17,74 @@
 
 namespace microrec {
 
+/// Registry of reserved Rng stream ids.
+///
+/// A PCG32 stream id selects an independent sequence for the same seed, so
+/// two components drawing from the same (seed, stream) pair would see
+/// correlated randomness. Every fixed stream id used anywhere in the
+/// library is declared here; pick ids for new components from this file so
+/// collisions are caught at review time, and extend the unit test in
+/// tests/util/rng_test.cc (which enumerates ReservedStreams() for
+/// uniqueness and disjointness from the Gibbs shard block).
+///
+/// Two id families are intentionally *not* scalar constants:
+///   - fault-injection sites hash their site name (FNV-1a, forced odd) into
+///     a 64-bit stream (resilience/fault.cc) — and additionally perturb the
+///     seed, so even an improbable hash landing on a reserved id cannot
+///     correlate;
+///   - parallel Gibbs shards occupy the dedicated block
+///     [kGibbsShardBase, kGibbsShardBase + kGibbsShardIterations *
+///     kGibbsShardSlots), far above every scalar id, via GibbsShardStream().
+namespace streams {
+
+/// Default stream of Rng's one-argument constructor.
+inline constexpr uint64_t kDefault = 1;
+/// ExperimentRunner's split/derivation generator (eval/experiment.cc).
+inline constexpr uint64_t kExperimentSplits = 11;
+/// TopicEngine's training + inference generator (rec/engine.cc).
+inline constexpr uint64_t kTopicEngine = 97;
+/// Retry backoff jitter (resilience/retry.cc).
+inline constexpr uint64_t kRetryJitter = 0x9E77;
+/// Canonical ranking tie-break permutation (rec/ranker.h re-exports this
+/// as rec::kTieBreakStream).
+inline constexpr uint64_t kTieBreak = 1299709;
+/// The RAN baseline's shuffles (eval/experiment.cc).
+inline constexpr uint64_t kRandomBaseline = 2147483647;
+
+/// Parallel-Gibbs shard substreams live in their own block above every
+/// scalar id: shard `s` of iteration `t` draws from stream
+/// kGibbsShardBase + t * kGibbsShardSlots + s. The block keyed by
+/// (shard, iteration) gives each shard a fresh, mutually independent
+/// sequence every sweep without any cross-thread draw ordering.
+inline constexpr uint64_t kGibbsShardBase = uint64_t{1} << 32;
+/// Maximum shards per iteration (shard ids are taken modulo this).
+inline constexpr uint64_t kGibbsShardSlots = uint64_t{1} << 16;
+/// Iterations before the block would wrap (far beyond any training budget).
+inline constexpr uint64_t kGibbsShardIterations = uint64_t{1} << 24;
+
+constexpr uint64_t GibbsShardStream(uint64_t shard, uint64_t iteration) {
+  return kGibbsShardBase +
+         (iteration % kGibbsShardIterations) * kGibbsShardSlots +
+         (shard % kGibbsShardSlots);
+}
+
+/// True when `id` falls inside the Gibbs shard block.
+constexpr bool IsGibbsShardStream(uint64_t id) {
+  return id >= kGibbsShardBase &&
+         id < kGibbsShardBase + kGibbsShardIterations * kGibbsShardSlots;
+}
+
+/// A reserved scalar stream with its owner, for the uniqueness test.
+struct NamedStream {
+  const char* name;
+  uint64_t id;
+};
+
+/// Every reserved scalar stream id, exactly once each.
+const std::vector<NamedStream>& ReservedStreams();
+
+}  // namespace streams
+
 /// PCG32 pseudo-random generator with convenience distributions.
 class Rng {
  public:

@@ -117,17 +117,28 @@ void ThreadPool::ParallelFor(size_t count,
   Wait();
 }
 
+size_t ThreadPool::NumShards(size_t count, size_t shard_size) {
+  assert(shard_size > 0);
+  return (count + shard_size - 1) / shard_size;
+}
+
+std::pair<size_t, size_t> ThreadPool::ShardBounds(size_t count,
+                                                  size_t shard_size,
+                                                  size_t shard) {
+  const size_t begin = shard * shard_size;
+  return {begin, std::min(begin + shard_size, count)};
+}
+
 void ThreadPool::ParallelForShards(
     size_t count, size_t shard_size,
     const std::function<void(size_t, size_t)>& fn) {
   assert(shard_size > 0);
   if (count == 0) return;
-  const size_t num_shards = (count + shard_size - 1) / shard_size;
-  ParallelFor(num_shards, [count, shard_size, &fn](size_t shard) {
-    const size_t begin = shard * shard_size;
-    const size_t end = std::min(begin + shard_size, count);
-    fn(begin, end);
-  });
+  ParallelFor(NumShards(count, shard_size),
+              [count, shard_size, &fn](size_t shard) {
+                const auto [begin, end] = ShardBounds(count, shard_size, shard);
+                fn(begin, end);
+              });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace microrec {
@@ -54,6 +55,18 @@ class ThreadPool {
   /// output for any pool size. Rethrows like Wait().
   void ParallelForShards(size_t count, size_t shard_size,
                          const std::function<void(size_t, size_t)>& fn);
+
+  /// The shard count ParallelForShards uses for (count, shard_size): a
+  /// pure function of its arguments. Shared with topic::ParallelGibbs so
+  /// parallel-training shards follow the same boundary protocol as the
+  /// scoring hot path (DESIGN.md §9).
+  static size_t NumShards(size_t count, size_t shard_size);
+
+  /// Half-open bounds [begin, end) of shard `shard` of (count, shard_size);
+  /// also a pure function of its arguments.
+  static std::pair<size_t, size_t> ShardBounds(size_t count,
+                                               size_t shard_size,
+                                               size_t shard);
 
   /// Tasks discarded unrun because an earlier task threw (test hook).
   size_t cancelled_tasks() const;

@@ -208,6 +208,45 @@ TEST_F(EngineSnapshotFixture, TopicModelsRoundTripAcrossSourcesAndSeeds) {
   }
 }
 
+TEST_F(EngineSnapshotFixture, TopicModelsRoundTripAcrossTrainThreads) {
+  // train_threads is NOT part of snapshot identity (DESIGN.md §10): a model
+  // trained with any thread count must save and restore bit-identically to
+  // its own in-memory state. The round trip is exercised at both the
+  // sequential path and the sharded path.
+  for (size_t train_threads : {size_t{1}, size_t{4}}) {
+    for (ModelKind kind : {ModelKind::kLDA, ModelKind::kBTM}) {
+      EngineContext ctx = ctx_;
+      ctx.train_threads = train_threads;
+      std::string tag = std::string(ModelKindName(kind)) + "-threads" +
+                        std::to_string(train_threads);
+      ExpectBitIdenticalRoundTrip(SmallConfig(kind), ctx, tag);
+    }
+  }
+}
+
+TEST_F(EngineSnapshotFixture, ParallelTrainedSnapshotLoadsIntoSequentialCtx) {
+  // The snapshot header binds (source, seed) but not train_threads: a
+  // 4-thread-trained snapshot must load under a sequential context and
+  // reproduce the saved model's scores exactly.
+  EngineContext par_ctx = ctx_;
+  par_ctx.train_threads = 4;
+  ModelConfig config = SmallConfig(ModelKind::kLDA);
+  auto trained = MakeEngine(config);
+  ASSERT_TRUE(trained->Prepare(par_ctx).ok());
+  ASSERT_TRUE(trained->BuildUser(ego_, train_, par_ctx).ok());
+  const double cat = trained->Score(ego_, test_cat_, par_ctx);
+  const double stock = trained->Score(ego_, test_stock_, par_ctx);
+  const std::string path = Path("cross_threads");
+  ASSERT_TRUE(trained->SaveSnapshot(path, par_ctx).ok());
+
+  auto restored = MakeEngine(config);
+  Status load = restored->LoadSnapshot(path, ctx_);  // train_threads == 1
+  ASSERT_TRUE(load.ok()) << load.ToString();
+  ASSERT_TRUE(restored->BuildUser(ego_, train_, ctx_).ok());
+  EXPECT_EQ(restored->Score(ego_, test_cat_, ctx_), cat);
+  EXPECT_EQ(restored->Score(ego_, test_stock_, ctx_), stock);
+}
+
 TEST_F(EngineSnapshotFixture, PrepareWarmStartsFromSnapshot) {
   ModelConfig config = SmallConfig(ModelKind::kBTM);
   auto trained = MakeEngine(config);

@@ -1,0 +1,414 @@
+// Tests for the sharded-training driver (topic/parallel_gibbs.h) and its
+// wiring into the samplers:
+//   - train_threads = 1 is bit-identical to the legacy sequential path for
+//     every model that takes TrainOptions, regardless of the other options;
+//   - the LDA sequential path itself matches a test-local reference
+//     reimplementation draw-for-draw (pins the historical RNG sequence);
+//   - shard merges conserve counts exactly, for randomized sweeps at any
+//     thread count and merge cadence;
+//   - fixed (seed, threads, merge_every) is deterministic;
+//   - an exception in one shard propagates, discards the in-flight merge
+//     block, and leaves the driver usable.
+#include "topic/parallel_gibbs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "topic/btm.h"
+#include "topic/lda.h"
+#include "topic/llda.h"
+#include "topic/plsa.h"
+#include "topic_test_util.h"
+
+namespace microrec::topic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Driver-level properties.
+
+/// Runs `iters` randomized conserving sweeps: every item keeps exactly one
+/// unit of mass in `counts`, moved between slots by its owning shard.
+/// Returns the final assignment; `counts` ends merged.
+std::vector<uint32_t> RunConservingSweeps(size_t items, size_t slots,
+                                          const TrainOptions& options,
+                                          uint64_t seed, int iters,
+                                          std::vector<uint32_t>* counts) {
+  std::vector<uint32_t> z(items);
+  counts->assign(slots, 0);
+  Rng init(7);
+  for (size_t i = 0; i < items; ++i) {
+    z[i] = init.UniformU32(static_cast<uint32_t>(slots));
+    ++(*counts)[z[i]];
+  }
+  ParallelGibbs driver(items, options, seed);
+  const size_t h = driver.AddCounts(counts);
+  for (int iter = 0; iter < iters; ++iter) {
+    driver.RunIteration(iter, [&](const ParallelGibbs::Shard& shard) {
+      uint32_t* local = shard.Counts(h);
+      for (size_t i = shard.begin; i < shard.end; ++i) {
+        --local[z[i]];
+        z[i] = shard.rng->UniformU32(static_cast<uint32_t>(slots));
+        ++local[z[i]];
+      }
+    });
+  }
+  driver.FlushMerge();
+  return z;
+}
+
+TEST(ParallelGibbsTest, ShardBoundsPartitionTheItems) {
+  for (size_t items : {1u, 7u, 100u, 1001u}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      TrainOptions options;
+      options.train_threads = threads;
+      ParallelGibbs driver(items, options, 1);
+      ASSERT_GE(driver.num_shards(), 1u);
+      ASSERT_LE(driver.num_shards(), threads);
+      size_t covered = 0;
+      for (size_t s = 0; s < driver.num_shards(); ++s) {
+        EXPECT_EQ(driver.shard_begin(s), covered);
+        EXPECT_GT(driver.shard_end(s), driver.shard_begin(s));
+        covered = driver.shard_end(s);
+      }
+      EXPECT_EQ(covered, items);
+    }
+  }
+}
+
+TEST(ParallelGibbsTest, MergeConservesCountsForRandomizedSweeps) {
+  constexpr size_t kItems = 1000;
+  constexpr size_t kSlots = 16;
+  for (size_t threads : {2u, 4u, 8u}) {
+    for (int merge_every : {1, 3, 10}) {
+      TrainOptions options;
+      options.train_threads = threads;
+      options.merge_every = merge_every;
+      std::vector<uint32_t> counts;
+      std::vector<uint32_t> z = RunConservingSweeps(
+          kItems, kSlots, options, /*seed=*/99, /*iters=*/8, &counts);
+      std::vector<uint32_t> expected(kSlots, 0);
+      for (uint32_t t : z) ++expected[t];
+      EXPECT_EQ(counts, expected)
+          << "threads=" << threads << " merge_every=" << merge_every;
+    }
+  }
+}
+
+TEST(ParallelGibbsTest, FixedConfigurationIsDeterministic) {
+  TrainOptions options;
+  options.train_threads = 4;
+  options.merge_every = 2;
+  std::vector<uint32_t> counts_a, counts_b;
+  std::vector<uint32_t> z_a = RunConservingSweeps(500, 8, options, 42,
+                                                  /*iters=*/6, &counts_a);
+  std::vector<uint32_t> z_b = RunConservingSweeps(500, 8, options, 42,
+                                                  /*iters=*/6, &counts_b);
+  EXPECT_EQ(z_a, z_b);
+  EXPECT_EQ(counts_a, counts_b);
+}
+
+TEST(ParallelGibbsTest, DifferentSeedsDiverge) {
+  TrainOptions options;
+  options.train_threads = 4;
+  std::vector<uint32_t> counts_a, counts_b;
+  std::vector<uint32_t> z_a =
+      RunConservingSweeps(500, 8, options, 1, /*iters=*/3, &counts_a);
+  std::vector<uint32_t> z_b =
+      RunConservingSweeps(500, 8, options, 2, /*iters=*/3, &counts_b);
+  EXPECT_NE(z_a, z_b);
+}
+
+TEST(ParallelGibbsTest, ExceptionPropagatesDiscardsBlockAndDriverRecovers) {
+  constexpr size_t kItems = 400;
+  constexpr size_t kSlots = 8;
+  TrainOptions options;
+  options.train_threads = 4;
+  options.merge_every = 1;
+
+  std::vector<uint32_t> z(kItems);
+  std::vector<uint32_t> counts(kSlots, 0);
+  Rng init(5);
+  for (size_t i = 0; i < kItems; ++i) {
+    z[i] = init.UniformU32(kSlots);
+    ++counts[z[i]];
+  }
+  ParallelGibbs driver(kItems, options, 11);
+  ASSERT_GT(driver.num_shards(), 1u);
+  const size_t h = driver.AddCounts(&counts);
+
+  auto sweep = [&](const ParallelGibbs::Shard& shard) {
+    uint32_t* local = shard.Counts(h);
+    for (size_t i = shard.begin; i < shard.end; ++i) {
+      --local[z[i]];
+      z[i] = shard.rng->UniformU32(kSlots);
+      ++local[z[i]];
+    }
+  };
+  driver.RunIteration(0, sweep);  // merged (merge_every = 1)
+
+  const std::vector<uint32_t> merged = counts;
+  EXPECT_THROW(driver.RunIteration(1,
+                                   [&](const ParallelGibbs::Shard& shard) {
+                                     if (shard.index == 1) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                     // Other shards do no work, so `z`
+                                     // still matches the merged counts.
+                                   }),
+               std::runtime_error);
+  // The in-flight block was discarded: globals keep the last merged state.
+  EXPECT_EQ(counts, merged);
+
+  // The driver stays usable and still conserves.
+  driver.RunIteration(2, sweep);
+  driver.FlushMerge();
+  std::vector<uint32_t> expected(kSlots, 0);
+  for (uint32_t t : z) ++expected[t];
+  EXPECT_EQ(counts, expected);
+}
+
+TEST(ParallelGibbsTest, AccumulatorReducesAcrossShards) {
+  constexpr size_t kItems = 100;
+  TrainOptions options;
+  options.train_threads = 4;
+  std::vector<double> acc(3, -1.0);  // overwritten by the reduction
+  ParallelGibbs driver(kItems, options, 1);
+  const size_t h = driver.AddAccumulator(&acc);
+  driver.RunIteration(0, [&](const ParallelGibbs::Shard& shard) {
+    double* local = shard.Accumulator(h);
+    for (size_t i = shard.begin; i < shard.end; ++i) {
+      local[0] += 1.0;
+      local[1] += 2.0;
+    }
+  });
+  EXPECT_DOUBLE_EQ(acc[0], static_cast<double>(kItems));
+  EXPECT_DOUBLE_EQ(acc[1], 2.0 * kItems);
+  EXPECT_DOUBLE_EQ(acc[2], 0.0);
+
+  // Locals are zeroed per iteration: a second sweep yields the same sums.
+  driver.RunIteration(1, [&](const ParallelGibbs::Shard& shard) {
+    double* local = shard.Accumulator(h);
+    for (size_t i = shard.begin; i < shard.end; ++i) local[0] += 1.0;
+  });
+  EXPECT_DOUBLE_EQ(acc[0], static_cast<double>(kItems));
+  EXPECT_DOUBLE_EQ(acc[1], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// train_threads = 1 is the legacy sequential path, bit for bit.
+
+/// All φ_z,w cells of a trained model, for exact comparison.
+std::vector<double> PhiCells(const TopicModel& model, size_t vocab) {
+  std::vector<double> cells;
+  cells.reserve(model.num_topics() * vocab);
+  for (size_t k = 0; k < model.num_topics(); ++k) {
+    for (TermId w = 0; w < vocab; ++w) {
+      cells.push_back(model.TopicWordProb(k, w));
+    }
+  }
+  return cells;
+}
+
+/// Trains two instances of `Model` on the same corpus and seed — one with
+/// a default-constructed TrainOptions, one with train_threads = 1 but a
+/// non-default merge cadence — and expects bit-identical posteriors and
+/// caller-RNG end states: at one thread the parallel machinery must never
+/// engage, draw, or perturb anything.
+template <typename Model, typename Config>
+void ExpectSequentialBitIdentity(Config config, uint64_t seed) {
+  DocSet docs = MakeTwoTopicCorpus();
+  Config explicit_config = config;
+  explicit_config.train.train_threads = 1;
+  explicit_config.train.merge_every = 5;
+
+  Model base(config);
+  Model tuned(explicit_config);
+  Rng rng_base(seed);
+  Rng rng_tuned(seed);
+  ASSERT_TRUE(base.Train(docs, &rng_base).ok());
+  ASSERT_TRUE(tuned.Train(docs, &rng_tuned).ok());
+
+  EXPECT_EQ(PhiCells(base, docs.vocab_size()),
+            PhiCells(tuned, docs.vocab_size()));
+  EXPECT_EQ(rng_base.NextU64(), rng_tuned.NextU64())
+      << "train_threads=1 consumed extra caller-RNG draws";
+}
+
+TEST(SequentialBitIdentityTest, LdaAtOneThread) {
+  LdaConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 60;
+  for (uint64_t seed : {3u, 17u}) {
+    ExpectSequentialBitIdentity<Lda>(config, seed);
+  }
+}
+
+TEST(SequentialBitIdentityTest, LldaAtOneThread) {
+  LldaConfig config;
+  config.num_latent_topics = 4;
+  config.train_iterations = 60;
+  for (uint64_t seed : {3u, 17u}) {
+    ExpectSequentialBitIdentity<Llda>(config, seed);
+  }
+}
+
+TEST(SequentialBitIdentityTest, BtmAtOneThread) {
+  BtmConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 30;
+  config.window = 5;
+  for (uint64_t seed : {3u, 17u}) {
+    ExpectSequentialBitIdentity<Btm>(config, seed);
+  }
+}
+
+TEST(SequentialBitIdentityTest, PlsaAtOneThread) {
+  PlsaConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 20;
+  for (uint64_t seed : {3u, 17u}) {
+    ExpectSequentialBitIdentity<Plsa>(config, seed);
+  }
+}
+
+/// Reference reimplementation of the sequential collapsed-Gibbs LDA —
+/// draw-for-draw the historical Train() loop — so the threads=1 branch is
+/// pinned against the mathematical spec, not just against itself.
+std::vector<double> ReferenceLdaPhi(const DocSet& docs,
+                                    const LdaConfig& config, uint64_t seed) {
+  const size_t K = config.num_topics;
+  const size_t V = docs.vocab_size();
+  const double alpha = config.ResolvedAlpha();
+  const double beta = config.beta;
+  const double v_beta = static_cast<double>(V) * beta;
+  Rng rng(seed);
+
+  std::vector<TermId> words;
+  std::vector<uint32_t> doc_of;
+  for (size_t d = 0; d < docs.num_docs(); ++d) {
+    for (TermId w : docs.docs()[d].words) {
+      words.push_back(w);
+      doc_of.push_back(static_cast<uint32_t>(d));
+    }
+  }
+  const size_t N = words.size();
+  std::vector<uint32_t> z(N);
+  std::vector<uint32_t> n_dk(docs.num_docs() * K, 0);
+  std::vector<uint32_t> n_kw(K * V, 0);
+  std::vector<uint32_t> n_k(K, 0);
+  for (size_t i = 0; i < N; ++i) {
+    z[i] = rng.UniformU32(static_cast<uint32_t>(K));
+    ++n_dk[doc_of[i] * K + z[i]];
+    ++n_kw[static_cast<size_t>(z[i]) * V + words[i]];
+    ++n_k[z[i]];
+  }
+  std::vector<double> weights(K);
+  for (int iter = 0; iter < config.train_iterations; ++iter) {
+    for (size_t i = 0; i < N; ++i) {
+      const uint32_t d = doc_of[i];
+      const TermId w = words[i];
+      --n_dk[d * K + z[i]];
+      --n_kw[static_cast<size_t>(z[i]) * V + w];
+      --n_k[z[i]];
+      for (size_t k = 0; k < K; ++k) {
+        weights[k] = (n_dk[d * K + k] + alpha) * (n_kw[k * V + w] + beta) /
+                     (n_k[k] + v_beta);
+      }
+      z[i] = static_cast<uint32_t>(rng.Categorical(weights.data(), K));
+      ++n_dk[d * K + z[i]];
+      ++n_kw[static_cast<size_t>(z[i]) * V + w];
+      ++n_k[z[i]];
+    }
+  }
+  std::vector<double> phi(K * V);
+  for (size_t k = 0; k < K; ++k) {
+    const double denom = n_k[k] + v_beta;
+    for (size_t w = 0; w < V; ++w) {
+      phi[k * V + w] = (n_kw[k * V + w] + beta) / denom;
+    }
+  }
+  return phi;
+}
+
+TEST(SequentialBitIdentityTest, LdaMatchesReferenceReimplementation) {
+  DocSet docs = MakeTwoTopicCorpus();
+  LdaConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 40;
+  for (uint64_t seed : {3u, 17u}) {
+    Lda lda(config);
+    Rng rng(seed);
+    ASSERT_TRUE(lda.Train(docs, &rng).ok());
+    EXPECT_EQ(PhiCells(lda, docs.vocab_size()),
+              ReferenceLdaPhi(docs, config, seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel training through the real samplers.
+
+TEST(ParallelTrainTest, LdaParallelIsDeterministicAndWellFormed) {
+  DocSet docs = MakeTwoTopicCorpus();
+  LdaConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 40;
+  config.train.train_threads = 4;
+  std::vector<double> first;
+  for (int run = 0; run < 2; ++run) {
+    Lda lda(config);
+    Rng rng(9);
+    ASSERT_TRUE(lda.Train(docs, &rng).ok());
+    std::vector<double> cells = PhiCells(lda, docs.vocab_size());
+    for (double cell : cells) {
+      ASSERT_GT(cell, 0.0);
+      ASSERT_LT(cell, 1.0);
+    }
+    if (run == 0) {
+      first = cells;
+    } else {
+      EXPECT_EQ(first, cells);  // same (seed, threads, merge_every)
+    }
+  }
+}
+
+TEST(ParallelTrainTest, BtmParallelIsDeterministicAndWellFormed) {
+  DocSet docs = MakeTwoTopicCorpus();
+  BtmConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 20;
+  config.window = 5;
+  config.train.train_threads = 4;
+  std::vector<double> first;
+  for (int run = 0; run < 2; ++run) {
+    Btm btm(config);
+    Rng rng(9);
+    ASSERT_TRUE(btm.Train(docs, &rng).ok());
+    std::vector<double> cells = PhiCells(btm, docs.vocab_size());
+    if (run == 0) {
+      first = cells;
+    } else {
+      EXPECT_EQ(first, cells);
+    }
+  }
+}
+
+TEST(ParallelTrainTest, CancelPropagatesThroughParallelPath) {
+  DocSet docs = MakeTwoTopicCorpus();
+  LdaConfig config;
+  config.num_topics = 4;
+  config.train_iterations = 500;
+  config.train.train_threads = 4;
+  resilience::CancelToken token;
+  token.Cancel();
+  resilience::CancelContext cancel;
+  cancel.token = &token;
+  config.cancel = &cancel;
+  Lda lda(config);
+  Rng rng(1);
+  EXPECT_FALSE(lda.Train(docs, &rng).ok());
+}
+
+}  // namespace
+}  // namespace microrec::topic

@@ -211,6 +211,71 @@ TEST(RngTest, SampleWithoutReplacementDistinct) {
   }
 }
 
+TEST(RngStreamRegistryTest, ReservedStreamIdsAreUnique) {
+  const std::vector<streams::NamedStream>& reserved =
+      streams::ReservedStreams();
+  ASSERT_FALSE(reserved.empty());
+  std::set<uint64_t> ids;
+  for (const streams::NamedStream& s : reserved) {
+    EXPECT_TRUE(ids.insert(s.id).second)
+        << "stream id " << s.id << " (" << s.name
+        << ") is registered twice";
+  }
+}
+
+TEST(RngStreamRegistryTest, RegistryListsEveryKnownScalarStream) {
+  std::set<uint64_t> ids;
+  for (const streams::NamedStream& s : streams::ReservedStreams()) {
+    ids.insert(s.id);
+  }
+  // A constant that exists in the header but is missing here means the
+  // registry fell out of date — add it to ReservedStreams().
+  EXPECT_TRUE(ids.count(streams::kDefault));
+  EXPECT_TRUE(ids.count(streams::kExperimentSplits));
+  EXPECT_TRUE(ids.count(streams::kTopicEngine));
+  EXPECT_TRUE(ids.count(streams::kRetryJitter));
+  EXPECT_TRUE(ids.count(streams::kTieBreak));
+  EXPECT_TRUE(ids.count(streams::kRandomBaseline));
+  EXPECT_EQ(ids.size(), streams::ReservedStreams().size());
+}
+
+TEST(RngStreamRegistryTest, GibbsShardBlockDisjointFromScalarStreams) {
+  for (const streams::NamedStream& s : streams::ReservedStreams()) {
+    EXPECT_FALSE(streams::IsGibbsShardStream(s.id))
+        << s.name << " collides with the Gibbs shard block";
+  }
+}
+
+TEST(RngStreamRegistryTest, GibbsShardStreamsStayInBlockAndAreUnique) {
+  // Distinct (shard, iteration) pairs within the block's modulus map to
+  // distinct streams, and every mapped id stays inside the block — even
+  // for shard / iteration values beyond the modulus.
+  std::set<uint64_t> seen;
+  for (uint64_t iter : {uint64_t{0}, uint64_t{1}, uint64_t{999}}) {
+    for (uint64_t shard = 0; shard < 64; ++shard) {
+      uint64_t id = streams::GibbsShardStream(shard, iter);
+      EXPECT_TRUE(streams::IsGibbsShardStream(id));
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  EXPECT_TRUE(streams::IsGibbsShardStream(streams::GibbsShardStream(
+      streams::kGibbsShardSlots + 3, streams::kGibbsShardIterations + 7)));
+}
+
+TEST(RngStreamRegistryTest, DistinctShardStreamsProduceDistinctDraws) {
+  Rng a(42, streams::GibbsShardStream(0, 0));
+  Rng b(42, streams::GibbsShardStream(1, 0));
+  Rng c(42, streams::GibbsShardStream(0, 1));
+  bool ab = false, ac = false;
+  for (int i = 0; i < 16; ++i) {
+    uint64_t va = a.NextU64(), vb = b.NextU64(), vc = c.NextU64();
+    ab |= va != vb;
+    ac |= va != vc;
+  }
+  EXPECT_TRUE(ab);
+  EXPECT_TRUE(ac);
+}
+
 TEST(RngTest, SampleWithoutReplacementIsUnbiased) {
   Rng rng(71);
   std::vector<int> counts(10, 0);

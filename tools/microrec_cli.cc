@@ -43,6 +43,14 @@
 //                         Rankings are bit-identical at any thread count
 //                         (DESIGN.md §9); only wall-clock changes.
 //
+// Training flags (evaluate / sweep / train / recommend):
+//   --train-threads=<n>   threads for sharded topic-model training
+//                         (default 1). 1 reproduces the paper's sequential
+//                         sampler bit-for-bit; > 1 trains LDA/LLDA/BTM/PLSA
+//                         with document shards — statistically equivalent,
+//                         not bit-identical (DESIGN.md §10). HDP/HLDA always
+//                         train sequentially.
+//
 // Unknown flags and malformed `--key=value` pairs are rejected with the
 // offending token and a usage hint (util/cli_flags.h). Fault injection is
 // armed via MICROREC_FAULTS (see src/resilience/fault.h).
@@ -87,17 +95,19 @@ int Usage() {
       "usage: microrec [--metrics=<path>] [--trace=<path>] <command>\n"
       "  microrec generate <dir> [seed]\n"
       "  microrec stats <dir>\n"
-      "  microrec evaluate [--threads=<n>] <dir>"
+      "  microrec evaluate [--threads=<n>] [--train-threads=<n>] <dir>"
       " <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
       " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
       "  microrec sweep [--checkpoint=<path>] [--fail-fast]"
-      " [--max-configs=<n>] [--timeout=<s>]\n"
+      " [--max-configs=<n>] [--timeout=<s>] [--train-threads=<n>]\n"
       "                 <dir> <model> <source> [iter_scale]\n"
       "  microrec suggest <dir> <user_handle> [top_k]\n"
-      "  microrec train [--snapshot-dir=<dir>] <dir> <model> <source>"
+      "  microrec train [--snapshot-dir=<dir>] [--train-threads=<n>]"
+      " <dir> <model> <source>"
       " [iter_scale]\n"
       "  microrec recommend [--snapshot-dir=<dir>] [--deadline=<s>]"
-      " [--user=<handle>] [--top-k=<n>] [--threads=<n>]\n"
+      " [--user=<handle>] [--top-k=<n>] [--threads=<n>]"
+      " [--train-threads=<n>]\n"
       "                     <dir> <model> <source> [iter_scale]\n");
   return 2;
 }
@@ -253,7 +263,7 @@ Result<rec::ModelConfig> DefaultConfig(rec::ModelKind kind,
 
 int Evaluate(const std::string& dir, const std::string& model_name,
              const std::string& source_name, double iter_scale,
-             size_t threads) {
+             size_t threads, size_t train_threads) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -264,6 +274,7 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
   options.score_threads = threads;
+  options.train_threads = train_threads;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
 
@@ -283,13 +294,14 @@ int Evaluate(const std::string& dir, const std::string& model_name,
 }
 
 /// Serving flags shared by the train and recommend commands (`threads`
-/// also applies to evaluate).
+/// also applies to evaluate; `train_threads` to evaluate and sweep too).
 struct ServingFlags {
   std::string snapshot_dir = "snapshots";
   double deadline_seconds = 0.0;
   std::string user_handle;
   size_t top_k = 5;
   size_t threads = 1;
+  size_t train_threads = 1;
 };
 
 int Train(const std::string& dir, const std::string& model_name,
@@ -304,6 +316,7 @@ int Train(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
+  options.train_threads = flags.train_threads;
   options.snapshot_dir = flags.snapshot_dir;
   options.snapshot_save = true;
   // Loading too: re-running train refreshes the snapshot without retraining
@@ -338,6 +351,7 @@ int Recommend(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
+  options.train_threads = flags.train_threads;
   options.snapshot_dir = flags.snapshot_dir;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
@@ -405,7 +419,7 @@ struct SweepFlags {
 
 int Sweep(const std::string& dir, const std::string& model_name,
           const std::string& source_name, double iter_scale,
-          const SweepFlags& flags) {
+          const SweepFlags& flags, size_t train_threads) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -415,6 +429,7 @@ int Sweep(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions run_options;
   run_options.topic_iteration_scale = iter_scale;
+  run_options.train_threads = train_threads;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort,
                                 run_options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
@@ -526,11 +541,13 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
   if (command == "stats") return Stats(dir);
   if (command == "evaluate" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Evaluate(dir, args[2], args[3], iter_scale, serving.threads);
+    return Evaluate(dir, args[2], args[3], iter_scale, serving.threads,
+                    serving.train_threads);
   }
   if (command == "sweep" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Sweep(dir, args[2], args[3], iter_scale, flags);
+    return Sweep(dir, args[2], args[3], iter_scale, flags,
+                 serving.train_threads);
   }
   if (command == "suggest" && args.size() >= 3) {
     size_t top_k =
@@ -576,6 +593,10 @@ int main(int argc, char** argv) {
                  "recommend: recommendations printed per user (0 = all)");
   parser.AddSize("threads", &serving.threads,
                  "evaluate/recommend: scoring threads (default 1)");
+  parser.AddSize("train-threads", &serving.train_threads,
+                 "evaluate/sweep/train/recommend: topic-model training "
+                 "threads (default 1 = sequential, bit-identical to the "
+                 "paper)");
 
   std::vector<std::string> raw(argv + 1, argv + argc);
   Result<std::vector<std::string>> args = parser.Parse(raw);
