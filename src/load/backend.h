@@ -1,0 +1,56 @@
+// The driver-facing backend seam: one Backend instance is owned by one
+// client thread (DegradingRecommender is not thread-safe, so the driver
+// builds a backend per thread through a factory), and every schedule op
+// class maps onto one virtual call. The seam keeps the driver testable
+// with scripted fakes and keeps load/ free of any knowledge of engines,
+// snapshots or candidate selection.
+#ifndef MICROREC_LOAD_BACKEND_H_
+#define MICROREC_LOAD_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "obs/request.h"
+#include "util/status.h"
+
+namespace microrec::load {
+
+/// What one recommend op produced, reduced to what the determinism gate
+/// and the rung-mix accounting need.
+struct RecommendOutcome {
+  /// Rung that served (rec::ServingRung numeric value for real backends).
+  int rung = 0;
+  /// Items in the served ranking.
+  uint64_t ranked = 0;
+  /// Order-sensitive FNV-1a fingerprint of the served ranking. For a
+  /// request id issued with a fixed seed this must not depend on driver
+  /// thread count — the property bench_serving_load gates on.
+  uint64_t ranking_hash = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// OpClass::kSnapshotWarm — eagerly load/refresh primary model state.
+  virtual Status Warm() = 0;
+
+  /// OpClass::kProfileLookup — ensure `user_rank`'s profile exists and
+  /// return its size.
+  virtual Result<uint64_t> ProfileLookup(uint64_t user_rank) = 0;
+
+  /// OpClass::kRecommend — serve a ranking for `user_rank` under request
+  /// id `rid`, attributing stages into `trace` (never null from the
+  /// driver; fakes may ignore it).
+  virtual Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
+                                             obs::RequestTrace* trace) = 0;
+};
+
+/// Builds one backend per client thread. The driver calls it sequentially
+/// before starting the clients, so it need not be thread-safe.
+using BackendFactory = std::function<std::unique_ptr<Backend>()>;
+
+}  // namespace microrec::load
+
+#endif  // MICROREC_LOAD_BACKEND_H_

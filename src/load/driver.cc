@@ -1,0 +1,226 @@
+#include "load/driver.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/request.h"
+
+namespace microrec::load {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One client thread's private accumulators: no sharing, no locks on the
+/// request path; the reducer merges after join.
+struct ThreadStats {
+  std::array<uint64_t, kNumOpClasses> per_op{};
+  std::array<uint64_t, 3> per_rung{};
+  uint64_t errors = 0;
+  uint64_t warm_failures = 0;
+  std::array<obs::QuantileSketch, kNumOpClasses> op_latency;
+  obs::QuantileSketch latency;
+};
+
+void AppendDouble(double value, std::string* out) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out->append(buffer);
+}
+
+void AppendHexU64(uint64_t value, std::string* out) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "\"0x%016" PRIx64 "\"", value);
+  out->append(buffer);
+}
+
+void AppendSketchJson(const obs::SketchSnapshot& s, std::string* out) {
+  out->append("{\"count\":").append(std::to_string(s.count));
+  out->append(",\"p50\":");
+  AppendDouble(s.p50, out);
+  out->append(",\"p90\":");
+  AppendDouble(s.p90, out);
+  out->append(",\"p99\":");
+  AppendDouble(s.p99, out);
+  out->append(",\"p999\":");
+  AppendDouble(s.p999, out);
+  out->append(",\"max\":");
+  AppendDouble(s.max, out);
+  out->append(",\"mean\":");
+  AppendDouble(s.Mean(), out);
+  out->append(",\"exact\":").append(s.exact ? "true" : "false");
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string LoadReport::ToJson() const {
+  std::string out = "{\"schema\":\"microrec.load/1\"";
+  out.append(",\"threads\":").append(std::to_string(threads));
+  out.append(",\"target_qps\":");
+  AppendDouble(target_qps, &out);
+  out.append(",\"total_requests\":").append(std::to_string(total_requests));
+  out.append(",\"wall_seconds\":");
+  AppendDouble(wall_seconds, &out);
+  out.append(",\"qps\":");
+  AppendDouble(qps, &out);
+  out.append(",\"errors\":").append(std::to_string(errors));
+  out.append(",\"warm_failures\":").append(std::to_string(warm_failures));
+  out.append(",\"schedule_hash\":");
+  AppendHexU64(schedule_hash, &out);
+  out.append(",\"rankings_hash\":");
+  AppendHexU64(rankings_hash, &out);
+  out.append(",\"per_op\":{");
+  for (int op = 0; op < kNumOpClasses; ++op) {
+    if (op > 0) out.push_back(',');
+    out.push_back('"');
+    out.append(OpClassName(static_cast<OpClass>(op)));
+    out.append("\":{\"issued\":").append(std::to_string(per_op[op]));
+    out.append(",\"latency_seconds\":");
+    AppendSketchJson(op_latency[op], &out);
+    out.push_back('}');
+  }
+  out.append("},\"per_rung\":{\"primary\":")
+      .append(std::to_string(per_rung[0]));
+  out.append(",\"bag_fallback\":").append(std::to_string(per_rung[1]));
+  out.append(",\"popularity\":").append(std::to_string(per_rung[2]));
+  out.append("},\"latency_seconds\":");
+  AppendSketchJson(latency, &out);
+  out.push_back('}');
+  return out;
+}
+
+Result<LoadReport> RunLoad(const Workload& workload,
+                           const DriverOptions& options,
+                           const BackendFactory& factory) {
+  if (factory == nullptr) {
+    return Status::InvalidArgument("load: null backend factory");
+  }
+  const uint64_t threads = options.threads == 0 ? 1 : options.threads;
+  const std::vector<Request>& requests = workload.requests();
+
+  std::vector<std::unique_ptr<Backend>> backends;
+  backends.reserve(threads);
+  for (uint64_t t = 0; t < threads; ++t) {
+    std::unique_ptr<Backend> backend = factory();
+    if (backend == nullptr) {
+      return Status::InvalidArgument("load: backend factory returned null");
+    }
+    backends.push_back(std::move(backend));
+  }
+
+  // Slot i is written only by the thread that owns request i (i % threads),
+  // and reads happen after join — disjoint access, no synchronisation.
+  std::vector<uint64_t> ranking_hashes(requests.size(), 0);
+  std::vector<ThreadStats> stats(threads);
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (uint64_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      Backend* backend = backends[t].get();
+      ThreadStats& local = stats[t];
+      for (uint64_t i = t; i < requests.size(); i += threads) {
+        const Request& request = requests[i];
+        if (options.target_qps > 0.0) {
+          // Open loop: arrivals are scheduled on the global request
+          // index, not per thread, so the offered rate is target_qps
+          // regardless of thread count.
+          const double offset =
+              static_cast<double>(i) / options.target_qps;
+          std::this_thread::sleep_until(
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(offset)));
+        }
+        obs::RequestTrace trace(request.rid, OpClassName(request.op));
+        const int op = static_cast<int>(request.op);
+        ++local.per_op[op];
+        const Clock::time_point op_start = Clock::now();
+        switch (request.op) {
+          case OpClass::kRecommend: {
+            Result<RecommendOutcome> outcome =
+                backend->Recommend(request.rid, request.user_rank, &trace);
+            if (outcome.ok()) {
+              if (outcome->rung >= 0 && outcome->rung < 3) {
+                ++local.per_rung[outcome->rung];
+              }
+              ranking_hashes[i] = outcome->ranking_hash;
+            } else {
+              ++local.errors;
+            }
+            break;
+          }
+          case OpClass::kProfileLookup: {
+            Result<uint64_t> size = backend->ProfileLookup(request.user_rank);
+            if (!size.ok()) ++local.errors;
+            break;
+          }
+          case OpClass::kSnapshotWarm: {
+            if (!backend->Warm().ok()) ++local.warm_failures;
+            break;
+          }
+        }
+        const double seconds = SecondsBetween(op_start, Clock::now());
+        local.op_latency[op].Record(seconds);
+        local.latency.Record(seconds);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall = SecondsBetween(start, Clock::now());
+
+  LoadReport report;
+  report.threads = threads;
+  report.target_qps = options.target_qps;
+  report.total_requests = requests.size();
+  report.wall_seconds = wall;
+  report.qps = wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
+  report.schedule_hash = workload.ScheduleHash();
+
+  obs::QuantileSketch merged_op[kNumOpClasses];
+  obs::QuantileSketch merged_all;
+  for (const ThreadStats& local : stats) {
+    report.errors += local.errors;
+    report.warm_failures += local.warm_failures;
+    for (int op = 0; op < kNumOpClasses; ++op) {
+      report.per_op[op] += local.per_op[op];
+      merged_op[op].Merge(local.op_latency[op]);
+    }
+    for (int rung = 0; rung < 3; ++rung) {
+      report.per_rung[rung] += local.per_rung[rung];
+    }
+    merged_all.Merge(local.latency);
+  }
+
+  uint64_t rankings = kFnvOffsetBasis;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].op != OpClass::kRecommend) continue;
+    rankings = FnvMixU64(rankings, requests[i].rid);
+    rankings = FnvMixU64(rankings, ranking_hashes[i]);
+  }
+  report.rankings_hash = rankings;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (int op = 0; op < kNumOpClasses; ++op) {
+    const std::string name =
+        "load.latency." + std::string(OpClassName(static_cast<OpClass>(op)));
+    registry.GetSketch(name)->Merge(merged_op[op]);
+    report.op_latency[op] = merged_op[op].Snapshot(name);
+  }
+  registry.GetSketch("load.latency.all")->Merge(merged_all);
+  report.latency = merged_all.Snapshot("load.latency.all");
+
+  return report;
+}
+
+}  // namespace microrec::load

@@ -1,0 +1,89 @@
+// The serving load driver (DESIGN.md §12): replays a Workload against one
+// Backend per client thread and reduces the run to a LoadReport — QPS,
+// per-op-class latency sketches, rung mix, and the two fingerprints the
+// determinism gate compares across thread counts and repeat runs.
+//
+// Request rid runs on thread (rid - 1) % threads: the *assignment* of
+// requests to threads changes with the thread count, but the set of
+// requests and each request's outcome do not — every recommend op carries
+// its rid into the per-request tie stream, so its served ranking is a pure
+// function of (seed, rid). `rankings_hash` folds the per-request ranking
+// fingerprints in schedule (rid) order, making "zero non-deterministic
+// rankings under concurrency" a single uint64 comparison.
+//
+// Two pacing modes:
+//   closed loop (target_qps == 0)  each client issues its next request the
+//                                  moment the previous one returns — the
+//                                  throughput-measuring mode;
+//   open loop   (target_qps > 0)   request rid's arrival time is
+//                                  (rid - 1) / target_qps after the run
+//                                  start, independent of completions — the
+//                                  latency-under-offered-load mode
+//                                  (coordinated omission stays visible).
+#ifndef MICROREC_LOAD_DRIVER_H_
+#define MICROREC_LOAD_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "load/backend.h"
+#include "load/workload.h"
+#include "obs/sketch.h"
+#include "util/status.h"
+
+namespace microrec::load {
+
+struct DriverOptions {
+  /// Client threads; each owns one Backend from the factory. Clamped to
+  /// >= 1.
+  uint64_t threads = 1;
+  /// 0 = closed loop; > 0 = open loop at this offered rate.
+  double target_qps = 0.0;
+};
+
+/// Everything one load run produced. Latency figures are in seconds.
+struct LoadReport {
+  uint64_t threads = 0;
+  double target_qps = 0.0;
+  uint64_t total_requests = 0;
+  double wall_seconds = 0.0;
+  /// Completed requests / wall_seconds.
+  double qps = 0.0;
+  /// profile-lookup failures (recommend never errors; warm failures are
+  /// counted separately because serving degraded is the ladder working).
+  uint64_t errors = 0;
+  uint64_t warm_failures = 0;
+
+  uint64_t schedule_hash = 0;
+  /// Per-request ranking fingerprints folded in rid order; identical for
+  /// identical (seed, workload) at any thread count.
+  uint64_t rankings_hash = 0;
+
+  /// Requests issued per op class, indexed by OpClass.
+  std::array<uint64_t, kNumOpClasses> per_op{};
+  /// Recommend ops served per rung (rec::ServingRung numeric values).
+  std::array<uint64_t, 3> per_rung{};
+
+  /// Merged across threads; named load.latency.<op>.
+  std::array<obs::SketchSnapshot, kNumOpClasses> op_latency{};
+  /// All op classes together; named load.latency.all.
+  obs::SketchSnapshot latency;
+
+  /// One JSON object (schema microrec.load/1); hashes are hex strings
+  /// because uint64 values do not survive a double round-trip.
+  std::string ToJson() const;
+};
+
+/// Replays `workload` and blocks until every request completed. The
+/// factory is invoked once per thread, sequentially, before clients
+/// start. Also merges the per-thread latency sketches into the global
+/// registry (load.latency.*), so a concurrently running FlightRecorder
+/// sees them.
+Result<LoadReport> RunLoad(const Workload& workload,
+                           const DriverOptions& options,
+                           const BackendFactory& factory);
+
+}  // namespace microrec::load
+
+#endif  // MICROREC_LOAD_DRIVER_H_

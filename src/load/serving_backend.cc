@@ -1,0 +1,60 @@
+#include "load/serving_backend.h"
+
+#include <cassert>
+#include <utility>
+
+#include "load/workload.h"
+
+namespace microrec::load {
+
+ServingBackend::ServingBackend(Options options)
+    : options_(std::move(options)),
+      recommender_(*options_.ctx, options_.serving) {
+  assert(options_.ctx != nullptr);
+  assert(!options_.users.empty());
+  assert(options_.candidates != nullptr);
+}
+
+corpus::UserId ServingBackend::UserFor(uint64_t user_rank) const {
+  return options_.users[user_rank % options_.users.size()];
+}
+
+Status ServingBackend::Warm() { return recommender_.Warm(); }
+
+Result<uint64_t> ServingBackend::ProfileLookup(uint64_t user_rank) {
+  Result<size_t> size = recommender_.ProfileLookup(UserFor(user_rank));
+  if (!size.ok()) return size.status();
+  return static_cast<uint64_t>(*size);
+}
+
+Result<RecommendOutcome> ServingBackend::Recommend(uint64_t rid,
+                                                   uint64_t user_rank,
+                                                   obs::RequestTrace* trace) {
+  const corpus::UserId u = UserFor(user_rank);
+  rec::QueryOptions query;
+  query.request_id = rid;
+  query.trace = trace;
+  rec::RecommendResult served =
+      recommender_.Recommend(u, options_.candidates(u), query);
+  RecommendOutcome outcome;
+  outcome.rung = static_cast<int>(served.rung);
+  outcome.ranked = served.ranking.size();
+  outcome.ranking_hash = RankingHash(served.ranking);
+  return outcome;
+}
+
+BackendFactory ServingBackend::Factory(Options options) {
+  return [options]() -> std::unique_ptr<Backend> {
+    return std::make_unique<ServingBackend>(options);
+  };
+}
+
+uint64_t RankingHash(const std::vector<rec::Recommendation>& ranking) {
+  uint64_t hash = kFnvOffsetBasis;
+  for (const rec::Recommendation& r : ranking) {
+    hash = FnvMixU64(hash, static_cast<uint64_t>(r.tweet));
+  }
+  return hash;
+}
+
+}  // namespace microrec::load

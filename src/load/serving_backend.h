@@ -1,0 +1,60 @@
+// Backend adapter over rec::DegradingRecommender: maps workload user
+// ranks onto a cohort user list (rank 0 = first user), selects candidates
+// through a caller-supplied provider, and fingerprints served rankings
+// for the driver's determinism gate. Each adapter owns its own
+// recommender, so one adapter per client thread satisfies the
+// recommender's single-thread contract while every thread still shares
+// the (immutable) preprocessed cohort underneath.
+#ifndef MICROREC_LOAD_SERVING_BACKEND_H_
+#define MICROREC_LOAD_SERVING_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "load/backend.h"
+#include "rec/serving.h"
+
+namespace microrec::load {
+
+class ServingBackend : public Backend {
+ public:
+  struct Options {
+    /// Context for the recommender; `ctx->pre`, `ctx->train_set` and the
+    /// data they reference must outlive the backend.
+    const rec::EngineContext* ctx = nullptr;
+    rec::ServingOptions serving;
+    /// Cohort users addressable by the workload; user_rank r maps to
+    /// users[r % users.size()]. Must be non-empty.
+    std::vector<corpus::UserId> users;
+    /// Candidate tweets to rank for one query. Must be deterministic in
+    /// `u` (the determinism gate replays it across thread counts).
+    std::function<std::vector<corpus::TweetId>(corpus::UserId u)> candidates;
+  };
+
+  explicit ServingBackend(Options options);
+
+  Status Warm() override;
+  Result<uint64_t> ProfileLookup(uint64_t user_rank) override;
+  Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
+                                     obs::RequestTrace* trace) override;
+
+  /// The factory form RunLoad consumes: builds one adapter per thread
+  /// from shared options (copied per backend; the pointed-to context is
+  /// shared and must be immutable during the run).
+  static BackendFactory Factory(Options options);
+
+ private:
+  corpus::UserId UserFor(uint64_t user_rank) const;
+
+  Options options_;
+  rec::DegradingRecommender recommender_;
+};
+
+/// Order-sensitive FNV-1a fingerprint of a served ranking (tweet ids in
+/// rank order). Exposed for tests.
+uint64_t RankingHash(const std::vector<rec::Recommendation>& ranking);
+
+}  // namespace microrec::load
+
+#endif  // MICROREC_LOAD_SERVING_BACKEND_H_

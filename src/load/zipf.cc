@@ -1,0 +1,34 @@
+#include "load/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace microrec::load {
+
+ZipfSampler::ZipfSampler(size_t n, double skew) : skew_(skew) {
+  assert(n >= 1);
+  assert(std::isfinite(skew) && skew >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -skew);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Mass(size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace microrec::load

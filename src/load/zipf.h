@@ -1,0 +1,42 @@
+// Deterministic Zipf-distributed sampling over a finite index range.
+//
+// Microblog request traffic is heavily skewed: a few hot users account for
+// most queries. The load driver models user arrivals as Zipf(s) over the
+// cohort — p(k) proportional to 1 / (k+1)^s for rank k — which at s = 0
+// degrades to uniform and around s = 1 matches the classic web-traffic
+// fit. The sampler precomputes the CDF once (O(n)) and draws by binary
+// search (O(log n)); every draw consumes exactly one UniformDouble from
+// the caller's Rng, so schedules built from a fixed (seed, n, s) replay
+// bit-identically.
+#ifndef MICROREC_LOAD_ZIPF_H_
+#define MICROREC_LOAD_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace microrec::load {
+
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `skew` must be finite and >= 0 (0 = uniform).
+  ZipfSampler(size_t n, double skew);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  /// Probability mass of rank `k` (test hook).
+  double Mass(size_t k) const;
+
+ private:
+  double skew_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
+}  // namespace microrec::load
+
+#endif  // MICROREC_LOAD_ZIPF_H_

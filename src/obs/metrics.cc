@@ -32,7 +32,10 @@ void AtomicMaxDouble(std::atomic<double>* target, double value) {
 
 double HistogramSnapshot::Percentile(double q) const {
   if (count == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // The edges are definitional, not interpolated: q=0 is the smallest
+  // observation, q=1 the largest, regardless of which bucket holds them.
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
   // Rank of the target observation (1-based), then walk the buckets.
   const double rank = q * static_cast<double>(count);
   uint64_t seen = 0;
@@ -40,8 +43,14 @@ double HistogramSnapshot::Percentile(double q) const {
     if (buckets[b] == 0) continue;
     const uint64_t next = seen + buckets[b];
     if (static_cast<double>(next) >= rank) {
-      const double lower = b == 0 ? 0.0 : bounds[b - 1];
-      const double upper = b < bounds.size() ? bounds[b] : max;
+      // The overflow bucket has no finite upper edge; its observations are
+      // bracketed by [last finite edge, observed max] instead — a quantile
+      // landing there interpolates inside that bracket and can never
+      // exceed max. The lower edge is additionally raised to min for the
+      // all-data-in-overflow case (min itself is past the last edge).
+      double lower = b == 0 ? 0.0 : bounds[b - 1];
+      double upper = b < bounds.size() ? bounds[b] : max;
+      if (b >= bounds.size()) lower = std::max(lower, min);
       const double fraction =
           (rank - static_cast<double>(seen)) / static_cast<double>(buckets[b]);
       double value = lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
@@ -141,6 +150,13 @@ const HistogramSnapshot* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+const SketchSnapshot* MetricsSnapshot::FindSketch(std::string_view name) const {
+  for (const SketchSnapshot& s : sketches) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
 void AppendJsonEscaped(std::string_view text, std::string* out) {
   for (char c : text) {
     switch (c) {
@@ -218,6 +234,25 @@ std::string MetricsSnapshot::ToJson() const {
     }
     out += "]}";
   }
+  out += "},\"sketches\":{";
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const SketchSnapshot& s = sketches[i];
+    if (i > 0) out += ',';
+    out += '"';
+    AppendJsonEscaped(s.name, &out);
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"sum\":" + JsonNumber(s.sum);
+    out += ",\"min\":" + JsonNumber(s.min);
+    out += ",\"max\":" + JsonNumber(s.max);
+    out += ",\"mean\":" + JsonNumber(s.Mean());
+    out += ",\"p50\":" + JsonNumber(s.p50);
+    out += ",\"p90\":" + JsonNumber(s.p90);
+    out += ",\"p99\":" + JsonNumber(s.p99);
+    out += ",\"p999\":" + JsonNumber(s.p999);
+    out += ",\"exact\":";
+    out += s.exact ? "true" : "false";
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -263,6 +298,18 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+Sketch* MetricsRegistry::GetSketch(std::string_view name, size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_
+             .emplace(std::string(name),
+                      std::unique_ptr<Sketch>(new Sketch(capacity)))
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
@@ -278,6 +325,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms.push_back(histogram->Snapshot(name));
   }
+  snap.sketches.reserve(sketches_.size());
+  for (const auto& [name, sketch] : sketches_) {
+    snap.sketches.push_back(sketch->Snapshot(name));
+  }
   return snap;
 }
 
@@ -286,6 +337,7 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, sketch] : sketches_) sketch->Reset();
 }
 
 }  // namespace microrec::obs

@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace microrec::obs {
 
 /// Monotonically increasing event count.
@@ -72,8 +74,53 @@ struct HistogramSnapshot {
   std::vector<uint64_t> buckets;  // bounds.size() + 1 (last = overflow)
 
   double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
-  /// Estimated value at quantile `q` in [0, 1].
+  /// Estimated value at quantile `q` in [0, 1]. Well-defined at the edges:
+  /// an empty histogram returns 0, q <= 0 returns the observed min, q >= 1
+  /// the observed max, and a quantile landing in the final (unbounded)
+  /// overflow bucket interpolates between the last finite edge and the
+  /// observed max — never past it. For exact tail quantiles use a
+  /// QuantileSketch instead (obs/sketch.h).
   double Percentile(double q) const;
+};
+
+/// Registry-owned, internally synchronized quantile sketch. Record() takes
+/// a short critical section (amortized O(1) insert) — fine for per-request
+/// latency recording; for per-item hot loops prefer a thread-local
+/// QuantileSketch merged at a barrier.
+class Sketch {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Record(value);
+  }
+  /// Folds a locally accumulated sketch into this one.
+  void Merge(const QuantileSketch& local) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Merge(local);
+  }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sketch_.count();
+  }
+  double Quantile(double q) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sketch_.Quantile(q);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Sketch(size_t capacity) : sketch_(capacity) {}
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    sketch_.Reset();
+  }
+  SketchSnapshot Snapshot(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sketch_.Snapshot(name);
+  }
+
+  mutable std::mutex mu_;
+  QuantileSketch sketch_;
 };
 
 /// Fixed-bucket histogram. Record() is wait-free apart from the min/max
@@ -122,13 +169,16 @@ struct MetricsSnapshot {
   std::vector<CounterSnapshot> counters;
   std::vector<GaugeSnapshot> gauges;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<SketchSnapshot> sketches;
 
   const CounterSnapshot* FindCounter(std::string_view name) const;
   const GaugeSnapshot* FindGauge(std::string_view name) const;
   const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  const SketchSnapshot* FindSketch(std::string_view name) const;
 
-  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}
-  /// with per-histogram count/sum/min/max/mean/p50/p90/p99 and buckets.
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "sketches":{...}} with per-histogram count/sum/min/max/mean/p50/p90/p99
+  /// and buckets, and per-sketch count/sum/min/max/mean/p50/p90/p99/p999.
   std::string ToJson() const;
 
   /// Renders one row per metric into a util::TableWriter-shaped sink
@@ -155,6 +205,10 @@ struct MetricsSnapshot {
                      fmt(h.Percentile(0.90)), fmt(h.Percentile(0.99)),
                      fmt(h.max)});
     }
+    for (const SketchSnapshot& s : sketches) {
+      table->AddRow({s.name, "sketch", std::to_string(s.count), fmt(s.sum),
+                     fmt(s.p50), fmt(s.p90), fmt(s.p99), fmt(s.max)});
+    }
   }
 };
 
@@ -171,6 +225,10 @@ class MetricsRegistry {
   /// empty means DefaultLatencyBuckets().
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> bounds = {});
+  /// `capacity` (the exact-regime size, obs/sketch.h) is honoured on first
+  /// creation only.
+  Sketch* GetSketch(std::string_view name,
+                    size_t capacity = QuantileSketch::kDefaultCapacity);
 
   MetricsSnapshot Snapshot() const;
   void ResetValues();
@@ -184,6 +242,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Sketch>, std::less<>> sketches_;
 };
 
 /// Records the enclosing scope's wall-clock duration (in seconds) into a

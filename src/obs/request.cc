@@ -1,0 +1,22 @@
+#include "obs/request.h"
+
+namespace microrec::obs {
+
+void RequestTrace::AddStage(std::string_view stage, double seconds) {
+  for (auto& [name, total] : stages_) {
+    if (name == stage) {
+      total += seconds;
+      return;
+    }
+  }
+  stages_.emplace_back(std::string(stage), seconds);
+}
+
+double RequestTrace::StageSeconds(std::string_view stage) const {
+  for (const auto& [name, total] : stages_) {
+    if (name == stage) return total;
+  }
+  return 0.0;
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,111 @@
+// Request-level telemetry (DESIGN.md §12): one RequestTrace per served
+// query, carrying the request id end-to-end so the serving ladder, the
+// batch ranker and the scoring kernels attribute their wall-clock to the
+// same causal tree. Stages are coarse phases of one query's life:
+//
+//   candidate_gen  embedding + inverted-index pruning (or cache probe)
+//   score          similarity-kernel / Engine::Score work
+//   rank           NaN sanitation + canonical ordering + top-K selection
+//   degrade        time burned on ladder rungs that failed before the
+//                  rung that actually served
+//
+// A RequestTrace is plumbed down as an optional pointer: every layer
+// accepts nullptr and skips attribution, so offline evaluation pays
+// nothing. When Chrome tracing is active, each ScopedStage additionally
+// emits a trace span tagged with the request id (args.rid), so one query's
+// spans — across the client thread and the scoring pool's shards — can be
+// filtered into a single causal tree in Perfetto.
+//
+// RequestTrace is not thread-safe; it belongs to the one thread driving
+// the query. The sharded kernel phase is attributed as one "score" stage
+// on that thread (its pool spans still carry the rid).
+#ifndef MICROREC_OBS_REQUEST_H_
+#define MICROREC_OBS_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace microrec::obs {
+
+/// Canonical stage names, shared by serving, the ranker, and the
+/// per-stage latency sketches (`rec.stage.<name>`).
+inline constexpr std::string_view kStageCandidateGen = "candidate_gen";
+inline constexpr std::string_view kStageScore = "score";
+inline constexpr std::string_view kStageRank = "rank";
+inline constexpr std::string_view kStageDegrade = "degrade";
+
+class RequestTrace {
+ public:
+  RequestTrace(uint64_t request_id, std::string_view op_class)
+      : request_id_(request_id),
+        op_(op_class),
+        start_(std::chrono::steady_clock::now()) {}
+
+  uint64_t id() const { return request_id_; }
+  std::string_view op() const { return op_; }
+
+  /// Accumulates `seconds` into `stage` (stages may be visited repeatedly:
+  /// one query can score on several ladder rungs).
+  void AddStage(std::string_view stage, double seconds);
+
+  /// Total accumulated seconds of `stage`; 0 for a stage never entered.
+  double StageSeconds(std::string_view stage) const;
+
+  /// Wall-clock seconds since construction.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Stages in first-entry order.
+  const std::vector<std::pair<std::string, double>>& stages() const {
+    return stages_;
+  }
+
+ private:
+  uint64_t request_id_;
+  std::string op_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+/// RAII stage attribution: on destruction adds the elapsed seconds to the
+/// trace (nullptr-safe) and closes the rid-tagged Chrome span it opened.
+/// `stage` must outlive the scope (use the kStage* constants or literals).
+class ScopedStage {
+ public:
+  ScopedStage(RequestTrace* trace, std::string_view stage)
+      : trace_(trace),
+        stage_(stage),
+        span_(stage, trace != nullptr ? trace->id() : 0),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedStage() {
+    if (trace_ != nullptr) {
+      trace_->AddStage(
+          stage_,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
+    }
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  RequestTrace* trace_;
+  std::string_view stage_;
+  TraceSpan span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace microrec::obs
+
+#endif  // MICROREC_OBS_REQUEST_H_

@@ -1,0 +1,151 @@
+#include "obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microrec::obs {
+
+QuantileSketch::QuantileSketch(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 8)) {
+  levels_.emplace_back();
+  levels_[0].reserve(capacity_);
+  offset_parity_.push_back(0);
+}
+
+size_t QuantileSketch::LevelCapacity(size_t level) const {
+  // Level 0 gets the full budget; each higher level (weight 2^k) halves,
+  // floored so compaction always terminates.
+  size_t cap = capacity_ >> level;
+  return std::max<size_t>(cap, 8);
+}
+
+void QuantileSketch::Record(double value) {
+  if (!std::isfinite(value)) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  levels_[0].push_back(value);
+  if (levels_[0].size() > LevelCapacity(0)) Compact();
+}
+
+void QuantileSketch::Compact() {
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k].size() <= LevelCapacity(k)) continue;
+    if (k + 1 == levels_.size()) {
+      levels_.emplace_back();  // may reallocate: take no reference before
+      offset_parity_.push_back(0);
+    }
+    std::vector<double>& buf = levels_[k];
+    std::sort(buf.begin(), buf.end());
+    // Promote every other item with doubled weight; the survivor offset
+    // alternates per level so neither parity is systematically favored.
+    const size_t offset = offset_parity_[k];
+    offset_parity_[k] ^= 1;
+    for (size_t i = offset; i < buf.size(); i += 2) {
+      levels_[k + 1].push_back(buf[i]);
+    }
+    buf.clear();
+    exact_ = false;
+  }
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  exact_ = exact_ && other.exact_;
+  while (levels_.size() < other.levels_.size()) {
+    levels_.emplace_back();
+    offset_parity_.push_back(0);
+  }
+  for (size_t k = 0; k < other.levels_.size(); ++k) {
+    levels_[k].insert(levels_[k].end(), other.levels_[k].begin(),
+                      other.levels_[k].end());
+  }
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    if (levels_[k].size() > LevelCapacity(k)) {
+      Compact();
+      break;
+    }
+  }
+}
+
+double QuantileSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+
+  // Total retained weight; quantiles are ranks over it, not over count_,
+  // so a compacted sketch still spans [min, max] coherently.
+  std::vector<std::pair<double, uint64_t>> weighted;
+  weighted.reserve(retained());
+  uint64_t total_weight = 0;
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    const uint64_t w = uint64_t{1} << k;
+    for (double v : levels_[k]) {
+      weighted.emplace_back(v, w);
+      total_weight += w;
+    }
+  }
+  if (weighted.empty()) return min_;
+  std::sort(weighted.begin(), weighted.end());
+
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(total_weight)));
+  uint64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (static_cast<double>(cumulative) >= target) {
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+size_t QuantileSketch::retained() const {
+  size_t n = 0;
+  for (const std::vector<double>& level : levels_) n += level.size();
+  return n;
+}
+
+void QuantileSketch::Reset() {
+  levels_.clear();
+  levels_.emplace_back();
+  levels_[0].reserve(capacity_);
+  offset_parity_.assign(1, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  exact_ = true;
+}
+
+SketchSnapshot QuantileSketch::Snapshot(const std::string& name) const {
+  SketchSnapshot snap;
+  snap.name = name;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min();
+  snap.max = max();
+  snap.exact = exact_;
+  snap.p50 = Quantile(0.50);
+  snap.p90 = Quantile(0.90);
+  snap.p99 = Quantile(0.99);
+  snap.p999 = Quantile(0.999);
+  return snap;
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,112 @@
+// Mergeable streaming quantile sketch for latency series (DESIGN.md §12).
+//
+// Fixed-bucket histograms answer "p99" by linear interpolation inside the
+// owning bucket — fine for coarse trends, but a serving-latency SLO gate
+// needs the actual observed tail, not a bucket-edge blend. QuantileSketch
+// keeps raw observations in a KLL-style ladder of weighted buffers:
+//
+//   * while total observations fit in the level-0 buffer (default 4096),
+//     every quantile is EXACT — the sketch is just a sorted copy;
+//   * past capacity the fullest level is compacted: sorted, then every
+//     other item is promoted with doubled weight. The survivor offset
+//     alternates deterministically per level (no randomness), so the same
+//     observation sequence always produces the same sketch — the property
+//     every CI gate in this repo is built on;
+//   * sketches merge by level-wise concatenation + the same compaction
+//     rule, so per-thread sketches recorded without any synchronization
+//     combine into one cross-thread distribution (the load driver's
+//     per-worker latency ladders merge into the report's p50/p99/p999).
+//
+// The deterministic alternating compactor keeps the classic KLL error
+// shape in practice (rank error concentrated mid-distribution, exact min /
+// max always), though the formal randomized-KLL bound does not apply;
+// `exact()` reports whether any compaction has happened, and the serving
+// bench sizes its sketches so the gate path stays in the exact regime.
+#ifndef MICROREC_OBS_SKETCH_H_
+#define MICROREC_OBS_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace microrec::obs {
+
+/// Point-in-time summary of one sketch, exported into MetricsSnapshot.
+struct SketchSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool exact = true;  // false once any compaction has discarded items
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Single-writer quantile sketch. Not internally synchronized: either own
+/// one per thread and Merge() (the load-driver pattern), or go through the
+/// registry's Sketch wrapper, which locks around every operation.
+class QuantileSketch {
+ public:
+  /// `capacity` is the level-0 buffer size: the number of observations up
+  /// to which quantiles are exact. Clamped to >= 8.
+  explicit QuantileSketch(size_t capacity = kDefaultCapacity);
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// Adds one observation. Non-finite values are ignored (mirrors
+  /// Histogram::Record). Amortized O(1); worst case one compaction pass.
+  void Record(double value);
+
+  /// Folds `other` into this sketch. The result summarizes the union of
+  /// both observation multisets; exactness survives only while the merged
+  /// items still fit level 0.
+  void Merge(const QuantileSketch& other);
+
+  /// Value at quantile `q` in [0, 1] over the weighted items: the smallest
+  /// retained value whose cumulative weight covers rank ceil(q * count).
+  /// q <= 0 returns min, q >= 1 returns max, empty sketch returns 0.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// True while no compaction has happened: quantiles are exact order
+  /// statistics of everything recorded.
+  bool exact() const { return exact_; }
+  /// Items currently retained across all levels (memory gauge, test hook).
+  size_t retained() const;
+
+  void Reset();
+
+  SketchSnapshot Snapshot(const std::string& name) const;
+
+ private:
+  /// Sorts the fullest over-capacity level and promotes alternate items
+  /// with doubled weight until every level fits its budget.
+  void Compact();
+  /// Level `k` holds items of weight 2^k and shrinks geometrically.
+  size_t LevelCapacity(size_t level) const;
+
+  size_t capacity_;
+  std::vector<std::vector<double>> levels_;
+  // Per-level parity of the next compaction's survivor offset: alternating
+  // 0/1 keeps the promoted items unbiased without randomness.
+  std::vector<uint8_t> offset_parity_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool exact_ = true;
+};
+
+}  // namespace microrec::obs
+
+#endif  // MICROREC_OBS_SKETCH_H_

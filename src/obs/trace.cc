@@ -19,6 +19,7 @@ namespace {
 struct TraceEvent {
   std::string name;
   int64_t ts_us = 0;
+  uint64_t request_id = 0;  // 0 = untagged
   uint32_t tid = 0;
   char phase = 'B';
 };
@@ -68,15 +69,18 @@ bool TracingEnabledSlow() {
   return false;
 }
 
-void RecordEvent(std::string_view name, char phase) {
+void RecordEvent(std::string_view name, char phase, uint64_t request_id) {
   Recorder* recorder = GetRecorder();
   const uint32_t tid = CurrentThreadId();
-  const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(recorder->mu);
+  // The clock is read *inside* the lock: concurrent emitters then append
+  // in timestamp order, so the flushed event stream is monotone — two
+  // same-microsecond events from racing threads can otherwise arrive
+  // inverted and confuse begin/end pairing in trace viewers.
   const int64_t ts = std::chrono::duration_cast<std::chrono::microseconds>(
-                         now - recorder->origin)
+                         std::chrono::steady_clock::now() - recorder->origin)
                          .count();
-  recorder->events.push_back({std::string(name), ts, tid, phase});
+  recorder->events.push_back({std::string(name), ts, request_id, tid, phase});
 }
 
 }  // namespace internal
@@ -121,11 +125,15 @@ void StopTracing() {
     const auto& event = recorder->events[i];
     std::string name;
     AppendJsonEscaped(event.name, &name);
+    std::string args;
+    if (event.request_id != 0) {
+      args = ",\"args\":{\"rid\":" + std::to_string(event.request_id) + "}";
+    }
     std::fprintf(file,
                  "{\"name\":\"%s\",\"cat\":\"microrec\",\"ph\":\"%c\","
-                 "\"ts\":%lld,\"pid\":1,\"tid\":%u}%s\n",
+                 "\"ts\":%lld,\"pid\":1,\"tid\":%u%s}%s\n",
                  name.c_str(), event.phase,
-                 static_cast<long long>(event.ts_us), event.tid,
+                 static_cast<long long>(event.ts_us), event.tid, args.c_str(),
                  i + 1 < recorder->events.size() ? "," : "");
   }
   std::fputs("]}\n", file);

@@ -14,6 +14,7 @@
 #define MICROREC_OBS_TRACE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -23,7 +24,11 @@ namespace internal {
 // 0 = undecided (env not yet consulted), 1 = disabled, 2 = enabled.
 extern std::atomic<int> g_trace_state;
 bool TracingEnabledSlow();
-void RecordEvent(std::string_view name, char phase);
+// `request_id` != 0 tags the event with args.rid so all spans of one
+// served query — client thread and pool shards alike — filter into one
+// causal tree in Perfetto. Timestamps are taken under the recorder lock,
+// so buffer order is timestamp order even under concurrent emission.
+void RecordEvent(std::string_view name, char phase, uint64_t request_id = 0);
 }  // namespace internal
 
 /// True when spans are being recorded. First call consults MICROREC_TRACE.
@@ -45,17 +50,26 @@ void StopTracing();
 size_t TraceEventCount();
 
 /// Records a begin event on construction and the matching end event on
-/// destruction. Near-zero cost when tracing is disabled.
+/// destruction. Near-zero cost when tracing is disabled. The two-argument
+/// form tags both events with a request id (args.rid in the trace JSON),
+/// grouping every span of one served query across threads.
 class TraceSpan {
  public:
-  explicit TraceSpan(std::string_view name) : active_(TracingEnabled()) {
+  explicit TraceSpan(std::string_view name, uint64_t request_id = 0)
+      : active_(TracingEnabled()), request_id_(request_id) {
     if (active_) {
       name_ = name;
-      internal::RecordEvent(name_, 'B');
+      internal::RecordEvent(name_, 'B', request_id_);
     }
   }
   ~TraceSpan() {
-    if (active_) internal::RecordEvent(name_, 'E');
+    // The extra TracingEnabled() check keeps an end event out of the
+    // buffer when tracing stopped mid-span: the flushed file then holds an
+    // unmatched begin (which viewers tolerate) instead of the buffer
+    // holding an orphan end that would leak into a later trace.
+    if (active_ && TracingEnabled()) {
+      internal::RecordEvent(name_, 'E', request_id_);
+    }
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -63,6 +77,7 @@ class TraceSpan {
 
  private:
   bool active_;
+  uint64_t request_id_;
   std::string name_;
 };
 

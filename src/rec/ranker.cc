@@ -100,12 +100,14 @@ BatchRanker::BatchRanker(Engine* engine, const EngineContext* ctx,
 
 Result<std::vector<RankedItem>> BatchRanker::Rank(
     corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
-    Rng* tie_rng, const resilience::Deadline* deadline) {
+    Rng* tie_rng, const resilience::Deadline* deadline,
+    obs::RequestTrace* trace) {
   const size_t n = candidates.size();
   CandidatesCounter()->Add(n);
   std::vector<double> scores(n, 0.0);
   std::vector<uint8_t> cached(n, 0);
   if (options_.score_cache_capacity > 0) {
+    obs::ScopedStage stage(trace, obs::kStageCandidateGen);
     auto it = cache_.find(u);
     if (it != cache_.end()) {
       for (size_t i = 0; i < n; ++i) {
@@ -123,12 +125,13 @@ Result<std::vector<RankedItem>> BatchRanker::Rank(
       scorer != nullptr ? scorer->Profile(u) : nullptr;
   if (scorer != nullptr && profile != nullptr) {
     MICROREC_RETURN_IF_ERROR(
-        ScoreSparse(scorer, u, candidates, cached, deadline, &scores));
+        ScoreSparse(scorer, u, candidates, cached, deadline, trace, &scores));
   } else {
     MICROREC_RETURN_IF_ERROR(
-        ScoreGeneric(u, candidates, cached, deadline, &scores));
+        ScoreGeneric(u, candidates, cached, deadline, trace, &scores));
   }
 
+  obs::ScopedStage rank_stage(trace, obs::kStageRank);
   // A non-finite score would be UB inside the sort comparators below, and a
   // NaN-ranked item is a model bug worth surfacing, not propagating.
   SanitizeScores(&scores);
@@ -156,6 +159,7 @@ Status BatchRanker::ScoreSparse(SparseProfileScorer* scorer, corpus::UserId u,
                                 const std::vector<corpus::TweetId>& candidates,
                                 const std::vector<uint8_t>& cached,
                                 const resilience::Deadline* deadline,
+                                obs::RequestTrace* trace,
                                 std::vector<double>* scores) {
   const size_t n = candidates.size();
   const bag::SparseVector* profile = scorer->Profile(u);
@@ -176,25 +180,30 @@ Status BatchRanker::ScoreSparse(SparseProfileScorer* scorer, corpus::UserId u,
   bag::InvertedIndex index;
   index.Reserve(n);
   size_t uncached = 0;
-  for (size_t i = 0; i < n; ++i) {
-    if (cached[i] != 0) continue;
-    if (deadline != nullptr && i % options_.shard_size == 0 &&
-        deadline->Expired()) {
-      return Status::DeadlineExceeded(
-          "ranker: deadline expired embedding candidate " +
-          std::to_string(i) + " of " + std::to_string(n));
+  std::vector<uint32_t> overlap;
+  {
+    obs::ScopedStage stage(trace, obs::kStageCandidateGen);
+    for (size_t i = 0; i < n; ++i) {
+      if (cached[i] != 0) continue;
+      if (deadline != nullptr && i % options_.shard_size == 0 &&
+          deadline->Expired()) {
+        return Status::DeadlineExceeded(
+            "ranker: deadline expired embedding candidate " +
+            std::to_string(i) + " of " + std::to_string(n));
+      }
+      embedded[i] = scorer->Embed(u, candidates[i], *ctx_);
+      index.Add(static_cast<uint32_t>(i), embedded[i]);
+      ++uncached;
     }
-    embedded[i] = scorer->Embed(u, candidates[i], *ctx_);
-    index.Add(static_cast<uint32_t>(i), embedded[i]);
-    ++uncached;
+
+    // Prune: only candidates sharing a term with the profile can score
+    // non-zero; the rest keep their exact-0 slot.
+    overlap = index.Overlapping(*profile);
+    PrunedCounter()->Add(uncached - overlap.size());
+    EngineScoresCounter()->Add(overlap.size());
   }
 
-  // Prune: only candidates sharing a term with the profile can score
-  // non-zero; the rest keep their exact-0 slot.
-  std::vector<uint32_t> overlap = index.Overlapping(*profile);
-  PrunedCounter()->Add(uncached - overlap.size());
-  EngineScoresCounter()->Add(overlap.size());
-
+  obs::ScopedStage score_stage(trace, obs::kStageScore);
   // Kernel phase: each shard writes disjoint slots, and shard boundaries
   // depend only on (overlap.size(), shard_size), so any pool size yields
   // the same bits.
@@ -235,10 +244,12 @@ Status BatchRanker::ScoreSparse(SparseProfileScorer* scorer, corpus::UserId u,
 Status BatchRanker::ScoreGeneric(
     corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
     const std::vector<uint8_t>& cached, const resilience::Deadline* deadline,
-    std::vector<double>* scores) {
+    obs::RequestTrace* trace, std::vector<double>* scores) {
   // Sequential, in candidate order: topic engines consume inference RNG
   // draws per previously unseen tweet, so scoring order is part of the
-  // deterministic contract.
+  // deterministic contract. Engine::Score fuses candidate embedding with
+  // the kernel, so the whole phase is attributed to the score stage.
+  obs::ScopedStage stage(trace, obs::kStageScore);
   const size_t n = candidates.size();
   for (size_t i = 0; i < n; ++i) {
     if (cached[i] != 0) continue;

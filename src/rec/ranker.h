@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/request.h"
 #include "rec/engine.h"
 #include "resilience/deadline.h"
 #include "util/rng.h"
@@ -100,10 +101,14 @@ class BatchRanker {
   /// order. Advances `tie_rng` by exactly one Shuffle of candidates.size()
   /// elements (nullptr = no permutation). The deadline, when given, is
   /// re-checked at every shard boundary; expiry aborts with
-  /// DeadlineExceeded before any ranking is produced.
+  /// DeadlineExceeded before any ranking is produced. `trace`, when given,
+  /// receives per-stage latency attribution (candidate_gen / score / rank)
+  /// and tags the Chrome spans of this call with its request id; tracing
+  /// never changes scores or ordering.
   Result<std::vector<RankedItem>> Rank(
       corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
-      Rng* tie_rng, const resilience::Deadline* deadline = nullptr);
+      Rng* tie_rng, const resilience::Deadline* deadline = nullptr,
+      obs::RequestTrace* trace = nullptr);
 
   const RankerOptions& options() const { return options_; }
 
@@ -113,13 +118,13 @@ class BatchRanker {
                      const std::vector<corpus::TweetId>& candidates,
                      const std::vector<uint8_t>& cached,
                      const resilience::Deadline* deadline,
-                     std::vector<double>* scores);
+                     obs::RequestTrace* trace, std::vector<double>* scores);
   /// Engine::Score fallback for families without sparse profiles.
   Status ScoreGeneric(corpus::UserId u,
                       const std::vector<corpus::TweetId>& candidates,
                       const std::vector<uint8_t>& cached,
                       const resilience::Deadline* deadline,
-                      std::vector<double>* scores);
+                      obs::RequestTrace* trace, std::vector<double>* scores);
 
   Engine* engine_;
   const EngineContext* ctx_;

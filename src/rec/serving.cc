@@ -1,6 +1,7 @@
 #include "rec/serving.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "corpus/corpus.h"
 #include "obs/metrics.h"
@@ -26,6 +27,80 @@ obs::Gauge* RungGauge() {
   static obs::Gauge* g =
       obs::MetricsRegistry::Global().GetGauge("rec.fallback_rung");
   return g;
+}
+
+// Per-rung query counters: unlike the rec.fallback_rung gauge (last rung
+// only) these accumulate, so a load run's rung mix is auditable afterwards
+// — and they must sum to rec.queries, which the serving tests pin.
+obs::Counter* RungCounter(ServingRung rung) {
+  static obs::Counter* primary =
+      obs::MetricsRegistry::Global().GetCounter("rec.rung.primary");
+  static obs::Counter* bag =
+      obs::MetricsRegistry::Global().GetCounter("rec.rung.bag_fallback");
+  static obs::Counter* popularity =
+      obs::MetricsRegistry::Global().GetCounter("rec.rung.popularity");
+  switch (rung) {
+    case ServingRung::kPrimary:
+      return primary;
+    case ServingRung::kBagFallback:
+      return bag;
+    case ServingRung::kPopularity:
+      return popularity;
+  }
+  return primary;
+}
+
+// Per-rung end-to-end query latency sketches (seconds).
+obs::Sketch* RungLatencySketch(ServingRung rung) {
+  static obs::Sketch* primary =
+      obs::MetricsRegistry::Global().GetSketch("rec.latency.primary");
+  static obs::Sketch* bag =
+      obs::MetricsRegistry::Global().GetSketch("rec.latency.bag_fallback");
+  static obs::Sketch* popularity =
+      obs::MetricsRegistry::Global().GetSketch("rec.latency.popularity");
+  switch (rung) {
+    case ServingRung::kPrimary:
+      return primary;
+    case ServingRung::kBagFallback:
+      return bag;
+    case ServingRung::kPopularity:
+      return popularity;
+  }
+  return primary;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Rung-mix accounting for one answered query: rung counter, rung latency
+// sketch, and — when the query carried a trace — one sample per stage into
+// the global `rec.stage.<name>` sketches.
+void RecordServed(ServingRung rung, double seconds,
+                  const obs::RequestTrace* trace) {
+  RungCounter(rung)->Increment();
+  RungLatencySketch(rung)->Record(seconds);
+  if (trace != nullptr) {
+    for (const auto& [stage, stage_seconds] : trace->stages()) {
+      obs::MetricsRegistry::Global()
+          .GetSketch("rec.stage." + stage)
+          ->Record(stage_seconds);
+    }
+  }
+}
+
+// Folds a finished attempt's stage attribution into the query's trace: a
+// served attempt contributes its stages as-is; a failed attempt's whole
+// duration becomes `degrade` time instead, so candidate_gen/score/rank
+// reflect only the work that produced the served ranking and the ladder's
+// wasted walk is visible as its own stage.
+void MergeStages(const obs::RequestTrace& attempt, obs::RequestTrace* trace) {
+  if (trace == nullptr) return;
+  for (const auto& [stage, seconds] : attempt.stages()) {
+    trace->AddStage(stage, seconds);
+  }
 }
 
 /// Candidates per scoring shard: the unit of parallel kernel work and of
@@ -139,10 +214,10 @@ std::unique_ptr<BatchRanker> DegradingRecommender::MakeRanker(
 Status DegradingRecommender::RankWith(
     BatchRanker* ranker, corpus::UserId u,
     const std::vector<corpus::TweetId>& candidates,
-    const resilience::Deadline& deadline,
-    std::vector<Recommendation>* out) {
+    const resilience::Deadline& deadline, Rng* tie_rng,
+    obs::RequestTrace* trace, std::vector<Recommendation>* out) {
   Result<std::vector<RankedItem>> ranked =
-      ranker->Rank(u, candidates, &tie_rng_, &deadline);
+      ranker->Rank(u, candidates, tie_rng, &deadline, trace);
   if (!ranked.ok()) return ranked.status();
   out->clear();
   out->reserve(ranked->size());
@@ -191,61 +266,135 @@ std::vector<Recommendation> DegradingRecommender::PopularityRanking(
 
 RecommendResult DegradingRecommender::Recommend(
     corpus::UserId u, const std::vector<corpus::TweetId>& candidates) {
+  return Recommend(u, candidates, QueryOptions{});
+}
+
+RecommendResult DegradingRecommender::Recommend(
+    corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
+    const QueryOptions& query) {
   QueryCounter()->Increment();
+  const auto query_start = std::chrono::steady_clock::now();
+  obs::RequestTrace* trace = query.trace;
+
+  // With a request id, the tie permutation comes from the reserved
+  // per-request stream: the served ranking is then a pure function of
+  // (seed, request_id), independent of driver thread count and of every
+  // query served before it. Anonymous queries keep the lifetime stream.
+  Rng request_tie;
+  Rng* tie_rng = &tie_rng_;
+  if (query.request_id != 0) {
+    request_tie = Rng(ctx_.seed, streams::RequestTieStream(query.request_id));
+    tie_rng = &request_tie;
+  }
+
   const resilience::Deadline deadline =
       options_.query_deadline_seconds > 0.0
           ? resilience::Deadline::After(options_.query_deadline_seconds)
           : resilience::Deadline::Infinite();
 
   RecommendResult result;
+  // Each rung attempt attributes its stages into a scratch trace, folded
+  // into the query's trace only if the attempt serves; a failed attempt is
+  // folded in as `degrade` time instead (see MergeStages).
+  const uint64_t rid = trace != nullptr ? trace->id() : 0;
+  const std::string_view op = trace != nullptr ? trace->op() : "";
 
   // Rung 0: the requested model, warm-started from its snapshot.
+  {
+    const auto attempt_start = std::chrono::steady_clock::now();
+    obs::RequestTrace attempt(rid, op);
+    obs::RequestTrace* attempt_trace = trace != nullptr ? &attempt : nullptr;
+    Status primary = EnsurePrimary();
+    if (primary.ok() && !deadline.Expired()) {
+      // Users absent from the snapshot are modeled on demand (the engine
+      // skips the ones the snapshot already restored).
+      if (primary_users_.count(u) == 0 && ctx_.train_set) {
+        primary = primary_->BuildUser(u, ctx_.train_set(u), ctx_);
+        if (primary.ok()) primary_users_.insert(u);
+      }
+      if (primary.ok()) {
+        primary = RankWith(primary_ranker_.get(), u, candidates, deadline,
+                           tie_rng, attempt_trace, &result.ranking);
+      }
+      if (primary.ok()) {
+        result.rung = ServingRung::kPrimary;
+        RungGauge()->Set(0.0);
+        MergeStages(attempt, trace);
+        RecordServed(result.rung, SecondsSince(query_start), trace);
+        return result;
+      }
+    } else if (primary.ok()) {
+      primary = Status::DeadlineExceeded(
+          "serving: query deadline expired before primary scoring");
+    }
+    result.degraded_reason = primary.ToString();
+    if (trace != nullptr) {
+      trace->AddStage(obs::kStageDegrade, SecondsSince(attempt_start));
+    }
+  }
+
+  // Rung 1: the cached bag-of-words fallback.
+  {
+    const auto attempt_start = std::chrono::steady_clock::now();
+    obs::RequestTrace attempt(rid, op);
+    obs::RequestTrace* attempt_trace = trace != nullptr ? &attempt : nullptr;
+    Status fallback = EnsureFallbackUser(u);
+    if (fallback.ok()) {
+      fallback = RankWith(fallback_ranker_.get(), u, candidates, deadline,
+                          tie_rng, attempt_trace, &result.ranking);
+    }
+    if (fallback.ok()) {
+      result.rung = ServingRung::kBagFallback;
+      DegradedCounter()->Increment();
+      RungGauge()->Set(1.0);
+      MergeStages(attempt, trace);
+      RecordServed(result.rung, SecondsSince(query_start), trace);
+      return result;
+    }
+    result.degraded_reason += "; " + fallback.ToString();
+    if (trace != nullptr) {
+      trace->AddStage(obs::kStageDegrade, SecondsSince(attempt_start));
+    }
+  }
+
+  // Rung 2: popularity — no model state, no deadline checks, always ranks.
+  {
+    obs::ScopedStage stage(trace, obs::kStageRank);
+    result.rung = ServingRung::kPopularity;
+    result.ranking = PopularityRanking(candidates);
+    if (options_.top_k > 0 && result.ranking.size() > options_.top_k) {
+      result.ranking.resize(options_.top_k);
+    }
+  }
+  DegradedCounter()->Increment();
+  RungGauge()->Set(2.0);
+  RecordServed(result.rung, SecondsSince(query_start), trace);
+  return result;
+}
+
+Status DegradingRecommender::Warm() { return EnsurePrimary(); }
+
+Result<size_t> DegradingRecommender::ProfileLookup(corpus::UserId u) {
   Status primary = EnsurePrimary();
-  if (primary.ok() && !deadline.Expired()) {
-    // Users absent from the snapshot are modeled on demand (the engine
-    // skips the ones the snapshot already restored).
+  if (primary.ok()) {
     if (primary_users_.count(u) == 0 && ctx_.train_set) {
       primary = primary_->BuildUser(u, ctx_.train_set(u), ctx_);
       if (primary.ok()) primary_users_.insert(u);
     }
     if (primary.ok()) {
-      primary = RankWith(primary_ranker_.get(), u, candidates, deadline,
-                         &result.ranking);
+      SparseProfileScorer* scorer = primary_->sparse_scorer();
+      const bag::SparseVector* profile =
+          scorer != nullptr ? scorer->Profile(u) : nullptr;
+      return profile != nullptr ? profile->size() : size_t{0};
     }
-    if (primary.ok()) {
-      result.rung = ServingRung::kPrimary;
-      RungGauge()->Set(0.0);
-      return result;
-    }
-  } else if (primary.ok()) {
-    primary = Status::DeadlineExceeded(
-        "serving: query deadline expired before primary scoring");
   }
-  result.degraded_reason = primary.ToString();
-
-  // Rung 1: the cached bag-of-words fallback.
-  Status fallback = EnsureFallbackUser(u);
-  if (fallback.ok()) {
-    fallback = RankWith(fallback_ranker_.get(), u, candidates, deadline,
-                        &result.ranking);
-  }
-  if (fallback.ok()) {
-    result.rung = ServingRung::kBagFallback;
-    DegradedCounter()->Increment();
-    RungGauge()->Set(1.0);
-    return result;
-  }
-  result.degraded_reason += "; " + fallback.ToString();
-
-  // Rung 2: popularity — no model state, no deadline checks, always ranks.
-  result.rung = ServingRung::kPopularity;
-  result.ranking = PopularityRanking(candidates);
-  if (options_.top_k > 0 && result.ranking.size() > options_.top_k) {
-    result.ranking.resize(options_.top_k);
-  }
-  DegradedCounter()->Increment();
-  RungGauge()->Set(2.0);
-  return result;
+  // The primary is unavailable: answer from the rung-1 fallback, the same
+  // degradation step a ranking query would take.
+  MICROREC_RETURN_IF_ERROR(EnsureFallbackUser(u));
+  SparseProfileScorer* scorer = fallback_->sparse_scorer();
+  const bag::SparseVector* profile =
+      scorer != nullptr ? scorer->Profile(u) : nullptr;
+  return profile != nullptr ? profile->size() : size_t{0};
 }
 
 }  // namespace microrec::rec

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/request.h"
 #include "rec/engine.h"
 #include "rec/model_config.h"
 #include "resilience/deadline.h"
@@ -82,6 +83,24 @@ struct Recommendation {
   double score = 0.0;
 };
 
+/// Per-query request telemetry (DESIGN.md §12). Both fields are optional
+/// and never change which tweets are served — only *how* ties break and
+/// what gets attributed where:
+///   - request_id != 0 switches the tie-break permutation from the
+///     recommender's advancing lifetime stream to the reserved per-request
+///     stream streams::RequestTieStream(request_id), making the ranking a
+///     pure function of (seed, request_id) — the property the load
+///     driver's cross-thread determinism gate checks. Id 0 means
+///     "anonymous query" and keeps the legacy advancing stream
+///     bit-identical; request generators number requests from 1.
+///   - trace, when non-null, receives per-stage latency attribution for
+///     this query (candidate_gen / score / rank / degrade) and tags the
+///     query's Chrome spans with the request id.
+struct QueryOptions {
+  uint64_t request_id = 0;
+  obs::RequestTrace* trace = nullptr;
+};
+
 /// One query's outcome. `ranking` is always non-empty when `candidates`
 /// was; `degraded_reason` is empty on rung 0 and otherwise explains the
 /// first failure that pushed the query down the ladder.
@@ -110,6 +129,23 @@ class DegradingRecommender {
   RecommendResult Recommend(corpus::UserId u,
                             const std::vector<corpus::TweetId>& candidates);
 
+  /// Same, with request telemetry: a per-request tie-break stream when
+  /// `query.request_id` != 0 and stage attribution into `query.trace`.
+  RecommendResult Recommend(corpus::UserId u,
+                            const std::vector<corpus::TweetId>& candidates,
+                            const QueryOptions& query);
+
+  /// Eagerly loads the primary snapshot (the load driver's snapshot-warm op
+  /// class). Returns the primary status; failure means later queries serve
+  /// degraded, which is the ladder's job, not a hard error.
+  Status Warm();
+
+  /// Ensures `u` has a profile on the best available rung (primary first,
+  /// bag fallback otherwise) and returns its term count — the load
+  /// driver's profile-lookup op class. 0 for engines without sparse
+  /// profiles or users with empty train sets.
+  Result<size_t> ProfileLookup(corpus::UserId u);
+
   /// Status of the lazy primary load: OK before the first query and after
   /// a successful load, otherwise the remembered failure.
   const Status& primary_status() const { return primary_status_; }
@@ -126,11 +162,13 @@ class DegradingRecommender {
   /// (top-K, shard size, pool, score cache).
   std::unique_ptr<BatchRanker> MakeRanker(Engine* engine) const;
 
-  /// Ranks through `ranker` under the canonical tie-break protocol
-  /// (rec::kTieBreakStream), converting RankedItems to Recommendations.
+  /// Ranks through `ranker` under the canonical tie-break protocol,
+  /// converting RankedItems to Recommendations. `tie_rng` is either the
+  /// lifetime stream (&tie_rng_) or a per-request stream.
   Status RankWith(BatchRanker* ranker, corpus::UserId u,
                   const std::vector<corpus::TweetId>& candidates,
-                  const resilience::Deadline& deadline,
+                  const resilience::Deadline& deadline, Rng* tie_rng,
+                  obs::RequestTrace* trace,
                   std::vector<Recommendation>* out);
   std::vector<Recommendation> PopularityRanking(
       const std::vector<corpus::TweetId>& candidates) const;

@@ -166,8 +166,12 @@ SyntheticLanguage::SyntheticLanguage(Language lang,
     }
     // Hashtags index the *global* coarse-topic space (same tags across
     // languages); ASCII keeps them tokenizer-friendly.
-    hashtags_.push_back("#" + GenerateLatinWord(Language::kEnglish, rng) +
-                        std::to_string(t));
+    // Built by append: `"#" + word + ...` trips GCC 12's spurious
+    // -Wrestrict (PR105329) depending on inlining context.
+    std::string tag = "#";
+    tag += GenerateLatinWord(Language::kEnglish, rng);
+    tag += std::to_string(t);
+    hashtags_.push_back(std::move(tag));
   }
 
   // Polysemy pass: some subtopic word slots reuse a word from another

@@ -19,6 +19,7 @@ const std::vector<NamedStream>& ReservedStreams() {
       {"retry_jitter", kRetryJitter},
       {"tie_break", kTieBreak},
       {"random_baseline", kRandomBaseline},
+      {"load_schedule", kLoadSchedule},
   };
   return *all;
 }

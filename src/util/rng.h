@@ -50,6 +50,8 @@ inline constexpr uint64_t kRetryJitter = 0x9E77;
 inline constexpr uint64_t kTieBreak = 1299709;
 /// The RAN baseline's shuffles (eval/experiment.cc).
 inline constexpr uint64_t kRandomBaseline = 2147483647;
+/// The load driver's workload schedule generator (load/workload.cc).
+inline constexpr uint64_t kLoadSchedule = 77377;
 
 /// Parallel-Gibbs shard substreams live in their own block above every
 /// scalar id: shard `s` of iteration `t` draws from stream
@@ -72,6 +74,25 @@ constexpr uint64_t GibbsShardStream(uint64_t shard, uint64_t iteration) {
 constexpr bool IsGibbsShardStream(uint64_t id) {
   return id >= kGibbsShardBase &&
          id < kGibbsShardBase + kGibbsShardIterations * kGibbsShardSlots;
+}
+
+/// Per-request tie-break substreams (rec/serving.h): request `rid` of a
+/// load run draws its ranking tie permutation from stream
+/// RequestTieStream(rid), making the served ranking a pure function of
+/// (seed, rid) — independent of which client thread runs the request and
+/// of how many requests ran before it. The block sits above the Gibbs
+/// shard block, which ends below 2^41.
+inline constexpr uint64_t kRequestTieBase = uint64_t{1} << 42;
+/// Distinct per-request streams before ids are reused (rid modulo this).
+inline constexpr uint64_t kRequestTieSlots = uint64_t{1} << 32;
+
+constexpr uint64_t RequestTieStream(uint64_t request_id) {
+  return kRequestTieBase + (request_id % kRequestTieSlots);
+}
+
+/// True when `id` falls inside the request tie-break block.
+constexpr bool IsRequestTieStream(uint64_t id) {
+  return id >= kRequestTieBase && id < kRequestTieBase + kRequestTieSlots;
 }
 
 /// A reserved scalar stream with its owner, for the uniqueness test.

@@ -1,0 +1,165 @@
+#include "load/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "load/backend.h"
+#include "load/workload.h"
+
+namespace microrec::load {
+namespace {
+
+/// Scripted backend: every outcome is a pure function of (rid, user_rank),
+/// so any thread assignment must reduce to the same report fingerprints.
+class FakeBackend : public Backend {
+ public:
+  struct Script {
+    /// Fail every profile lookup whose user_rank satisfies rank % n == 0
+    /// (0 disables).
+    uint64_t fail_lookup_every = 0;
+    bool fail_warm = false;
+  };
+
+  explicit FakeBackend(Script script) : script_(script) {}
+
+  Status Warm() override {
+    if (script_.fail_warm) return Status::Internal("warm failed");
+    return Status::OK();
+  }
+
+  Result<uint64_t> ProfileLookup(uint64_t user_rank) override {
+    if (script_.fail_lookup_every != 0 &&
+        user_rank % script_.fail_lookup_every == 0) {
+      return Status::NotFound("scripted lookup failure");
+    }
+    return user_rank + 1;
+  }
+
+  Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
+                                     obs::RequestTrace* trace) override {
+    if (trace != nullptr) trace->AddStage("score", 1e-6);
+    RecommendOutcome outcome;
+    outcome.rung = static_cast<int>(rid % 3);
+    outcome.ranked = user_rank + 1;
+    outcome.ranking_hash = FnvMixU64(FnvMixU64(kFnvOffsetBasis, rid),
+                                     user_rank);
+    return outcome;
+  }
+
+ private:
+  Script script_;
+};
+
+BackendFactory FakeFactory(FakeBackend::Script script = {}) {
+  return [script] { return std::make_unique<FakeBackend>(script); };
+}
+
+Workload BuildWorkload(uint64_t requests = 300, uint64_t seed = 42) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.num_requests = requests;
+  options.num_users = 8;
+  options.zipf_skew = 1.0;
+  Result<Workload> workload = Workload::Build(options);
+  EXPECT_TRUE(workload.ok());
+  return *workload;
+}
+
+TEST(DriverTest, NullFactoryRejected) {
+  Workload workload = BuildWorkload(10);
+  EXPECT_FALSE(RunLoad(workload, DriverOptions{}, nullptr).ok());
+  EXPECT_FALSE(
+      RunLoad(workload, DriverOptions{}, [] {
+        return std::unique_ptr<Backend>();
+      }).ok());
+}
+
+TEST(DriverTest, EveryRequestAccountedOnce) {
+  Workload workload = BuildWorkload();
+  Result<LoadReport> report = RunLoad(workload, DriverOptions{}, FakeFactory());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total_requests, 300u);
+  EXPECT_EQ(report->per_op[0], workload.CountOf(OpClass::kRecommend));
+  EXPECT_EQ(report->per_op[1], workload.CountOf(OpClass::kProfileLookup));
+  EXPECT_EQ(report->per_op[2], workload.CountOf(OpClass::kSnapshotWarm));
+  EXPECT_EQ(report->per_rung[0] + report->per_rung[1] + report->per_rung[2],
+            report->per_op[0]);
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_EQ(report->warm_failures, 0u);
+  EXPECT_EQ(report->latency.count, 300u);
+  EXPECT_EQ(report->op_latency[0].count, report->per_op[0]);
+  EXPECT_EQ(report->schedule_hash, workload.ScheduleHash());
+  EXPECT_GT(report->qps, 0.0);
+}
+
+TEST(DriverTest, RankingsHashIsThreadCountInvariant) {
+  Workload workload = BuildWorkload();
+  DriverOptions one;
+  one.threads = 1;
+  DriverOptions four;
+  four.threads = 4;
+  Result<LoadReport> a = RunLoad(workload, one, FakeFactory());
+  Result<LoadReport> b = RunLoad(workload, four, FakeFactory());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rankings_hash, b->rankings_hash);
+  EXPECT_EQ(a->schedule_hash, b->schedule_hash);
+  EXPECT_EQ(a->per_rung, b->per_rung);
+  EXPECT_EQ(a->per_op, b->per_op);
+  EXPECT_EQ(b->threads, 4u);
+}
+
+TEST(DriverTest, DifferentSeedChangesRankingsHash) {
+  Result<LoadReport> a =
+      RunLoad(BuildWorkload(300, 42), DriverOptions{}, FakeFactory());
+  Result<LoadReport> b =
+      RunLoad(BuildWorkload(300, 43), DriverOptions{}, FakeFactory());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->rankings_hash, b->rankings_hash);
+}
+
+TEST(DriverTest, ScriptedFailuresAreCounted) {
+  FakeBackend::Script script;
+  script.fail_lookup_every = 1;  // every profile lookup fails
+  script.fail_warm = true;
+  Workload workload = BuildWorkload(1000);
+  Result<LoadReport> report =
+      RunLoad(workload, DriverOptions{}, FakeFactory(script));
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->errors, workload.CountOf(OpClass::kProfileLookup));
+  EXPECT_EQ(report->warm_failures, workload.CountOf(OpClass::kSnapshotWarm));
+  // Failures still count toward issued ops and latency observations.
+  EXPECT_EQ(report->latency.count, 1000u);
+}
+
+TEST(DriverTest, OpenLoopPacesOfferedRate) {
+  // 50 requests offered at 1000 qps: the run cannot finish faster than the
+  // last scheduled arrival (~49ms), no matter how fast the backend is.
+  Workload workload = BuildWorkload(50);
+  DriverOptions options;
+  options.threads = 2;
+  options.target_qps = 1000.0;
+  Result<LoadReport> report = RunLoad(workload, options, FakeFactory());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->wall_seconds, 0.049);
+  EXPECT_LE(report->qps, options.target_qps * 1.1);
+  EXPECT_DOUBLE_EQ(report->target_qps, 1000.0);
+}
+
+TEST(DriverTest, ToJsonCarriesTheGateFields) {
+  Workload workload = BuildWorkload(100);
+  Result<LoadReport> report = RunLoad(workload, DriverOptions{}, FakeFactory());
+  ASSERT_TRUE(report.ok());
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"schema\":\"microrec.load/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule_hash\":\"0x"), std::string::npos);
+  EXPECT_NE(json.find("\"rankings_hash\":\"0x"), std::string::npos);
+  EXPECT_NE(json.find("\"recommend\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_rung\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microrec::load

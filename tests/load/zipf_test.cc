@@ -1,0 +1,75 @@
+#include "load/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace microrec::load {
+namespace {
+
+TEST(ZipfTest, MassSumsToOne) {
+  ZipfSampler zipf(50, 1.0);
+  double total = 0.0;
+  for (size_t k = 0; k < zipf.n(); ++k) total += zipf.Mass(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t k = 0; k < zipf.n(); ++k) {
+    EXPECT_NEAR(zipf.Mass(k), 0.1, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, MassDecreasesWithRank) {
+  ZipfSampler zipf(20, 1.2);
+  for (size_t k = 1; k < zipf.n(); ++k) {
+    EXPECT_GT(zipf.Mass(k - 1), zipf.Mass(k)) << "k=" << k;
+  }
+  // Classic Zipf shape: rank 0 carries twice rank 1's mass at s = 1.
+  ZipfSampler classic(100, 1.0);
+  EXPECT_NEAR(classic.Mass(0) / classic.Mass(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SingleUserAlwaysRankZero) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(9, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+TEST(ZipfTest, SamplesMatchMassEmpirically) {
+  const size_t n = 8;
+  ZipfSampler zipf(n, 1.0);
+  Rng rng(42, 3);
+  const int kDraws = 100000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t k = 0; k < n; ++k) {
+    const double observed = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(observed, zipf.Mass(k), 0.01) << "k=" << k;
+  }
+}
+
+TEST(ZipfTest, FixedSeedReplaysIdentically) {
+  ZipfSampler zipf(32, 0.8);
+  Rng a(7, 5), b(7, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b)) << "draw " << i;
+  }
+}
+
+TEST(ZipfTest, OneDrawConsumesOneUniform) {
+  // The schedule-determinism contract: each Sample consumes exactly one
+  // UniformDouble, so interleaving with other draws stays reproducible.
+  ZipfSampler zipf(16, 1.0);
+  Rng a(13, 2), b(13, 2);
+  (void)zipf.Sample(&a);
+  (void)b.UniformDouble();
+  EXPECT_EQ(a.UniformDouble(), b.UniformDouble());
+}
+
+}  // namespace
+}  // namespace microrec::load

@@ -1,0 +1,83 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace microrec::obs {
+namespace {
+
+TEST(ParseMetricsFormatTest, AcceptsJsonPromAndEmpty) {
+  MetricsFormat format = MetricsFormat::kProm;
+  EXPECT_TRUE(ParseMetricsFormat("", &format));
+  EXPECT_EQ(format, MetricsFormat::kJson);
+  EXPECT_TRUE(ParseMetricsFormat("json", &format));
+  EXPECT_EQ(format, MetricsFormat::kJson);
+  EXPECT_TRUE(ParseMetricsFormat("prom", &format));
+  EXPECT_EQ(format, MetricsFormat::kProm);
+  EXPECT_FALSE(ParseMetricsFormat("yaml", &format));
+  EXPECT_FALSE(ParseMetricsFormat("PROM", &format));
+}
+
+TEST(PrometheusTextTest, CounterAndGaugeLines) {
+  MetricsRegistry registry;
+  registry.GetCounter("rec.queries")->Add(42);
+  registry.GetGauge("serving.rung")->Set(1.5);
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE microrec_rec_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_rec_queries 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE microrec_serving_rung gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_serving_rung 1.5"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0});
+  h->Record(0.5);
+  h->Record(1.5);
+  h->Record(10.0);  // overflow bucket
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE microrec_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("microrec_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("microrec_lat_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("microrec_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_lat_count 3"), std::string::npos);
+  EXPECT_NE(text.find("microrec_lat_sum 12"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, SketchRendersAsSummary) {
+  MetricsRegistry registry;
+  Sketch* sketch = registry.GetSketch("load.latency.all");
+  QuantileSketch local;
+  for (int i = 1; i <= 100; ++i) local.Record(static_cast<double>(i));
+  sketch->Merge(local);
+  std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE microrec_load_latency_all summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_load_latency_all{quantile=\"0.5\"} 50"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_load_latency_all{quantile=\"0.99\"} 99"),
+            std::string::npos);
+  EXPECT_NE(text.find("microrec_load_latency_all_count 100"),
+            std::string::npos);
+}
+
+TEST(RenderMetricsTest, SwitchesOnFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment();
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string json = RenderMetrics(snap, MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  std::string prom = RenderMetrics(snap, MetricsFormat::kProm);
+  EXPECT_NE(prom.find("# TYPE microrec_c counter"), std::string::npos);
+  EXPECT_EQ(prom.find("\"counters\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microrec::obs

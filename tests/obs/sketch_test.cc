@@ -1,0 +1,174 @@
+#include "obs/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace microrec::obs {
+namespace {
+
+TEST(SketchTest, EmptySketchIsWellDefined) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 0.0);
+  EXPECT_TRUE(sketch.exact());
+}
+
+TEST(SketchTest, ExactWhileUnderCapacity) {
+  QuantileSketch sketch(128);
+  for (int i = 100; i >= 1; --i) sketch.Record(static_cast<double>(i));
+  ASSERT_TRUE(sketch.exact());
+  EXPECT_EQ(sketch.count(), 100u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 100.0);
+  // Quantile(q) = smallest value whose cumulative weight covers
+  // ceil(q * count): exact order statistics in the uncompacted regime.
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(1.0), 100.0);
+}
+
+TEST(SketchTest, QuantileBoundsClampToObservedRange) {
+  QuantileSketch sketch;
+  sketch.Record(3.0);
+  sketch.Record(7.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(-1.0), 3.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(2.0), 7.0);
+}
+
+TEST(SketchTest, NonFiniteValuesIgnored) {
+  QuantileSketch sketch;
+  sketch.Record(std::numeric_limits<double>::quiet_NaN());
+  sketch.Record(std::numeric_limits<double>::infinity());
+  sketch.Record(1.0);
+  EXPECT_EQ(sketch.count(), 1u);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 1.0);
+}
+
+TEST(SketchTest, CompactionKeepsMinMaxExactAndTailClose) {
+  QuantileSketch sketch(64);
+  Rng rng(7, 1);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    values.push_back(v);
+    sketch.Record(v);
+  }
+  EXPECT_FALSE(sketch.exact());
+  EXPECT_EQ(sketch.count(), 10000u);
+  std::sort(values.begin(), values.end());
+  EXPECT_DOUBLE_EQ(sketch.min(), values.front());
+  EXPECT_DOUBLE_EQ(sketch.max(), values.back());
+  // A 64-slot ladder over 10k uniforms: expect rank error well under 10%.
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double approx = sketch.Quantile(q);
+    EXPECT_NEAR(approx, q, 0.1) << "q=" << q;
+  }
+  // Retained item count stays bounded near the ladder budget.
+  EXPECT_LT(sketch.retained(), 64u * 4);
+}
+
+TEST(SketchTest, CompactionIsDeterministic) {
+  auto feed = [] {
+    QuantileSketch sketch(32);
+    Rng rng(11, 2);
+    for (int i = 0; i < 5000; ++i) sketch.Record(rng.UniformDouble());
+    return sketch;
+  };
+  QuantileSketch a = feed();
+  QuantileSketch b = feed();
+  EXPECT_EQ(a.retained(), b.retained());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(SketchTest, MergeOfExactSketchesMatchesSingleSketch) {
+  QuantileSketch merged(1024);
+  QuantileSketch single(1024);
+  QuantileSketch part_a(1024);
+  QuantileSketch part_b(1024);
+  for (int i = 1; i <= 200; ++i) {
+    single.Record(static_cast<double>(i));
+    (i % 2 == 0 ? part_a : part_b).Record(static_cast<double>(i));
+  }
+  merged.Merge(part_a);
+  merged.Merge(part_b);
+  EXPECT_TRUE(merged.exact());
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), single.sum());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), single.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(SketchTest, MergeCompactedSketchesKeepsCountSumMinMax) {
+  QuantileSketch a(32), b(32);
+  Rng rng(3, 4);
+  double expect_sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const double v = rng.UniformDouble() * 10.0;
+    expect_sum += v;
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  const double a_min = a.min(), b_min = b.min();
+  const double a_max = a.max(), b_max = b.max();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3000u);
+  EXPECT_NEAR(a.sum(), expect_sum, 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), std::min(a_min, b_min));
+  EXPECT_DOUBLE_EQ(a.max(), std::max(a_max, b_max));
+  EXPECT_FALSE(a.exact());
+}
+
+TEST(SketchTest, MergeEmptyIsIdentity) {
+  QuantileSketch a, empty;
+  a.Record(1.0);
+  a.Record(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.0), 1.0);
+}
+
+TEST(SketchTest, ResetClearsEverything) {
+  QuantileSketch sketch(16);
+  for (int i = 0; i < 100; ++i) sketch.Record(static_cast<double>(i));
+  sketch.Reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.retained(), 0u);
+  EXPECT_TRUE(sketch.exact());
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+}
+
+TEST(SketchTest, SnapshotCarriesQuantilesAndMetadata) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 1000; ++i) sketch.Record(static_cast<double>(i));
+  SketchSnapshot snap = sketch.Snapshot("test.latency");
+  EXPECT_EQ(snap.name, "test.latency");
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_TRUE(snap.exact);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 500.0);
+  EXPECT_DOUBLE_EQ(snap.p90, 900.0);
+  EXPECT_DOUBLE_EQ(snap.p99, 990.0);
+  EXPECT_DOUBLE_EQ(snap.p999, 999.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 500.5);
+}
+
+}  // namespace
+}  // namespace microrec::obs

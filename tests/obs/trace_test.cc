@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace microrec::obs {
 namespace {
@@ -114,6 +116,67 @@ TEST(TraceTest, StopIsIdempotentAndDisablesRecording) {
   EXPECT_EQ(TraceEventCount(), 0u);
   std::string json = ReadFile(path);
   EXPECT_EQ(CountOccurrences(json, "\"after_stop\""), 0u);
+}
+
+TEST(TraceTest, RequestIdTagsSpansAsArgs) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_rid.json";
+  ASSERT_TRUE(StartTracing(path));
+  { TraceSpan span("scoped_query", 42); }
+  { TraceSpan span("anonymous_query"); }  // rid 0 emits no args
+  StopTracing();
+  std::string json = ReadFile(path);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"rid\":42}"), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"rid\":0"), 0u);
+}
+
+TEST(TraceTest, ConcurrentSpansEmitValidJson) {
+  const std::string path = ::testing::TempDir() + "/microrec_trace_mt.json";
+  ASSERT_TRUE(StartTracing(path));
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const uint64_t rid =
+            static_cast<uint64_t>(t) * kSpansPerThread + i + 1;
+        TraceSpan outer("mt_outer", rid);
+        TraceSpan inner("mt_inner", rid);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(TraceEventCount(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 4);
+  StopTracing();
+
+  std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  // The whole file stays structurally valid under concurrent emission...
+  EXPECT_TRUE(BalancedJson(json));
+  // ...every begin has its end...
+  const size_t expected =
+      static_cast<size_t>(kThreads) * kSpansPerThread * 2;
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), expected);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), expected);
+  // ...and every span kept its request-id tag.
+  EXPECT_EQ(CountOccurrences(json, "\"args\":{\"rid\":"), expected * 2);
+
+  // Timestamps are monotonically non-decreasing in buffer order: the
+  // recorder captures them inside the lock, so a viewer never sees a
+  // time-travelling event stream.
+  std::vector<long long> timestamps;
+  const std::string key = "\"ts\":";
+  for (size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    timestamps.push_back(std::atoll(json.c_str() + pos + key.size()));
+  }
+  ASSERT_EQ(timestamps.size(), expected * 2);
+  for (size_t i = 1; i < timestamps.size(); ++i) {
+    ASSERT_LE(timestamps[i - 1], timestamps[i]) << "event " << i;
+  }
 }
 
 TEST(TraceTest, DynamicNamesAreJsonEscaped) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "resilience/fault.h"
 
 namespace microrec::rec {
@@ -269,6 +270,175 @@ TEST_F(ServingFixture, ScoreCacheKeepsServedRankingStable) {
     EXPECT_EQ(first.ranking[i].tweet, second.ranking[i].tweet);
     EXPECT_EQ(first.ranking[i].score, second.ranking[i].score);
   }
+}
+
+TEST_F(ServingFixture, RungCountersSumToQueriesUnderFaultSchedule) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t queries0 = registry.GetCounter("rec.queries")->value();
+  const uint64_t primary0 = registry.GetCounter("rec.rung.primary")->value();
+  const uint64_t bag0 = registry.GetCounter("rec.rung.bag_fallback")->value();
+  const uint64_t pop0 = registry.GetCounter("rec.rung.popularity")->value();
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_};
+
+  // 3 healthy queries land on the primary rung.
+  {
+    DegradingRecommender rec(ctx_, Options());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(rec.Recommend(ego_, candidates).rung, ServingRung::kPrimary);
+    }
+  }
+  // 2 queries against a poisoned snapshot land on the bag fallback (the
+  // first trips the fault, the second remembers the failed load).
+  {
+    resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                         resilience::FaultSpec{.every_nth = 1});
+    DegradingRecommender rec(ctx_, Options());
+    for (int i = 0; i < 2; ++i) {
+      EXPECT_EQ(rec.Recommend(ego_, candidates).rung,
+                ServingRung::kBagFallback);
+    }
+    resilience::ClearFaults();
+  }
+  // 1 query under an already-expired deadline drops to popularity.
+  {
+    ServingOptions options = Options();
+    options.query_deadline_seconds = 1e-9;
+    DegradingRecommender rec(ctx_, options);
+    EXPECT_EQ(rec.Recommend(ego_, candidates).rung, ServingRung::kPopularity);
+  }
+
+  const uint64_t primary = registry.GetCounter("rec.rung.primary")->value();
+  const uint64_t bag = registry.GetCounter("rec.rung.bag_fallback")->value();
+  const uint64_t pop = registry.GetCounter("rec.rung.popularity")->value();
+  EXPECT_EQ(primary - primary0, 3u);
+  EXPECT_EQ(bag - bag0, 2u);
+  EXPECT_EQ(pop - pop0, 1u);
+  // The rung mix is a partition of all queries served.
+  EXPECT_EQ((primary - primary0) + (bag - bag0) + (pop - pop0),
+            registry.GetCounter("rec.queries")->value() - queries0);
+}
+
+TEST_F(ServingFixture, RungLatencySketchesMatchRungCounters) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t primary0 =
+      registry.GetSketch("rec.latency.primary")->count();
+  const uint64_t bag0 =
+      registry.GetSketch("rec.latency.bag_fallback")->count();
+  {
+    DegradingRecommender rec(ctx_, Options());
+    for (int i = 0; i < 4; ++i) {
+      (void)rec.Recommend(ego_, {test_stock_, test_cat_});
+    }
+  }
+  {
+    resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                         resilience::FaultSpec{.every_nth = 1});
+    DegradingRecommender rec(ctx_, Options());
+    (void)rec.Recommend(ego_, {test_stock_, test_cat_});
+    resilience::ClearFaults();
+  }
+  EXPECT_EQ(registry.GetSketch("rec.latency.primary")->count() -
+                primary0,
+            4u);
+  EXPECT_EQ(
+      registry.GetSketch("rec.latency.bag_fallback")->count() -
+          bag0,
+      1u);
+}
+
+TEST_F(ServingFixture, TaggedRequestRankingIsAFunctionOfSeedAndRid) {
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_};
+  // Two recommenders with different query histories: rid 7's ranking must
+  // be identical anyway, because its tie stream is derived from (seed,
+  // rid), not from the shared per-instance tie RNG.
+  DegradingRecommender warmed(ctx_, Options());
+  for (int i = 0; i < 5; ++i) (void)warmed.Recommend(ego_, candidates);
+  DegradingRecommender fresh(ctx_, Options());
+
+  QueryOptions query;
+  query.request_id = 7;
+  RecommendResult from_warmed = warmed.Recommend(ego_, candidates, query);
+  RecommendResult from_fresh = fresh.Recommend(ego_, candidates, query);
+  ASSERT_EQ(from_warmed.ranking.size(), from_fresh.ranking.size());
+  for (size_t i = 0; i < from_warmed.ranking.size(); ++i) {
+    EXPECT_EQ(from_warmed.ranking[i].tweet, from_fresh.ranking[i].tweet);
+  }
+}
+
+TEST_F(ServingFixture, AnonymousQueryKeepsLegacyTieRngBehavior) {
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_};
+  DegradingRecommender via_legacy(ctx_, Options());
+  DegradingRecommender via_options(ctx_, Options());
+  RecommendResult a = via_legacy.Recommend(ego_, candidates);
+  RecommendResult b = via_options.Recommend(ego_, candidates, QueryOptions{});
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].tweet, b.ranking[i].tweet);
+    EXPECT_DOUBLE_EQ(a.ranking[i].score, b.ranking[i].score);
+  }
+}
+
+TEST_F(ServingFixture, RequestTraceAttributesStagesPerRung) {
+  const std::vector<TweetId> candidates = {test_stock_, test_cat_};
+  {
+    DegradingRecommender rec(ctx_, Options());
+    obs::RequestTrace trace(1, "recommend");
+    QueryOptions query;
+    query.request_id = 1;
+    query.trace = &trace;
+    RecommendResult result = rec.Recommend(ego_, candidates, query);
+    EXPECT_EQ(result.rung, ServingRung::kPrimary);
+    // A healthy primary query attributes scoring and ranking time and
+    // spends nothing degrading.
+    EXPECT_GT(trace.StageSeconds(obs::kStageScore), 0.0);
+    EXPECT_GT(trace.StageSeconds(obs::kStageRank), 0.0);
+    EXPECT_EQ(trace.StageSeconds(obs::kStageDegrade), 0.0);
+  }
+  {
+    resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                         resilience::FaultSpec{.every_nth = 1});
+    DegradingRecommender rec(ctx_, Options());
+    obs::RequestTrace trace(2, "recommend");
+    QueryOptions query;
+    query.request_id = 2;
+    query.trace = &trace;
+    RecommendResult result = rec.Recommend(ego_, candidates, query);
+    resilience::ClearFaults();
+    EXPECT_EQ(result.rung, ServingRung::kBagFallback);
+    // The failed primary attempt's whole elapsed time shows up as degrade
+    // (never as primary-stage time), then the fallback scores and ranks.
+    EXPECT_GT(trace.StageSeconds(obs::kStageDegrade), 0.0);
+    EXPECT_GT(trace.StageSeconds(obs::kStageRank), 0.0);
+  }
+}
+
+TEST_F(ServingFixture, WarmLoadsPrimaryEagerly) {
+  DegradingRecommender rec(ctx_, Options());
+  EXPECT_TRUE(rec.Warm().ok());
+  EXPECT_TRUE(rec.primary_status().ok());
+
+  resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                       resilience::FaultSpec{.every_nth = 1});
+  DegradingRecommender poisoned(ctx_, Options());
+  EXPECT_FALSE(poisoned.Warm().ok());
+  resilience::ClearFaults();
+}
+
+TEST_F(ServingFixture, ProfileLookupReturnsNonEmptyProfile) {
+  DegradingRecommender rec(ctx_, Options());
+  Result<size_t> size = rec.ProfileLookup(ego_);
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_GT(*size, 0u);
+}
+
+TEST_F(ServingFixture, ProfileLookupFallsBackWhenPrimaryUnavailable) {
+  resilience::ArmFault(resilience::kSiteSnapshotLoad,
+                       resilience::FaultSpec{.every_nth = 1});
+  DegradingRecommender rec(ctx_, Options());
+  Result<size_t> size = rec.ProfileLookup(ego_);
+  resilience::ClearFaults();
+  ASSERT_TRUE(size.ok()) << size.status().ToString();
+  EXPECT_GT(*size, 0u);
 }
 
 TEST_F(ServingFixture, RungNamesAreStable) {

@@ -236,6 +236,7 @@ TEST(RngStreamRegistryTest, RegistryListsEveryKnownScalarStream) {
   EXPECT_TRUE(ids.count(streams::kRetryJitter));
   EXPECT_TRUE(ids.count(streams::kTieBreak));
   EXPECT_TRUE(ids.count(streams::kRandomBaseline));
+  EXPECT_TRUE(ids.count(streams::kLoadSchedule));
   EXPECT_EQ(ids.size(), streams::ReservedStreams().size());
 }
 
@@ -260,6 +261,36 @@ TEST(RngStreamRegistryTest, GibbsShardStreamsStayInBlockAndAreUnique) {
   }
   EXPECT_TRUE(streams::IsGibbsShardStream(streams::GibbsShardStream(
       streams::kGibbsShardSlots + 3, streams::kGibbsShardIterations + 7)));
+}
+
+TEST(RngStreamRegistryTest, RequestTieBlockDisjointFromEverythingElse) {
+  for (const streams::NamedStream& s : streams::ReservedStreams()) {
+    EXPECT_FALSE(streams::IsRequestTieStream(s.id))
+        << s.name << " collides with the request tie-break block";
+  }
+  // The Gibbs shard block ends below the request-tie base.
+  EXPECT_FALSE(streams::IsRequestTieStream(streams::GibbsShardStream(
+      streams::kGibbsShardSlots - 1, streams::kGibbsShardIterations - 1)));
+  EXPECT_FALSE(streams::IsGibbsShardStream(streams::kRequestTieBase));
+}
+
+TEST(RngStreamRegistryTest, RequestTieStreamsStayInBlockAndWrap) {
+  EXPECT_TRUE(streams::IsRequestTieStream(streams::RequestTieStream(0)));
+  EXPECT_TRUE(streams::IsRequestTieStream(streams::RequestTieStream(1)));
+  EXPECT_TRUE(streams::IsRequestTieStream(
+      streams::RequestTieStream(~uint64_t{0})));
+  EXPECT_NE(streams::RequestTieStream(1), streams::RequestTieStream(2));
+  // Ids reuse streams modulo the slot count.
+  EXPECT_EQ(streams::RequestTieStream(3),
+            streams::RequestTieStream(3 + streams::kRequestTieSlots));
+}
+
+TEST(RngStreamRegistryTest, RequestTieStreamsProduceDistinctDraws) {
+  Rng a(42, streams::RequestTieStream(1));
+  Rng b(42, streams::RequestTieStream(2));
+  bool differ = false;
+  for (int i = 0; i < 16 && !differ; ++i) differ = a.NextU32() != b.NextU32();
+  EXPECT_TRUE(differ);
 }
 
 TEST(RngStreamRegistryTest, DistinctShardStreamsProduceDistinctDraws) {

@@ -17,11 +17,28 @@
 //                                         rank every user's test candidates
 //                                         from the snapshot, degrading under
 //                                         --deadline instead of failing
+//   microrec load <dir> <model> <source> [iter_scale]
+//                                         replay a seeded synthetic workload
+//                                         (Zipf user arrivals, weighted op
+//                                         mix) against the serving path on
+//                                         --threads client threads
 //
 // Global observability flags (usable with every command):
-//   --metrics=<path>   write a metrics-registry snapshot as JSON at exit
+//   --metrics=<path>           write a metrics-registry snapshot at exit
+//   --metrics-format=json|prom metrics file format (default json)
 //   --trace=<path>     write a Chrome trace_event JSON (Perfetto-loadable)
-// Both imply a one-line phase-time summary on stderr at exit.
+//   --flight-recorder=<path>   sample the metrics registry to JSONL on an
+//                              interval while the command runs
+// --metrics and --trace imply a one-line phase-time summary on stderr.
+//
+// Load flags (load only; --threads sets the client thread count):
+//   --requests=<n>        schedule length (default 1000)
+//   --load-seed=<n>       workload schedule seed (default 42)
+//   --zipf=<s>            user-arrival skew, 0 = uniform (default 1.0)
+//   --mix=<r,p,w>         op-mix weights recommend,profile_lookup,
+//                         snapshot_warm (default 0.9,0.08,0.02)
+//   --target-qps=<q>      open-loop offered rate; 0 = closed loop
+//   --load-report=<path>  write the load report JSON (schema microrec.load/1)
 //
 // Resilience flags (sweep only; see DESIGN.md, "Resilience"):
 //   --checkpoint=<path>   stream outcomes to a JSONL checkpoint; rerunning
@@ -61,6 +78,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +86,11 @@
 #include "corpus/user_types.h"
 #include "eval/experiment.h"
 #include "eval/sweep.h"
+#include "load/driver.h"
+#include "load/serving_backend.h"
+#include "load/workload.h"
+#include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/hashtag_rec.h"
@@ -108,7 +131,11 @@ int Usage() {
       "  microrec recommend [--snapshot-dir=<dir>] [--deadline=<s>]"
       " [--user=<handle>] [--top-k=<n>] [--threads=<n>]"
       " [--train-threads=<n>]\n"
-      "                     <dir> <model> <source> [iter_scale]\n");
+      "                     <dir> <model> <source> [iter_scale]\n"
+      "  microrec load [--requests=<n>] [--load-seed=<n>] [--zipf=<s>]"
+      " [--mix=<r,p,w>] [--target-qps=<q>] [--threads=<n>]"
+      " [--load-report=<path>]\n"
+      "                <dir> <model> <source> [iter_scale]\n");
   return 2;
 }
 
@@ -147,15 +174,15 @@ void PrintPhaseSummary() {
                FormatWithCommas(static_cast<int64_t>(scores)).c_str());
 }
 
-bool WriteMetricsFile(const std::string& path) {
+bool WriteMetricsFile(const std::string& path, obs::MetricsFormat format) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
     return false;
   }
-  std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fputc('\n', file);
+  std::string rendered =
+      obs::RenderMetrics(obs::MetricsRegistry::Global().Snapshot(), format);
+  std::fwrite(rendered.data(), 1, rendered.size(), file);
   std::fclose(file);
   return true;
 }
@@ -409,6 +436,140 @@ int Recommend(const std::string& dir, const std::string& model_name,
   return 0;
 }
 
+/// Workload flags for the load command (client threads come from
+/// ServingFlags::threads).
+struct LoadFlags {
+  size_t requests = 1000;
+  uint64_t seed = 42;
+  double zipf_skew = 1.0;
+  std::string mix;  // "r,p,w" weights; empty keeps the default mix
+  double target_qps = 0.0;
+  std::string report_path;
+};
+
+/// Parses "--mix=r,p,w" into an OpMix; empty keeps defaults.
+bool ParseOpMix(const std::string& text, load::OpMix* mix) {
+  if (text.empty()) return true;
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t comma = text.find(','); comma != std::string::npos;
+       comma = text.find(',', start)) {
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  parts.push_back(text.substr(start));
+  double weights[3];
+  if (parts.size() != 3) return false;
+  for (size_t i = 0; i < 3; ++i) {
+    if (!ParsePositionalDouble(parts[i], &weights[i])) return false;
+  }
+  mix->recommend = weights[0];
+  mix->profile_lookup = weights[1];
+  mix->snapshot_warm = weights[2];
+  return true;
+}
+
+int Load(const std::string& dir, const std::string& model_name,
+         const std::string& source_name, double iter_scale,
+         const ServingFlags& serving_flags, const LoadFlags& load_flags) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = iter_scale;
+  options.train_threads = serving_flags.train_threads;
+  options.snapshot_dir = serving_flags.snapshot_dir;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  Result<rec::ModelConfig> config = DefaultConfig(*kind, *source);
+  if (!config.ok()) return Fail(config.status());
+
+  rec::ServingOptions serving;
+  serving.primary = *config;
+  serving.snapshot_path = runner.SnapshotPath(*config, *source);
+  serving.query_deadline_seconds = serving_flags.deadline_seconds;
+  serving.top_k = serving_flags.top_k;
+  // Client threads are the load axis: scoring stays on the query thread so
+  // concurrency comes only from parallel clients (one recommender each).
+  serving.score_threads = 1;
+  serving.score_cache_capacity = 4096;
+  rec::EngineContext ctx = runner.MakeContext(*config, *source);
+
+  load::ServingBackend::Options backend;
+  backend.ctx = &ctx;
+  backend.serving = serving;
+  backend.users = runner.GroupUsers(corpus::UserType::kAllUsers);
+  if (backend.users.empty()) {
+    return Fail(Status::FailedPrecondition("no evaluable users to load"));
+  }
+  backend.candidates = [&runner](corpus::UserId u) {
+    return runner.SplitOf(u).TestSet();
+  };
+
+  load::WorkloadOptions spec;
+  spec.seed = load_flags.seed;
+  spec.num_requests = load_flags.requests;
+  spec.num_users = backend.users.size();
+  spec.zipf_skew = load_flags.zipf_skew;
+  if (!ParseOpMix(load_flags.mix, &spec.mix)) {
+    return Fail(Status::InvalidArgument("bad --mix '" + load_flags.mix +
+                                        "' (want r,p,w weights)"));
+  }
+  Result<load::Workload> workload = load::Workload::Build(spec);
+  if (!workload.ok()) return Fail(workload.status());
+
+  load::DriverOptions driver;
+  driver.threads = serving_flags.threads == 0 ? 1 : serving_flags.threads;
+  driver.target_qps = load_flags.target_qps;
+  Result<load::LoadReport> report =
+      load::RunLoad(*workload, driver, load::ServingBackend::Factory(backend));
+  if (!report.ok()) return Fail(report.status());
+
+  std::printf("%llu requests on %llu threads in %.2fs: %.1f qps%s\n",
+              static_cast<unsigned long long>(report->total_requests),
+              static_cast<unsigned long long>(report->threads),
+              report->wall_seconds, report->qps,
+              driver.target_qps > 0.0 ? " (open loop)" : "");
+  std::printf("latency: p50 %.2fms  p99 %.2fms  p999 %.2fms  max %.2fms%s\n",
+              report->latency.p50 * 1e3, report->latency.p99 * 1e3,
+              report->latency.p999 * 1e3, report->latency.max * 1e3,
+              report->latency.exact ? "" : " (sketched)");
+  for (int op = 0; op < load::kNumOpClasses; ++op) {
+    const obs::SketchSnapshot& s = report->op_latency[op];
+    if (s.count == 0) continue;
+    std::printf("  %-15s %6llu ops  p50 %.2fms  p99 %.2fms\n",
+                std::string(load::OpClassName(static_cast<load::OpClass>(op)))
+                    .c_str(),
+                static_cast<unsigned long long>(s.count), s.p50 * 1e3,
+                s.p99 * 1e3);
+  }
+  std::printf("rungs: %llu primary / %llu bag-fallback / %llu popularity\n",
+              static_cast<unsigned long long>(report->per_rung[0]),
+              static_cast<unsigned long long>(report->per_rung[1]),
+              static_cast<unsigned long long>(report->per_rung[2]));
+  std::printf("schedule 0x%016llx  rankings 0x%016llx  errors %llu\n",
+              static_cast<unsigned long long>(report->schedule_hash),
+              static_cast<unsigned long long>(report->rankings_hash),
+              static_cast<unsigned long long>(report->errors));
+  if (!load_flags.report_path.empty()) {
+    std::FILE* file = std::fopen(load_flags.report_path.c_str(), "w");
+    if (file == nullptr) {
+      return Fail(Status::InvalidArgument("cannot write load report to " +
+                                          load_flags.report_path));
+    }
+    std::string json = report->ToJson();
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+  }
+  return 0;
+}
+
 /// Resilience flags shared by main() and the sweep command.
 struct SweepFlags {
   std::string checkpoint_path;
@@ -528,7 +689,7 @@ bool IterScaleArg(const std::vector<std::string>& args, size_t index,
 }
 
 int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
-             const ServingFlags& serving) {
+             const ServingFlags& serving, const LoadFlags& load_flags) {
   if (args.size() < 2) return Usage();
   const std::string& command = args[0];
   const std::string& dir = args[1];
@@ -562,18 +723,28 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
     return Recommend(dir, args[2], args[3], iter_scale, serving);
   }
+  if (command == "load" && args.size() >= 4) {
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
+    return Load(dir, args[2], args[3], iter_scale, serving, load_flags);
+  }
   return Usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path, trace_path;
+  std::string metrics_path, trace_path, metrics_format_text, flight_path;
   SweepFlags flags;
   ServingFlags serving;
+  LoadFlags load_flags;
+  size_t load_seed = 42;
 
   FlagParser parser(kUsageLine);
   parser.AddString("metrics", &metrics_path, "write metrics JSON at exit");
+  parser.AddString("metrics-format", &metrics_format_text,
+                   "metrics file format: json (default) or prom");
+  parser.AddString("flight-recorder", &flight_path,
+                   "sample the metrics registry to this JSONL while running");
   parser.AddString("trace", &trace_path, "write Chrome trace JSON");
   parser.AddString("checkpoint", &flags.checkpoint_path,
                    "sweep: JSONL checkpoint for resume");
@@ -597,6 +768,19 @@ int main(int argc, char** argv) {
                  "evaluate/sweep/train/recommend: topic-model training "
                  "threads (default 1 = sequential, bit-identical to the "
                  "paper)");
+  parser.AddSize("requests", &load_flags.requests,
+                 "load: schedule length (default 1000)");
+  parser.AddSize("load-seed", &load_seed,
+                 "load: workload schedule seed (default 42)");
+  parser.AddDouble("zipf", &load_flags.zipf_skew,
+                   "load: user-arrival Zipf skew, 0 = uniform (default 1)");
+  parser.AddString("mix", &load_flags.mix,
+                   "load: op-mix weights recommend,profile_lookup,"
+                   "snapshot_warm");
+  parser.AddDouble("target-qps", &load_flags.target_qps,
+                   "load: open-loop offered rate (0 = closed loop)");
+  parser.AddString("load-report", &load_flags.report_path,
+                   "load: write the load report JSON to this path");
 
   std::vector<std::string> raw(argv + 1, argv + argc);
   Result<std::vector<std::string>> args = parser.Parse(raw);
@@ -604,12 +788,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     return Usage();
   }
+  load_flags.seed = load_seed;
+  obs::MetricsFormat metrics_format = obs::MetricsFormat::kJson;
+  if (!obs::ParseMetricsFormat(metrics_format_text, &metrics_format)) {
+    std::fprintf(stderr, "error: bad --metrics-format '%s' (json|prom)\n",
+                 metrics_format_text.c_str());
+    return Usage();
+  }
   const bool observed = !metrics_path.empty() || !trace_path.empty();
   if (!trace_path.empty()) obs::StartTracing(trace_path);
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (!flight_path.empty()) {
+    obs::FlightRecorder::Options recorder;
+    recorder.path = flight_path;
+    flight = std::make_unique<obs::FlightRecorder>(recorder);
+    if (!flight->ok()) {
+      std::fprintf(stderr, "error: cannot write flight recording to %s\n",
+                   flight_path.c_str());
+      return 1;
+    }
+  }
 
-  int code = Dispatch(*args, flags, serving);
+  int code = Dispatch(*args, flags, serving, load_flags);
+  if (flight != nullptr) flight->Stop();
   if (observed) PrintPhaseSummary();
-  if (!metrics_path.empty() && !WriteMetricsFile(metrics_path)) code = 1;
+  if (!metrics_path.empty() &&
+      !WriteMetricsFile(metrics_path, metrics_format)) {
+    code = 1;
+  }
   obs::StopTracing();
   return code;
 }
