@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "obs/request.h"
 #include "util/status.h"
@@ -27,6 +28,20 @@ struct RecommendOutcome {
   /// request id issued with a fixed seed this must not depend on driver
   /// thread count — the property bench_serving_load gates on.
   uint64_t ranking_hash = 0;
+  /// Shard that served, for the per-shard LoadReport breakdown; -1 means
+  /// the backend is unsharded and the driver skips the breakdown.
+  int shard = -1;
+};
+
+/// End-of-run router health for one shard, surfaced by sharded backends so
+/// LoadReport can attribute breaker behavior per shard.
+struct ShardHealthStats {
+  int shard = 0;
+  int breaker_state = 0;  // rec::BreakerState numeric value
+  uint64_t breaker_transitions = 0;
+  uint64_t failed_attempts = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t hedges = 0;
 };
 
 class Backend {
@@ -45,6 +60,11 @@ class Backend {
   /// driver; fakes may ignore it).
   virtual Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
                                              obs::RequestTrace* trace) = 0;
+
+  /// Router health per shard at the time of the call; empty (the default)
+  /// for unsharded backends. Sharded backends share one router across every
+  /// client thread, so any one backend's answer is the whole run's truth.
+  virtual std::vector<ShardHealthStats> ShardHealth() { return {}; }
 };
 
 /// Builds one backend per client thread. The driver calls it sequentially

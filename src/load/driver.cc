@@ -1,5 +1,6 @@
 #include "load/driver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -29,6 +30,22 @@ struct ThreadStats {
   uint64_t warm_failures = 0;
   std::array<obs::QuantileSketch, kNumOpClasses> op_latency;
   obs::QuantileSketch latency;
+
+  /// Per-shard slice, grown on demand when the backend attributes a
+  /// recommend op to a shard.
+  struct ShardLocal {
+    uint64_t served = 0;
+    std::array<uint64_t, 3> per_rung{};
+    obs::QuantileSketch latency;
+  };
+  std::vector<ShardLocal> shards;
+
+  ShardLocal& ShardSlot(int shard) {
+    if (shards.size() <= static_cast<size_t>(shard)) {
+      shards.resize(static_cast<size_t>(shard) + 1);
+    }
+    return shards[static_cast<size_t>(shard)];
+  }
 };
 
 void AppendDouble(double value, std::string* out) {
@@ -95,6 +112,36 @@ std::string LoadReport::ToJson() const {
   out.append(",\"popularity\":").append(std::to_string(per_rung[2]));
   out.append("},\"latency_seconds\":");
   AppendSketchJson(latency, &out);
+  if (!per_shard.empty()) {
+    out.append(",\"per_shard\":[");
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      const ShardBreakdown& shard = per_shard[s];
+      if (s > 0) out.push_back(',');
+      out.append("{\"shard\":").append(std::to_string(shard.shard));
+      out.append(",\"served\":").append(std::to_string(shard.served));
+      out.append(",\"qps\":");
+      AppendDouble(shard.qps, &out);
+      out.append(",\"per_rung\":{\"primary\":")
+          .append(std::to_string(shard.per_rung[0]));
+      out.append(",\"bag_fallback\":")
+          .append(std::to_string(shard.per_rung[1]));
+      out.append(",\"popularity\":")
+          .append(std::to_string(shard.per_rung[2]));
+      out.append("},\"latency_seconds\":");
+      AppendSketchJson(shard.latency, &out);
+      out.append(",\"breaker_state\":")
+          .append(std::to_string(shard.breaker_state));
+      out.append(",\"breaker_transitions\":")
+          .append(std::to_string(shard.breaker_transitions));
+      out.append(",\"failed_attempts\":")
+          .append(std::to_string(shard.failed_attempts));
+      out.append(",\"deadline_misses\":")
+          .append(std::to_string(shard.deadline_misses));
+      out.append(",\"hedges\":").append(std::to_string(shard.hedges));
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
   out.push_back('}');
   return out;
 }
@@ -148,6 +195,7 @@ Result<LoadReport> RunLoad(const Workload& workload,
         const Clock::time_point op_start = Clock::now();
         switch (request.op) {
           case OpClass::kRecommend: {
+            const Clock::time_point rec_start = Clock::now();
             Result<RecommendOutcome> outcome =
                 backend->Recommend(request.rid, request.user_rank, &trace);
             if (outcome.ok()) {
@@ -155,6 +203,16 @@ Result<LoadReport> RunLoad(const Workload& workload,
                 ++local.per_rung[outcome->rung];
               }
               ranking_hashes[i] = outcome->ranking_hash;
+              if (outcome->shard >= 0) {
+                ThreadStats::ShardLocal& slot =
+                    local.ShardSlot(outcome->shard);
+                ++slot.served;
+                if (outcome->rung >= 0 && outcome->rung < 3) {
+                  ++slot.per_rung[outcome->rung];
+                }
+                slot.latency.Record(
+                    SecondsBetween(rec_start, Clock::now()));
+              }
             } else {
               ++local.errors;
             }
@@ -200,6 +258,48 @@ Result<LoadReport> RunLoad(const Workload& workload,
       report.per_rung[rung] += local.per_rung[rung];
     }
     merged_all.Merge(local.latency);
+  }
+
+  // Per-shard reduction: the driver's own attribution of served work,
+  // joined with the backend's router health (shared across every thread's
+  // backend, so backend 0 speaks for the run).
+  size_t num_shards = 0;
+  for (const ThreadStats& local : stats) {
+    num_shards = std::max(num_shards, local.shards.size());
+  }
+  std::vector<ShardHealthStats> health = backends[0]->ShardHealth();
+  num_shards = std::max(num_shards, health.size());
+  if (num_shards > 0) {
+    std::vector<obs::QuantileSketch> shard_latency(num_shards);
+    report.per_shard.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      report.per_shard[s].shard = static_cast<int>(s);
+    }
+    for (const ThreadStats& local : stats) {
+      for (size_t s = 0; s < local.shards.size(); ++s) {
+        LoadReport::ShardBreakdown& shard = report.per_shard[s];
+        shard.served += local.shards[s].served;
+        for (int rung = 0; rung < 3; ++rung) {
+          shard.per_rung[rung] += local.shards[s].per_rung[rung];
+        }
+        shard_latency[s].Merge(local.shards[s].latency);
+      }
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      LoadReport::ShardBreakdown& shard = report.per_shard[s];
+      shard.qps = wall > 0.0 ? static_cast<double>(shard.served) / wall : 0.0;
+      shard.latency = shard_latency[s].Snapshot(
+          "load.shard." + std::to_string(s) + ".latency");
+    }
+    for (const ShardHealthStats& h : health) {
+      if (h.shard < 0 || static_cast<size_t>(h.shard) >= num_shards) continue;
+      LoadReport::ShardBreakdown& shard = report.per_shard[h.shard];
+      shard.breaker_state = h.breaker_state;
+      shard.breaker_transitions = h.breaker_transitions;
+      shard.failed_attempts = h.failed_attempts;
+      shard.deadline_misses = h.deadline_misses;
+      shard.hedges = h.hedges;
+    }
   }
 
   uint64_t rankings = kFnvOffsetBasis;

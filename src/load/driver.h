@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "load/backend.h"
 #include "load/workload.h"
@@ -69,6 +70,26 @@ struct LoadReport {
   std::array<obs::SketchSnapshot, kNumOpClasses> op_latency{};
   /// All op classes together; named load.latency.all.
   obs::SketchSnapshot latency;
+
+  /// Per-shard slice of the run, populated only when the backend reports
+  /// shard attribution (RecommendOutcome::shard >= 0). Serve counts, rung
+  /// mix and latency come from the driver's own accounting of which shard
+  /// answered each recommend op; the breaker fields come from the
+  /// backend's shared router at end of run. The chaos gate reads this to
+  /// assert "only the faulted shard degraded".
+  struct ShardBreakdown {
+    int shard = 0;
+    uint64_t served = 0;
+    double qps = 0.0;
+    std::array<uint64_t, 3> per_rung{};
+    obs::SketchSnapshot latency;
+    int breaker_state = 0;
+    uint64_t breaker_transitions = 0;
+    uint64_t failed_attempts = 0;
+    uint64_t deadline_misses = 0;
+    uint64_t hedges = 0;
+  };
+  std::vector<ShardBreakdown> per_shard;
 
   /// One JSON object (schema microrec.load/1); hashes are hex strings
   /// because uint64 values do not survive a double round-trip.

@@ -57,4 +57,66 @@ uint64_t RankingHash(const std::vector<rec::Recommendation>& ranking) {
   return hash;
 }
 
+ShardedServingBackend::ShardedServingBackend(
+    std::shared_ptr<rec::ShardedRecommender> shared,
+    std::shared_ptr<const Options> options)
+    : shared_(std::move(shared)), options_(std::move(options)) {
+  assert(shared_ != nullptr);
+  assert(options_->ctx != nullptr);
+  assert(!options_->users.empty());
+  assert(options_->candidates != nullptr);
+}
+
+corpus::UserId ShardedServingBackend::UserFor(uint64_t user_rank) const {
+  return options_->users[user_rank % options_->users.size()];
+}
+
+Status ShardedServingBackend::Warm() { return shared_->Warm(); }
+
+Result<uint64_t> ShardedServingBackend::ProfileLookup(uint64_t user_rank) {
+  Result<size_t> size = shared_->ProfileLookup(UserFor(user_rank));
+  if (!size.ok()) return size.status();
+  return static_cast<uint64_t>(*size);
+}
+
+Result<RecommendOutcome> ShardedServingBackend::Recommend(
+    uint64_t rid, uint64_t user_rank, obs::RequestTrace* trace) {
+  const corpus::UserId u = UserFor(user_rank);
+  rec::QueryOptions query;
+  query.request_id = rid;
+  query.trace = trace;
+  rec::ShardedRecommendResult served =
+      shared_->Recommend(u, options_->candidates(u), query);
+  RecommendOutcome outcome;
+  outcome.rung = static_cast<int>(served.result.rung);
+  outcome.ranked = served.result.ranking.size();
+  outcome.ranking_hash = RankingHash(served.result.ranking);
+  outcome.shard = static_cast<int>(served.shard);
+  return outcome;
+}
+
+std::vector<ShardHealthStats> ShardedServingBackend::ShardHealth() {
+  std::vector<ShardHealthStats> out;
+  for (const rec::ShardHealth& h : shared_->Health()) {
+    ShardHealthStats stats;
+    stats.shard = h.shard;
+    stats.breaker_state = static_cast<int>(h.state);
+    stats.breaker_transitions = h.breaker_transitions;
+    stats.failed_attempts = h.failures;
+    stats.deadline_misses = h.deadline_misses;
+    stats.hedges = h.hedges;
+    out.push_back(stats);
+  }
+  return out;
+}
+
+BackendFactory ShardedServingBackend::Factory(Options options) {
+  auto shared_options = std::make_shared<const Options>(std::move(options));
+  auto shared = std::make_shared<rec::ShardedRecommender>(
+      *shared_options->ctx, shared_options->sharded);
+  return [shared, shared_options]() -> std::unique_ptr<Backend> {
+    return std::make_unique<ShardedServingBackend>(shared, shared_options);
+  };
+}
+
 }  // namespace microrec::load

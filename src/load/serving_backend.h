@@ -14,6 +14,7 @@
 
 #include "load/backend.h"
 #include "rec/serving.h"
+#include "rec/sharded.h"
 
 namespace microrec::load {
 
@@ -54,6 +55,43 @@ class ServingBackend : public Backend {
 /// Order-sensitive FNV-1a fingerprint of a served ranking (tweet ids in
 /// rank order). Exposed for tests.
 uint64_t RankingHash(const std::vector<rec::Recommendation>& ranking);
+
+/// Backend adapter over rec::ShardedRecommender. Unlike ServingBackend
+/// (one private recommender per thread), every client thread's handle
+/// shares ONE sharded recommender: that is the topology under test — S
+/// shards serializing their own queries, so throughput scales with shards,
+/// not with how many drivers are knocking. The factory captures the shared
+/// instance; RunLoad's one-backend-per-thread contract is satisfied by
+/// handing out thin handles.
+class ShardedServingBackend : public Backend {
+ public:
+  struct Options {
+    /// Same lifetime contract as ServingBackend::Options.
+    const rec::EngineContext* ctx = nullptr;
+    rec::ShardedServingOptions sharded;
+    std::vector<corpus::UserId> users;
+    std::function<std::vector<corpus::TweetId>(corpus::UserId u)> candidates;
+  };
+
+  ShardedServingBackend(std::shared_ptr<rec::ShardedRecommender> shared,
+                        std::shared_ptr<const Options> options);
+
+  Status Warm() override;
+  Result<uint64_t> ProfileLookup(uint64_t user_rank) override;
+  Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
+                                     obs::RequestTrace* trace) override;
+  std::vector<ShardHealthStats> ShardHealth() override;
+
+  /// Builds the shared recommender once, up front; every factory call
+  /// returns a handle onto it.
+  static BackendFactory Factory(Options options);
+
+ private:
+  corpus::UserId UserFor(uint64_t user_rank) const;
+
+  std::shared_ptr<rec::ShardedRecommender> shared_;
+  std::shared_ptr<const Options> options_;
+};
 
 }  // namespace microrec::load
 

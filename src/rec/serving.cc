@@ -287,10 +287,13 @@ RecommendResult DegradingRecommender::Recommend(
     tie_rng = &request_tie;
   }
 
+  const double budget_seconds = query.deadline_seconds > 0.0
+                                    ? query.deadline_seconds
+                                    : options_.query_deadline_seconds;
   const resilience::Deadline deadline =
-      options_.query_deadline_seconds > 0.0
-          ? resilience::Deadline::After(options_.query_deadline_seconds)
-          : resilience::Deadline::Infinite();
+      budget_seconds > 0.0 ? resilience::Deadline::After(budget_seconds)
+                           : resilience::Deadline::Infinite();
+  const int min_rung = std::clamp(query.min_rung, 0, 2);
 
   RecommendResult result;
   // Each rung attempt attributes its stages into a scratch trace, folded
@@ -300,7 +303,7 @@ RecommendResult DegradingRecommender::Recommend(
   const std::string_view op = trace != nullptr ? trace->op() : "";
 
   // Rung 0: the requested model, warm-started from its snapshot.
-  {
+  if (min_rung <= 0) {
     const auto attempt_start = std::chrono::steady_clock::now();
     obs::RequestTrace attempt(rid, op);
     obs::RequestTrace* attempt_trace = trace != nullptr ? &attempt : nullptr;
@@ -327,14 +330,20 @@ RecommendResult DegradingRecommender::Recommend(
       primary = Status::DeadlineExceeded(
           "serving: query deadline expired before primary scoring");
     }
+    if (primary.code() == StatusCode::kDeadlineExceeded) {
+      result.deadline_expired = true;
+    }
     result.degraded_reason = primary.ToString();
     if (trace != nullptr) {
       trace->AddStage(obs::kStageDegrade, SecondsSince(attempt_start));
     }
+  } else {
+    result.degraded_reason = "rung 0 skipped (min_rung=" +
+                             std::to_string(min_rung) + ")";
   }
 
   // Rung 1: the cached bag-of-words fallback.
-  {
+  if (min_rung <= 1) {
     const auto attempt_start = std::chrono::steady_clock::now();
     obs::RequestTrace attempt(rid, op);
     obs::RequestTrace* attempt_trace = trace != nullptr ? &attempt : nullptr;
@@ -350,6 +359,9 @@ RecommendResult DegradingRecommender::Recommend(
       MergeStages(attempt, trace);
       RecordServed(result.rung, SecondsSince(query_start), trace);
       return result;
+    }
+    if (fallback.code() == StatusCode::kDeadlineExceeded) {
+      result.deadline_expired = true;
     }
     result.degraded_reason += "; " + fallback.ToString();
     if (trace != nullptr) {

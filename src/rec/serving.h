@@ -99,6 +99,16 @@ struct Recommendation {
 struct QueryOptions {
   uint64_t request_id = 0;
   obs::RequestTrace* trace = nullptr;
+  /// Per-query budget override in seconds; > 0 replaces
+  /// ServingOptions::query_deadline_seconds for this query only. The shard
+  /// router uses it to carve each shard attempt's deadline out of the
+  /// remaining whole-query budget.
+  double deadline_seconds = 0.0;
+  /// Lowest ladder rung allowed to serve (0 = whole ladder). The router
+  /// re-issues hedged queries with min_rung = 1 — "stop waiting on the
+  /// primary, give me the fallback now" — and pins a shard whose snapshot
+  /// failed to load to its surviving rungs. Clamped to rung 2.
+  int min_rung = 0;
 };
 
 /// One query's outcome. `ranking` is always non-empty when `candidates`
@@ -108,6 +118,12 @@ struct RecommendResult {
   ServingRung rung = ServingRung::kPrimary;
   std::vector<Recommendation> ranking;  // descending score
   std::string degraded_reason;
+  /// True when an expired query deadline pushed this query down at least
+  /// one rung — the signal the shard router's hedging and breaker
+  /// deadline-miss accounting key on. False for degradations with other
+  /// causes (bad snapshot, build failure) and for rungs skipped by
+  /// min_rung.
+  bool deadline_expired = false;
 };
 
 /// Serves rankings for one (configuration, source) pair. The primary

@@ -1,5 +1,8 @@
 #include "resilience/fault.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -56,28 +59,51 @@ uint64_t SiteStream(std::string_view site) {
   return hash | 1;  // PCG stream ids must be odd after internal shifting
 }
 
+bool AllDigits(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+// Strict by construction: digit-only integers (strtoull alone would accept
+// "-3" and wrap it to a huge, never-firing cadence), finite probabilities in
+// (0, 1], and `+N` kill-after thresholds. Anything else is an error naming
+// the offending token — a spec that cannot fire must not arm silently.
 Result<FaultSpec> ParseSpec(std::string_view text) {
-  if (text.empty()) return Status::InvalidArgument("empty fault spec");
+  if (text.empty()) return Status::InvalidArgument("empty activation spec");
   std::string spec_str(text);
+  if (spec_str[0] == '+') {
+    std::string_view digits = text.substr(1);
+    if (!AllDigits(digits)) {
+      return Status::InvalidArgument(
+          "kill-after threshold must be '+<non-negative integer>', got '" +
+          spec_str + "'");
+    }
+    FaultSpec spec;
+    spec.kill_after = true;
+    spec.after_nth = std::strtoull(spec_str.c_str() + 1, nullptr, 10);
+    return spec;
+  }
   if (spec_str.find('.') != std::string::npos) {
     char* end = nullptr;
     double p = std::strtod(spec_str.c_str(), &end);
-    if (end == nullptr || *end != '\0' || !(p > 0.0) || p > 1.0) {
-      return Status::InvalidArgument("fault probability must be in (0, 1]: " +
-                                     spec_str);
+    if (end == nullptr || *end != '\0' || !std::isfinite(p) || !(p > 0.0) ||
+        p > 1.0) {
+      return Status::InvalidArgument(
+          "fault probability must be finite and in (0, 1], got '" + spec_str +
+          "'");
     }
     FaultSpec spec;
     spec.probability = p;
     return spec;
   }
-  char* end = nullptr;
-  unsigned long long n = std::strtoull(spec_str.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || n == 0) {
-    return Status::InvalidArgument("fault cadence must be a positive integer: " +
-                                   spec_str);
+  if (!AllDigits(spec_str) || spec_str == std::string(spec_str.size(), '0')) {
+    return Status::InvalidArgument(
+        "fault cadence must be a positive integer, got '" + spec_str + "'");
   }
   FaultSpec spec;
-  spec.every_nth = n;
+  spec.every_nth = std::strtoull(spec_str.c_str(), nullptr, 10);
   return spec;
 }
 
@@ -99,12 +125,15 @@ bool FaultsArmedSlow() {
   if (const char* seed_env = std::getenv("MICROREC_FAULT_SEED")) {
     seed = std::strtoull(seed_env, nullptr, 10);
   }
-  Result<size_t> armed = ArmFaultsFromSpec(env, seed);
+  Result<size_t> armed =
+      ArmFaultsFromSpec(env, seed, /*validate_sites=*/true);
   if (!armed.ok()) {
-    std::fprintf(stderr, "warning: ignoring MICROREC_FAULTS: %s\n",
+    // A chaos run with a typo'd or malformed MICROREC_FAULTS would otherwise
+    // pass trivially with everything dormant — fail loudly instead.
+    std::fprintf(stderr, "fatal: bad MICROREC_FAULTS: %s\n",
                  armed.status().ToString().c_str());
-    g_fault_state.store(1, std::memory_order_release);
-    return false;
+    std::fprintf(stderr, "known sites: microrec faults --list\n");
+    std::exit(2);
   }
   // ArmFaultsFromSpec already stored 2; re-read in case the spec was empty.
   return g_fault_state.load(std::memory_order_acquire) == 2;
@@ -125,6 +154,8 @@ Status CheckFault(std::string_view site) {
     fire = state.hits % state.spec.every_nth == 0;
   } else if (state.spec.probability > 0.0) {
     fire = state.rng.Bernoulli(state.spec.probability);
+  } else if (state.spec.kill_after) {
+    fire = state.hits > state.spec.after_nth;
   }
   if (!fire) return Status::OK();
   ++state.fires;
@@ -148,17 +179,38 @@ void ArmFault(std::string_view site, FaultSpec spec, uint64_t seed) {
   internal::g_fault_state.store(2, std::memory_order_release);
 }
 
-Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed) {
+Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed,
+                                 bool validate_sites) {
   size_t armed = 0;
-  for (std::string_view entry : SplitAny(spec, ",")) {
+  size_t index = 0;
+  // Parse and validate the whole spec before arming anything, so a bad
+  // trailing entry cannot leave a half-armed process behind. The split
+  // pieces must outlive both loops: `entries` holds views into them.
+  const std::vector<std::string> pieces = SplitAny(spec, ",");
+  std::vector<std::pair<std::string_view, FaultSpec>> entries;
+  for (std::string_view entry : pieces) {
+    ++index;
+    const std::string where =
+        "fault spec entry " + std::to_string(index) + " '" +
+        std::string(entry) + "': ";
     size_t colon = entry.rfind(':');
     if (colon == std::string_view::npos || colon == 0) {
-      return Status::InvalidArgument("fault entry needs <site>:<spec>: " +
-                                     std::string(entry));
+      return Status::InvalidArgument(where + "expected <site>:<activation>");
+    }
+    std::string_view site = entry.substr(0, colon);
+    if (validate_sites && !IsKnownFaultSite(site)) {
+      return Status::InvalidArgument(
+          where + "unknown fault site '" + std::string(site) +
+          "' (see KnownFaultSites / `microrec faults --list`)");
     }
     Result<FaultSpec> parsed = ParseSpec(entry.substr(colon + 1));
-    if (!parsed.ok()) return parsed.status();
-    ArmFault(entry.substr(0, colon), *parsed, seed);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(where + parsed.status().message());
+    }
+    entries.emplace_back(site, *parsed);
+  }
+  for (const auto& [site, parsed] : entries) {
+    ArmFault(site, parsed, seed);
     ++armed;
   }
   if (armed == 0) {
@@ -195,6 +247,31 @@ std::vector<std::string> ArmedFaultSites() {
   names.reserve(registry.sites.size());
   for (const auto& [name, state] : registry.sites) names.push_back(name);
   return names;
+}
+
+const std::vector<std::string_view>& KnownFaultSites() {
+  static const std::vector<std::string_view>* sites = [] {
+    auto* list = new std::vector<std::string_view>{
+        kSiteCheckpointWrite, kSiteCorpusIoRead,      kSiteEngineScore,
+        kSitePoolTask,        kSiteShardQuery,        kSiteShardSnapshotLoad,
+        kSiteShardWarm,       kSiteSnapshotLoad,      kSiteSnapshotWrite,
+        kSiteSweepConfig,     kSiteTopicGibbsSweep,
+    };
+    std::sort(list->begin(), list->end());
+    return list;
+  }();
+  return *sites;
+}
+
+bool IsKnownFaultSite(std::string_view site) {
+  size_t hash = site.rfind('#');
+  if (hash != std::string_view::npos) {
+    std::string_view suffix = site.substr(hash + 1);
+    if (!AllDigits(suffix)) return false;
+    site = site.substr(0, hash);
+  }
+  const std::vector<std::string_view>& known = KnownFaultSites();
+  return std::binary_search(known.begin(), known.end(), site);
 }
 
 }  // namespace microrec::resilience

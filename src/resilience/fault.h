@@ -11,8 +11,17 @@
 // A spec of the form `N` (integer >= 1) fires on every Nth hit of the site;
 // a spec in (0, 1) fires per-hit with that probability, drawn from a
 // per-site PCG stream seeded from (site, seed) so runs are exactly
-// reproducible. Mirroring the obs trace pattern, a dormant site costs one
-// relaxed atomic load (MICROREC_FAULTS is consulted lazily on first use).
+// reproducible; a spec of the form `+N` (integer >= 0) fires on every hit
+// AFTER the first N — the "process died mid-run" shape the chaos gates arm
+// against serving shards. Mirroring the obs trace pattern, a dormant site
+// costs one relaxed atomic load (MICROREC_FAULTS is consulted lazily on
+// first use).
+//
+// Sites named in MICROREC_FAULTS must come from KnownFaultSites(); a typo'd
+// site is a hard error at arming time, not a silently dormant site. A known
+// site may carry a `#<n>` instance suffix (e.g. shard.query#1) to target one
+// shard; the suffix is stripped before registry validation and each suffixed
+// name keeps its own hit/fire counters.
 //
 //   MICROREC_FAULT_POINT("topic.gibbs.sweep");   // returns Status on fire
 //   resilience::MaybeThrowFault("pool.task");    // throws FaultInjectedError
@@ -43,10 +52,14 @@ inline bool FaultsArmed() {
   return state == 2;
 }
 
-/// Activation rule for one site. Exactly one of the two modes is active.
+/// Activation rule for one site. Exactly one of the three modes is active.
 struct FaultSpec {
   uint64_t every_nth = 0;    // > 0: hits N, 2N, 3N, ... fire
   double probability = 0.0;  // in (0, 1]: seeded per-hit Bernoulli
+  // "Dead from hit N+1 on": the first N hits pass, every later hit fires.
+  // Distinguished from the dormant default by kill_after = true.
+  bool kill_after = false;
+  uint64_t after_nth = 0;
 };
 
 /// Evaluates the site against its armed spec. Returns OK when the site is
@@ -71,8 +84,14 @@ void MaybeThrowFault(std::string_view site);
 void ArmFault(std::string_view site, FaultSpec spec, uint64_t seed = 0);
 
 /// Parses and arms a MICROREC_FAULTS-style spec string
-/// ("site:3,other:0.25"). Returns the number of sites armed.
-Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed = 0);
+/// ("site:3,other:0.25,dead.site:+50"). Returns the number of sites armed.
+/// With validate_sites (the MICROREC_FAULTS env path), every site name —
+/// after stripping an optional `#<n>` instance suffix — must appear in
+/// KnownFaultSites(); unknown names are an InvalidArgument naming the
+/// offending entry. Programmatic callers default to unvalidated so higher
+/// layers may still invent private sites in tests.
+Result<size_t> ArmFaultsFromSpec(std::string_view spec, uint64_t seed = 0,
+                                 bool validate_sites = false);
 
 /// Disarms every site and resets all counters. After this, FaultsArmed()
 /// is false until the next ArmFault (the environment is not re-consulted).
@@ -87,9 +106,9 @@ uint64_t FaultFireCount(std::string_view site);
 std::vector<std::string> ArmedFaultSites();
 
 /// The canonical site names instrumented across the pipeline, for
-/// documentation and spec validation (arming an unknown site is allowed —
-/// call sites in higher layers may add their own — but these are the ones
-/// the library itself checks).
+/// documentation and spec validation. ArmFault still accepts arbitrary
+/// names (tests invent private sites), but the MICROREC_FAULTS env path
+/// rejects anything outside KnownFaultSites().
 inline constexpr std::string_view kSiteCorpusIoRead = "corpus.io.read";
 inline constexpr std::string_view kSiteTopicGibbsSweep = "topic.gibbs.sweep";
 inline constexpr std::string_view kSitePoolTask = "pool.task";
@@ -98,6 +117,22 @@ inline constexpr std::string_view kSiteSweepConfig = "sweep.config";
 inline constexpr std::string_view kSiteCheckpointWrite = "checkpoint.write";
 inline constexpr std::string_view kSiteSnapshotWrite = "snapshot.write";
 inline constexpr std::string_view kSiteSnapshotLoad = "snapshot.load";
+// Sharded-serving sites (DESIGN.md §13). Checked per shard attempt by
+// rec::ShardedRecommender with the owning shard's `#<s>` suffix alongside
+// the bare name, so `shard.query:0.01` jitters every shard while
+// `shard.query#1:+50` kills exactly shard 1 after its 50th query.
+inline constexpr std::string_view kSiteShardQuery = "shard.query";
+inline constexpr std::string_view kSiteShardWarm = "shard.warm";
+inline constexpr std::string_view kSiteShardSnapshotLoad =
+    "shard.snapshot.load";
+
+/// Every site name the repository instruments, sorted, for `microrec faults
+/// --list` and env-spec validation.
+const std::vector<std::string_view>& KnownFaultSites();
+
+/// True when `site` is a known site, optionally carrying a `#<digits>`
+/// instance suffix (shard.query#3). Exposed for spec validation tests.
+bool IsKnownFaultSite(std::string_view site);
 
 }  // namespace microrec::resilience
 

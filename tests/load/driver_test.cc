@@ -21,6 +21,9 @@ class FakeBackend : public Backend {
     /// (0 disables).
     uint64_t fail_lookup_every = 0;
     bool fail_warm = false;
+    /// > 0: attribute each recommend to shard user_rank % num_shards and
+    /// report that many shards from ShardHealth().
+    int num_shards = 0;
   };
 
   explicit FakeBackend(Script script) : script_(script) {}
@@ -46,7 +49,24 @@ class FakeBackend : public Backend {
     outcome.ranked = user_rank + 1;
     outcome.ranking_hash = FnvMixU64(FnvMixU64(kFnvOffsetBasis, rid),
                                      user_rank);
+    if (script_.num_shards > 0) {
+      outcome.shard =
+          static_cast<int>(user_rank % static_cast<uint64_t>(script_.num_shards));
+    }
     return outcome;
+  }
+
+  std::vector<ShardHealthStats> ShardHealth() override {
+    std::vector<ShardHealthStats> out;
+    for (int s = 0; s < script_.num_shards; ++s) {
+      ShardHealthStats stats;
+      stats.shard = s;
+      stats.breaker_state = s == 1 ? 2 : 0;
+      stats.breaker_transitions = s == 1 ? 3 : 0;
+      stats.failed_attempts = s == 1 ? 7 : 0;
+      out.push_back(stats);
+    }
+    return out;
   }
 
  private:
@@ -146,6 +166,46 @@ TEST(DriverTest, OpenLoopPacesOfferedRate) {
   EXPECT_GE(report->wall_seconds, 0.049);
   EXPECT_LE(report->qps, options.target_qps * 1.1);
   EXPECT_DOUBLE_EQ(report->target_qps, 1000.0);
+}
+
+TEST(DriverTest, PerShardBreakdownAccountsEveryRecommend) {
+  FakeBackend::Script script;
+  script.num_shards = 3;
+  Workload workload = BuildWorkload(300);
+  DriverOptions options;
+  options.threads = 4;
+  Result<LoadReport> report =
+      RunLoad(workload, options, FakeFactory(script));
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->per_shard.size(), 3u);
+  uint64_t served = 0;
+  for (const LoadReport::ShardBreakdown& s : report->per_shard) {
+    served += s.served;
+    uint64_t rungs = s.per_rung[0] + s.per_rung[1] + s.per_rung[2];
+    EXPECT_EQ(rungs, s.served) << "shard " << s.shard;
+    EXPECT_EQ(s.latency.count, s.served) << "shard " << s.shard;
+    if (s.served > 0) {
+      EXPECT_GT(s.qps, 0.0);
+    }
+  }
+  EXPECT_EQ(served, workload.CountOf(OpClass::kRecommend));
+  // Health fields come from the backend's router snapshot.
+  EXPECT_EQ(report->per_shard[1].breaker_state, 2);
+  EXPECT_EQ(report->per_shard[1].breaker_transitions, 3u);
+  EXPECT_EQ(report->per_shard[1].failed_attempts, 7u);
+  EXPECT_EQ(report->per_shard[0].breaker_transitions, 0u);
+
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"per_shard\""), std::string::npos);
+  EXPECT_NE(json.find("\"breaker_transitions\":3"), std::string::npos);
+}
+
+TEST(DriverTest, UnshardedBackendReportsNoShardBreakdown) {
+  Result<LoadReport> report =
+      RunLoad(BuildWorkload(100), DriverOptions{}, FakeFactory());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->per_shard.empty());
+  EXPECT_EQ(report->ToJson().find("\"per_shard\""), std::string::npos);
 }
 
 TEST(DriverTest, ToJsonCarriesTheGateFields) {

@@ -121,6 +121,76 @@ TEST_F(FaultTest, ArmFaultsFromSpecRejectsMalformedEntries) {
   EXPECT_FALSE(ArmFaultsFromSpec("site:nonsense").ok());
 }
 
+TEST_F(FaultTest, KillAfterIsHealthyThenPermanentlyDead) {
+  Result<size_t> armed = ArmFaultsFromSpec("mortal.site:+3");
+  ASSERT_TRUE(armed.ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) {
+    fired.push_back(!CheckFault("mortal.site").ok());
+  }
+  // Hits 1-3 pass; every hit from the 4th on fires — dead stays dead.
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, false, false, true, true, true}));
+  EXPECT_EQ(FaultFireCount("mortal.site"), 3u);
+}
+
+TEST_F(FaultTest, KillAfterZeroIsDeadFromTheFirstHit) {
+  ASSERT_TRUE(ArmFaultsFromSpec("stillborn.site:+0").ok());
+  EXPECT_FALSE(CheckFault("stillborn.site").ok());
+}
+
+TEST_F(FaultTest, RejectsSpecsThatCouldNeverFire) {
+  // strtoull would silently wrap "-3" into a huge cadence; the parser must
+  // reject it (and the other never-firing shapes) instead of arming a
+  // dormant chaos run.
+  EXPECT_FALSE(ArmFaultsFromSpec("site:-3").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:nan").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:inf").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:+abc").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:+").ok());
+  EXPECT_FALSE(ArmFaultsFromSpec("site:1.0e2").ok());
+}
+
+TEST_F(FaultTest, ErrorsNameTheOffendingEntry) {
+  Status status = ArmFaultsFromSpec("good.site:3,bad.site:0").status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("entry 2"), std::string::npos);
+  EXPECT_NE(status.message().find("bad.site:0"), std::string::npos);
+  // All-or-nothing: the valid leading entry must not have been armed.
+  EXPECT_TRUE(ArmedFaultSites().empty());
+}
+
+TEST_F(FaultTest, SiteValidationIsOptInAndSuffixAware) {
+  // Tests invent private sites, so validation is off by default...
+  EXPECT_TRUE(ArmFaultsFromSpec("invented.site:1").ok());
+  ClearFaults();
+  // ...and on for the MICROREC_FAULTS env path, where a typo would make a
+  // chaos run pass trivially.
+  EXPECT_FALSE(
+      ArmFaultsFromSpec("invented.site:1", 0, /*validate_sites=*/true).ok());
+  EXPECT_TRUE(
+      ArmFaultsFromSpec("shard.query:1", 0, /*validate_sites=*/true).ok());
+  EXPECT_TRUE(
+      ArmFaultsFromSpec("shard.query#3:+5", 0, /*validate_sites=*/true).ok());
+  EXPECT_FALSE(
+      ArmFaultsFromSpec("shard.query#x:1", 0, /*validate_sites=*/true).ok());
+}
+
+TEST_F(FaultTest, KnownFaultSitesIsSortedAndContainsShardSites) {
+  const std::vector<std::string_view>& known = KnownFaultSites();
+  ASSERT_FALSE(known.empty());
+  for (size_t i = 1; i < known.size(); ++i) {
+    EXPECT_LT(known[i - 1], known[i]);
+  }
+  EXPECT_TRUE(IsKnownFaultSite(kSiteShardQuery));
+  EXPECT_TRUE(IsKnownFaultSite(kSiteShardWarm));
+  EXPECT_TRUE(IsKnownFaultSite(kSiteShardSnapshotLoad));
+  EXPECT_TRUE(IsKnownFaultSite("shard.query#12"));
+  EXPECT_FALSE(IsKnownFaultSite("shard.query#"));
+  EXPECT_FALSE(IsKnownFaultSite("not.a.site"));
+  EXPECT_FALSE(IsKnownFaultSite("not.a.site#2"));
+}
+
 TEST_F(FaultTest, ClearFaultsDisarmsEverything) {
   FaultSpec spec;
   spec.every_nth = 1;

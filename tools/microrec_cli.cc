@@ -21,7 +21,12 @@
 //                                         replay a seeded synthetic workload
 //                                         (Zipf user arrivals, weighted op
 //                                         mix) against the serving path on
-//                                         --threads client threads
+//                                         --threads client threads; with
+//                                         --shards=<n> the traffic goes
+//                                         through the fault-tolerant shard
+//                                         router (DESIGN.md §13)
+//   microrec faults --list                print every known fault site for
+//                                         MICROREC_FAULTS
 //
 // Global observability flags (usable with every command):
 //   --metrics=<path>           write a metrics-registry snapshot at exit
@@ -54,6 +59,16 @@
 //   --user=<handle>       recommend for one user instead of the cohort
 //   --top-k=<n>           print the top n recommendations (default 5;
 //                         0 prints the full ranking)
+//
+// Sharding flags (recommend / load):
+//   --shards=<n>          serve through n hash-partitioned engine shards
+//                         behind the health-gated router (default 1 =
+//                         unsharded). Per-shard snapshots are built from
+//                         the trained base snapshot's configuration on
+//                         first use.
+//   --hedge-after-ms=<t>  hedged requests: give a rung-0 attempt t ms
+//                         before re-issuing to the shard's fallback rung
+//                         (0 = off)
 //
 // Scoring flags (evaluate / recommend):
 //   --threads=<n>         threads for the sharded scoring phase (default 1).
@@ -95,6 +110,8 @@
 #include "obs/trace.h"
 #include "rec/hashtag_rec.h"
 #include "rec/serving.h"
+#include "rec/sharded.h"
+#include "resilience/fault.h"
 #include "synth/generator.h"
 #include "util/cli_flags.h"
 #include "util/string_util.h"
@@ -134,8 +151,9 @@ int Usage() {
       "                     <dir> <model> <source> [iter_scale]\n"
       "  microrec load [--requests=<n>] [--load-seed=<n>] [--zipf=<s>]"
       " [--mix=<r,p,w>] [--target-qps=<q>] [--threads=<n>]"
-      " [--load-report=<path>]\n"
-      "                <dir> <model> <source> [iter_scale]\n");
+      " [--shards=<n>] [--hedge-after-ms=<t>] [--load-report=<path>]\n"
+      "                <dir> <model> <source> [iter_scale]\n"
+      "  microrec faults --list\n");
   return 2;
 }
 
@@ -329,6 +347,8 @@ struct ServingFlags {
   size_t top_k = 5;
   size_t threads = 1;
   size_t train_threads = 1;
+  size_t shards = 1;
+  double hedge_after_ms = 0.0;
 };
 
 int Train(const std::string& dir, const std::string& model_name,
@@ -411,6 +431,45 @@ int Recommend(const std::string& dir, const std::string& model_name,
   // by corpus size.
   serving.score_cache_capacity = 4096;
   rec::EngineContext ctx = runner.MakeContext(*config, *source);
+
+  if (flags.shards > 1) {
+    rec::ShardedServingOptions sharded;
+    sharded.serving = serving;
+    sharded.num_shards = flags.shards;
+    sharded.hedge_after_seconds = flags.hedge_after_ms / 1000.0;
+    if (Status st = rec::BuildShardSnapshots(*config, ctx, sharded.num_shards,
+                                             serving.snapshot_path);
+        !st.ok()) {
+      return Fail(st);
+    }
+    rec::ShardedRecommender server(ctx, sharded);
+    size_t rung_counts[3] = {0, 0, 0};
+    for (corpus::UserId u : users) {
+      const corpus::UserSplit& split = runner.SplitOf(u);
+      rec::ShardedRecommendResult served = server.Recommend(u, split.TestSet());
+      rung_counts[static_cast<int>(served.result.rung)]++;
+      std::printf("%s (%s, shard %zu%s):\n",
+                  stack->corpus().user(u).handle.c_str(),
+                  std::string(rec::ServingRungName(served.result.rung)).c_str(),
+                  served.shard, served.shard == served.owner ? "" : " [failover]");
+      for (const rec::Recommendation& r : served.result.ranking) {
+        const corpus::Tweet& tweet = stack->corpus().tweet(r.tweet);
+        std::printf("  %6.3f  t%llu  %s\n", r.score,
+                    static_cast<unsigned long long>(r.tweet),
+                    tweet.text.c_str());
+      }
+    }
+    std::printf("served: %zu primary / %zu bag-fallback / %zu popularity\n",
+                rung_counts[0], rung_counts[1], rung_counts[2]);
+    for (const rec::ShardHealth& h : server.Health()) {
+      std::printf("shard %d: %s  served %llu  failures %llu\n", h.shard,
+                  std::string(rec::BreakerStateName(h.state)).c_str(),
+                  static_cast<unsigned long long>(h.served),
+                  static_cast<unsigned long long>(h.failures));
+    }
+    return 0;
+  }
+
   rec::DegradingRecommender server(ctx, serving);
 
   size_t rung_counts[3] = {0, 0, 0};
@@ -526,8 +585,27 @@ int Load(const std::string& dir, const std::string& model_name,
   load::DriverOptions driver;
   driver.threads = serving_flags.threads == 0 ? 1 : serving_flags.threads;
   driver.target_qps = load_flags.target_qps;
-  Result<load::LoadReport> report =
-      load::RunLoad(*workload, driver, load::ServingBackend::Factory(backend));
+  load::BackendFactory factory;
+  if (serving_flags.shards > 1) {
+    rec::ShardedServingOptions sharded;
+    sharded.serving = serving;
+    sharded.num_shards = serving_flags.shards;
+    sharded.hedge_after_seconds = serving_flags.hedge_after_ms / 1000.0;
+    if (Status st = rec::BuildShardSnapshots(*config, ctx, sharded.num_shards,
+                                             serving.snapshot_path);
+        !st.ok()) {
+      return Fail(st);
+    }
+    load::ShardedServingBackend::Options sharded_backend;
+    sharded_backend.ctx = &ctx;
+    sharded_backend.sharded = sharded;
+    sharded_backend.users = backend.users;
+    sharded_backend.candidates = backend.candidates;
+    factory = load::ShardedServingBackend::Factory(std::move(sharded_backend));
+  } else {
+    factory = load::ServingBackend::Factory(backend);
+  }
+  Result<load::LoadReport> report = load::RunLoad(*workload, driver, factory);
   if (!report.ok()) return Fail(report.status());
 
   std::printf("%llu requests on %llu threads in %.2fs: %.1f qps%s\n",
@@ -556,6 +634,20 @@ int Load(const std::string& dir, const std::string& model_name,
               static_cast<unsigned long long>(report->schedule_hash),
               static_cast<unsigned long long>(report->rankings_hash),
               static_cast<unsigned long long>(report->errors));
+  for (const load::LoadReport::ShardBreakdown& s : report->per_shard) {
+    std::printf(
+        "  shard %d: %llu served  %.1f qps  p99 %.2fms  rungs %llu/%llu/%llu"
+        "  breaker %s (%llu transitions, %llu failed attempts)\n",
+        s.shard, static_cast<unsigned long long>(s.served), s.qps,
+        s.latency.p99 * 1e3, static_cast<unsigned long long>(s.per_rung[0]),
+        static_cast<unsigned long long>(s.per_rung[1]),
+        static_cast<unsigned long long>(s.per_rung[2]),
+        std::string(rec::BreakerStateName(
+                        static_cast<rec::BreakerState>(s.breaker_state)))
+            .c_str(),
+        static_cast<unsigned long long>(s.breaker_transitions),
+        static_cast<unsigned long long>(s.failed_attempts));
+  }
   if (!load_flags.report_path.empty()) {
     std::FILE* file = std::fopen(load_flags.report_path.c_str(), "w");
     if (file == nullptr) {
@@ -675,6 +767,36 @@ int Suggest(const std::string& dir, const std::string& handle, size_t top_k) {
   return 0;
 }
 
+/// `microrec faults --list`: every fault site the binary instruments, one
+/// per line, so operators can write MICROREC_FAULTS specs without reading
+/// the source (a typo'd site in the env spec is a hard startup error).
+int Faults() {
+  // Force the lazy MICROREC_FAULTS parse so a typo'd spec aborts here with
+  // the parser's message (exit 2) instead of sailing through a listing, and
+  // so env-armed sites show up as (armed) below.
+  (void)resilience::FaultsArmed();
+  std::vector<std::string> armed = resilience::ArmedFaultSites();
+  for (std::string_view site : resilience::KnownFaultSites()) {
+    // An armed entry matches its bare site exactly or via a `#<n>` instance
+    // suffix (shard.query#1 arms the shard.query row).
+    const bool is_armed =
+        std::any_of(armed.begin(), armed.end(), [&](const std::string& a) {
+          if (a == site) return true;
+          return a.size() > site.size() + 1 &&
+                 std::string_view(a).substr(0, site.size()) == site &&
+                 a[site.size()] == '#';
+        });
+    std::printf("%.*s%s\n", static_cast<int>(site.size()), site.data(),
+                is_armed ? "  (armed)" : "");
+  }
+  std::printf(
+      "\nspec: site:0.5 (probability), site:3 (every 3rd hit), site:+50\n"
+      "(healthy for 50 hits, then dead); append #<n> for one shard/instance\n"
+      "(for example shard.query#1:+50). Join entries with commas in\n"
+      "MICROREC_FAULTS.\n");
+  return 0;
+}
+
 /// Optional trailing iter_scale positional; rejects garbage instead of the
 /// old atof-silently-zero behavior.
 bool IterScaleArg(const std::vector<std::string>& args, size_t index,
@@ -690,6 +812,8 @@ bool IterScaleArg(const std::vector<std::string>& args, size_t index,
 
 int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
              const ServingFlags& serving, const LoadFlags& load_flags) {
+  // `faults` takes no corpus directory; handle it before the <dir> guard.
+  if (!args.empty() && args[0] == "faults") return Faults();
   if (args.size() < 2) return Usage();
   const std::string& command = args[0];
   const std::string& dir = args[1];
@@ -781,6 +905,15 @@ int main(int argc, char** argv) {
                    "load: open-loop offered rate (0 = closed loop)");
   parser.AddString("load-report", &load_flags.report_path,
                    "load: write the load report JSON to this path");
+  parser.AddSize("shards", &serving.shards,
+                 "recommend/load: hash-partitioned engine shards behind the "
+                 "health-gated router (default 1 = unsharded)");
+  parser.AddDouble("hedge-after-ms", &serving.hedge_after_ms,
+                   "recommend/load: hedge window in ms before a slow rung-0 "
+                   "attempt is re-issued to the fallback rung (0 = off)");
+  bool list_faults = false;
+  parser.AddBool("list", &list_faults,
+                 "faults: print every known fault site");
 
   std::vector<std::string> raw(argv + 1, argv + argc);
   Result<std::vector<std::string>> args = parser.Parse(raw);
