@@ -33,6 +33,8 @@
 #include "load/workload.h"
 #include "obs/flight_recorder.h"
 #include "rec/serving.h"
+#include "stream/live.h"
+#include "stream/session.h"
 
 using namespace microrec;
 
@@ -215,6 +217,132 @@ int main(int argc, char** argv) {
         std::to_string(a->errors) + " errors, " +
             std::to_string(a->warm_failures) + " warm failures");
 
+  // --- mixed ingest+recommend under rotation (DESIGN.md §14) -------------
+  // Stream the back half of the cohort, query only the front half, whose
+  // models never move. The same mixed schedule runs against a no-op
+  // ingest baseline and against live WAL-backed ingest at S=1 and S=4
+  // epoch shards: zero errors in all three, and the recommend rankings
+  // hash must be identical — epoch rotation is invisible to users whose
+  // models didn't change.
+  uint64_t mixed_epoch_s1 = 0, mixed_epoch_s4 = 0;
+  Result<load::LoadReport> mixed_base = Status::Internal("not run");
+  Result<load::LoadReport> mixed_s1 = Status::Internal("not run");
+  Result<load::LoadReport> mixed_s4 = Status::Internal("not run");
+  {
+    std::vector<corpus::UserId> query_users(
+        users.begin(),
+        users.begin() + static_cast<ptrdiff_t>(users.size() / 2));
+    std::vector<corpus::UserId> stream_users(
+        users.begin() + static_cast<ptrdiff_t>(users.size() / 2),
+        users.end());
+    if (query_users.empty() || stream_users.empty()) {
+      std::fprintf(stderr, "error: cohort too small to split\n");
+      return 1;
+    }
+    load::WorkloadOptions mixed_spec = spec;
+    mixed_spec.num_users = query_users.size();
+    mixed_spec.mix.recommend = 0.82;
+    mixed_spec.mix.profile_lookup = 0.08;
+    mixed_spec.mix.snapshot_warm = 0.02;
+    mixed_spec.mix.ingest = 0.08;
+    Result<load::Workload> mixed = load::Workload::Build(mixed_spec);
+    if (!mixed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   mixed.status().ToString().c_str());
+      return 1;
+    }
+    stream::StreamCutOptions cut_options;
+    cut_options.cut_fraction = 0.5;
+    cut_options.stream_users = stream_users;
+    Result<stream::StreamCut> cut = stream::MakeStreamCut(ctx, cut_options);
+    if (!cut.ok()) {
+      std::fprintf(stderr, "error: %s\n", cut.status().ToString().c_str());
+      return 1;
+    }
+
+    auto mixed_run = [&](size_t shards, bool live_ingest,
+                         uint64_t* final_epoch) -> Result<load::LoadReport> {
+      stream::StreamSessionOptions session_options;
+      session_options.config = *config;
+      session_options.dir = snapshot_dir + "/stream_s" +
+                            std::to_string(shards) +
+                            (live_ingest ? "" : "_baseline");
+      Result<std::unique_ptr<stream::StreamSession>> session =
+          stream::StreamSession::Open(ctx, *cut, session_options);
+      if (!session.ok()) return session.status();
+      stream::StreamSession* raw = session->get();
+      stream::LiveRecommender::Options live_options;
+      live_options.serving = serving;
+      live_options.num_shards = shards;
+      auto live =
+          std::make_shared<stream::LiveRecommender>(ctx, live_options);
+      MICROREC_RETURN_IF_ERROR(live->Publish(raw->checkpoint_snapshot_path(),
+                                             raw->epoch(),
+                                             raw->CopyTrainSets()));
+      stream::LiveBackend::Options live_backend;
+      live_backend.live = live;
+      live_backend.users = query_users;
+      live_backend.candidates = backend.candidates;
+      if (live_ingest) {
+        live_backend.ingest = [raw, live](uint64_t) -> Result<uint64_t> {
+          Result<uint64_t> applied = raw->IngestNext();
+          if (!applied.ok()) return applied.status();
+          if (*applied == 0) return applied;  // drained
+          MICROREC_RETURN_IF_ERROR(raw->Checkpoint());
+          MICROREC_RETURN_IF_ERROR(
+              live->Publish(raw->checkpoint_snapshot_path(), raw->epoch(),
+                            raw->CopyTrainSets()));
+          return applied;
+        };
+      } else {
+        // Accepted but nothing applied: the models never rotate, making
+        // this run the hash baseline for the live-ingest runs.
+        live_backend.ingest = [](uint64_t) -> Result<uint64_t> {
+          return static_cast<uint64_t>(0);
+        };
+      }
+      load::DriverOptions driver;
+      driver.threads = 2;
+      Result<load::LoadReport> report = load::RunLoad(
+          *mixed, driver,
+          stream::LiveBackend::Factory(std::move(live_backend)));
+      if (final_epoch != nullptr) *final_epoch = live->EpochOf(shards - 1);
+      return report;
+    };
+    mixed_base = mixed_run(1, false, nullptr);
+    mixed_s1 = mixed_run(1, true, &mixed_epoch_s1);
+    mixed_s4 = mixed_run(4, true, &mixed_epoch_s4);
+    for (const auto* r : {&mixed_base, &mixed_s1, &mixed_s4}) {
+      if (!r->ok()) {
+        std::fprintf(stderr, "error: mixed run: %s\n",
+                     r->status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("# mixed ingest: %llu ops applied to epoch %llu (S=1) / "
+                "%llu (S=4)\n",
+                static_cast<unsigned long long>(mixed_s1->per_op[3]),
+                static_cast<unsigned long long>(mixed_epoch_s1),
+                static_cast<unsigned long long>(mixed_epoch_s4));
+    Check(&gates, "mixed_no_errors",
+          mixed_base->errors == 0 && mixed_s1->errors == 0 &&
+              mixed_s4->errors == 0,
+          std::to_string(mixed_base->errors) + " / " +
+              std::to_string(mixed_s1->errors) + " / " +
+              std::to_string(mixed_s4->errors) +
+              " errors (baseline / S=1 / S=4)");
+    Check(&gates, "mixed_rankings_rotation_invariant",
+          mixed_base->rankings_hash == mixed_s1->rankings_hash &&
+              mixed_base->rankings_hash == mixed_s4->rankings_hash,
+          Hex(mixed_base->rankings_hash) + " across no-op, S=1, S=4");
+    // Both live runs must actually have rotated, or the gate above is
+    // vacuously green.
+    Check(&gates, "mixed_epochs_advanced",
+          mixed_epoch_s1 > 1 && mixed_epoch_s4 > 1,
+          "final epochs " + std::to_string(mixed_epoch_s1) + " (S=1), " +
+              std::to_string(mixed_epoch_s4) + " (S=4)");
+  }
+
   bool all_passed = true;
   for (const Gate& gate : gates) all_passed = all_passed && gate.passed;
 
@@ -233,6 +361,13 @@ int main(int argc, char** argv) {
   report.AddScalar("errors", static_cast<double>(a->errors));
   report.AddText("schedule_hash", Hex(a->schedule_hash));
   report.AddText("rankings_hash", Hex(a->rankings_hash));
+  if (mixed_s1.ok()) {
+    report.AddScalar("mixed_ingest_ops",
+                     static_cast<double>(mixed_s1->per_op[3]));
+    report.AddScalar("mixed_epoch_s1", static_cast<double>(mixed_epoch_s1));
+    report.AddScalar("mixed_epoch_s4", static_cast<double>(mixed_epoch_s4));
+    report.AddText("mixed_rankings_hash", Hex(mixed_s1->rankings_hash));
+  }
   for (const Gate& gate : gates) {
     report.AddScalar("gate_" + gate.name, gate.passed ? 1.0 : 0.0);
   }

@@ -1,0 +1,686 @@
+// Streaming-chaos gate (DESIGN.md §14): proves the crash-safe ingest
+// contract at bench scale and fails CI when it breaks.
+//
+// Phase 1 — kill anywhere, recover bit-identically. For a matrix of
+//   (model, fault site, kill point, checkpoint cadence), a run is killed
+//   mid-ingest by an armed `kill_after` fault, discarded half-mutated,
+//   reopened (snapshot + WAL replay) and drained; its final serialized
+//   engine state must equal an uninterrupted run's byte for byte, and the
+//   rankings served off both states must hash identically. One case also
+//   kills the recovery itself (`wal.replay`) before recovering for real.
+//
+// Phase 2 — live rotation under load. A LiveRecommender over 2 epoch
+//   shards serves a query cohort disjoint from the stream users while the
+//   session checkpoints and publishes every batch: zero query errors, and
+//   every query user's ranking hash is invariant across rotations.
+//
+// Phase 3 — prequential curve. The MAP-vs-staleness curve from
+//   test-then-train evaluation must have measured endpoints and a
+//   monotonically shrinking staleness axis; its points land in the report.
+//
+// Real-SIGKILL harness (the CI streaming-chaos job drives this):
+//   MICROREC_STREAM_DIR=<dir> MICROREC_STREAM_KILL_AFTER=<n>
+//       apply n batches into <dir>, then raise SIGKILL — the process dies
+//       with no cleanup, exactly like a crashed ingester (exit 137);
+//   MICROREC_STREAM_DIR=<dir> MICROREC_STREAM_RECOVER=1
+//       recover from <dir> in a fresh process, drain, and compare the
+//       final state bytes against an uninterrupted in-process run.
+// Both modes exercise cross-process recovery: the synthetic corpus is a
+// pure function of MICROREC_SEED, so the recovering process rebuilds the
+// exact world the killed one saw.
+//
+// Output: BENCH_streaming.json with gate verdicts, the kill matrix, and
+// the prequential curve.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_util.h"
+#include "load/serving_backend.h"
+#include "rec/serving.h"
+#include "resilience/fault.h"
+#include "stream/live.h"
+#include "stream/prequential.h"
+#include "stream/session.h"
+
+using namespace microrec;
+
+namespace {
+
+struct Gate {
+  std::string name;
+  bool passed = false;
+  std::string detail;
+};
+
+void Check(std::vector<Gate>* gates, const std::string& name, bool passed,
+           const std::string& detail) {
+  gates->push_back(Gate{name, passed, detail});
+  std::printf("%s  %-34s %s\n", passed ? "PASS" : "FAIL", name.c_str(),
+              detail.c_str());
+}
+
+std::string Hex(uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// First grid configuration of `kind` valid on source R.
+Result<rec::ModelConfig> FirstValid(rec::ModelKind kind) {
+  for (const rec::ModelConfig& candidate : rec::EnumerateConfigs(kind)) {
+    if (candidate.IsValidForSource(
+            corpus::HasNegativeExamples(corpus::Source::kR))) {
+      return candidate;
+    }
+  }
+  return Status::NotFound(std::string("no valid ") +
+                          std::string(rec::ModelKindName(kind)) +
+                          " configuration for source R");
+}
+
+/// Everything one model needs for a streaming run.
+struct StreamWorld {
+  rec::ModelConfig config;
+  rec::EngineContext ctx;
+  stream::StreamCut cut;
+};
+
+Result<StreamWorld> MakeWorld(eval::ExperimentRunner& runner,
+                              rec::ModelKind kind,
+                              std::vector<corpus::UserId> stream_users) {
+  StreamWorld world;
+  Result<rec::ModelConfig> config = FirstValid(kind);
+  if (!config.ok()) return config.status();
+  world.config = *config;
+  world.ctx = runner.MakeContext(world.config, corpus::Source::kR);
+  stream::StreamCutOptions options;
+  options.cut_fraction = 0.5;
+  options.stream_users = std::move(stream_users);
+  Result<stream::StreamCut> cut = stream::MakeStreamCut(world.ctx, options);
+  if (!cut.ok()) return cut.status();
+  if (cut->stream.empty()) {
+    return Status::FailedPrecondition("cut produced an empty stream");
+  }
+  world.cut = std::move(*cut);
+  return world;
+}
+
+stream::StreamSessionOptions SessionOptions(const StreamWorld& world,
+                                            const std::string& dir,
+                                            size_t batch_size,
+                                            size_t checkpoint_every) {
+  stream::StreamSessionOptions options;
+  options.config = world.config;
+  options.dir = dir;
+  options.batch_size = batch_size;
+  options.checkpoint_every = checkpoint_every;
+  return options;
+}
+
+/// Folds per-user ranking hashes in cohort order into one fingerprint.
+uint64_t Fold(uint64_t acc, uint64_t h) {
+  acc ^= h + 0x9e3779b97f4a7c15ULL + (acc << 6) + (acc >> 2);
+  return acc;
+}
+
+/// Serves every user off a published epoch and folds the ranking hashes —
+/// the "same state bytes means same rankings" cross-check.
+Result<uint64_t> RankingsFingerprint(const StreamWorld& world,
+                                     stream::StreamSession* session,
+                                     eval::ExperimentRunner& runner,
+                                     const std::vector<corpus::UserId>& users) {
+  MICROREC_RETURN_IF_ERROR(session->Checkpoint());
+  stream::LiveRecommender::Options options;
+  options.serving.primary = world.config;
+  options.serving.top_k = 10;
+  options.serving.score_threads = 1;
+  options.num_shards = 1;
+  stream::LiveRecommender live(world.ctx, options);
+  MICROREC_RETURN_IF_ERROR(live.Publish(session->checkpoint_snapshot_path(),
+                                        session->epoch(),
+                                        session->CopyTrainSets()));
+  uint64_t acc = 0;
+  for (corpus::UserId u : users) {
+    rec::QueryOptions query;
+    query.request_id = 1000 + static_cast<uint64_t>(u);
+    Result<rec::RecommendResult> served =
+        live.Recommend(u, runner.SplitOf(u).TestSet(), query);
+    if (!served.ok()) return served.status();
+    acc = Fold(acc, load::RankingHash(served->ranking));
+  }
+  return acc;
+}
+
+/// The clean, uninterrupted reference: open, drain, serialize.
+Result<std::string> CleanRunBytes(const StreamWorld& world,
+                                  const std::string& dir, size_t batch_size) {
+  Result<std::unique_ptr<stream::StreamSession>> session =
+      stream::StreamSession::Open(world.ctx, world.cut,
+                                  SessionOptions(world, dir, batch_size, 0));
+  if (!session.ok()) return session.status();
+  MICROREC_RETURN_IF_ERROR((*session)->IngestAll());
+  return (*session)->StateBytes();
+}
+
+struct KillCase {
+  std::string name;
+  rec::ModelKind kind = rec::ModelKind::kTN;
+  std::string_view site;
+  uint64_t after_nth = 0;
+  size_t checkpoint_every = 0;
+  /// Also kill the first recovery attempt (`wal.replay`) before the real
+  /// one — a crash during crash recovery must still recover.
+  bool kill_recovery_too = false;
+};
+
+/// Runs one kill-anywhere case: killed mid-ingest by the armed fault,
+/// reopened, drained, compared against `clean_bytes`.
+Result<bool> RunKillCase(const StreamWorld& world, const KillCase& kill,
+                         const std::string& dir, size_t batch_size,
+                         const std::string& clean_bytes) {
+  {
+    Result<std::unique_ptr<stream::StreamSession>> doomed =
+        stream::StreamSession::Open(
+            world.ctx, world.cut,
+            SessionOptions(world, dir, batch_size, kill.checkpoint_every));
+    if (!doomed.ok()) return doomed.status();
+    resilience::FaultSpec spec;
+    spec.kill_after = true;
+    spec.after_nth = kill.after_nth;
+    resilience::ArmFault(kill.site, spec, /*seed=*/3);
+    Status st = (*doomed)->IngestAll();
+    resilience::ClearFaults();
+    if (st.ok()) {
+      return Status::Internal("fault at " + std::string(kill.site) +
+                              " never fired — the case tested nothing");
+    }
+    // The half-mutated session is discarded here; recovery must not
+    // depend on anything it held in memory.
+  }
+  if (kill.kill_recovery_too) {
+    resilience::FaultSpec spec;
+    spec.kill_after = true;
+    spec.after_nth = 0;
+    resilience::ArmFault(resilience::kSiteWalReplay, spec, /*seed=*/3);
+    Result<std::unique_ptr<stream::StreamSession>> blocked =
+        stream::StreamSession::Open(
+            world.ctx, world.cut,
+            SessionOptions(world, dir, batch_size, kill.checkpoint_every));
+    resilience::ClearFaults();
+    if (blocked.ok()) {
+      return Status::Internal("wal.replay fault never fired during recovery");
+    }
+  }
+  Result<std::unique_ptr<stream::StreamSession>> recovered =
+      stream::StreamSession::Open(
+          world.ctx, world.cut,
+          SessionOptions(world, dir, batch_size, kill.checkpoint_every));
+  if (!recovered.ok()) return recovered.status();
+  MICROREC_RETURN_IF_ERROR((*recovered)->IngestAll());
+  Result<std::string> bytes = (*recovered)->StateBytes();
+  if (!bytes.ok()) return bytes.status();
+  return *bytes == clean_bytes;
+}
+
+size_t EnvBatch(size_t stream_size) {
+  size_t batch = bench::EnvSize("MICROREC_STREAM_BATCH", 0);
+  if (batch > 0) return batch;
+  return std::max<size_t>(1, stream_size / 12);
+}
+
+/// MICROREC_STREAM_KILL_AFTER mode: apply n batches, then die like a
+/// crashed process — SIGKILL, no destructors, no flushes beyond the WAL's
+/// own per-append fflush.
+int KillModeMain(const StreamWorld& world, const std::string& dir,
+                 size_t batch_size) {
+  const size_t kill_after =
+      bench::EnvSize("MICROREC_STREAM_KILL_AFTER", 2);
+  Result<std::unique_ptr<stream::StreamSession>> session =
+      stream::StreamSession::Open(
+          world.ctx, world.cut,
+          SessionOptions(world, dir, batch_size,
+                         bench::EnvSize("MICROREC_STREAM_CKPT_EVERY", 2)));
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < kill_after; ++i) {
+    Result<uint64_t> applied = (*session)->IngestNext();
+    if (!applied.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   applied.status().ToString().c_str());
+      return 1;
+    }
+    if (*applied == 0) break;  // drained early: still a valid kill point
+  }
+  std::printf("# killing self after %llu applied batches\n",
+              static_cast<unsigned long long>((*session)->last_applied()));
+  std::fflush(stdout);
+  kill(getpid(), SIGKILL);
+  return 1;  // unreachable
+}
+
+/// MICROREC_STREAM_RECOVER mode: a fresh process recovers the killed
+/// run's directory, drains it, and must match an uninterrupted run.
+int RecoverModeMain(const StreamWorld& world, const std::string& dir,
+                    size_t batch_size) {
+  Result<std::unique_ptr<stream::StreamSession>> session =
+      stream::StreamSession::Open(
+          world.ctx, world.cut,
+          SessionOptions(world, dir, batch_size,
+                         bench::EnvSize("MICROREC_STREAM_CKPT_EVERY", 2)));
+  if (!session.ok()) {
+    std::fprintf(stderr, "error: recovery: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# recovered at batch %llu of %llu, epoch %llu\n",
+              static_cast<unsigned long long>((*session)->last_applied()),
+              static_cast<unsigned long long>((*session)->total_batches()),
+              static_cast<unsigned long long>((*session)->epoch()));
+  if (Status st = (*session)->IngestAll(); !st.ok()) {
+    std::fprintf(stderr, "error: drain: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Result<std::string> recovered_bytes = (*session)->StateBytes();
+  if (!recovered_bytes.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 recovered_bytes.status().ToString().c_str());
+    return 1;
+  }
+  const std::string clean_dir = dir + "_clean_reference";
+  std::filesystem::remove_all(clean_dir);
+  Result<std::string> clean_bytes =
+      CleanRunBytes(world, clean_dir, batch_size);
+  std::error_code ec;
+  std::filesystem::remove_all(clean_dir, ec);
+  if (!clean_bytes.ok()) {
+    std::fprintf(stderr, "error: clean reference: %s\n",
+                 clean_bytes.status().ToString().c_str());
+    return 1;
+  }
+  if (*recovered_bytes != *clean_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: recovered state (%zu bytes) differs from the "
+                 "uninterrupted run (%zu bytes)\n",
+                 recovered_bytes->size(), clean_bytes->size());
+    return 1;
+  }
+  std::printf("PASS: cross-process recovery is bit-identical (%zu bytes)\n",
+              recovered_bytes->size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchIo io = bench::ParseBenchArgs(argc, argv);
+  if (io.report_path.empty()) io.report_path = "BENCH_streaming.json";
+  bench::Workbench workbench = bench::MakeWorkbench();
+  eval::ExperimentRunner& runner = *workbench.runner;
+  const std::vector<corpus::UserId>& users =
+      runner.GroupUsers(corpus::UserType::kAllUsers);
+  if (users.empty()) {
+    std::fprintf(stderr, "error: no evaluable users in the cohort\n");
+    return 1;
+  }
+
+  // --- cross-process SIGKILL harness modes -------------------------------
+  if (const char* dir = std::getenv("MICROREC_STREAM_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    Result<StreamWorld> world = MakeWorld(runner, rec::ModelKind::kTN, {});
+    if (!world.ok()) {
+      std::fprintf(stderr, "error: %s\n", world.status().ToString().c_str());
+      return 1;
+    }
+    const size_t batch_size = EnvBatch(world->cut.stream.size());
+    std::filesystem::create_directories(dir);
+    if (std::getenv("MICROREC_STREAM_KILL_AFTER") != nullptr) {
+      return KillModeMain(*world, dir, batch_size);
+    }
+    if (bench::EnvFlag("MICROREC_STREAM_RECOVER")) {
+      return RecoverModeMain(*world, dir, batch_size);
+    }
+    std::fprintf(stderr,
+                 "error: MICROREC_STREAM_DIR is set but neither "
+                 "MICROREC_STREAM_KILL_AFTER nor MICROREC_STREAM_RECOVER "
+                 "is\n");
+    return 2;
+  }
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "microrec_bench_streaming")
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+  std::vector<Gate> gates;
+  obs::RunReport report("bench_streaming");
+
+  // --- phase 1: kill anywhere, recover bit-identically -------------------
+  const std::vector<KillCase> kill_cases = {
+      {"tn_apply_first", rec::ModelKind::kTN, resilience::kSiteStreamApply,
+       0, 0, false},
+      {"tn_apply_mid", rec::ModelKind::kTN, resilience::kSiteStreamApply, 5,
+       2, false},
+      {"tn_append_first", rec::ModelKind::kTN, resilience::kSiteWalAppend,
+       1, 0, false},
+      // checkpoint_every=1 interleaves batch and checkpoint records, so
+      // this kill lands INSIDE Checkpoint(): snapshot written, checkpoint
+      // record lost, CURRENT stale — recovery must reconcile all three.
+      {"tn_append_mid_checkpoint", rec::ModelKind::kTN,
+       resilience::kSiteWalAppend, 3, 1, false},
+      {"tn_killed_recovery", rec::ModelKind::kTN,
+       resilience::kSiteStreamApply, 2, 2, true},
+      // Topic fold-in: frozen-φ inference and the snapshot-carried rng
+      // must replay to the same bits.
+      {"lda_apply_mid", rec::ModelKind::kLDA, resilience::kSiteStreamApply,
+       2, 2, false},
+  };
+  // One clean reference (state bytes + served-rankings fingerprint) per
+  // model kind; the checkpoint cadence must not affect either.
+  struct Reference {
+    StreamWorld world;
+    std::string bytes;
+    uint64_t rankings = 0;
+    size_t batch_size = 0;
+  };
+  std::vector<std::pair<rec::ModelKind, Reference>> references;
+  auto reference_of = [&](rec::ModelKind kind) -> Result<Reference*> {
+    for (auto& [k, ref] : references) {
+      if (k == kind) return &ref;
+    }
+    Result<StreamWorld> world = MakeWorld(runner, kind, {});
+    if (!world.ok()) return world.status();
+    Reference ref;
+    ref.world = std::move(*world);
+    ref.batch_size = EnvBatch(ref.world.cut.stream.size());
+    const std::string dir =
+        root + "/clean_" + std::string(rec::ModelKindName(kind));
+    Result<std::unique_ptr<stream::StreamSession>> session =
+        stream::StreamSession::Open(
+            ref.world.ctx, ref.world.cut,
+            SessionOptions(ref.world, dir, ref.batch_size, 0));
+    if (!session.ok()) return session.status();
+    MICROREC_RETURN_IF_ERROR((*session)->IngestAll());
+    Result<std::string> bytes = (*session)->StateBytes();
+    if (!bytes.ok()) return bytes.status();
+    ref.bytes = std::move(*bytes);
+    Result<uint64_t> rankings =
+        RankingsFingerprint(ref.world, session->get(), runner, users);
+    if (!rankings.ok()) return rankings.status();
+    ref.rankings = *rankings;
+    references.emplace_back(kind, std::move(ref));
+    return &references.back().second;
+  };
+
+  for (const KillCase& kill : kill_cases) {
+    Result<Reference*> ref = reference_of(kill.kind);
+    if (!ref.ok()) {
+      std::fprintf(stderr, "error: %s\n", ref.status().ToString().c_str());
+      return 1;
+    }
+    const std::string dir = root + "/kill_" + kill.name;
+    Result<bool> identical = RunKillCase((*ref)->world, kill, dir,
+                                         (*ref)->batch_size, (*ref)->bytes);
+    if (!identical.ok()) {
+      Check(&gates, "kill_" + kill.name, false,
+            identical.status().ToString());
+      continue;
+    }
+    Check(&gates, "kill_" + kill.name, *identical,
+          std::string(kill.site) + " after " +
+              std::to_string(kill.after_nth) +
+              (kill.kill_recovery_too ? " hits (+ killed recovery)"
+                                      : " hits") +
+              " -> recovered state " +
+              (*identical ? "bit-identical" : "DIVERGED"));
+  }
+  // Rankings served off a recovered state must match the clean run's.
+  // Reuse the last TN kill directory: recover it once more and serve.
+  {
+    Result<Reference*> ref = reference_of(rec::ModelKind::kTN);
+    if (ref.ok()) {
+      const std::string dir = root + "/kill_tn_killed_recovery";
+      Result<std::unique_ptr<stream::StreamSession>> session =
+          stream::StreamSession::Open(
+              (*ref)->world.ctx, (*ref)->world.cut,
+              SessionOptions((*ref)->world, dir, (*ref)->batch_size, 2));
+      Result<uint64_t> rankings =
+          session.ok()
+              ? RankingsFingerprint((*ref)->world, session->get(), runner,
+                                    users)
+              : Result<uint64_t>(session.status());
+      Check(&gates, "recovered_rankings_identical",
+            rankings.ok() && *rankings == (*ref)->rankings,
+            rankings.ok() ? Hex(*rankings) + " vs clean " +
+                                Hex((*ref)->rankings)
+                          : rankings.status().ToString());
+      report.AddText("rankings_hash",
+                     Hex(rankings.ok() ? *rankings : 0));
+    }
+  }
+
+  // --- phase 2: live rotation under load ---------------------------------
+  {
+    // Stream the back half of the cohort; query the front half, whose
+    // models never move — their rankings must be rotation-invariant.
+    std::vector<corpus::UserId> stream_users(
+        users.begin() + static_cast<ptrdiff_t>(users.size() / 2),
+        users.end());
+    std::vector<corpus::UserId> query_users(
+        users.begin(),
+        users.begin() + static_cast<ptrdiff_t>(users.size() / 2));
+    if (query_users.empty() || stream_users.empty()) {
+      std::fprintf(stderr, "error: cohort too small to split\n");
+      return 1;
+    }
+    Result<StreamWorld> world =
+        MakeWorld(runner, rec::ModelKind::kTN, stream_users);
+    if (!world.ok()) {
+      std::fprintf(stderr, "error: %s\n", world.status().ToString().c_str());
+      return 1;
+    }
+    const size_t batch_size = EnvBatch(world->cut.stream.size());
+    Result<std::unique_ptr<stream::StreamSession>> opened =
+        stream::StreamSession::Open(
+            world->ctx, world->cut,
+            SessionOptions(*world, root + "/rotation", batch_size, 0));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    stream::StreamSession& session = **opened;
+
+    stream::LiveRecommender::Options live_options;
+    live_options.serving.primary = world->config;
+    live_options.serving.top_k = 10;
+    live_options.serving.score_threads = 1;
+    live_options.num_shards = 2;
+    stream::LiveRecommender live(world->ctx, live_options);
+    Status published =
+        live.Publish(session.checkpoint_snapshot_path(), session.epoch(),
+                     session.CopyTrainSets());
+    if (!published.ok()) {
+      std::fprintf(stderr, "error: %s\n", published.ToString().c_str());
+      return 1;
+    }
+
+    // Baselines: one fixed request id per query user.
+    std::vector<uint64_t> baseline(query_users.size(), 0);
+    bool baseline_ok = true;
+    for (size_t i = 0; i < query_users.size(); ++i) {
+      rec::QueryOptions query;
+      query.request_id = 5000 + i;
+      Result<rec::RecommendResult> served = live.Recommend(
+          query_users[i], runner.SplitOf(query_users[i]).TestSet(), query);
+      if (!served.ok()) {
+        baseline_ok = false;
+        break;
+      }
+      baseline[i] = load::RankingHash(served->ranking);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> queries{0}, errors{0}, mismatches{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+      clients.emplace_back([&, c]() {
+        size_t i = static_cast<size_t>(c);
+        while (!stop.load(std::memory_order_relaxed)) {
+          i = (i + 1) % query_users.size();
+          rec::QueryOptions query;
+          query.request_id = 5000 + i;
+          Result<rec::RecommendResult> served = live.Recommend(
+              query_users[i], runner.SplitOf(query_users[i]).TestSet(),
+              query);
+          if (!served.ok()) {
+            errors.fetch_add(1);
+          } else if (load::RankingHash(served->ranking) != baseline[i]) {
+            mismatches.fetch_add(1);
+          }
+          queries.fetch_add(1);
+        }
+      });
+    }
+    uint64_t rotations = 0;
+    Status rotation_status = Status::OK();
+    while (session.remaining_batches() > 0) {
+      Result<uint64_t> applied = session.IngestNext();
+      if (!applied.ok()) {
+        rotation_status = applied.status();
+        break;
+      }
+      if (Status st = session.Checkpoint(); !st.ok()) {
+        rotation_status = st;
+        break;
+      }
+      if (Status st = live.Publish(session.checkpoint_snapshot_path(),
+                                   session.epoch(),
+                                   session.CopyTrainSets());
+          !st.ok()) {
+        rotation_status = st;
+        break;
+      }
+      ++rotations;
+    }
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+
+    Check(&gates, "rotation_pipeline", rotation_status.ok() && baseline_ok,
+          rotation_status.ok()
+              ? std::to_string(rotations) + " rotations published"
+              : rotation_status.ToString());
+    Check(&gates, "rotation_zero_errors", errors.load() == 0,
+          std::to_string(errors.load()) + " errors in " +
+              std::to_string(queries.load()) + " queries across " +
+              std::to_string(rotations) + " rotations");
+    Check(&gates, "rotation_invariant_rankings", mismatches.load() == 0,
+          std::to_string(mismatches.load()) +
+              " ranking mismatches on the non-streamed cohort");
+    Check(&gates, "rotation_epochs_converge",
+          live.EpochOf(0) == session.epoch() &&
+              live.EpochOf(1) == session.epoch(),
+          "both shards on epoch " + std::to_string(session.epoch()));
+    report.AddScalar("rotation_queries",
+                     static_cast<double>(queries.load()));
+    report.AddScalar("rotations", static_cast<double>(rotations));
+  }
+
+  // --- phase 3: prequential MAP-vs-staleness curve -----------------------
+  {
+    Result<StreamWorld> world = MakeWorld(runner, rec::ModelKind::kTN, {});
+    if (!world.ok()) {
+      std::fprintf(stderr, "error: %s\n", world.status().ToString().c_str());
+      return 1;
+    }
+    const size_t batch_size = EnvBatch(world->cut.stream.size());
+    Result<std::unique_ptr<stream::StreamSession>> opened =
+        stream::StreamSession::Open(
+            world->ctx, world->cut,
+            SessionOptions(*world, root + "/prequential", batch_size, 0));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    stream::PrequentialOptions options;
+    options.eval_every =
+        std::max<size_t>(1, (*opened)->total_batches() / 6);
+    Result<std::vector<stream::PrequentialPoint>> curve =
+        stream::RunPrequential(
+            opened->get(), users,
+            [&runner](corpus::UserId u) -> const corpus::UserSplit& {
+              return runner.SplitOf(u);
+            },
+            options);
+    if (!curve.ok()) {
+      Check(&gates, "prequential_curve", false, curve.status().ToString());
+    } else {
+      bool monotone = true;
+      for (size_t i = 1; i < curve->size(); ++i) {
+        monotone =
+            monotone && (*curve)[i].staleness <= (*curve)[i - 1].staleness;
+      }
+      const stream::PrequentialPoint& first = curve->front();
+      const stream::PrequentialPoint& last = curve->back();
+      // The drained frontier sits at the last stream tweet, still slightly
+      // before each user's split time — so final staleness is tiny, not
+      // exactly zero; the gate wants the axis to collapse, not vanish.
+      Check(&gates, "prequential_curve",
+            curve->size() >= 2 && monotone && first.batches_applied == 0 &&
+                last.batches_applied == (*opened)->total_batches() &&
+                last.staleness < 0.01 * first.staleness,
+            std::to_string(curve->size()) + " points, MAP " +
+                bench::F3(first.map) + " (stale) -> " +
+                bench::F3(last.map) + " (fresh)");
+      std::string curve_json = "[";
+      for (size_t i = 0; i < curve->size(); ++i) {
+        const stream::PrequentialPoint& p = (*curve)[i];
+        curve_json += std::string(i == 0 ? "" : ",") +
+                      "{\"batches\":" + std::to_string(p.batches_applied) +
+                      ",\"staleness\":" + bench::F3(p.staleness) +
+                      ",\"map\":" + bench::F3(p.map) + "}";
+        std::printf("# prequential: %3llu batches  staleness %8.1f  MAP "
+                    "%.3f\n",
+                    static_cast<unsigned long long>(p.batches_applied),
+                    p.staleness, p.map);
+      }
+      curve_json += "]";
+      report.AddText("prequential_curve", curve_json);
+      report.AddScalar("map_stale", first.map);
+      report.AddScalar("map_fresh", last.map);
+      report.AddScalar("staleness_base", first.staleness);
+    }
+  }
+
+  bool all_passed = true;
+  for (const Gate& gate : gates) all_passed = all_passed && gate.passed;
+  for (const Gate& gate : gates) {
+    report.AddScalar("gate_" + gate.name, gate.passed ? 1.0 : 0.0);
+  }
+  report.AttachMetrics(obs::MetricsRegistry::Global().Snapshot());
+  if (report.WriteFile(io.report_path)) {
+    std::fprintf(stderr, "# report written to %s\n", io.report_path.c_str());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+  obs::StopTracing();
+  if (!all_passed) {
+    std::fprintf(stderr, "streaming-chaos gate FAILED\n");
+    return 1;
+  }
+  std::printf("streaming-chaos gate passed\n");
+  return 0;
+}

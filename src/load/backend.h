@@ -61,6 +61,17 @@ class Backend {
   virtual Result<RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
                                              obs::RequestTrace* trace) = 0;
 
+  /// OpClass::kIngest — apply the next pending streaming-ingest batch and
+  /// return how many records it carried (0 when the stream is drained).
+  /// `rid` is the schedule request id, for tracing. The default refuses:
+  /// schedules only carry ingest ops when the op-mix asks for them, and a
+  /// backend without an ingest path must surface that as an error, not a
+  /// silent no-op.
+  virtual Result<uint64_t> Ingest(uint64_t rid) {
+    (void)rid;
+    return Status::FailedPrecondition("backend has no ingest path");
+  }
+
   /// Router health per shard at the time of the call; empty (the default)
   /// for unsharded backends. Sharded backends share one router across every
   /// client thread, so any one backend's answer is the whole run's truth.

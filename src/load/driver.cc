@@ -178,6 +178,10 @@ Result<LoadReport> RunLoad(const Workload& workload,
       Backend* backend = backends[t].get();
       ThreadStats& local = stats[t];
       for (uint64_t i = t; i < requests.size(); i += threads) {
+        if (options.stop != nullptr &&
+            options.stop->load(std::memory_order_relaxed)) {
+          break;
+        }
         const Request& request = requests[i];
         if (options.target_qps > 0.0) {
           // Open loop: arrivals are scheduled on the global request
@@ -227,6 +231,11 @@ Result<LoadReport> RunLoad(const Workload& workload,
             if (!backend->Warm().ok()) ++local.warm_failures;
             break;
           }
+          case OpClass::kIngest: {
+            Result<uint64_t> applied = backend->Ingest(request.rid);
+            if (!applied.ok()) ++local.errors;
+            break;
+          }
         }
         const double seconds = SecondsBetween(op_start, Clock::now());
         local.op_latency[op].Record(seconds);
@@ -240,9 +249,7 @@ Result<LoadReport> RunLoad(const Workload& workload,
   LoadReport report;
   report.threads = threads;
   report.target_qps = options.target_qps;
-  report.total_requests = requests.size();
   report.wall_seconds = wall;
-  report.qps = wall > 0.0 ? static_cast<double>(requests.size()) / wall : 0.0;
   report.schedule_hash = workload.ScheduleHash();
 
   obs::QuantileSketch merged_op[kNumOpClasses];
@@ -259,6 +266,14 @@ Result<LoadReport> RunLoad(const Workload& workload,
     }
     merged_all.Merge(local.latency);
   }
+  // Issued requests, not schedule length: a cooperative stop leaves the
+  // tail of the schedule unissued, and the report must describe the run
+  // that actually happened. Equal to requests.size() for full runs.
+  for (int op = 0; op < kNumOpClasses; ++op) {
+    report.total_requests += report.per_op[op];
+  }
+  report.qps =
+      wall > 0.0 ? static_cast<double>(report.total_requests) / wall : 0.0;
 
   // Per-shard reduction: the driver's own attribution of served work,
   // joined with the backend's router health (shared across every thread's

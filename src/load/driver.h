@@ -24,6 +24,7 @@
 #define MICROREC_LOAD_DRIVER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,6 +42,12 @@ struct DriverOptions {
   uint64_t threads = 1;
   /// 0 = closed loop; > 0 = open loop at this offered rate.
   double target_qps = 0.0;
+  /// Optional cooperative stop flag (not owned; may be null). When it
+  /// becomes true, every client finishes its in-flight request and stops
+  /// issuing new ones; RunLoad still reduces and returns a LoadReport over
+  /// the requests that DID run. This is the CLI's SIGINT/SIGTERM path: a
+  /// stopped run flushes its report instead of dropping it.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Everything one load run produced. Latency figures are in seconds.

@@ -15,6 +15,8 @@ std::string_view OpClassName(OpClass op) {
       return "profile_lookup";
     case OpClass::kSnapshotWarm:
       return "snapshot_warm";
+    case OpClass::kIngest:
+      return "ingest";
   }
   return "unknown";
 }
@@ -36,9 +38,9 @@ Result<Workload> Workload::Build(const WorkloadOptions& options) {
     return Status::InvalidArgument(
         "workload: zipf_skew must be finite and >= 0");
   }
-  const std::vector<double> weights = {options.mix.recommend,
-                                       options.mix.profile_lookup,
-                                       options.mix.snapshot_warm};
+  const std::vector<double> weights = {
+      options.mix.recommend, options.mix.profile_lookup,
+      options.mix.snapshot_warm, options.mix.ingest};
   double total_weight = 0.0;
   for (double w : weights) {
     if (!std::isfinite(w) || w < 0.0) {

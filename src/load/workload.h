@@ -27,18 +27,24 @@ enum class OpClass : int {
   kProfileLookup = 1,
   /// (Re-)load the primary snapshot eagerly.
   kSnapshotWarm = 2,
+  /// Apply the next pending streaming-ingest batch (DESIGN.md §14) — the
+  /// op class that lets one schedule drive mixed ingest+recommend traffic.
+  kIngest = 3,
 };
 
-inline constexpr int kNumOpClasses = 3;
+inline constexpr int kNumOpClasses = 4;
 
 std::string_view OpClassName(OpClass op);
 
 /// Relative op-class weights; need not sum to 1. A weight of 0 removes the
-/// class from the schedule entirely.
+/// class from the schedule entirely. The ingest default of 0 keeps every
+/// pre-existing schedule byte-identical: Categorical() over a weight
+/// vector with a trailing zero draws exactly as it did without the entry.
 struct OpMix {
   double recommend = 0.90;
   double profile_lookup = 0.08;
   double snapshot_warm = 0.02;
+  double ingest = 0.0;
 };
 
 struct WorkloadOptions {

@@ -191,6 +191,8 @@ class BagEngine : public Engine, public SparseProfileScorer {
     return state.modeler.Score(state.vector, doc);
   }
 
+  void InvalidateUser(UserId u) override { users_.erase(u); }
+
   Status SaveSnapshot(const std::string& path,
                       const EngineContext& ctx) const override {
     std::vector<UserId> ids;
@@ -341,6 +343,8 @@ class GraphEngine : public Engine {
     graph::NgramGraph doc = state.modeler.BuildDocGraph(ctx.pre->Filtered(d));
     return state.modeler.Score(state.graph, doc);
   }
+
+  void InvalidateUser(UserId u) override { users_.erase(u); }
 
   Status SaveSnapshot(const std::string& path,
                       const EngineContext& ctx) const override {
@@ -635,6 +639,8 @@ class TopicEngine : public Engine {
         config_.topic.aggregation == TopicAggregation::kRocchio);
     return Status::OK();
   }
+
+  void InvalidateUser(UserId u) override { user_models_.erase(u); }
 
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
     obs::ScopedHistogramTimer timer(ScoreHistogram());

@@ -110,6 +110,14 @@ class Engine {
   virtual double Score(corpus::UserId u, corpus::TweetId d,
                        const EngineContext& ctx) = 0;
 
+  /// Drops user `u`'s model so the next BuildUser() rebuilds it from the
+  /// (possibly extended) train set — the streaming-ingest rebuild hook.
+  /// Without this, a snapshot-warmed engine treats BuildUser as a no-op for
+  /// persisted users and an incremental update would be silently skipped.
+  /// Global state (topic model, vocabulary, inference caches) is untouched:
+  /// streaming applies fold-in inference over the frozen global phase.
+  virtual void InvalidateUser(corpus::UserId u) { (void)u; }
+
   /// Persists everything needed to serve without retraining — the trained
   /// global model (topic families), every built user model, and for topic
   /// engines the inference cache and generator state — atomically to

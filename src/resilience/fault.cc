@@ -253,9 +253,10 @@ const std::vector<std::string_view>& KnownFaultSites() {
   static const std::vector<std::string_view>* sites = [] {
     auto* list = new std::vector<std::string_view>{
         kSiteCheckpointWrite, kSiteCorpusIoRead,      kSiteEngineScore,
-        kSitePoolTask,        kSiteShardQuery,        kSiteShardSnapshotLoad,
-        kSiteShardWarm,       kSiteSnapshotLoad,      kSiteSnapshotWrite,
-        kSiteSweepConfig,     kSiteTopicGibbsSweep,
+        kSiteEpochSwap,       kSitePoolTask,          kSiteShardQuery,
+        kSiteShardSnapshotLoad, kSiteShardWarm,       kSiteSnapshotLoad,
+        kSiteSnapshotWrite,   kSiteStreamApply,       kSiteSweepConfig,
+        kSiteTopicGibbsSweep, kSiteWalAppend,         kSiteWalReplay,
     };
     std::sort(list->begin(), list->end());
     return list;

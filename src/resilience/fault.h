@@ -125,6 +125,16 @@ inline constexpr std::string_view kSiteShardQuery = "shard.query";
 inline constexpr std::string_view kSiteShardWarm = "shard.warm";
 inline constexpr std::string_view kSiteShardSnapshotLoad =
     "shard.snapshot.load";
+// Streaming-ingest sites (DESIGN.md §14). `wal.append` fires before a
+// record reaches the log (the batch is lost and must be re-offered);
+// `wal.replay` fires per record during recovery; `stream.apply` fires per
+// tweet inside the in-memory apply, leaving a half-mutated session the
+// recovery contract must discard; `epoch.swap` fires at the instant a live
+// epoch pointer would flip.
+inline constexpr std::string_view kSiteWalAppend = "wal.append";
+inline constexpr std::string_view kSiteWalReplay = "wal.replay";
+inline constexpr std::string_view kSiteStreamApply = "stream.apply";
+inline constexpr std::string_view kSiteEpochSwap = "epoch.swap";
 
 /// Every site name the repository instruments, sorted, for `microrec faults
 /// --list` and env-spec validation.

@@ -1,0 +1,184 @@
+#include "stream/live.h"
+
+#include "load/serving_backend.h"
+#include "obs/metrics.h"
+#include "rec/router.h"
+#include "resilience/fault.h"
+
+namespace microrec::stream {
+namespace {
+
+obs::Counter* SwapCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("stream.epoch.swaps");
+  return counter;
+}
+
+obs::Counter* PublishFailCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("stream.epoch.publish_failures");
+  return counter;
+}
+
+}  // namespace
+
+LiveRecommender::LiveRecommender(const rec::EngineContext& base_ctx,
+                                 Options options)
+    : base_ctx_(base_ctx), options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  slots_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+Result<std::shared_ptr<LiveRecommender::Epoch>> LiveRecommender::MakeEpoch(
+    const std::string& snapshot_path, uint64_t epoch_id,
+    std::shared_ptr<const TrainSetMap> train_sets) const {
+  auto epoch = std::make_shared<Epoch>();
+  epoch->id = epoch_id;
+  epoch->train_sets = std::move(train_sets);
+  epoch->ctx = base_ctx_;
+  epoch->ctx.warm_start_snapshot.clear();
+  std::shared_ptr<const TrainSetMap> view = epoch->train_sets;
+  epoch->ctx.train_set =
+      [view](corpus::UserId u) -> const corpus::LabeledTrainSet& {
+    return view->at(u);
+  };
+  rec::ServingOptions serving = options_.serving;
+  serving.snapshot_path = snapshot_path;
+  epoch->recommender =
+      std::make_unique<rec::DegradingRecommender>(epoch->ctx, serving);
+  // Load the snapshot before the epoch becomes visible: a bad snapshot
+  // must fail the publish (keeping the old epoch live), not surface as
+  // degraded queries later.
+  MICROREC_RETURN_IF_ERROR(epoch->recommender->Warm());
+  return epoch;
+}
+
+Status LiveRecommender::Publish(
+    const std::string& snapshot_path, uint64_t epoch_id,
+    std::shared_ptr<const TrainSetMap> train_sets) {
+  std::lock_guard<std::mutex> rotation(rotate_mu_);
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    // One fresh epoch per shard: slots never share recommender state, so
+    // a query on shard A cannot contend with shard B's lock.
+    Result<std::shared_ptr<Epoch>> epoch =
+        MakeEpoch(snapshot_path, epoch_id, train_sets);
+    if (!epoch.ok()) {
+      PublishFailCounter()->Increment();
+      return epoch.status();
+    }
+    Status fault = resilience::FaultsArmed()
+                       ? resilience::CheckFault(resilience::kSiteEpochSwap)
+                       : Status::OK();
+    if (!fault.ok()) {
+      // Killed mid-rotation: shards [0, s) already serve the new epoch,
+      // shards [s, S) keep the old one — a legal mixed-epoch ring.
+      PublishFailCounter()->Increment();
+      return fault;
+    }
+    {
+      std::lock_guard<std::mutex> flip(slots_[s]->mu);
+      slots_[s]->current = std::move(*epoch);
+    }
+    SwapCounter()->Increment();
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<LiveRecommender::Epoch> LiveRecommender::Acquire(
+    size_t shard) const {
+  const Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> hold(slot.mu);
+  return slot.current;
+}
+
+Result<rec::RecommendResult> LiveRecommender::Recommend(
+    corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
+    const rec::QueryOptions& query, int* shard_out) {
+  const size_t shard = rec::ShardOf(u, slots_.size());
+  if (shard_out != nullptr) *shard_out = static_cast<int>(shard);
+  std::shared_ptr<Epoch> epoch = Acquire(shard);
+  if (epoch == nullptr) {
+    return Status::FailedPrecondition(
+        "live recommender: no epoch published yet");
+  }
+  std::lock_guard<std::mutex> serve(epoch->mu);
+  return epoch->recommender->Recommend(u, candidates, query);
+}
+
+Result<size_t> LiveRecommender::ProfileLookup(corpus::UserId u) {
+  std::shared_ptr<Epoch> epoch = Acquire(rec::ShardOf(u, slots_.size()));
+  if (epoch == nullptr) {
+    return Status::FailedPrecondition(
+        "live recommender: no epoch published yet");
+  }
+  std::lock_guard<std::mutex> serve(epoch->mu);
+  return epoch->recommender->ProfileLookup(u);
+}
+
+Status LiveRecommender::Warm() {
+  Status first;
+  for (size_t s = 0; s < slots_.size(); ++s) {
+    std::shared_ptr<Epoch> epoch = Acquire(s);
+    if (epoch == nullptr) continue;
+    std::lock_guard<std::mutex> hold(epoch->mu);
+    Status warmed = epoch->recommender->Warm();
+    if (!warmed.ok() && first.ok()) first = warmed;
+  }
+  return first;
+}
+
+uint64_t LiveRecommender::EpochOf(size_t shard) const {
+  std::shared_ptr<Epoch> epoch = Acquire(shard);
+  return epoch == nullptr ? 0 : epoch->id;
+}
+
+Status LiveBackend::Warm() { return shared_->options.live->Warm(); }
+
+Result<uint64_t> LiveBackend::ProfileLookup(uint64_t user_rank) {
+  const std::vector<corpus::UserId>& users = shared_->options.users;
+  const corpus::UserId u = users[user_rank % users.size()];
+  Result<size_t> size = shared_->options.live->ProfileLookup(u);
+  if (!size.ok()) return size.status();
+  return static_cast<uint64_t>(*size);
+}
+
+Result<load::RecommendOutcome> LiveBackend::Recommend(
+    uint64_t rid, uint64_t user_rank, obs::RequestTrace* trace) {
+  const std::vector<corpus::UserId>& users = shared_->options.users;
+  const corpus::UserId u = users[user_rank % users.size()];
+  rec::QueryOptions query;
+  query.request_id = rid;
+  query.trace = trace;
+  int shard = -1;
+  Result<rec::RecommendResult> served = shared_->options.live->Recommend(
+      u, shared_->options.candidates(u), query, &shard);
+  if (!served.ok()) return served.status();
+  load::RecommendOutcome outcome;
+  outcome.rung = static_cast<int>(served->rung);
+  outcome.ranked = served->ranking.size();
+  outcome.ranking_hash = load::RankingHash(served->ranking);
+  outcome.shard =
+      shared_->options.live->num_shards() > 1 ? shard : -1;
+  return outcome;
+}
+
+Result<uint64_t> LiveBackend::Ingest(uint64_t rid) {
+  if (!shared_->options.ingest) {
+    return Status::FailedPrecondition("live backend has no ingest hook");
+  }
+  std::lock_guard<std::mutex> step(shared_->ingest_mu);
+  return shared_->options.ingest(rid);
+}
+
+load::BackendFactory LiveBackend::Factory(Options options) {
+  auto shared = std::make_shared<Shared>();
+  shared->options = std::move(options);
+  return [shared]() -> std::unique_ptr<load::Backend> {
+    return std::unique_ptr<load::Backend>(new LiveBackend(shared));
+  };
+}
+
+}  // namespace microrec::stream

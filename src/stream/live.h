@@ -1,0 +1,139 @@
+// Live model rotation: copy-on-write epoch slots that let streaming
+// ingest publish refreshed models while queries keep flowing, with zero
+// errors and zero torn reads (DESIGN.md §14).
+//
+// Each of S shards owns a *slot* holding a shared_ptr to the current
+// Epoch — an immutable bundle of (epoch id, frozen train-set view,
+// DegradingRecommender warmed from one snapshot). A query copies the
+// slot's pointer under a tiny mutex, then serves under the epoch's own
+// lock: an in-flight query finishes on the epoch it started on even if
+// the slot flips mid-query (RCU by shared_ptr). Publishing builds and
+// warms the next epoch entirely off to the side, then flips slots one
+// shard at a time — a mixed-epoch ring mid-rotation is a legal serving
+// state, and a publish that fails (bad snapshot, injected `epoch.swap`
+// fault) leaves every unflipped shard serving its old epoch.
+#ifndef MICROREC_STREAM_LIVE_H_
+#define MICROREC_STREAM_LIVE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/split.h"
+#include "load/backend.h"
+#include "rec/serving.h"
+#include "util/status.h"
+
+namespace microrec::stream {
+
+using TrainSetMap =
+    std::unordered_map<corpus::UserId, corpus::LabeledTrainSet>;
+
+/// Thread-safe serving facade over per-shard epoch slots. Publish() must
+/// run at least once before queries are served.
+class LiveRecommender {
+ public:
+  struct Options {
+    /// Template serving options; `snapshot_path` is overridden by each
+    /// publish.
+    rec::ServingOptions serving;
+    size_t num_shards = 1;
+  };
+
+  /// `base_ctx.pre` / `base_ctx.users` must outlive the recommender; its
+  /// train_set accessor is replaced per epoch by the published view.
+  LiveRecommender(const rec::EngineContext& base_ctx, Options options);
+
+  /// Builds one epoch per shard from `snapshot_path` + `train_sets` and
+  /// rotates the slots one shard at a time. Fault site: `epoch.swap`
+  /// (per shard, before that shard's flip). On any error — a snapshot
+  /// that fails to warm, a fired fault — the rotation stops and every
+  /// unflipped shard keeps serving its previous epoch.
+  Status Publish(const std::string& snapshot_path, uint64_t epoch_id,
+                 std::shared_ptr<const TrainSetMap> train_sets);
+
+  /// Ranks `candidates` for `u` on the owning shard's current epoch.
+  /// FailedPrecondition before the first Publish(). `shard_out`
+  /// (optional) receives the owning shard.
+  Result<rec::RecommendResult> Recommend(
+      corpus::UserId u, const std::vector<corpus::TweetId>& candidates,
+      const rec::QueryOptions& query, int* shard_out = nullptr);
+
+  Result<size_t> ProfileLookup(corpus::UserId u);
+
+  /// Warms every published epoch; first failure wins (serving still
+  /// degrades per the ladder rather than erroring).
+  Status Warm();
+
+  /// Epoch id shard `shard` currently serves (0 before any publish).
+  uint64_t EpochOf(size_t shard) const;
+  size_t num_shards() const { return slots_.size(); }
+
+ private:
+  struct Epoch {
+    std::mutex mu;  // DegradingRecommender is single-threaded
+    uint64_t id = 0;
+    std::shared_ptr<const TrainSetMap> train_sets;
+    rec::EngineContext ctx;
+    std::unique_ptr<rec::DegradingRecommender> recommender;
+  };
+  struct Slot {
+    mutable std::mutex mu;  // guards the pointer, not the epoch
+    std::shared_ptr<Epoch> current;
+  };
+
+  Result<std::shared_ptr<Epoch>> MakeEpoch(
+      const std::string& snapshot_path, uint64_t epoch_id,
+      std::shared_ptr<const TrainSetMap> train_sets) const;
+  std::shared_ptr<Epoch> Acquire(size_t shard) const;
+
+  rec::EngineContext base_ctx_;
+  Options options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Serializes publishers so rotations never interleave.
+  std::mutex rotate_mu_;
+};
+
+/// load::Backend adapter over one shared LiveRecommender: every client
+/// thread's handle serves off the same rotating epochs, and the `ingest`
+/// op class drives the (serialized) ingest-and-publish step — the mixed
+/// ingest+recommend traffic shape bench_serving_load gates on.
+class LiveBackend : public load::Backend {
+ public:
+  struct Options {
+    std::shared_ptr<LiveRecommender> live;
+    /// user_rank r maps to users[r % users.size()]; must be non-empty.
+    std::vector<corpus::UserId> users;
+    /// Deterministic per-user candidate provider.
+    std::function<std::vector<corpus::TweetId>(corpus::UserId)> candidates;
+    /// One ingest step (e.g. session ingest + publish); called under a
+    /// shared mutex so steps never interleave across driver threads.
+    /// Null → ingest ops fail, matching a backend with no ingest path.
+    std::function<Result<uint64_t>(uint64_t rid)> ingest;
+  };
+
+  Status Warm() override;
+  Result<uint64_t> ProfileLookup(uint64_t user_rank) override;
+  Result<load::RecommendOutcome> Recommend(uint64_t rid, uint64_t user_rank,
+                                           obs::RequestTrace* trace) override;
+  Result<uint64_t> Ingest(uint64_t rid) override;
+
+  static load::BackendFactory Factory(Options options);
+
+ private:
+  struct Shared {
+    Options options;
+    std::mutex ingest_mu;
+  };
+
+  explicit LiveBackend(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace microrec::stream
+
+#endif  // MICROREC_STREAM_LIVE_H_

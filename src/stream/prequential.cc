@@ -1,0 +1,88 @@
+#include "stream/prequential.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+
+namespace microrec::stream {
+namespace {
+
+/// MAP of `users` against their splits, scored with the session's engine
+/// as-is. Deterministic tie-break: score descending, then tweet id
+/// ascending.
+Result<PrequentialPoint> Evaluate(
+    StreamSession* session, const std::vector<corpus::UserId>& users,
+    const std::function<const corpus::UserSplit&(corpus::UserId)>& split_of) {
+  PrequentialPoint point;
+  point.batches_applied = session->last_applied();
+  double ap_sum = 0.0;
+  double staleness_sum = 0.0;
+  rec::Engine* engine = session->engine();
+  for (corpus::UserId u : users) {
+    const corpus::UserSplit& split = split_of(u);
+    const std::vector<corpus::TweetId> candidates = split.TestSet();
+    if (candidates.empty()) continue;
+    std::vector<std::pair<double, corpus::TweetId>> scored;
+    scored.reserve(candidates.size());
+    for (corpus::TweetId d : candidates) {
+      scored.emplace_back(engine->Score(u, d, session->ctx()), d);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    const std::unordered_set<corpus::TweetId> positives(
+        split.positives.begin(), split.positives.end());
+    std::vector<bool> relevant;
+    relevant.reserve(scored.size());
+    for (const auto& [score, id] : scored) {
+      relevant.push_back(positives.count(id) > 0);
+    }
+    ap_sum += eval::AveragePrecision(relevant);
+    const double lag =
+        static_cast<double>(split.split_time) -
+        static_cast<double>(session->frontier_time());
+    staleness_sum += std::max(0.0, lag);
+    ++point.users_evaluated;
+  }
+  if (point.users_evaluated > 0) {
+    point.map = ap_sum / static_cast<double>(point.users_evaluated);
+    point.staleness =
+        staleness_sum / static_cast<double>(point.users_evaluated);
+  }
+  return point;
+}
+
+}  // namespace
+
+Result<std::vector<PrequentialPoint>> RunPrequential(
+    StreamSession* session, const std::vector<corpus::UserId>& users,
+    const std::function<const corpus::UserSplit&(corpus::UserId)>& split_of,
+    const PrequentialOptions& options) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("prequential: session must be set");
+  }
+  const size_t eval_every = std::max<size_t>(1, options.eval_every);
+  std::vector<PrequentialPoint> curve;
+  Result<PrequentialPoint> point = Evaluate(session, users, split_of);
+  if (!point.ok()) return point.status();
+  curve.push_back(*point);
+  uint64_t since_eval = 0;
+  while (session->remaining_batches() > 0) {
+    Result<uint64_t> applied = session->IngestNext();
+    if (!applied.ok()) return applied.status();
+    ++since_eval;
+    const bool drained = session->remaining_batches() == 0;
+    if (since_eval >= eval_every || drained) {
+      point = Evaluate(session, users, split_of);
+      if (!point.ok()) return point.status();
+      curve.push_back(*point);
+      since_eval = 0;
+    }
+  }
+  return curve;
+}
+
+}  // namespace microrec::stream

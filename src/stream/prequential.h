@@ -1,0 +1,48 @@
+// Prequential (test-then-train) evaluation of streaming ingest: before
+// each batch applies, every evaluated user's test set is ranked with the
+// models as they are *now*, yielding a MAP-vs-staleness curve — how much
+// ranking quality the cohort forfeits by serving models that lag the
+// stream. The classic static split is the curve's right-most point
+// (staleness 0, everything applied); the left-most is the base models.
+#ifndef MICROREC_STREAM_PREQUENTIAL_H_
+#define MICROREC_STREAM_PREQUENTIAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "corpus/split.h"
+#include "stream/session.h"
+#include "util/status.h"
+
+namespace microrec::stream {
+
+struct PrequentialPoint {
+  /// Batches applied when this point was measured.
+  uint64_t batches_applied = 0;
+  /// Mean over users of max(0, split_time - frontier): how far the models
+  /// lag each user's test horizon, in timestamp units.
+  double staleness = 0.0;
+  double map = 0.0;
+  uint64_t users_evaluated = 0;
+};
+
+struct PrequentialOptions {
+  /// Evaluate every k applied batches (the end points are always
+  /// measured). Clamped to >= 1.
+  size_t eval_every = 1;
+};
+
+/// Drains `session`'s stream with an evaluation before the first batch,
+/// every `eval_every` batches, and after the last. Rankings are
+/// deterministic (score descending, tweet id ascending — no tie
+/// randomness, so the curve is bit-reproducible). Evaluation scores
+/// through the live engine, which warms its inference caches exactly as
+/// serving would.
+Result<std::vector<PrequentialPoint>> RunPrequential(
+    StreamSession* session, const std::vector<corpus::UserId>& users,
+    const std::function<const corpus::UserSplit&(corpus::UserId)>& split_of,
+    const PrequentialOptions& options);
+
+}  // namespace microrec::stream
+
+#endif  // MICROREC_STREAM_PREQUENTIAL_H_

@@ -1,0 +1,94 @@
+#include "stream/record.h"
+
+#include "snapshot/format.h"
+
+namespace microrec::stream {
+namespace {
+
+/// Remaps every decode malformation to DataLoss: a payload that framed and
+/// checksummed correctly but does not parse was never valid, and the
+/// recovery contract promises DataLoss (with provenance) for that case.
+Status AsDataLoss(const Status& status, const std::string& origin) {
+  if (status.ok()) return status;
+  return Status::DataLoss(origin + ": " + std::string(status.message()));
+}
+
+}  // namespace
+
+std::string EncodeBatchRecord(const TweetBatch& batch) {
+  snapshot::Encoder enc;
+  enc.PutU8(kWalRecordBatch);
+  enc.PutU64(batch.batch_id);
+  enc.PutU64(batch.tweets.size());
+  for (const StreamTweet& tweet : batch.tweets) {
+    enc.PutU64(tweet.id);
+    enc.PutU32(tweet.author);
+    enc.PutU64(static_cast<uint64_t>(tweet.time));
+    enc.PutU64(tweet.retweet_of);
+    enc.PutU32(tweet.retweet_of_user);
+    enc.PutString(tweet.text);
+  }
+  return enc.Release();
+}
+
+std::string EncodeCheckpointRecord(const CheckpointMark& mark) {
+  snapshot::Encoder enc;
+  enc.PutU8(kWalRecordCheckpoint);
+  enc.PutU64(mark.batch_id);
+  enc.PutU64(mark.epoch);
+  return enc.Release();
+}
+
+Result<DecodedWalRecord> DecodeWalRecord(std::string_view payload,
+                                         uint64_t base_offset,
+                                         const std::string& origin) {
+  snapshot::Decoder dec(payload, base_offset);
+  DecodedWalRecord record;
+  Status status = dec.ReadU8(&record.type);
+  if (!status.ok()) return AsDataLoss(status, origin);
+  switch (record.type) {
+    case kWalRecordBatch: {
+      uint64_t count = 0;
+      status = dec.ReadU64(&record.batch.batch_id);
+      if (status.ok()) status = dec.ReadU64(&count);
+      // Each tweet is at least 33 bytes on the wire; a count beyond the
+      // remaining bytes is a flipped bit, not a request for memory.
+      if (status.ok() && count > dec.remaining()) {
+        status = Status::DataLoss("tweet count " + std::to_string(count) +
+                                  " exceeds remaining payload at offset " +
+                                  std::to_string(dec.offset()));
+      }
+      if (!status.ok()) return AsDataLoss(status, origin);
+      record.batch.tweets.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        StreamTweet tweet;
+        uint64_t time_bits = 0;
+        status = dec.ReadU64(&tweet.id);
+        if (status.ok()) status = dec.ReadU32(&tweet.author);
+        if (status.ok()) status = dec.ReadU64(&time_bits);
+        if (status.ok()) status = dec.ReadU64(&tweet.retweet_of);
+        if (status.ok()) status = dec.ReadU32(&tweet.retweet_of_user);
+        if (status.ok()) status = dec.ReadString(&tweet.text);
+        if (!status.ok()) return AsDataLoss(status, origin);
+        tweet.time = static_cast<corpus::Timestamp>(time_bits);
+        record.batch.tweets.push_back(std::move(tweet));
+      }
+      break;
+    }
+    case kWalRecordCheckpoint:
+      status = dec.ReadU64(&record.mark.batch_id);
+      if (status.ok()) status = dec.ReadU64(&record.mark.epoch);
+      if (!status.ok()) return AsDataLoss(status, origin);
+      break;
+    default:
+      return Status::DataLoss(origin + ":offset " +
+                              std::to_string(base_offset) +
+                              ": unknown record type " +
+                              std::to_string(record.type));
+  }
+  status = dec.ExpectEnd();
+  if (!status.ok()) return AsDataLoss(status, origin);
+  return record;
+}
+
+}  // namespace microrec::stream

@@ -1,0 +1,73 @@
+// WAL record payloads: the two record types carried inside microrec.wal/1
+// frames, encoded with the snapshot byte codec so a corrupted payload
+// reports an absolute offset instead of crashing.
+//
+//   batch      (type 1)  one timestamp-ordered tweet batch — the unit of
+//                        ingest, idempotence and replay. Batch ids are
+//                        assigned contiguously from 1 by the stream cut.
+//   checkpoint (type 2)  "models through batch B are durable in snapshot
+//                        epoch E" — written right after a snapshot
+//                        commits, before the segment rotates. Replay can
+//                        ignore it (the CURRENT file is the authority);
+//                        it exists so a bare log is self-describing.
+#ifndef MICROREC_STREAM_RECORD_H_
+#define MICROREC_STREAM_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/tweet.h"
+#include "util/status.h"
+
+namespace microrec::stream {
+
+inline constexpr uint8_t kWalRecordBatch = 1;
+inline constexpr uint8_t kWalRecordCheckpoint = 2;
+
+/// A tweet as it travels the stream: the full corpus record by value, so
+/// a replayed log does not depend on any in-memory store.
+struct StreamTweet {
+  corpus::TweetId id = corpus::kInvalidTweet;
+  corpus::UserId author = corpus::kInvalidUser;
+  corpus::Timestamp time = 0;
+  corpus::TweetId retweet_of = corpus::kInvalidTweet;
+  corpus::UserId retweet_of_user = corpus::kInvalidUser;
+  std::string text;
+};
+
+/// One ingest unit. Tweets are (time, id)-ascending within a batch and
+/// across consecutive batches.
+struct TweetBatch {
+  uint64_t batch_id = 0;
+  std::vector<StreamTweet> tweets;
+};
+
+struct CheckpointMark {
+  uint64_t batch_id = 0;
+  uint64_t epoch = 0;
+};
+
+std::string EncodeBatchRecord(const TweetBatch& batch);
+std::string EncodeCheckpointRecord(const CheckpointMark& mark);
+
+/// A decoded payload; exactly one of `batch` / `mark` is meaningful,
+/// selected by `type`.
+struct DecodedWalRecord {
+  uint8_t type = 0;
+  TweetBatch batch;
+  CheckpointMark mark;
+};
+
+/// Decodes one record payload. `base_offset` is the payload's absolute
+/// file offset and `origin` the segment path, folded into every error; a
+/// malformed payload (which passed the frame CRC, so it was written
+/// wrong or spliced whole) is DataLoss, never a crash.
+Result<DecodedWalRecord> DecodeWalRecord(std::string_view payload,
+                                         uint64_t base_offset,
+                                         const std::string& origin);
+
+}  // namespace microrec::stream
+
+#endif  // MICROREC_STREAM_RECORD_H_

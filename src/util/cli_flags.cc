@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <limits>
+#include <map>
 
 namespace microrec {
 namespace {
@@ -123,8 +124,13 @@ Status FlagParser::Apply(const Spec& spec, bool has_value,
 Result<std::vector<std::string>> FlagParser::Parse(
     const std::vector<std::string>& args) const {
   std::vector<std::string> positional;
+  // First occurrence (1-based argument position) of each flag seen so far.
+  // A repeated flag is rejected naming both positions: last-one-wins would
+  // silently mask a typo'd retry in a long chaos invocation.
+  std::map<std::string, size_t> seen_at;
   bool flags_done = false;
-  for (const std::string& arg : args) {
+  for (size_t index = 0; index < args.size(); ++index) {
+    const std::string& arg = args[index];
     if (flags_done || arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
       if (!flags_done && arg == "--") {
         flags_done = true;
@@ -138,6 +144,13 @@ Result<std::vector<std::string>> FlagParser::Parse(
         arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
     if (name.empty()) {
       return Invalid("malformed flag '" + arg + "'");
+    }
+    auto [first, inserted] = seen_at.emplace(name, index + 1);
+    if (!inserted) {
+      return Invalid("duplicate flag --" + name + " at positions " +
+                     std::to_string(first->second) + " and " +
+                     std::to_string(index + 1) +
+                     "; each flag may appear once");
     }
     const bool has_value = eq != std::string::npos;
     const std::string value = has_value ? arg.substr(eq + 1) : "";

@@ -87,6 +87,82 @@ TEST(ShardBreakerTest, HalfOpenFailureReopens) {
   EXPECT_EQ(breaker.state(), BreakerState::kOpen);
 }
 
+TEST(ShardBreakerTest, HalfOpenRetripRestartsAFullCooldown) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_queries = 3;
+  ShardBreaker breaker(options);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // A failed probe re-trips, and the new open period owes the FULL
+  // cooldown again — arrivals turned away before the probe don't carry
+  // over into the re-tripped breaker.
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(breaker.AllowRequest()) << "arrival " << i;
+  }
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // closed->open, open->half-open, half-open->open, open->half-open.
+  EXPECT_EQ(breaker.transitions(), 4u);
+}
+
+TEST(ShardBreakerTest, HalfOpenProbeProgressResetsOnRetrip) {
+  BreakerOptions options;
+  options.failure_threshold = 1;
+  options.cooldown_queries = 1;
+  options.half_open_successes = 2;
+  ShardBreaker breaker(options);
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();  // 1 of 2: still probing
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordFailure();  // re-trip discards the banked success
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();  // a fresh half-open needs both successes again
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(ShardBreakerTest, TransitionCounterCountsEachEdgeOnce) {
+  BreakerOptions options;
+  options.failure_threshold = 2;
+  options.cooldown_queries = 2;
+  ShardBreaker breaker(options);
+  // Failures below the threshold are not edges.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.transitions(), 0u);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.transitions(), 1u);  // closed->open
+  // Extra failures and turned-away arrivals while open are not edges.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.transitions(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.transitions(), 2u);  // open->half-open
+  // Repeated half-open probes without an outcome are not edges either.
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.transitions(), 2u);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.transitions(), 3u);  // half-open->closed
+  // A success on a closed breaker is a no-op, not a self-edge.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.transitions(), 3u);
+}
+
 // Corpus fixture mirroring serving_test.cc: two users with disjoint
 // interests, a snapshotted TN primary, and per-shard snapshots for every
 // shard count under test.

@@ -185,6 +185,11 @@ TEST_F(FaultTest, KnownFaultSitesIsSortedAndContainsShardSites) {
   EXPECT_TRUE(IsKnownFaultSite(kSiteShardQuery));
   EXPECT_TRUE(IsKnownFaultSite(kSiteShardWarm));
   EXPECT_TRUE(IsKnownFaultSite(kSiteShardSnapshotLoad));
+  // Streaming-ingest sites (DESIGN.md §14) are armable from the env too.
+  EXPECT_TRUE(IsKnownFaultSite(kSiteWalAppend));
+  EXPECT_TRUE(IsKnownFaultSite(kSiteWalReplay));
+  EXPECT_TRUE(IsKnownFaultSite(kSiteStreamApply));
+  EXPECT_TRUE(IsKnownFaultSite(kSiteEpochSwap));
   EXPECT_TRUE(IsKnownFaultSite("shard.query#12"));
   EXPECT_FALSE(IsKnownFaultSite("shard.query#"));
   EXPECT_FALSE(IsKnownFaultSite("not.a.site"));

@@ -1,0 +1,105 @@
+// Prequential (test-then-train) evaluation: the MAP-vs-staleness curve's
+// endpoints pin the base and fully-applied models, staleness falls
+// monotonically as the stream applies, and the whole curve is
+// bit-reproducible across runs.
+#include "stream/prequential.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream_fixture.h"
+
+namespace microrec::stream {
+namespace {
+
+class PrequentialFixture : public StreamFixture {
+ public:
+  void SetUp() override {
+    StreamFixture::SetUp();
+    ego_split_.user = ego_;
+    ego_split_.split_time = test_time_;
+    ego_split_.positives = {test_cat_};
+    ego_split_.negatives = {test_stock_};
+    rival_split_.user = rival_;
+    rival_split_.split_time = test_time_;
+    rival_split_.positives = {test_stock_};
+    rival_split_.negatives = {test_cat_};
+    split_of_ = [this](corpus::UserId u) -> const corpus::UserSplit& {
+      return u == ego_ ? ego_split_ : rival_split_;
+    };
+  }
+
+  Result<std::vector<PrequentialPoint>> Run(const std::string& dir,
+                                            size_t eval_every) {
+    Result<StreamCut> cut = Cut(0.5);
+    if (!cut.ok()) return cut.status();
+    Result<std::unique_ptr<StreamSession>> session =
+        StreamSession::Open(ctx_, *cut, SessionOptions(TnConfig(), dir));
+    if (!session.ok()) return session.status();
+    PrequentialOptions options;
+    options.eval_every = eval_every;
+    return RunPrequential(session->get(), users_, split_of_, options);
+  }
+
+  corpus::UserSplit ego_split_, rival_split_;
+  std::function<const corpus::UserSplit&(corpus::UserId)> split_of_;
+};
+
+TEST_F(PrequentialFixture, CurveEndpointsAndMonotoneStaleness) {
+  Result<std::vector<PrequentialPoint>> curve = Run(NewDir("curve"), 1);
+  ASSERT_TRUE(curve.ok()) << curve.status().message();
+  ASSERT_GE(curve->size(), 3u);
+  const PrequentialPoint& first = curve->front();
+  const PrequentialPoint& last = curve->back();
+  EXPECT_EQ(first.batches_applied, 0u);
+  EXPECT_EQ(last.batches_applied,
+            static_cast<uint64_t>(curve->size() - 1));  // eval_every = 1
+  EXPECT_EQ(first.users_evaluated, 2u);
+  // Staleness shrinks as the frontier advances and never goes back up.
+  EXPECT_GT(first.staleness, last.staleness);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_LE((*curve)[i].staleness, (*curve)[i - 1].staleness)
+        << "at point " << i;
+    EXPECT_EQ((*curve)[i].batches_applied, i);
+  }
+  for (const PrequentialPoint& point : *curve) {
+    EXPECT_GE(point.map, 0.0);
+    EXPECT_LE(point.map, 1.0);
+  }
+  // Applying the stream must not cost ranking quality on this cohort: the
+  // fully-applied right edge is at least as good as the stale left edge.
+  EXPECT_GE(last.map, first.map);
+}
+
+TEST_F(PrequentialFixture, CurveIsBitReproducibleAcrossRuns) {
+  Result<std::vector<PrequentialPoint>> a = Run(NewDir("run_a"), 1);
+  Result<std::vector<PrequentialPoint>> b = Run(NewDir("run_b"), 1);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].batches_applied, (*b)[i].batches_applied);
+    EXPECT_EQ((*a)[i].users_evaluated, (*b)[i].users_evaluated);
+    // Exact double equality: the curve is deterministic, not just close.
+    EXPECT_EQ((*a)[i].map, (*b)[i].map) << "at point " << i;
+    EXPECT_EQ((*a)[i].staleness, (*b)[i].staleness) << "at point " << i;
+  }
+}
+
+TEST_F(PrequentialFixture, EvalEveryCoarsensButKeepsEndpoints) {
+  Result<std::vector<PrequentialPoint>> fine = Run(NewDir("fine"), 1);
+  Result<std::vector<PrequentialPoint>> coarse = Run(NewDir("coarse"), 2);
+  ASSERT_TRUE(fine.ok()) << fine.status().message();
+  ASSERT_TRUE(coarse.ok()) << coarse.status().message();
+  EXPECT_LT(coarse->size(), fine->size());
+  // Both curves share the measured endpoints exactly.
+  EXPECT_EQ(coarse->front().map, fine->front().map);
+  EXPECT_EQ(coarse->front().staleness, fine->front().staleness);
+  EXPECT_EQ(coarse->back().batches_applied, fine->back().batches_applied);
+  EXPECT_EQ(coarse->back().map, fine->back().map);
+  EXPECT_EQ(coarse->back().staleness, fine->back().staleness);
+}
+
+}  // namespace
+}  // namespace microrec::stream

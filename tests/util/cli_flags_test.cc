@@ -72,6 +72,50 @@ TEST(FlagParserTest, MalformedFlagRejected) {
   EXPECT_NE(r.status().message().find("malformed"), std::string::npos);
 }
 
+TEST(FlagParserTest, DuplicateFlagRejectedNamingBothPositions) {
+  Flags flags;
+  FlagParser parser = flags.MakeParser();
+  // Positionals count toward the 1-based positions, so the message points
+  // at the actual argv slots of a long invocation.
+  Result<std::vector<std::string>> r =
+      parser.Parse({"out", "--seed=1", "TN", "--seed=2"});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(
+                "duplicate flag --seed at positions 2 and 4"),
+            std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("each flag may appear once"),
+            std::string::npos);
+}
+
+TEST(FlagParserTest, DuplicateDetectionIsByNameNotSpelling) {
+  Flags flags;
+  FlagParser parser = flags.MakeParser();
+  // Value-form and bare-form of the same bool flag still collide.
+  Result<std::vector<std::string>> r =
+      parser.Parse({"--fail-fast", "--fail-fast=true"});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find(
+                "duplicate flag --fail-fast at positions 1 and 2"),
+            std::string::npos)
+      << r.status().ToString();
+  // A repeated unknown flag is still an error (whichever is diagnosed
+  // first); a typo'd retry never parses silently.
+  Result<std::vector<std::string>> unknown =
+      parser.Parse({"--nope=1", "--nope=2"});
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, FlagRepeatedAfterDoubleDashIsPositionalNotDuplicate) {
+  Flags flags;
+  FlagParser parser = flags.MakeParser();
+  Result<std::vector<std::string>> positional =
+      parser.Parse({"--seed=1", "--", "--seed=2"});
+  ASSERT_TRUE(positional.ok()) << positional.status().ToString();
+  EXPECT_EQ(*positional, (std::vector<std::string>{"--seed=2"}));
+  EXPECT_EQ(flags.seed, 1u);
+}
+
 TEST(FlagParserTest, GarbageNumericsRejected) {
   Flags flags;
   FlagParser parser = flags.MakeParser();

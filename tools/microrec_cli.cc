@@ -24,7 +24,18 @@
 //                                         --threads client threads; with
 //                                         --shards=<n> the traffic goes
 //                                         through the fault-tolerant shard
-//                                         router (DESIGN.md §13)
+//                                         router (DESIGN.md §13); an ingest
+//                                         weight in --mix serves the run off
+//                                         live rotating epochs (DESIGN.md
+//                                         §14)
+//   microrec ingest <dir> <model> <source> [iter_scale]
+//                                         cut the cohort's training data at a
+//                                         timestamp, train the base model,
+//                                         then apply the post-cut stream in
+//                                         WAL-backed batches to --stream-dir;
+//                                         kill it anywhere and rerun — it
+//                                         recovers to the exact state and
+//                                         continues (DESIGN.md §14)
 //   microrec faults --list                print every known fault site for
 //                                         MICROREC_FAULTS
 //
@@ -40,10 +51,27 @@
 //   --requests=<n>        schedule length (default 1000)
 //   --load-seed=<n>       workload schedule seed (default 42)
 //   --zipf=<s>            user-arrival skew, 0 = uniform (default 1.0)
-//   --mix=<r,p,w>         op-mix weights recommend,profile_lookup,
-//                         snapshot_warm (default 0.9,0.08,0.02)
+//   --mix=<r,p,w[,i]>     op-mix weights recommend,profile_lookup,
+//                         snapshot_warm and optionally ingest (default
+//                         0.9,0.08,0.02,0 — ingest > 0 swaps the backend
+//                         for live epoch rotation)
 //   --target-qps=<q>      open-loop offered rate; 0 = closed loop
 //   --load-report=<path>  write the load report JSON (schema microrec.load/1)
+//
+// Streaming flags (ingest, and load with an ingest mix weight):
+//   --stream-dir=<dir>       WAL + snapshot state directory (default
+//                            "stream_state"); delete it to restart the
+//                            stream from the cut
+//   --cut=<f>                fraction of the pooled train docs kept in the
+//                            base model; the rest arrives as the stream
+//                            (default 0.5)
+//   --batch-size=<n>         stream tweets per WAL batch (default 8)
+//   --checkpoint-every=<n>   auto-checkpoint after n applied batches
+//                            (default 4; 0 = only the final checkpoint)
+//
+// SIGINT/SIGTERM during load or ingest stop gracefully: in-flight work
+// finishes, the flight recorder and load report are still written, and a
+// checkpoint makes applied batches durable. A second signal kills.
 //
 // Resilience flags (sweep only; see DESIGN.md, "Resilience"):
 //   --checkpoint=<path>   stream outcomes to a JSONL checkpoint; rerunning
@@ -90,6 +118,8 @@
 // The <dir> format is the TSV layout documented in corpus/io.h, so real
 // datasets can be imported by producing users.tsv / tweets.tsv.
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -112,6 +142,8 @@
 #include "rec/serving.h"
 #include "rec/sharded.h"
 #include "resilience/fault.h"
+#include "stream/live.h"
+#include "stream/session.h"
 #include "synth/generator.h"
 #include "util/cli_flags.h"
 #include "util/string_util.h"
@@ -124,6 +156,26 @@ namespace {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Set by the first SIGINT/SIGTERM during load or ingest. The load driver
+/// polls it between requests (DriverOptions::stop) and the ingest loop
+/// between batches, so a stopped run still flushes its flight recording,
+/// writes its report, and checkpoints what it applied.
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// One-shot (SA_RESETHAND): the first signal asks for a graceful stop, a
+/// second one takes the default killing action — the escape hatch when a
+/// checkpoint or a slow request hangs.
+void InstallStopHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
 }
 
 constexpr const char kUsageLine[] =
@@ -150,9 +202,12 @@ int Usage() {
       " [--train-threads=<n>]\n"
       "                     <dir> <model> <source> [iter_scale]\n"
       "  microrec load [--requests=<n>] [--load-seed=<n>] [--zipf=<s>]"
-      " [--mix=<r,p,w>] [--target-qps=<q>] [--threads=<n>]"
+      " [--mix=<r,p,w[,i]>] [--target-qps=<q>] [--threads=<n>]"
       " [--shards=<n>] [--hedge-after-ms=<t>] [--load-report=<path>]\n"
       "                <dir> <model> <source> [iter_scale]\n"
+      "  microrec ingest [--stream-dir=<dir>] [--cut=<f>] [--batch-size=<n>]"
+      " [--checkpoint-every=<n>] [--train-threads=<n>]\n"
+      "                  <dir> <model> <source> [iter_scale]\n"
       "  microrec faults --list\n");
   return 2;
 }
@@ -506,7 +561,8 @@ struct LoadFlags {
   std::string report_path;
 };
 
-/// Parses "--mix=r,p,w" into an OpMix; empty keeps defaults.
+/// Parses "--mix=r,p,w" or "--mix=r,p,w,i" into an OpMix; empty keeps
+/// defaults, a missing fourth weight keeps ingest at 0.
 bool ParseOpMix(const std::string& text, load::OpMix* mix) {
   if (text.empty()) return true;
   std::vector<std::string> parts;
@@ -517,20 +573,41 @@ bool ParseOpMix(const std::string& text, load::OpMix* mix) {
     start = comma + 1;
   }
   parts.push_back(text.substr(start));
-  double weights[3];
-  if (parts.size() != 3) return false;
-  for (size_t i = 0; i < 3; ++i) {
+  double weights[4] = {0.0, 0.0, 0.0, 0.0};
+  if (parts.size() != 3 && parts.size() != 4) return false;
+  for (size_t i = 0; i < parts.size(); ++i) {
     if (!ParsePositionalDouble(parts[i], &weights[i])) return false;
   }
   mix->recommend = weights[0];
   mix->profile_lookup = weights[1];
   mix->snapshot_warm = weights[2];
+  mix->ingest = weights[3];
   return true;
 }
 
+/// Streaming-ingest flags, shared by the ingest command and a load run
+/// with an ingest mix weight.
+struct StreamFlags {
+  std::string stream_dir = "stream_state";
+  double cut_fraction = 0.5;
+  size_t batch_size = 8;
+  size_t checkpoint_every = 4;
+
+  stream::StreamSessionOptions SessionOptions(
+      const rec::ModelConfig& config) const {
+    stream::StreamSessionOptions options;
+    options.config = config;
+    options.dir = stream_dir;
+    options.batch_size = batch_size;
+    options.checkpoint_every = checkpoint_every;
+    return options;
+  }
+};
+
 int Load(const std::string& dir, const std::string& model_name,
          const std::string& source_name, double iter_scale,
-         const ServingFlags& serving_flags, const LoadFlags& load_flags) {
+         const ServingFlags& serving_flags, const LoadFlags& load_flags,
+         const StreamFlags& stream_flags) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -585,8 +662,61 @@ int Load(const std::string& dir, const std::string& model_name,
   load::DriverOptions driver;
   driver.threads = serving_flags.threads == 0 ? 1 : serving_flags.threads;
   driver.target_qps = load_flags.target_qps;
+  InstallStopHandlers();
+  driver.stop = &g_stop;
   load::BackendFactory factory;
-  if (serving_flags.shards > 1) {
+  // Live-ingest state; must outlive RunLoad when the mix has ingest ops.
+  std::unique_ptr<stream::StreamSession> session;
+  std::shared_ptr<stream::LiveRecommender> live;
+  if (spec.mix.ingest > 0.0) {
+    // Mixed ingest+recommend traffic: serve off rotating epochs while the
+    // ingest op class drives WAL-backed apply + checkpoint + publish.
+    // --shards becomes the epoch-slot count (the sharded router below is
+    // the no-ingest serving path).
+    stream::StreamCutOptions cut_options;
+    cut_options.cut_fraction = stream_flags.cut_fraction;
+    Result<stream::StreamCut> cut = stream::MakeStreamCut(ctx, cut_options);
+    if (!cut.ok()) return Fail(cut.status());
+    stream::StreamSessionOptions session_options =
+        stream_flags.SessionOptions(*config);
+    // The ingest hook checkpoints every applied batch (a publish needs a
+    // durable snapshot), so the auto-checkpoint cadence is redundant here.
+    session_options.checkpoint_every = 0;
+    Result<std::unique_ptr<stream::StreamSession>> opened =
+        stream::StreamSession::Open(ctx, *cut, session_options);
+    if (!opened.ok()) return Fail(opened.status());
+    session = std::move(*opened);
+
+    stream::LiveRecommender::Options live_options;
+    live_options.serving = serving;
+    live_options.num_shards = serving_flags.shards;
+    live = std::make_shared<stream::LiveRecommender>(ctx, live_options);
+    if (Status st =
+            live->Publish(session->checkpoint_snapshot_path(),
+                          session->epoch(), session->CopyTrainSets());
+        !st.ok()) {
+      return Fail(st);
+    }
+
+    stream::LiveBackend::Options live_backend;
+    live_backend.live = live;
+    live_backend.users = backend.users;
+    live_backend.candidates = backend.candidates;
+    stream::StreamSession* raw_session = session.get();
+    std::shared_ptr<stream::LiveRecommender> shared_live = live;
+    live_backend.ingest =
+        [raw_session, shared_live](uint64_t) -> Result<uint64_t> {
+      Result<uint64_t> applied = raw_session->IngestNext();
+      if (!applied.ok()) return applied.status();
+      if (*applied == 0) return applied;  // drained: nothing to publish
+      MICROREC_RETURN_IF_ERROR(raw_session->Checkpoint());
+      MICROREC_RETURN_IF_ERROR(shared_live->Publish(
+          raw_session->checkpoint_snapshot_path(), raw_session->epoch(),
+          raw_session->CopyTrainSets()));
+      return applied;
+    };
+    factory = stream::LiveBackend::Factory(std::move(live_backend));
+  } else if (serving_flags.shards > 1) {
     rec::ShardedServingOptions sharded;
     sharded.serving = serving;
     sharded.num_shards = serving_flags.shards;
@@ -648,6 +778,17 @@ int Load(const std::string& dir, const std::string& model_name,
         static_cast<unsigned long long>(s.breaker_transitions),
         static_cast<unsigned long long>(s.failed_attempts));
   }
+  if (session != nullptr) {
+    std::printf("stream: %llu/%llu batches applied, epoch %llu, "
+                "frontier t=%lld\n",
+                static_cast<unsigned long long>(session->last_applied()),
+                static_cast<unsigned long long>(session->total_batches()),
+                static_cast<unsigned long long>(session->epoch()),
+                static_cast<long long>(session->frontier_time()));
+  }
+  if (g_stop.load(std::memory_order_relaxed)) {
+    std::printf("interrupted: the report covers the requests that ran\n");
+  }
   if (!load_flags.report_path.empty()) {
     std::FILE* file = std::fopen(load_flags.report_path.c_str(), "w");
     if (file == nullptr) {
@@ -659,6 +800,73 @@ int Load(const std::string& dir, const std::string& model_name,
     std::fputc('\n', file);
     std::fclose(file);
   }
+  return 0;
+}
+
+/// `microrec ingest`: drain the post-cut stream through the WAL-backed
+/// session, checkpointing on the --checkpoint-every cadence plus once at
+/// the end. Because StreamSession::Open recovers from --stream-dir, the
+/// command is restartable: kill it anywhere (or SIGINT for a graceful
+/// stop) and the rerun resumes from the last durable state, applying only
+/// what is still pending.
+int Ingest(const std::string& dir, const std::string& model_name,
+           const std::string& source_name, double iter_scale,
+           const ServingFlags& serving_flags,
+           const StreamFlags& stream_flags) {
+  Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
+  if (!kind.ok()) return Fail(kind.status());
+  Result<corpus::Source> source = corpus::ParseSource(source_name);
+  if (!source.ok()) return Fail(source.status());
+  Result<Stack> stack = Stack::Load(dir);
+  if (!stack.ok()) return Fail(stack.status());
+
+  eval::RunOptions options;
+  options.topic_iteration_scale = iter_scale;
+  options.train_threads = serving_flags.train_threads;
+  eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
+  if (Status st = runner.Init(); !st.ok()) return Fail(st);
+
+  Result<rec::ModelConfig> config = DefaultConfig(*kind, *source);
+  if (!config.ok()) return Fail(config.status());
+  rec::EngineContext ctx = runner.MakeContext(*config, *source);
+
+  stream::StreamCutOptions cut_options;
+  cut_options.cut_fraction = stream_flags.cut_fraction;
+  Result<stream::StreamCut> cut = stream::MakeStreamCut(ctx, cut_options);
+  if (!cut.ok()) return Fail(cut.status());
+
+  Result<std::unique_ptr<stream::StreamSession>> opened =
+      stream::StreamSession::Open(ctx, *cut,
+                                  stream_flags.SessionOptions(*config));
+  if (!opened.ok()) return Fail(opened.status());
+  stream::StreamSession& session = **opened;
+  std::printf("cut at t=%lld: %llu batches, %llu already applied "
+              "(recovered epoch %llu)\n",
+              static_cast<long long>(cut->cut_time),
+              static_cast<unsigned long long>(session.total_batches()),
+              static_cast<unsigned long long>(session.last_applied()),
+              static_cast<unsigned long long>(session.epoch()));
+
+  InstallStopHandlers();
+  uint64_t batches = 0, tweets = 0;
+  while (session.remaining_batches() > 0 &&
+         !g_stop.load(std::memory_order_relaxed)) {
+    Result<uint64_t> applied = session.IngestNext();
+    if (!applied.ok()) return Fail(applied.status());
+    tweets += *applied;
+    ++batches;
+  }
+  // Make everything applied durable, including a partial (stopped) run.
+  if (Status st = session.Checkpoint(); !st.ok()) return Fail(st);
+  std::printf("%s: applied %llu batches (%llu tweets), %llu pending, "
+              "frontier t=%lld, epoch %llu\n",
+              g_stop.load(std::memory_order_relaxed) ? "stopped" : "drained",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(tweets),
+              static_cast<unsigned long long>(session.remaining_batches()),
+              static_cast<long long>(session.frontier_time()),
+              static_cast<unsigned long long>(session.epoch()));
+  std::printf("state: %s\n", session.checkpoint_snapshot_path().c_str());
   return 0;
 }
 
@@ -811,7 +1019,8 @@ bool IterScaleArg(const std::vector<std::string>& args, size_t index,
 }
 
 int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
-             const ServingFlags& serving, const LoadFlags& load_flags) {
+             const ServingFlags& serving, const LoadFlags& load_flags,
+             const StreamFlags& stream_flags) {
   // `faults` takes no corpus directory; handle it before the <dir> guard.
   if (!args.empty() && args[0] == "faults") return Faults();
   if (args.size() < 2) return Usage();
@@ -849,7 +1058,12 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
   }
   if (command == "load" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Load(dir, args[2], args[3], iter_scale, serving, load_flags);
+    return Load(dir, args[2], args[3], iter_scale, serving, load_flags,
+                stream_flags);
+  }
+  if (command == "ingest" && args.size() >= 4) {
+    if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
+    return Ingest(dir, args[2], args[3], iter_scale, serving, stream_flags);
   }
   return Usage();
 }
@@ -861,6 +1075,7 @@ int main(int argc, char** argv) {
   SweepFlags flags;
   ServingFlags serving;
   LoadFlags load_flags;
+  StreamFlags stream_flags;
   size_t load_seed = 42;
 
   FlagParser parser(kUsageLine);
@@ -900,7 +1115,8 @@ int main(int argc, char** argv) {
                    "load: user-arrival Zipf skew, 0 = uniform (default 1)");
   parser.AddString("mix", &load_flags.mix,
                    "load: op-mix weights recommend,profile_lookup,"
-                   "snapshot_warm");
+                   "snapshot_warm[,ingest]; an ingest weight serves the "
+                   "run off live rotating epochs");
   parser.AddDouble("target-qps", &load_flags.target_qps,
                    "load: open-loop offered rate (0 = closed loop)");
   parser.AddString("load-report", &load_flags.report_path,
@@ -911,6 +1127,17 @@ int main(int argc, char** argv) {
   parser.AddDouble("hedge-after-ms", &serving.hedge_after_ms,
                    "recommend/load: hedge window in ms before a slow rung-0 "
                    "attempt is re-issued to the fallback rung (0 = off)");
+  parser.AddString("stream-dir", &stream_flags.stream_dir,
+                   "ingest/load: WAL + snapshot state directory (default "
+                   "stream_state)");
+  parser.AddDouble("cut", &stream_flags.cut_fraction,
+                   "ingest/load: fraction of pooled train docs in the base "
+                   "model; the rest streams (default 0.5)");
+  parser.AddSize("batch-size", &stream_flags.batch_size,
+                 "ingest/load: stream tweets per WAL batch (default 8)");
+  parser.AddSize("checkpoint-every", &stream_flags.checkpoint_every,
+                 "ingest: auto-checkpoint after this many applied batches "
+                 "(default 4, 0 = only the final checkpoint)");
   bool list_faults = false;
   parser.AddBool("list", &list_faults,
                  "faults: print every known fault site");
@@ -942,7 +1169,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  int code = Dispatch(*args, flags, serving, load_flags);
+  int code = Dispatch(*args, flags, serving, load_flags, stream_flags);
   if (flight != nullptr) flight->Stop();
   if (observed) PrintPhaseSummary();
   if (!metrics_path.empty() &&
