@@ -16,6 +16,12 @@
 //   MICROREC_TRAIN_THREADS  threads for sharded topic-model training
 //                        (default 1 = the paper's sequential sampler;
 //                        > 1 is statistically equivalent, DESIGN.md §10)
+//   MICROREC_SAMPLER_KERNEL  Gibbs draw kernel for LDA/LLDA/BTM: "dense"
+//                        (default, bit-identical to the paper), "sparse"
+//                        (SparseLDA buckets) or "alias" (stale alias tables
+//                        with MH correction) — DESIGN.md §15
+//   MICROREC_ALIAS_STALE_BUDGET  stale-draw budget per word alias table
+//                        (alias kernel only, default 32)
 //
 // Every bench also understands observability flags (see DESIGN.md):
 //   --report=<path>   structured JSON run report (metrics snapshot incl.
@@ -46,6 +52,7 @@
 #include "obs/trace.h"
 #include "rec/model_config.h"
 #include "synth/generator.h"
+#include "topic/sparse_kernel.h"
 #include "util/string_util.h"
 
 namespace microrec::bench {
@@ -113,6 +120,16 @@ inline Workbench MakeWorkbench() {
   eval::RunOptions options;
   options.topic_iteration_scale = EnvDouble("MICROREC_ITER_SCALE", 0.03);
   options.train_threads = EnvSize("MICROREC_TRAIN_THREADS", 1);
+  if (const char* kernel = std::getenv("MICROREC_SAMPLER_KERNEL");
+      kernel != nullptr && kernel[0] != '\0' &&
+      !topic::ParseSamplerKernel(kernel, &options.sampler_kernel)) {
+    std::fprintf(stderr,
+                 "bad MICROREC_SAMPLER_KERNEL '%s' (dense|sparse|alias)\n",
+                 kernel);
+    std::exit(1);
+  }
+  options.alias_stale_budget =
+      static_cast<int>(EnvSize("MICROREC_ALIAS_STALE_BUDGET", 32));
   options.seed = spec.seed;
   if (const char* dir = std::getenv("MICROREC_SNAPSHOT_DIR");
       dir != nullptr && dir[0] != '\0') {

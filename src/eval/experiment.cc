@@ -103,6 +103,8 @@ rec::EngineContext ExperimentRunner::MakeContext(
   ctx.iteration_scale = options_.topic_iteration_scale;
   ctx.llda_min_hashtag_count = options_.llda_min_hashtag_count;
   ctx.train_threads = options_.train_threads;
+  ctx.sampler_kernel = options_.sampler_kernel;
+  ctx.alias_stale_budget = options_.alias_stale_budget;
   ctx.cancel = cancel;
   if (options_.snapshot_load) {
     ctx.warm_start_snapshot = SnapshotPath(config, source);

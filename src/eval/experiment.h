@@ -50,6 +50,13 @@ struct RunOptions {
   /// bit-identical (DESIGN.md §10) — TTime changes, MAP stays within the
   /// statistical-equivalence band enforced by tests/topic/stat_equiv_test.
   size_t train_threads = 1;
+  /// Gibbs draw kernel for LDA / LLDA / BTM (kDense scans all K topics per
+  /// token; kSparse / kAlias are the sub-linear kernels of
+  /// topic/sparse_kernel.h — statistically equivalent, not bit-identical,
+  /// to kDense; same equivalence band as train_threads > 1).
+  topic::SamplerKernel sampler_kernel = topic::SamplerKernel::kDense;
+  /// Stale-draw budget per word-topic alias table (kAlias only).
+  int alias_stale_budget = 32;
 };
 
 /// Outcome of evaluating one (configuration, source) pair over the whole

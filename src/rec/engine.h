@@ -23,6 +23,7 @@
 #include "rec/model_config.h"
 #include "rec/preprocessed.h"
 #include "resilience/deadline.h"
+#include "topic/parallel_gibbs.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -57,6 +58,14 @@ struct EngineContext {
   /// classic AD-LDA barrier every sweep; higher trades staleness for fewer
   /// merges).
   int train_merge_every = 1;
+  /// Gibbs draw kernel for LDA / LLDA / BTM (topic/sparse_kernel.h):
+  /// kDense keeps the original O(K) scan bit-for-bit; kSparse uses the
+  /// SparseLDA bucket decomposition; kAlias uses stale alias tables with
+  /// Metropolis-Hastings correction. HDP / HLDA / PLSA ignore this.
+  topic::SamplerKernel sampler_kernel = topic::SamplerKernel::kDense;
+  /// Draws served by a stale word-topic alias table before it is rebuilt
+  /// (sampler_kernel == kAlias only).
+  int alias_stale_budget = 32;
   /// Optional deadline / cancellation, honored between Gibbs sweeps by the
   /// topic engines. Not owned; may be nullptr.
   const resilience::CancelContext* cancel = nullptr;

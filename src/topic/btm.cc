@@ -1,7 +1,11 @@
 #include "topic/btm.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "topic/sparse_kernel.h"
 
 namespace microrec::topic {
 
@@ -67,6 +71,8 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
 
   if (config_.train.train_threads > 1) {
     MICROREC_RETURN_IF_ERROR(ParallelSweeps(rng, biterms, &z, &n_z, &n_kw));
+  } else if (config_.train.sampler_kernel != SamplerKernel::kDense) {
+    MICROREC_RETURN_IF_ERROR(KernelSweeps(rng, biterms, &z, &n_z, &n_kw));
   } else {
     std::vector<double> weights(K);
     obs::Histogram* sweep_hist = obs::MetricsRegistry::Global().GetHistogram(
@@ -76,12 +82,14 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
           "BTM", iter, config_.cancel,
           iter == 0 ? nullptr : weights.data(), K));
       obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+      const uint64_t degenerate_before = rng->degenerate_draws();
+      bool counts_ok = true;
       for (size_t i = 0; i < B; ++i) {
         const auto [w1, w2] = biterms[i];
         const uint32_t old = z[i];
-        --n_z[old];
-        --n_kw[static_cast<size_t>(old) * V + w1];
-        --n_kw[static_cast<size_t>(old) * V + w2];
+        counts_ok &= GuardedDecrement(&n_z[old]);
+        counts_ok &= GuardedDecrement(&n_kw[static_cast<size_t>(old) * V + w1]);
+        counts_ok &= GuardedDecrement(&n_kw[static_cast<size_t>(old) * V + w2]);
         for (size_t k = 0; k < K; ++k) {
           const double denom = 2.0 * n_z[k] + v_beta;
           weights[k] = (n_z[k] + alpha) *
@@ -95,7 +103,12 @@ Status Btm::Train(const DocSet& docs, Rng* rng) {
         ++n_kw[static_cast<size_t>(fresh) * V + w1];
         ++n_kw[static_cast<size_t>(fresh) * V + w2];
       }
+      if (!counts_ok) return CountUnderflowError("BTM", iter);
+      MICROREC_RETURN_IF_ERROR(GuardDegenerateDraws(
+          "BTM", iter, rng->degenerate_draws() - degenerate_before));
     }
+    MICROREC_RETURN_IF_ERROR(CheckPosteriorMass(
+        "BTM", config_.train_iterations, weights.data(), K));
   }
 
   theta_.assign(K, 0.0);
@@ -129,10 +142,48 @@ Status Btm::ParallelSweeps(
   ParallelGibbs driver(B, config_.train, rng->NextU64());
   const size_t h_z = driver.AddCounts(n_z);
   const size_t h_kw = driver.AddCounts(n_kw);
-  std::vector<std::vector<double>> scratch(driver.num_shards(),
-                                           std::vector<double>(K));
   obs::Histogram* sweep_hist =
       obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
+  std::vector<uint8_t> shard_ok(driver.num_shards(), 1);
+  std::vector<uint64_t> shard_degenerate(driver.num_shards(), 0);
+
+  if (config_.train.sampler_kernel != SamplerKernel::kDense) {
+    const int merge_every = std::max(1, config_.train.merge_every);
+    std::vector<double> shard_mass(driver.num_shards(), 0.0);
+    const auto run = [&](auto& sweepers) {
+      return RunParallelKernel(
+          "BTM", config_.train_iterations, config_.cancel, driver, sweep_hist,
+          &shard_mass, &shard_ok, &shard_degenerate,
+          [&](const ParallelGibbs::Shard& shard, int iter) {
+            auto& sweeper = *sweepers[shard.index];
+            if (iter % merge_every == 0) {
+              sweeper.Bind(shard.Counts(h_z), shard.Counts(h_kw));
+            }
+            SweepBitermRange(sweeper, shard.begin, shard.end, biterms,
+                             z->data(), shard.rng);
+            shard_mass[shard.index] = sweeper.last_mass();
+            shard_ok[shard.index] &= sweeper.counts_ok() ? 1 : 0;
+            shard_degenerate[shard.index] += shard.rng->degenerate_draws();
+          });
+    };
+    if (config_.train.sampler_kernel == SamplerKernel::kSparse) {
+      std::vector<std::unique_ptr<BtmSparseSweeper>> sweepers;
+      for (size_t s = 0; s < driver.num_shards(); ++s) {
+        sweepers.push_back(
+            std::make_unique<BtmSparseSweeper>(K, V, alpha, beta));
+      }
+      return run(sweepers);
+    }
+    std::vector<std::unique_ptr<BtmAliasSweeper>> sweepers;
+    for (size_t s = 0; s < driver.num_shards(); ++s) {
+      sweepers.push_back(std::make_unique<BtmAliasSweeper>(
+          K, V, alpha, beta, config_.train.alias_stale_budget));
+    }
+    return run(sweepers);
+  }
+
+  std::vector<std::vector<double>> scratch(driver.num_shards(),
+                                           std::vector<double>(K));
   for (int iter = 0; iter < config_.train_iterations; ++iter) {
     MICROREC_RETURN_IF_ERROR(GuardSweep(
         "BTM", iter, config_.cancel,
@@ -143,12 +194,15 @@ Status Btm::ParallelSweeps(
       uint32_t* local_z = shard.Counts(h_z);
       uint32_t* local_kw = shard.Counts(h_kw);
       uint32_t* zs = z->data();
+      bool counts_ok = true;
       for (size_t i = shard.begin; i < shard.end; ++i) {
         const auto [w1, w2] = biterms[i];
         const uint32_t old = zs[i];
-        --local_z[old];
-        --local_kw[static_cast<size_t>(old) * V + w1];
-        --local_kw[static_cast<size_t>(old) * V + w2];
+        counts_ok &= GuardedDecrement(&local_z[old]);
+        counts_ok &=
+            GuardedDecrement(&local_kw[static_cast<size_t>(old) * V + w1]);
+        counts_ok &=
+            GuardedDecrement(&local_kw[static_cast<size_t>(old) * V + w2]);
         for (size_t k = 0; k < K; ++k) {
           const double denom = 2.0 * local_z[k] + v_beta;
           weights[k] = (local_z[k] + alpha) *
@@ -162,10 +216,49 @@ Status Btm::ParallelSweeps(
         ++local_kw[static_cast<size_t>(fresh) * V + w1];
         ++local_kw[static_cast<size_t>(fresh) * V + w2];
       }
+      shard_ok[shard.index] &= counts_ok ? 1 : 0;
+      shard_degenerate[shard.index] += shard.rng->degenerate_draws();
     });
+    for (uint8_t ok : shard_ok) {
+      if (!ok) return CountUnderflowError("BTM", iter);
+    }
+    uint64_t degenerate = 0;
+    for (uint64_t& d : shard_degenerate) {
+      degenerate += d;
+      d = 0;
+    }
+    MICROREC_RETURN_IF_ERROR(GuardDegenerateDraws("BTM", iter, degenerate));
   }
   driver.FlushMerge();
-  return Status::OK();
+  return CheckPosteriorMass("BTM", config_.train_iterations,
+                            scratch[0].data(), K);
+}
+
+Status Btm::KernelSweeps(
+    Rng* rng, const std::vector<std::pair<TermId, TermId>>& biterms,
+    std::vector<uint32_t>* z, std::vector<uint32_t>* n_z,
+    std::vector<uint32_t>* n_kw) {
+  const size_t K = config_.num_topics;
+  const size_t V = vocab_size_;
+  const size_t B = biterms.size();
+
+  obs::Histogram* sweep_hist =
+      obs::MetricsRegistry::Global().GetHistogram("topic.btm.sweep_seconds");
+  const auto run = [&](auto& sweeper) {
+    sweeper.Bind(n_z->data(), n_kw->data());
+    return RunSequentialKernel(
+        "BTM", sweeper, config_.train_iterations, config_.cancel, sweep_hist,
+        rng, [&] {
+          SweepBitermRange(sweeper, 0, B, biterms, z->data(), rng);
+        });
+  };
+  if (config_.train.sampler_kernel == SamplerKernel::kSparse) {
+    BtmSparseSweeper sweeper(K, V, config_.ResolvedAlpha(), config_.beta);
+    return run(sweeper);
+  }
+  BtmAliasSweeper sweeper(K, V, config_.ResolvedAlpha(), config_.beta,
+                          config_.train.alias_stale_budget);
+  return run(sweeper);
 }
 
 std::vector<double> Btm::InferDocument(const std::vector<TermId>& words,

@@ -76,6 +76,7 @@ Status Hdp::Train(const DocSet& docs, Rng* rng) {
         "HDP", iter, config_.cancel,
         weights.empty() ? nullptr : weights.data(), weights.size()));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+    const uint64_t degenerate_before = rng->degenerate_draws();
     // --- Sweep: resample every word's topic (direct assignment). ---
     for (size_t d = 0; d < D; ++d) {
       const auto& words = docs.docs()[d].words;
@@ -166,7 +167,15 @@ Status Hdp::Train(const DocSet& docs, Rng* rng) {
       for (size_t k = 0; k < K; ++k) topics[k].b = draw[k];
       b_new = draw[K];
     }
+
+    MICROREC_RETURN_IF_ERROR(GuardDegenerateDraws(
+        "HDP", iter, rng->degenerate_draws() - degenerate_before));
   }
+
+  MICROREC_RETURN_IF_ERROR(
+      CheckPosteriorMass("HDP", config_.train_iterations,
+                         weights.empty() ? nullptr : weights.data(),
+                         weights.size()));
 
   // Freeze the posterior sample.
   num_topics_ = topics.size();

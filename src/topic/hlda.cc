@@ -80,6 +80,7 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
 
   // Initialise: every document starts on a random existing-or-new path and
   // uniform level assignments.
+  const uint64_t degenerate_init = rng->degenerate_draws();
   for (size_t d = 0; d < D; ++d) {
     path[d].resize(L);
     path[d][0] = 0;
@@ -109,6 +110,8 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
     }
     for (int l = 0; l < L; ++l) ++nodes[path[d][l]].n_docs;
   }
+  MICROREC_RETURN_IF_ERROR(GuardDegenerateDraws(
+      "HLDA", 0, rng->degenerate_draws() - degenerate_init));
 
   // Words of a doc grouped by level (recomputed per doc per sweep).
   std::vector<std::unordered_map<TermId, uint32_t>> by_level(L);
@@ -123,6 +126,7 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
         "HLDA", iter, config_.cancel,
         iter == 0 ? nullptr : level_weights.data(), level_weights.size()));
     obs::ScopedHistogramTimer sweep_timer(sweep_hist);
+    const uint64_t degenerate_before = rng->degenerate_draws();
     for (size_t d = 0; d < D; ++d) {
       const auto& words = docs.docs()[d].words;
 
@@ -265,7 +269,16 @@ Status Hlda::Train(const DocSet& docs, Rng* rng) {
         ++node.n_total;
       }
     }
+    MICROREC_RETURN_IF_ERROR(GuardDegenerateDraws(
+        "HLDA", iter, rng->degenerate_draws() - degenerate_before));
   }
+
+  // The sweep guard only ever sees the *previous* iteration's sample; check
+  // the final sweep's mass once more before freezing the tree.
+  MICROREC_RETURN_IF_ERROR(CheckPosteriorMass(
+      "HLDA", config_.train_iterations,
+      config_.train_iterations == 0 ? nullptr : level_weights.data(),
+      level_weights.size()));
 
   // ---- Freeze: compact live nodes and record root-to-leaf paths. ----
   std::vector<int> remap(nodes.size(), -1);

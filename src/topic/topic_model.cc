@@ -40,6 +40,14 @@ Status GuardSweep(const char* model, int sweep,
   if (cancel != nullptr) {
     MICROREC_RETURN_IF_ERROR(cancel->Check(model));
   }
+  if (weights != nullptr) {
+    MICROREC_RETURN_IF_ERROR(CheckPosteriorMass(model, sweep, weights, n));
+  }
+  return Status::OK();
+}
+
+Status CheckPosteriorMass(const char* model, int sweep, const double* weights,
+                          size_t n) {
   if (weights != nullptr && !FinitePosteriorMass(weights, n)) {
     obs::MetricsRegistry::Global()
         .GetCounter("topic.posterior.non_finite")
@@ -49,6 +57,21 @@ Status GuardSweep(const char* model, int sweep,
                             std::to_string(sweep));
   }
   return Status::OK();
+}
+
+Status GuardDegenerateDraws(const char* model, int sweep, uint64_t draws) {
+  if (draws == 0) return Status::OK();
+  return Status::Internal(std::string(model) + ": " + std::to_string(draws) +
+                          " degenerate-mass draw(s) in sweep " +
+                          std::to_string(sweep) +
+                          " (see rng.degenerate_draws)");
+}
+
+Status CountUnderflowError(const char* model, int sweep) {
+  return Status::DataLoss(std::string(model) +
+                          ": topic count underflow in sweep " +
+                          std::to_string(sweep) +
+                          " (corrupt assignment state)");
 }
 
 double TopicCosine(const std::vector<double>& a,

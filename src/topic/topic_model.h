@@ -9,6 +9,8 @@
 #ifndef MICROREC_TOPIC_TOPIC_MODEL_H_
 #define MICROREC_TOPIC_TOPIC_MODEL_H_
 
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,6 +95,36 @@ Status ValidateHyperparameters(const char* model, double alpha, double beta,
 Status GuardSweep(const char* model, int sweep,
                   const resilience::CancelContext* cancel,
                   const double* weights, size_t n);
+
+/// The mass-validation half of GuardSweep, without the fault point or the
+/// cancel check. The samplers call this once after their final sweep,
+/// before freezing φ — GuardSweep only ever sees the *previous* iteration's
+/// weights, so without this the last sweep's output went unchecked.
+/// Deliberately not a fault site: adding one would shift the
+/// `topic.gibbs.sweep` trigger cadence the chaos tests pin down.
+Status CheckPosteriorMass(const char* model, int sweep, const double* weights,
+                          size_t n);
+
+/// kInternal when `draws` > 0: the sweep absorbed that many degenerate-mass
+/// categorical draws (Rng::DegenerateFallback). The fallback keeps release
+/// builds memory-safe; this guard keeps them statistically honest — a
+/// sampler that hit it was drawing from a corrupt posterior row, and the
+/// result must not be silently used.
+Status GuardDegenerateDraws(const char* model, int sweep, uint64_t draws);
+
+/// Decrements a u32 topic count unless it is already zero, which would wrap
+/// to 2^32-1 and poison every posterior weight that divides by it
+/// (reachable from corrupted fold-in / snapshot-restore state). Asserts in
+/// debug builds; callers accumulate the result and surface kDataLoss.
+inline bool GuardedDecrement(uint32_t* count) {
+  assert(*count > 0);
+  if (*count == 0) return false;
+  --*count;
+  return true;
+}
+
+/// The kDataLoss status for a sweep whose GuardedDecrement flag went false.
+Status CountUnderflowError(const char* model, int sweep);
 
 /// Held-out perplexity of a document set under a trained model:
 /// exp(-Σ_d Σ_w log Σ_z θ_d,z φ_z,w / N). Lower is better. Standard topic-

@@ -1,0 +1,69 @@
+#include "util/alias_table.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace microrec {
+
+bool AliasTable::Build(const double* weights, size_t n) {
+  prob_.clear();
+  alias_.clear();
+  weights_.clear();
+  total_ = 0.0;
+  if (weights == nullptr || n == 0) return false;
+  assert(n <= UINT32_MAX);
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = weights[i];
+    // !(w >= 0) also rejects NaN, whose comparisons are all false.
+    if (!(w >= 0.0) || !std::isfinite(w)) return false;
+    total += w;
+  }
+  if (!(total > 0.0) || !std::isfinite(total)) return false;
+
+  weights_.assign(weights, weights + n);
+  total_ = total;
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's two-stack construction. Scale every weight so the average cell
+  // is exactly 1, then repeatedly top up an underfull cell from an overfull
+  // one. Indices enter the stacks in ascending order and leave LIFO, so the
+  // pairing — and therefore the table — is a pure function of the weights.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t under = small.back();
+    small.pop_back();
+    const uint32_t over = large.back();
+    large.pop_back();
+    prob_[under] = scaled[under];
+    alias_[under] = over;
+    scaled[over] = (scaled[over] + scaled[under]) - 1.0;
+    (scaled[over] < 1.0 ? small : large).push_back(over);
+  }
+  // Leftovers are cells whose scaled mass is 1 up to rounding; they keep
+  // their own index so the fraction test can never misroute.
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    alias_[large.back()] = large.back();
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    alias_[small.back()] = small.back();
+    small.pop_back();
+  }
+  return true;
+}
+
+}  // namespace microrec

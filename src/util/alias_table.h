@@ -1,0 +1,71 @@
+// Walker alias table (Walker 1977; Vose 1991): O(1) sampling from an
+// arbitrary finite categorical distribution after an O(n) build.
+//
+// The Gibbs samplers use these LightLDA/AliasLDA-style: a table is built
+// from a *stale* snapshot of the topic-word weights, reused for a bounded
+// number of draws (the stale-draw budget in topic/sparse_kernel.h), and the
+// bias of the staleness is corrected by Metropolis-Hastings acceptance
+// against the live counts. To support that correction the table keeps the
+// weights it was built from (`weight(i)`) and their total mass (`total()`),
+// so proposal densities are O(1) queries.
+//
+// Construction is the deterministic two-stack (small/large) variant: slots
+// are pushed in index order and popped LIFO, so the same weight vector
+// always yields bit-identical (prob, alias) arrays — a requirement for the
+// repo-wide fixed-seed reproducibility contract.
+#ifndef MICROREC_UTIL_ALIAS_TABLE_H_
+#define MICROREC_UTIL_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace microrec {
+
+class AliasTable {
+ public:
+  /// Builds the table from `n` unnormalised weights. Every weight must be
+  /// finite and >= 0 and the total mass finite and positive; returns false
+  /// (leaving the table empty) otherwise — degenerate mass is the caller's
+  /// problem to surface, never to sample from.
+  bool Build(const double* weights, size_t n);
+  bool Build(const std::vector<double>& weights) {
+    return Build(weights.data(), weights.size());
+  }
+
+  /// Draws an index proportionally to the build-time weights. One uniform
+  /// draw: the integer part picks the slot, the fraction picks slot vs
+  /// alias. Valid only after a successful Build().
+  size_t Sample(Rng* rng) const {
+    const double u = rng->UniformDouble() * static_cast<double>(prob_.size());
+    size_t slot = static_cast<size_t>(u);
+    if (slot >= prob_.size()) slot = prob_.size() - 1;  // u == n-epsilon edge
+    return (u - static_cast<double>(slot)) < prob_[slot] ? slot
+                                                         : alias_[slot];
+  }
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+  /// The unnormalised weight index i was built with (stale by design).
+  double weight(size_t i) const { return weights_[i]; }
+  /// Total build-time mass (> 0 after a successful Build).
+  double total() const { return total_; }
+
+  /// Internal cells, exposed for the construction unit tests: the kept
+  /// probability of slot i and the index sampled when the fraction falls
+  /// above it.
+  double prob(size_t i) const { return prob_[i]; }
+  size_t alias(size_t i) const { return alias_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+};
+
+}  // namespace microrec
+
+#endif  // MICROREC_UTIL_ALIAS_TABLE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace microrec {
 
 namespace {
@@ -174,7 +176,10 @@ size_t Rng::Categorical(const double* weights, size_t n) {
   assert(n > 0);
   double total = 0.0;
   for (size_t i = 0; i < n; ++i) total += weights[i];
-  assert(total > 0.0);
+  // !(total > 0) also catches NaN; isfinite catches an overflowed sum. In
+  // release builds this used to fall through to a biased draw — degrade to
+  // the documented deterministic fallback instead.
+  if (!(total > 0.0) || !std::isfinite(total)) return DegenerateFallback(n);
   double target = UniformDouble() * total;
   double cum = 0.0;
   for (size_t i = 0; i < n; ++i) {
@@ -186,6 +191,17 @@ size_t Rng::Categorical(const double* weights, size_t n) {
     if (weights[i - 1] > 0.0) return i - 1;
   }
   return n - 1;
+}
+
+size_t Rng::DegenerateFallback(size_t n) {
+  assert(n > 0);
+  (void)n;
+  UniformDouble();  // keep the draw stream aligned with the healthy path
+  ++degenerate_draws_;
+  static obs::Counter* degenerate =
+      obs::MetricsRegistry::Global().GetCounter("rng.degenerate_draws");
+  degenerate->Increment();
+  return 0;
 }
 
 std::vector<double> Rng::DirichletSymmetric(double alpha, size_t dim) {

@@ -149,10 +149,27 @@ class Rng {
   uint32_t Poisson(double lambda);
 
   /// Samples an index proportionally to `weights` (need not be normalised;
-  /// all weights must be >= 0 and at least one positive).
+  /// all weights must be >= 0 and at least one positive). A zero, negative,
+  /// NaN, or infinite total mass is handled safely in release builds: the
+  /// draw degrades to DegenerateFallback() — deterministic index 0, one
+  /// uniform consumed, `degenerate_draws()` bumped — instead of relying on
+  /// the debug-only asserts. Callers on statistical paths must check
+  /// degenerate_draws() and surface the corruption; see GuardDegenerateDraws
+  /// in topic/topic_model.h.
   size_t Categorical(const std::vector<double>& weights);
   /// Same, from a raw pointer range (hot path for Gibbs samplers).
   size_t Categorical(const double* weights, size_t n);
+
+  /// The documented degenerate-mass fallback: consumes exactly one
+  /// UniformDouble (so healthy and degenerate draws advance the stream
+  /// identically), increments the degenerate-draw diagnostics, and returns
+  /// index 0. Exposed so sparse kernels that sample outside Categorical()
+  /// can degrade the same way.
+  size_t DegenerateFallback(size_t n);
+
+  /// Number of degenerate-mass draws this generator has absorbed. Purely
+  /// diagnostic: not part of State, so save/restore round-trips ignore it.
+  uint64_t degenerate_draws() const { return degenerate_draws_; }
 
   /// Draws from a symmetric Dirichlet(alpha) of dimension `dim`.
   std::vector<double> DirichletSymmetric(double alpha, size_t dim);
@@ -198,6 +215,7 @@ class Rng {
   uint64_t inc_;
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
+  uint64_t degenerate_draws_ = 0;
 };
 
 }  // namespace microrec

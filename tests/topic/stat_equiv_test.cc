@@ -19,6 +19,7 @@
 #include "topic/btm.h"
 #include "topic/lda.h"
 #include "topic/parallel_gibbs.h"
+#include "topic/sparse_kernel.h"
 #include "util/rng.h"
 
 namespace microrec::topic {
@@ -66,8 +67,10 @@ EquivCorpus MakeEquivCorpus(size_t num_docs, size_t len, size_t vocab,
 
 template <typename Model, typename Config>
 double HeldoutPerplexity(const EquivCorpus& corpus, Config config,
-                         size_t threads, uint64_t seed) {
+                         size_t threads, uint64_t seed,
+                         SamplerKernel kernel = SamplerKernel::kDense) {
   config.train.train_threads = threads;
+  config.train.sampler_kernel = kernel;
   Model model(config);
   Rng rng(seed);
   EXPECT_TRUE(model.Train(corpus.docs, &rng).ok());
@@ -115,6 +118,86 @@ TEST(StatEquivPerplexityTest, BtmFourThreadsWithinBand) {
 }
 
 // ---------------------------------------------------------------------------
+// (i-b) The sparse and alias draw kernels are covered by the same contract:
+// they consume different draw sequences than the dense scan, so the gate is
+// the seed-averaged held-out perplexity band against dense sequential.
+
+template <typename Model, typename Config>
+double MeanKernelPerplexityGap(const EquivCorpus& corpus, const Config& config,
+                               SamplerKernel kernel) {
+  double gap_sum = 0.0;
+  const std::vector<uint64_t> seeds = {3, 17, 29};
+  for (uint64_t seed : seeds) {
+    double dense = HeldoutPerplexity<Model>(corpus, config, /*threads=*/1,
+                                            seed, SamplerKernel::kDense);
+    double kerneled =
+        HeldoutPerplexity<Model>(corpus, config, /*threads=*/1, seed, kernel);
+    EXPECT_GT(dense, 0.0);
+    if (dense <= 0.0) return 1e9;
+    gap_sum += std::abs(kerneled - dense) / dense;
+  }
+  return gap_sum / static_cast<double>(seeds.size());
+}
+
+class KernelStatEquivTest : public ::testing::TestWithParam<SamplerKernel> {};
+
+TEST_P(KernelStatEquivTest, LdaKernelPerplexityWithinBand) {
+  EquivCorpus corpus = MakeEquivCorpus(/*num_docs=*/400, /*len=*/20,
+                                       /*vocab=*/500, /*k_true=*/8,
+                                       /*seed=*/11);
+  LdaConfig config;
+  config.num_topics = 8;
+  config.train_iterations = 60;
+  EXPECT_LE(MeanKernelPerplexityGap<Lda>(corpus, config, GetParam()), 0.10)
+      << SamplerKernelName(GetParam())
+      << " kernel LDA perplexity drifted out of band";
+}
+
+TEST_P(KernelStatEquivTest, BtmKernelPerplexityWithinBand) {
+  EquivCorpus corpus = MakeEquivCorpus(/*num_docs=*/400, /*len=*/20,
+                                       /*vocab=*/500, /*k_true=*/8,
+                                       /*seed=*/11);
+  BtmConfig config;
+  config.num_topics = 8;
+  config.train_iterations = 25;
+  config.window = 10;
+  EXPECT_LE(MeanKernelPerplexityGap<Btm>(corpus, config, GetParam()), 0.15)
+      << SamplerKernelName(GetParam())
+      << " kernel BTM perplexity drifted out of band";
+}
+
+TEST_P(KernelStatEquivTest, LdaKernelPerplexityWithinBandAtFourThreads) {
+  // Kernels must stay in band when composed with sharded training, not just
+  // sequentially — the shard-replica Rebind path is different code.
+  EquivCorpus corpus = MakeEquivCorpus(/*num_docs=*/400, /*len=*/20,
+                                       /*vocab=*/500, /*k_true=*/8,
+                                       /*seed=*/11);
+  LdaConfig config;
+  config.num_topics = 8;
+  config.train_iterations = 60;
+  double gap_sum = 0.0;
+  const std::vector<uint64_t> seeds = {3, 17, 29};
+  for (uint64_t seed : seeds) {
+    double dense = HeldoutPerplexity<Lda>(corpus, config, /*threads=*/1, seed,
+                                          SamplerKernel::kDense);
+    double kerneled = HeldoutPerplexity<Lda>(corpus, config, /*threads=*/4,
+                                             seed, GetParam());
+    ASSERT_GT(dense, 0.0);
+    gap_sum += std::abs(kerneled - dense) / dense;
+  }
+  EXPECT_LE(gap_sum / static_cast<double>(seeds.size()), 0.10)
+      << SamplerKernelName(GetParam())
+      << " kernel drifted out of band under sharded training";
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseAndAlias, KernelStatEquivTest,
+                         ::testing::Values(SamplerKernel::kSparse,
+                                           SamplerKernel::kAlias),
+                         [](const auto& info) {
+                           return std::string(SamplerKernelName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
 // (ii) End-to-end MAP through the experiment pipeline.
 
 class StatEquivMapTest : public ::testing::Test {
@@ -158,11 +241,13 @@ class StatEquivMapTest : public ::testing::Test {
   /// derived from the seed, so paired calls with the same seed compare the
   /// same splits and the same engine context, differing only in training
   /// parallelism.
-  static double MapAt(size_t train_threads, uint64_t seed) {
+  static double MapAt(size_t train_threads, uint64_t seed,
+                      SamplerKernel kernel = SamplerKernel::kDense) {
     eval::RunOptions options;
     options.topic_iteration_scale = 0.1;
     options.seed = seed;
     options.train_threads = train_threads;
+    options.sampler_kernel = kernel;
     eval::ExperimentRunner runner(pre_, cohort_, options);
     EXPECT_TRUE(runner.Init().ok());
     rec::ModelConfig config;
@@ -198,6 +283,40 @@ TEST_F(StatEquivMapTest, LdaFourThreadMapWithinOneHundredthSeedAveraged) {
   EXPECT_NEAR(mean_par, mean_seq, 0.01)
       << "sharded training shifted end-to-end MAP beyond the "
          "statistical-equivalence contract";
+}
+
+TEST_F(StatEquivMapTest, LdaKernelMapWithinOneHundredthSeedAveraged) {
+  // Ninety-six seeds, not three: a kernel change replaces the entire draw
+  // stream (unlike the sharding test above, where parallel and sequential
+  // runs at least start from the same initialization), so the per-seed MAP
+  // difference carries the full training noise of two independent chains
+  // (empirically SD ≈ 0.03 on this fixture). Averaging 96 seeds puts the
+  // noise on the mean (SE ≈ 0.003) well under the ±0.01 band, so the gate
+  // detects kernel bias rather than seed luck. The dense baseline is
+  // computed once per seed and shared by both kernel comparisons.
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1234; s < 1234 + 96; ++s) seeds.push_back(s);
+  std::vector<double> dense_maps;
+  double mean_dense = 0.0;
+  for (uint64_t seed : seeds) {
+    double dense = MapAt(/*train_threads=*/1, seed, SamplerKernel::kDense);
+    ASSERT_GE(dense, 0.0);
+    dense_maps.push_back(dense);
+    mean_dense += dense / static_cast<double>(seeds.size());
+  }
+  for (SamplerKernel kernel :
+       {SamplerKernel::kSparse, SamplerKernel::kAlias}) {
+    double mean_kernel = 0.0;
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      double kerneled = MapAt(/*train_threads=*/1, seeds[i], kernel);
+      ASSERT_GE(kerneled, 0.0);
+      mean_kernel += kerneled / static_cast<double>(seeds.size());
+    }
+    EXPECT_NEAR(mean_kernel, mean_dense, 0.01)
+        << SamplerKernelName(kernel)
+        << " kernel shifted end-to-end MAP beyond the "
+           "statistical-equivalence contract";
+  }
 }
 
 }  // namespace

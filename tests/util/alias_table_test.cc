@@ -1,0 +1,132 @@
+// Walker alias table (util/alias_table.h): construction must preserve the
+// input distribution exactly, rebuilds must be deterministic (the table is
+// part of the fixed-seed reproducibility contract), and degenerate weight
+// vectors must be rejected rather than sampled from.
+#include "util/alias_table.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace microrec {
+namespace {
+
+/// The exact per-index probability the table encodes: the kept probability
+/// of slot i plus every fraction other slots alias to it, normalised by n.
+std::vector<double> EncodedDistribution(const AliasTable& table) {
+  const size_t n = table.size();
+  std::vector<double> p(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    p[i] += table.prob(i);
+    p[table.alias(i)] += 1.0 - table.prob(i);
+  }
+  for (double& v : p) v /= static_cast<double>(n);
+  return p;
+}
+
+TEST(AliasTableTest, EncodesExactProbabilitiesOnRandomizedWeights) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.UniformU32(64);
+    std::vector<double> weights(n);
+    double total = 0.0;
+    for (double& w : weights) {
+      // Mix of zeros and wide magnitudes; keep at least one positive below.
+      w = rng.UniformU32(4) == 0 ? 0.0 : rng.UniformDouble() * 100.0;
+      total += w;
+    }
+    if (total == 0.0) {
+      weights[0] = 1.0;
+      total = 1.0;
+    }
+    AliasTable table;
+    ASSERT_TRUE(table.Build(weights));
+    ASSERT_EQ(table.size(), n);
+    EXPECT_NEAR(table.total(), total, 1e-9 * total);
+    std::vector<double> encoded = EncodedDistribution(table);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(encoded[i], weights[i] / total, 1e-12)
+          << "index " << i << " of trial " << trial;
+      EXPECT_EQ(table.weight(i), weights[i]);
+    }
+  }
+}
+
+TEST(AliasTableTest, SampleFrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 0.0, 3.0, 6.0};
+  AliasTable table;
+  ASSERT_TRUE(table.Build(weights));
+  Rng rng(7);
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_EQ(counts[1], 0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expect = kDraws * weights[i] / 10.0;
+    EXPECT_NEAR(counts[i], expect, 4.0 * std::sqrt(kDraws)) << "index " << i;
+  }
+}
+
+TEST(AliasTableTest, RebuildIsDeterministic) {
+  Rng rng(123);
+  std::vector<double> weights(37);
+  for (double& w : weights) w = rng.UniformDouble();
+  AliasTable a;
+  AliasTable b;
+  ASSERT_TRUE(a.Build(weights));
+  ASSERT_TRUE(b.Build(weights));
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(a.prob(i), b.prob(i)) << i;
+    EXPECT_EQ(a.alias(i), b.alias(i)) << i;
+  }
+  // Rebuilding over a previously used table must erase all prior state.
+  ASSERT_TRUE(b.Build(std::vector<double>{1.0, 2.0}));
+  ASSERT_TRUE(b.Build(weights));
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_EQ(a.prob(i), b.prob(i)) << i;
+    EXPECT_EQ(a.alias(i), b.alias(i)) << i;
+  }
+}
+
+TEST(AliasTableTest, SameSeedSampleSequencesAreIdentical) {
+  std::vector<double> weights = {0.5, 2.5, 1.0, 1.0, 5.0};
+  AliasTable table;
+  ASSERT_TRUE(table.Build(weights));
+  Rng a(2024);
+  Rng b(2024);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(table.Sample(&a), table.Sample(&b));
+  }
+}
+
+TEST(AliasTableTest, RejectsDegenerateWeights) {
+  AliasTable table;
+  EXPECT_FALSE(table.Build(nullptr, 0));
+  EXPECT_FALSE(table.Build(std::vector<double>{}));
+  EXPECT_FALSE(table.Build(std::vector<double>{0.0, 0.0}));
+  EXPECT_FALSE(table.Build(std::vector<double>{1.0, -0.5}));
+  EXPECT_FALSE(
+      table.Build(std::vector<double>{1.0, std::nan("")}));
+  EXPECT_FALSE(table.Build(
+      std::vector<double>{1.0, std::numeric_limits<double>::infinity()}));
+  EXPECT_TRUE(table.empty());
+  // A failed build leaves a previously good table empty, not half-built.
+  ASSERT_TRUE(table.Build(std::vector<double>{1.0, 1.0}));
+  EXPECT_FALSE(table.Build(std::vector<double>{0.0}));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.total(), 0.0);
+}
+
+TEST(AliasTableTest, SingleElementAlwaysReturnsZero) {
+  AliasTable table;
+  ASSERT_TRUE(table.Build(std::vector<double>{42.0}));
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace microrec

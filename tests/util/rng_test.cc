@@ -4,8 +4,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace microrec {
 namespace {
@@ -157,6 +161,53 @@ TEST(RngTest, CategoricalSkipsZeroWeights) {
   Rng rng(43);
   std::vector<double> weights = {0.0, 1.0, 0.0};
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(weights), 1u);
+}
+
+// Degenerate mass (zero / negative / NaN / infinite total) must not abort or
+// bias silently — release builds compile the old assert away. The contract:
+// deterministic index 0, the per-Rng degenerate_draws counter bumps, and the
+// global rng.degenerate_draws metric bumps, so Gibbs loops can surface the
+// row as kInternal (topic::GuardDegenerateDraws).
+TEST(RngTest, CategoricalDegenerateMassReturnsZeroAndCounts) {
+  Rng rng(53);
+  EXPECT_EQ(rng.degenerate_draws(), 0u);
+  const obs::CounterSnapshot* before = obs::MetricsRegistry::Global()
+                                           .Snapshot()
+                                           .FindCounter("rng.degenerate_draws");
+  const uint64_t global_before = before == nullptr ? 0 : before->value;
+
+  std::vector<double> zeros = {0.0, 0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(zeros), 0u);
+  EXPECT_EQ(rng.degenerate_draws(), 1u);
+
+  std::vector<double> negative = {1.0, -5.0};
+  EXPECT_EQ(rng.Categorical(negative), 0u);
+  std::vector<double> nan_total = {1.0, std::nan("")};
+  EXPECT_EQ(rng.Categorical(nan_total), 0u);
+  std::vector<double> inf_total = {1.0,
+                                   std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(rng.Categorical(inf_total), 0u);
+  EXPECT_EQ(rng.degenerate_draws(), 4u);
+
+  const obs::CounterSnapshot* after = obs::MetricsRegistry::Global()
+                                          .Snapshot()
+                                          .FindCounter("rng.degenerate_draws");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->value, global_before + 4);
+}
+
+TEST(RngTest, DegenerateFallbackKeepsDrawStreamAligned) {
+  // The fallback consumes exactly one uniform — the same as a healthy draw —
+  // so a degenerate row does not shift every subsequent sample in the sweep.
+  Rng healthy(67);
+  Rng degenerate(67);
+  std::vector<double> good = {2.0, 1.0};
+  std::vector<double> bad = {0.0, 0.0};
+  healthy.Categorical(good);
+  degenerate.Categorical(bad);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(healthy.NextU64(), degenerate.NextU64());
+  }
 }
 
 TEST(RngTest, DirichletSumsToOne) {

@@ -110,6 +110,15 @@
 //                         with document shards — statistically equivalent,
 //                         not bit-identical (DESIGN.md §10). HDP/HLDA always
 //                         train sequentially.
+//   --sampler-kernel=<k>  Gibbs draw kernel for LDA/LLDA/BTM: dense
+//                         (default; the paper's O(K) scan, bit-identical),
+//                         sparse (SparseLDA bucket decomposition), or alias
+//                         (stale alias tables + Metropolis-Hastings
+//                         correction). sparse/alias are statistically
+//                         equivalent, not bit-identical (DESIGN.md §15).
+//   --alias-stale-budget=<n>  draws served by a stale word alias table
+//                         before it is rebuilt (alias kernel only,
+//                         default 32).
 //
 // Unknown flags and malformed `--key=value` pairs are rejected with the
 // offending token and a usage hint (util/cli_flags.h). Fault injection is
@@ -145,6 +154,7 @@
 #include "stream/live.h"
 #include "stream/session.h"
 #include "synth/generator.h"
+#include "topic/sparse_kernel.h"
 #include "util/cli_flags.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
@@ -187,7 +197,8 @@ int Usage() {
       "usage: microrec [--metrics=<path>] [--trace=<path>] <command>\n"
       "  microrec generate <dir> [seed]\n"
       "  microrec stats <dir>\n"
-      "  microrec evaluate [--threads=<n>] [--train-threads=<n>] <dir>"
+      "  microrec evaluate [--threads=<n>] [--train-threads=<n>]"
+      " [--sampler-kernel=<dense|sparse|alias>] <dir>"
       " <TN|CN|TNG|CNG|LDA|LLDA|HDP|HLDA|BTM|PLSA>"
       " <R|T|E|F|C|TR|TE|RE|TC|RC|TF|RF|EF> [iter_scale]\n"
       "  microrec sweep [--checkpoint=<path>] [--fail-fast]"
@@ -361,9 +372,38 @@ Result<rec::ModelConfig> DefaultConfig(rec::ModelKind kind,
       " for source " + std::string(corpus::SourceName(source)));
 }
 
+/// Serving flags shared by the train and recommend commands (`threads`
+/// also applies to evaluate; `train_threads` and the sampler-kernel pair
+/// to evaluate and sweep too).
+struct ServingFlags {
+  std::string snapshot_dir = "snapshots";
+  double deadline_seconds = 0.0;
+  std::string user_handle;
+  size_t top_k = 5;
+  size_t threads = 1;
+  size_t train_threads = 1;
+  std::string sampler_kernel = "dense";
+  size_t alias_stale_budget = 32;
+  size_t shards = 1;
+  double hedge_after_ms = 0.0;
+};
+
+/// Resolves --sampler-kernel / --alias-stale-budget into run options.
+Status ApplyKernelFlags(const ServingFlags& flags,
+                        eval::RunOptions* options) {
+  if (!topic::ParseSamplerKernel(flags.sampler_kernel,
+                                 &options->sampler_kernel)) {
+    return Status::InvalidArgument("bad --sampler-kernel '" +
+                                   flags.sampler_kernel +
+                                   "' (dense|sparse|alias)");
+  }
+  options->alias_stale_budget = static_cast<int>(flags.alias_stale_budget);
+  return Status::OK();
+}
+
 int Evaluate(const std::string& dir, const std::string& model_name,
              const std::string& source_name, double iter_scale,
-             size_t threads, size_t train_threads) {
+             const ServingFlags& flags) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -373,8 +413,11 @@ int Evaluate(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
-  options.score_threads = threads;
-  options.train_threads = train_threads;
+  options.score_threads = flags.threads;
+  options.train_threads = flags.train_threads;
+  if (Status st = ApplyKernelFlags(flags, &options); !st.ok()) {
+    return Fail(st);
+  }
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
 
@@ -393,19 +436,6 @@ int Evaluate(const std::string& dir, const std::string& model_name,
   return 0;
 }
 
-/// Serving flags shared by the train and recommend commands (`threads`
-/// also applies to evaluate; `train_threads` to evaluate and sweep too).
-struct ServingFlags {
-  std::string snapshot_dir = "snapshots";
-  double deadline_seconds = 0.0;
-  std::string user_handle;
-  size_t top_k = 5;
-  size_t threads = 1;
-  size_t train_threads = 1;
-  size_t shards = 1;
-  double hedge_after_ms = 0.0;
-};
-
 int Train(const std::string& dir, const std::string& model_name,
           const std::string& source_name, double iter_scale,
           const ServingFlags& flags) {
@@ -419,6 +449,9 @@ int Train(const std::string& dir, const std::string& model_name,
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
   options.train_threads = flags.train_threads;
+  if (Status st = ApplyKernelFlags(flags, &options); !st.ok()) {
+    return Fail(st);
+  }
   options.snapshot_dir = flags.snapshot_dir;
   options.snapshot_save = true;
   // Loading too: re-running train refreshes the snapshot without retraining
@@ -454,6 +487,9 @@ int Recommend(const std::string& dir, const std::string& model_name,
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
   options.train_threads = flags.train_threads;
+  if (Status st = ApplyKernelFlags(flags, &options); !st.ok()) {
+    return Fail(st);
+  }
   options.snapshot_dir = flags.snapshot_dir;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
@@ -618,6 +654,9 @@ int Load(const std::string& dir, const std::string& model_name,
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
   options.train_threads = serving_flags.train_threads;
+  if (Status st = ApplyKernelFlags(serving_flags, &options); !st.ok()) {
+    return Fail(st);
+  }
   options.snapshot_dir = serving_flags.snapshot_dir;
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
@@ -823,6 +862,9 @@ int Ingest(const std::string& dir, const std::string& model_name,
   eval::RunOptions options;
   options.topic_iteration_scale = iter_scale;
   options.train_threads = serving_flags.train_threads;
+  if (Status st = ApplyKernelFlags(serving_flags, &options); !st.ok()) {
+    return Fail(st);
+  }
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort, options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
 
@@ -880,7 +922,7 @@ struct SweepFlags {
 
 int Sweep(const std::string& dir, const std::string& model_name,
           const std::string& source_name, double iter_scale,
-          const SweepFlags& flags, size_t train_threads) {
+          const SweepFlags& flags, const ServingFlags& serving_flags) {
   Result<rec::ModelKind> kind = rec::ParseModelKind(model_name);
   if (!kind.ok()) return Fail(kind.status());
   Result<corpus::Source> source = corpus::ParseSource(source_name);
@@ -890,7 +932,10 @@ int Sweep(const std::string& dir, const std::string& model_name,
 
   eval::RunOptions run_options;
   run_options.topic_iteration_scale = iter_scale;
-  run_options.train_threads = train_threads;
+  run_options.train_threads = serving_flags.train_threads;
+  if (Status st = ApplyKernelFlags(serving_flags, &run_options); !st.ok()) {
+    return Fail(st);
+  }
   eval::ExperimentRunner runner(stack->pre.get(), &stack->cohort,
                                 run_options);
   if (Status st = runner.Init(); !st.ok()) return Fail(st);
@@ -1035,13 +1080,11 @@ int Dispatch(const std::vector<std::string>& args, const SweepFlags& flags,
   if (command == "stats") return Stats(dir);
   if (command == "evaluate" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Evaluate(dir, args[2], args[3], iter_scale, serving.threads,
-                    serving.train_threads);
+    return Evaluate(dir, args[2], args[3], iter_scale, serving);
   }
   if (command == "sweep" && args.size() >= 4) {
     if (!IterScaleArg(args, 4, &iter_scale)) return Usage();
-    return Sweep(dir, args[2], args[3], iter_scale, flags,
-                 serving.train_threads);
+    return Sweep(dir, args[2], args[3], iter_scale, flags, serving);
   }
   if (command == "suggest" && args.size() >= 3) {
     size_t top_k =
@@ -1107,6 +1150,14 @@ int main(int argc, char** argv) {
                  "evaluate/sweep/train/recommend: topic-model training "
                  "threads (default 1 = sequential, bit-identical to the "
                  "paper)");
+  parser.AddString("sampler-kernel", &serving.sampler_kernel,
+                   "evaluate/sweep/train/recommend: Gibbs draw kernel for "
+                   "LDA/LLDA/BTM: dense (default, bit-identical to the "
+                   "paper), sparse (SparseLDA buckets), or alias (stale "
+                   "alias tables with MH correction)");
+  parser.AddSize("alias-stale-budget", &serving.alias_stale_budget,
+                 "draws served by a stale word alias table before rebuild "
+                 "(--sampler-kernel=alias only, default 32)");
   parser.AddSize("requests", &load_flags.requests,
                  "load: schedule length (default 1000)");
   parser.AddSize("load-seed", &load_seed,
