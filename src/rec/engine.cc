@@ -1,6 +1,9 @@
 #include "rec/engine.h"
 
 #include <algorithm>
+#include <cstring>
+#include <list>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,6 +13,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rec/llda_labels.h"
+#include "snapshot/codec.h"
+#include "snapshot/mapped.h"
 #include "snapshot/snapshot.h"
 #include "topic/btm.h"
 #include "topic/hdp.h"
@@ -136,6 +141,224 @@ void SaveDistribution(uint64_t key, const std::vector<double>& dist,
   enc->PutVecF64(dist);
 }
 
+Status VerifyMappedIdentity(const snapshot::MappedFile& file,
+                            const ModelConfig& config,
+                            const EngineContext& ctx) {
+  return file.VerifyIdentity(std::string(ModelKindName(config.kind)),
+                             std::string(corpus::SourceName(ctx.source)),
+                             ctx.seed, ctx.iteration_scale,
+                             config.Fingerprint());
+}
+
+// Row-decode failures hit in paths that cannot return a Status (Score,
+// Profile); the engine degrades the user to "absent" and counts it here so
+// the condition is observable, never silent.
+obs::Counter* MappedRowErrorCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.mapped_row_errors");
+  return counter;
+}
+
+// ---- v2 row primitives (field codecs inside one table row). ----
+//
+// Rows are self-contained byte strings built from snapshot/codec.h
+// primitives: varint lengths/counts, zigzag-delta id sequences, and raw
+// little-endian f64s for weights (weights are incompressible entropy; ids
+// and counts are where the size lives). Offsets in decode errors are
+// row-relative; the origin string names the file, section and row.
+
+void PutRowF64s(std::string* out, const std::vector<double>& values) {
+  snapshot::PutVarint(out, values.size());
+  for (double v : values) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+    }
+  }
+}
+
+Status GetRowF64s(std::string_view row, size_t* pos,
+                  std::vector<double>* values, const std::string& origin,
+                  const char* what) {
+  uint64_t count = 0;
+  MICROREC_RETURN_IF_ERROR(
+      snapshot::GetVarint(row, pos, &count, 0, origin, what));
+  if (count > (row.size() - *pos) / 8) {
+    return Status::DataLoss(origin + ":offset " + std::to_string(*pos) +
+                            ": " + what + " count " + std::to_string(count) +
+                            " overruns the row");
+  }
+  values->clear();
+  values->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t bits = 0;
+    for (int b = 0; b < 8; ++b) {
+      bits |= static_cast<uint64_t>(
+                  static_cast<uint8_t>(row[*pos + static_cast<size_t>(b)]))
+              << (8 * b);
+    }
+    *pos += 8;
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    values->push_back(v);
+  }
+  return Status::OK();
+}
+
+void PutRowStrings(std::string* out, const std::vector<std::string>& values) {
+  snapshot::PutVarint(out, values.size());
+  for (const std::string& s : values) {
+    snapshot::PutVarint(out, s.size());
+    out->append(s);
+  }
+}
+
+Status GetRowStrings(std::string_view row, size_t* pos,
+                     std::vector<std::string>* values,
+                     const std::string& origin, const char* what) {
+  uint64_t count = 0;
+  MICROREC_RETURN_IF_ERROR(
+      snapshot::GetVarint(row, pos, &count, 0, origin, what));
+  if (count > row.size() - *pos) {
+    return Status::DataLoss(origin + ":offset " + std::to_string(*pos) +
+                            ": " + what + " count " + std::to_string(count) +
+                            " overruns the row");
+  }
+  values->clear();
+  values->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    MICROREC_RETURN_IF_ERROR(
+        snapshot::GetVarint(row, pos, &len, 0, origin, what));
+    if (len > row.size() - *pos) {
+      return Status::DataLoss(origin + ":offset " + std::to_string(*pos) +
+                              ": " + what + " string of " +
+                              std::to_string(len) + " bytes overruns the row");
+    }
+    values->emplace_back(row.substr(*pos, static_cast<size_t>(len)));
+    *pos += static_cast<size_t>(len);
+  }
+  return Status::OK();
+}
+
+void PutRowVarints(std::string* out, const std::vector<uint32_t>& values) {
+  snapshot::PutVarint(out, values.size());
+  for (uint32_t v : values) snapshot::PutVarint(out, v);
+}
+
+Status GetRowVarints(std::string_view row, size_t* pos,
+                     std::vector<uint32_t>* values, const std::string& origin,
+                     const char* what) {
+  uint64_t count = 0;
+  MICROREC_RETURN_IF_ERROR(
+      snapshot::GetVarint(row, pos, &count, 0, origin, what));
+  if (count > row.size() - *pos) {
+    return Status::DataLoss(origin + ":offset " + std::to_string(*pos) +
+                            ": " + what + " count " + std::to_string(count) +
+                            " overruns the row");
+  }
+  values->clear();
+  values->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    MICROREC_RETURN_IF_ERROR(
+        snapshot::GetVarint(row, pos, &v, 0, origin, what));
+    if (v > UINT32_MAX) {
+      return Status::DataLoss(origin + ":offset " + std::to_string(*pos) +
+                              ": " + what + " value " + std::to_string(v) +
+                              " exceeds 32 bits");
+    }
+    values->push_back(static_cast<uint32_t>(v));
+  }
+  return Status::OK();
+}
+
+Status ExpectRowEnd(std::string_view row, size_t pos,
+                    const std::string& origin) {
+  if (pos != row.size()) {
+    return Status::DataLoss(origin + ":offset " + std::to_string(pos) + ": " +
+                            std::to_string(row.size() - pos) +
+                            " trailing bytes in row");
+  }
+  return Status::OK();
+}
+
+// ---- Mapped-mode LRU bookkeeping. ----
+//
+// Tracks which keys of a resident map were materialized *from the mapped
+// snapshot* (and are therefore safe to drop and re-materialize later) in
+// recency order. Cold-built keys are pinned by never being registered.
+// Eviction bounds memory only; a hit or miss never changes a score, because
+// re-materialization decodes the same bytes.
+template <typename K>
+class MappedLruTracker {
+ public:
+  void set_capacity(size_t capacity) { capacity_ = std::max<size_t>(1, capacity); }
+
+  /// Registers or refreshes `key`; returns the key to drop when the
+  /// tracked set now exceeds capacity.
+  std::optional<K> Touch(const K& key) {
+    auto it = pos_.find(key);
+    if (it != pos_.end()) {
+      order_.splice(order_.end(), order_, it->second);
+      return std::nullopt;
+    }
+    order_.push_back(key);
+    pos_[key] = std::prev(order_.end());
+    if (pos_.size() <= capacity_) return std::nullopt;
+    K victim = order_.front();
+    order_.pop_front();
+    pos_.erase(victim);
+    return victim;
+  }
+
+  void Erase(const K& key) {
+    auto it = pos_.find(key);
+    if (it == pos_.end()) return;
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  bool Contains(const K& key) const { return pos_.count(key) > 0; }
+
+ private:
+  size_t capacity_ = 1024;
+  std::list<K> order_;  // front = least recent
+  std::unordered_map<K, typename std::list<K>::iterator> pos_;
+};
+
+// Resident v2 load of a distribution table section ("users" /
+// "infer_cache" of the topic engine): each row is one PutRowF64s vector
+// keyed by the table row id.
+template <typename Map>
+Status LoadDistTableV2(const snapshot::File& file, const char* name,
+                       Map* out) {
+  Result<const snapshot::Section*> section = file.Find(name);
+  if (!section.ok()) return section.status();
+  const std::string& payload = (*section)->payload;
+  const std::string origin = file.origin() + ":section \"" + name + "\"";
+  snapshot::TableIndex index;
+  MICROREC_RETURN_IF_ERROR(snapshot::ParseTableIndex(
+      payload, payload.size(), &index, (*section)->payload_offset, origin));
+  for (size_t i = 0; i < index.ids.size(); ++i) {
+    std::string_view row =
+        std::string_view(payload).substr(
+            static_cast<size_t>(index.row_offset(i)),
+            static_cast<size_t>(index.row_length(i)));
+    const std::string row_origin =
+        origin + " row " + std::to_string(index.ids[i]);
+    std::vector<double> dist;
+    size_t pos = 0;
+    MICROREC_RETURN_IF_ERROR(
+        GetRowF64s(row, &pos, &dist, row_origin, "distribution"));
+    MICROREC_RETURN_IF_ERROR(ExpectRowEnd(row, pos, row_origin));
+    (*out)[static_cast<typename Map::key_type>(index.ids[i])] =
+        std::move(dist);
+  }
+  return Status::OK();
+}
+
 // ---- Bag engine (TN / CN). ----
 
 class BagEngine : public Engine, public SparseProfileScorer {
@@ -145,23 +368,28 @@ class BagEngine : public Engine, public SparseProfileScorer {
   SparseProfileScorer* sparse_scorer() override { return this; }
 
   const bag::SparseVector* Profile(UserId u) const override {
-    auto it = users_.find(u);
-    return it == users_.end() ? nullptr : &it->second->vector;
+    const UserState* state = EnsureUser(u);
+    return state == nullptr ? nullptr : &state->vector;
   }
 
   bag::SparseVector Embed(UserId u, TweetId d,
                           const EngineContext& ctx) override {
+    EnsureUser(u);
     return users_.at(u)->modeler.EmbedDocument(ctx.pre->Filtered(d));
   }
 
   double Kernel(UserId u, const bag::SparseVector& profile,
                 const bag::SparseVector& doc) const override {
+    // Runs on shard threads; never materializes (the profile was ensured on
+    // the caller thread and eviction cannot intervene mid-query).
     return users_.at(u)->modeler.Score(profile, doc);
   }
 
   Status Prepare(const EngineContext& ctx) override {
     if (!ctx.warm_start_snapshot.empty()) {
-      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      Status loaded = ctx.serve_mode == ServeMode::kMmap
+                          ? OpenMapped(ctx.warm_start_snapshot, ctx)
+                          : LoadSnapshot(ctx.warm_start_snapshot, ctx);
       if (loaded.ok()) return Status::OK();
       if (loaded.code() != StatusCode::kNotFound) return loaded;
       WarmMissCounter()->Increment();
@@ -171,6 +399,16 @@ class BagEngine : public Engine, public SparseProfileScorer {
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    if (mapped_ && invalidated_.count(u) == 0) {
+      // A persisted user materializes straight from the map; decode
+      // corruption surfaces here as a Status instead of being deferred to
+      // a scoring path that cannot return one.
+      mapped_error_ = Status::OK();
+      if (EnsureUser(u) != nullptr) return Status::OK();
+      MICROREC_RETURN_IF_ERROR(mapped_error_);
+      // Absent from the snapshot: cold-build below (pinned — never evicted,
+      // since the map cannot re-materialize it).
+    }
     if (loaded_from_snapshot_ && users_.count(u) > 0) return Status::OK();
     obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.bag);
@@ -186,19 +424,65 @@ class BagEngine : public Engine, public SparseProfileScorer {
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
     obs::ScopedHistogramTimer timer(ScoreHistogram());
     ScoreCounter()->Increment();
-    UserState& state = *users_.at(u);
-    bag::SparseVector doc = state.modeler.EmbedDocument(ctx.pre->Filtered(d));
-    return state.modeler.Score(state.vector, doc);
+    UserState* state = EnsureUser(u);
+    if (state == nullptr) {
+      if (mapped_) return 0.0;  // absent or corrupt row, counted by EnsureUser
+      state = users_.at(u).get();
+    }
+    bag::SparseVector doc = state->modeler.EmbedDocument(ctx.pre->Filtered(d));
+    return state->modeler.Score(state->vector, doc);
   }
 
-  void InvalidateUser(UserId u) override { users_.erase(u); }
+  void InvalidateUser(UserId u) override {
+    users_.erase(u);
+    lru_.Erase(u);
+    // Block re-materialization: the mapped row predates the invalidation
+    // and the next BuildUser must rebuild from the (extended) train set.
+    if (mapped_) invalidated_.insert(u);
+  }
 
   Status SaveSnapshot(const std::string& path,
                       const EngineContext& ctx) const override {
+    if (mapped_) {
+      return Status::FailedPrecondition(
+          "mapped engines are read-only; cannot save snapshot to " + path);
+    }
     std::vector<UserId> ids;
     ids.reserve(users_.size());
     for (const auto& [u, state] : users_) ids.push_back(u);
     std::sort(ids.begin(), ids.end());
+
+    if (ctx.snapshot_codec == snapshot::SnapshotCodec::kCompressed) {
+      snapshot::TableBuilder table;
+      uint64_t fingerprint = kFnvBasis;
+      for (UserId u : ids) {
+        const UserState& state = *users_.at(u);
+        std::vector<std::string> terms =
+            VocabTerms(state.modeler.vocabulary());
+        std::string row;
+        PutRowStrings(&row, terms);
+        PutRowVarints(&row, state.modeler.doc_frequencies());
+        snapshot::PutVarint(&row, state.modeler.num_train_docs());
+        std::vector<uint64_t> vec_terms;
+        std::vector<double> vec_weights;
+        vec_terms.reserve(state.vector.size());
+        vec_weights.reserve(state.vector.size());
+        for (const auto& [term, weight] : state.vector.entries()) {
+          vec_terms.push_back(term);
+          vec_weights.push_back(weight);
+        }
+        snapshot::PutDeltaIds(&row, vec_terms);
+        PutRowF64s(&row, vec_weights);
+        MICROREC_RETURN_IF_ERROR(table.AddRow(u, row));
+        fingerprint = MixFingerprint(fingerprint, u);
+        fingerprint =
+            MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+      }
+      snapshot::Writer writer(MakeSnapshotHeader(config_, ctx, fingerprint));
+      writer.set_codec(snapshot::SnapshotCodec::kCompressed);
+      writer.AddSection("users", std::move(table).Finish());
+      return writer.Commit(path);
+    }
 
     snapshot::Encoder enc;
     enc.PutU64(ids.size());
@@ -234,56 +518,62 @@ class BagEngine : public Engine, public SparseProfileScorer {
     Result<snapshot::File> file = snapshot::File::Load(path);
     if (!file.ok()) return file.status();
     MICROREC_RETURN_IF_ERROR(VerifySnapshotIdentity(*file, config_, ctx));
-    Result<snapshot::Decoder> dec = file->OpenSection("users");
-    if (!dec.ok()) return dec.status();
-    uint64_t count = 0;
-    MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
     std::unordered_map<UserId, std::unique_ptr<UserState>> users;
     uint64_t fingerprint = kFnvBasis;
-    for (uint64_t i = 0; i < count; ++i) {
-      uint64_t user = 0;
-      std::vector<std::string> terms;
-      std::vector<uint32_t> df;
-      uint64_t num_train_docs = 0;
-      std::vector<uint32_t> vec_terms;
-      std::vector<double> vec_weights;
-      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&df));
-      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_train_docs));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&vec_terms));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&vec_weights));
-      if (df.size() > terms.size()) {
-        return Status::InvalidArgument(
-            file->origin() + ": bag user " + std::to_string(user) + " has " +
-            std::to_string(df.size()) + " document frequencies for " +
-            std::to_string(terms.size()) + " terms");
+
+    if (file->version() == 2) {
+      Result<const snapshot::Section*> section = file->Find("users");
+      if (!section.ok()) return section.status();
+      const std::string& payload = (*section)->payload;
+      const std::string origin = file->origin() + ":section \"users\"";
+      snapshot::TableIndex index;
+      MICROREC_RETURN_IF_ERROR(snapshot::ParseTableIndex(
+          payload, payload.size(), &index, (*section)->payload_offset,
+          origin));
+      for (size_t i = 0; i < index.ids.size(); ++i) {
+        const uint64_t user = index.ids[i];
+        std::string_view row = std::string_view(payload).substr(
+            static_cast<size_t>(index.row_offset(i)),
+            static_cast<size_t>(index.row_length(i)));
+        std::unique_ptr<UserState> state;
+        uint64_t term_fingerprint = 0;
+        MICROREC_RETURN_IF_ERROR(DecodeUserRow(
+            row, file->origin() + ": bag user " + std::to_string(user),
+            &state, &term_fingerprint));
+        users[static_cast<UserId>(user)] = std::move(state);
+        fingerprint = MixFingerprint(fingerprint, user);
+        fingerprint = MixFingerprint(fingerprint, term_fingerprint);
       }
-      if (vec_terms.size() != vec_weights.size()) {
-        return Status::InvalidArgument(
-            file->origin() + ": bag user " + std::to_string(user) +
-            " vector has mismatched term/weight counts");
+    } else {
+      Result<snapshot::Decoder> dec = file->OpenSection("users");
+      if (!dec.ok()) return dec.status();
+      uint64_t count = 0;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t user = 0;
+        std::vector<std::string> terms;
+        std::vector<uint32_t> df;
+        uint64_t num_train_docs = 0;
+        std::vector<uint32_t> vec_terms;
+        std::vector<double> vec_weights;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&df));
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&num_train_docs));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecU32(&vec_terms));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&vec_weights));
+        std::unique_ptr<UserState> state;
+        MICROREC_RETURN_IF_ERROR(BuildUserState(
+            file->origin() + ": bag user " + std::to_string(user), terms,
+            std::move(df), num_train_docs, vec_terms, vec_weights, &state));
+        users[static_cast<UserId>(user)] = std::move(state);
+        fingerprint = MixFingerprint(fingerprint, user);
+        fingerprint =
+            MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
       }
-      std::vector<bag::SparseVector::Entry> entries;
-      entries.reserve(vec_terms.size());
-      for (size_t e = 0; e < vec_terms.size(); ++e) {
-        if (vec_terms[e] >= terms.size()) {
-          return Status::InvalidArgument(
-              file->origin() + ": bag user " + std::to_string(user) +
-              " vector references term " + std::to_string(vec_terms[e]) +
-              " outside vocabulary of " + std::to_string(terms.size()));
-        }
-        entries.emplace_back(vec_terms[e], vec_weights[e]);
-      }
-      auto state = std::make_unique<UserState>(config_.bag);
-      state->modeler.RestoreFitted(terms, std::move(df), num_train_docs);
-      state->vector = bag::SparseVector::FromUnsorted(std::move(entries));
-      users[static_cast<UserId>(user)] = std::move(state);
-      fingerprint = MixFingerprint(fingerprint, user);
-      fingerprint =
-          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
     }
-    MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+
     if (fingerprint != file->header().vocab_fingerprint) {
       return Status::FailedPrecondition(
           file->origin() + ": vocabulary fingerprint mismatch (snapshot " +
@@ -296,15 +586,157 @@ class BagEngine : public Engine, public SparseProfileScorer {
     return Status::OK();
   }
 
+  Status OpenMapped(const std::string& path,
+                    const EngineContext& ctx) override {
+    Result<snapshot::MappedFile> file = snapshot::MappedFile::Open(path);
+    if (!file.ok()) return file.status();
+    if (file->version() == 1) {
+      // v1 sections have no random-access row index; serve the file
+      // resident with identical rankings (the memory win needs v2).
+      return LoadSnapshot(path, ctx);
+    }
+    MICROREC_RETURN_IF_ERROR(VerifyMappedIdentity(*file, config_, ctx));
+    auto owned = std::make_unique<snapshot::MappedFile>(std::move(*file));
+    Result<snapshot::MappedTable> table =
+        snapshot::MappedTable::Open(*owned, "users");
+    if (!table.ok()) return table.status();
+    mapped_file_ = std::move(owned);
+    mapped_users_ =
+        std::make_unique<snapshot::MappedTable>(std::move(*table));
+    lru_.set_capacity(ctx.mapped_user_cache);
+    users_.clear();
+    invalidated_.clear();
+    mapped_ = true;
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
   struct UserState {
     explicit UserState(const bag::BagConfig& config) : modeler(config) {}
     bag::BagModeler modeler;
     bag::SparseVector vector;
   };
+
+  /// Shared semantic validation + state construction for both container
+  /// versions (the v1 decoder and the v2 row codec land here). `who` names
+  /// the file and user for error messages.
+  Status BuildUserState(const std::string& who,
+                        const std::vector<std::string>& terms,
+                        std::vector<uint32_t> df, uint64_t num_train_docs,
+                        const std::vector<uint32_t>& vec_terms,
+                        const std::vector<double>& vec_weights,
+                        std::unique_ptr<UserState>* out) const {
+    if (df.size() > terms.size()) {
+      return Status::InvalidArgument(
+          who + " has " + std::to_string(df.size()) +
+          " document frequencies for " + std::to_string(terms.size()) +
+          " terms");
+    }
+    if (vec_terms.size() != vec_weights.size()) {
+      return Status::InvalidArgument(
+          who + " vector has mismatched term/weight counts");
+    }
+    std::vector<bag::SparseVector::Entry> entries;
+    entries.reserve(vec_terms.size());
+    for (size_t e = 0; e < vec_terms.size(); ++e) {
+      if (vec_terms[e] >= terms.size()) {
+        return Status::InvalidArgument(
+            who + " vector references term " + std::to_string(vec_terms[e]) +
+            " outside vocabulary of " + std::to_string(terms.size()));
+      }
+      entries.emplace_back(vec_terms[e], vec_weights[e]);
+    }
+    auto state = std::make_unique<UserState>(config_.bag);
+    state->modeler.RestoreFitted(terms, std::move(df), num_train_docs);
+    state->vector = bag::SparseVector::FromUnsorted(std::move(entries));
+    *out = std::move(state);
+    return Status::OK();
+  }
+
+  /// Decodes one v2 row (see SaveSnapshot's compressed branch for the
+  /// layout). `origin` already names the file and user.
+  Status DecodeUserRow(std::string_view row, const std::string& origin,
+                       std::unique_ptr<UserState>* out,
+                       uint64_t* term_fingerprint) const {
+    size_t pos = 0;
+    std::vector<std::string> terms;
+    std::vector<uint32_t> df;
+    uint64_t num_train_docs = 0;
+    std::vector<uint64_t> wide_terms;
+    std::vector<double> vec_weights;
+    MICROREC_RETURN_IF_ERROR(
+        GetRowStrings(row, &pos, &terms, origin, "terms"));
+    MICROREC_RETURN_IF_ERROR(
+        GetRowVarints(row, &pos, &df, origin, "document frequencies"));
+    MICROREC_RETURN_IF_ERROR(snapshot::GetVarint(row, &pos, &num_train_docs,
+                                                 0, origin,
+                                                 "train doc count"));
+    MICROREC_RETURN_IF_ERROR(snapshot::GetDeltaIds(
+        row, &pos, &wide_terms, row.size(), 0, origin, "vector term ids"));
+    MICROREC_RETURN_IF_ERROR(
+        GetRowF64s(row, &pos, &vec_weights, origin, "vector weights"));
+    MICROREC_RETURN_IF_ERROR(ExpectRowEnd(row, pos, origin));
+    std::vector<uint32_t> vec_terms;
+    vec_terms.reserve(wide_terms.size());
+    for (uint64_t t : wide_terms) {
+      if (t > UINT32_MAX) {
+        return Status::DataLoss(origin + ": vector term id " +
+                                std::to_string(t) + " exceeds 32 bits");
+      }
+      vec_terms.push_back(static_cast<uint32_t>(t));
+    }
+    MICROREC_RETURN_IF_ERROR(BuildUserState(origin, terms, std::move(df),
+                                            num_train_docs, vec_terms,
+                                            vec_weights, out));
+    *term_fingerprint = snapshot::FingerprintTerms(terms);
+    return Status::OK();
+  }
+
+  /// Resident lookup, materializing from the map on miss (mapped mode
+  /// only). Caller thread only. nullptr = absent or (counted) corrupt.
+  /// Non-const result: embedding interns vocabulary into the modeler.
+  UserState* EnsureUser(UserId u) const {
+    auto it = users_.find(u);
+    if (it != users_.end()) {
+      if (lru_.Contains(u)) lru_.Touch(u);
+      return it->second.get();
+    }
+    if (!mapped_ || invalidated_.count(u) > 0) return nullptr;
+    bool found = false;
+    std::string row;
+    Status status = mapped_users_->Row(u, &found, &row);
+    if (status.ok() && !found) return nullptr;
+    std::unique_ptr<UserState> state;
+    uint64_t term_fingerprint = 0;
+    if (status.ok()) {
+      status = DecodeUserRow(
+          row, mapped_file_->origin() + ": bag user " + std::to_string(u),
+          &state, &term_fingerprint);
+    }
+    if (!status.ok()) {
+      MappedRowErrorCounter()->Increment();
+      mapped_error_ = status;
+      return nullptr;
+    }
+    UserState* raw = state.get();
+    users_[u] = std::move(state);
+    if (std::optional<UserId> victim = lru_.Touch(u)) users_.erase(*victim);
+    return raw;
+  }
+
   ModelConfig config_;
-  std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+  mutable std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
   bool loaded_from_snapshot_ = false;
+
+  // mmap serving state.
+  bool mapped_ = false;
+  std::unique_ptr<snapshot::MappedFile> mapped_file_;
+  std::unique_ptr<snapshot::MappedTable> mapped_users_;
+  mutable MappedLruTracker<UserId> lru_;
+  std::unordered_set<UserId> invalidated_;
+  mutable Status mapped_error_;
 };
 
 // ---- Graph engine (TNG / CNG). ----
@@ -315,7 +747,9 @@ class GraphEngine : public Engine {
 
   Status Prepare(const EngineContext& ctx) override {
     if (!ctx.warm_start_snapshot.empty()) {
-      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      Status loaded = ctx.serve_mode == ServeMode::kMmap
+                          ? OpenMapped(ctx.warm_start_snapshot, ctx)
+                          : LoadSnapshot(ctx.warm_start_snapshot, ctx);
       if (loaded.ok()) return Status::OK();
       if (loaded.code() != StatusCode::kNotFound) return loaded;
       WarmMissCounter()->Increment();
@@ -325,6 +759,11 @@ class GraphEngine : public Engine {
 
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    if (mapped_ && invalidated_.count(u) == 0) {
+      mapped_error_ = Status::OK();
+      if (EnsureUser(u) != nullptr) return Status::OK();
+      MICROREC_RETURN_IF_ERROR(mapped_error_);
+    }
     if (loaded_from_snapshot_ && users_.count(u) > 0) return Status::OK();
     obs::ScopedHistogramTimer timer(BuildUserHistogram());
     auto state = std::make_unique<UserState>(config_.graph);
@@ -339,19 +778,67 @@ class GraphEngine : public Engine {
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
     obs::ScopedHistogramTimer timer(ScoreHistogram());
     ScoreCounter()->Increment();
-    UserState& state = *users_.at(u);
-    graph::NgramGraph doc = state.modeler.BuildDocGraph(ctx.pre->Filtered(d));
-    return state.modeler.Score(state.graph, doc);
+    UserState* state = EnsureUser(u);
+    if (state == nullptr) {
+      if (mapped_) return 0.0;  // absent or corrupt row, counted by EnsureUser
+      state = users_.at(u).get();
+    }
+    graph::NgramGraph doc =
+        state->modeler.BuildDocGraph(ctx.pre->Filtered(d));
+    return state->modeler.Score(state->graph, doc);
   }
 
-  void InvalidateUser(UserId u) override { users_.erase(u); }
+  void InvalidateUser(UserId u) override {
+    users_.erase(u);
+    lru_.Erase(u);
+    if (mapped_) invalidated_.insert(u);
+  }
 
   Status SaveSnapshot(const std::string& path,
                       const EngineContext& ctx) const override {
+    if (mapped_) {
+      return Status::FailedPrecondition(
+          "mapped engines are read-only; cannot save snapshot to " + path);
+    }
     std::vector<UserId> ids;
     ids.reserve(users_.size());
     for (const auto& [u, state] : users_) ids.push_back(u);
     std::sort(ids.begin(), ids.end());
+
+    if (ctx.snapshot_codec == snapshot::SnapshotCodec::kCompressed) {
+      snapshot::TableBuilder table;
+      uint64_t fingerprint = kFnvBasis;
+      for (UserId u : ids) {
+        const UserState& state = *users_.at(u);
+        std::vector<std::string> terms =
+            VocabTerms(state.modeler.vocabulary());
+        std::vector<uint64_t> keys;
+        keys.reserve(state.graph.size());
+        for (const auto& [key, weight] : state.graph.edges()) {
+          keys.push_back(key);
+        }
+        std::sort(keys.begin(), keys.end());
+        std::vector<double> weights;
+        weights.reserve(keys.size());
+        for (uint64_t key : keys) {
+          weights.push_back(state.graph.edges().at(key));
+        }
+        std::string row;
+        PutRowStrings(&row, terms);
+        // Sorted edge keys delta-encode down to a few bytes each (the two
+        // packed term ids of adjacent edges share their high halves).
+        snapshot::PutDeltaIds(&row, keys);
+        PutRowF64s(&row, weights);
+        MICROREC_RETURN_IF_ERROR(table.AddRow(u, row));
+        fingerprint = MixFingerprint(fingerprint, u);
+        fingerprint =
+            MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+      }
+      snapshot::Writer writer(MakeSnapshotHeader(config_, ctx, fingerprint));
+      writer.set_codec(snapshot::SnapshotCodec::kCompressed);
+      writer.AddSection("users", std::move(table).Finish());
+      return writer.Commit(path);
+    }
 
     snapshot::Encoder enc;
     enc.PutU64(ids.size());
@@ -390,45 +877,58 @@ class GraphEngine : public Engine {
     Result<snapshot::File> file = snapshot::File::Load(path);
     if (!file.ok()) return file.status();
     MICROREC_RETURN_IF_ERROR(VerifySnapshotIdentity(*file, config_, ctx));
-    Result<snapshot::Decoder> dec = file->OpenSection("users");
-    if (!dec.ok()) return dec.status();
-    uint64_t count = 0;
-    MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
     std::unordered_map<UserId, std::unique_ptr<UserState>> users;
     uint64_t fingerprint = kFnvBasis;
-    for (uint64_t i = 0; i < count; ++i) {
-      uint64_t user = 0;
-      std::vector<std::string> terms;
-      std::vector<uint64_t> keys;
-      std::vector<double> weights;
-      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecU64(&keys));
-      MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&weights));
-      if (keys.size() != weights.size()) {
-        return Status::InvalidArgument(
-            file->origin() + ": graph user " + std::to_string(user) +
-            " has mismatched edge key/weight counts");
+
+    if (file->version() == 2) {
+      Result<const snapshot::Section*> section = file->Find("users");
+      if (!section.ok()) return section.status();
+      const std::string& payload = (*section)->payload;
+      const std::string origin = file->origin() + ":section \"users\"";
+      snapshot::TableIndex index;
+      MICROREC_RETURN_IF_ERROR(snapshot::ParseTableIndex(
+          payload, payload.size(), &index, (*section)->payload_offset,
+          origin));
+      for (size_t i = 0; i < index.ids.size(); ++i) {
+        const uint64_t user = index.ids[i];
+        std::string_view row = std::string_view(payload).substr(
+            static_cast<size_t>(index.row_offset(i)),
+            static_cast<size_t>(index.row_length(i)));
+        std::unique_ptr<UserState> state;
+        uint64_t term_fingerprint = 0;
+        MICROREC_RETURN_IF_ERROR(DecodeUserRow(
+            row, file->origin() + ": graph user " + std::to_string(user),
+            &state, &term_fingerprint));
+        users[static_cast<UserId>(user)] = std::move(state);
+        fingerprint = MixFingerprint(fingerprint, user);
+        fingerprint = MixFingerprint(fingerprint, term_fingerprint);
       }
-      auto state = std::make_unique<UserState>(config_.graph);
-      state->modeler.RestoreVocabulary(terms);
-      for (size_t e = 0; e < keys.size(); ++e) {
-        uint32_t a = static_cast<uint32_t>(keys[e] >> 32);
-        uint32_t b = static_cast<uint32_t>(keys[e] & 0xFFFFFFFFu);
-        if (a >= terms.size() || b >= terms.size()) {
-          return Status::InvalidArgument(
-              file->origin() + ": graph user " + std::to_string(user) +
-              " edge references term outside vocabulary of " +
-              std::to_string(terms.size()));
-        }
-        state->graph.AddEdgeByKey(keys[e], weights[e]);
+    } else {
+      Result<snapshot::Decoder> dec = file->OpenSection("users");
+      if (!dec.ok()) return dec.status();
+      uint64_t count = 0;
+      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t user = 0;
+        std::vector<std::string> terms;
+        std::vector<uint64_t> keys;
+        std::vector<double> weights;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecString(&terms));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecU64(&keys));
+        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&weights));
+        std::unique_ptr<UserState> state;
+        MICROREC_RETURN_IF_ERROR(BuildUserState(
+            file->origin() + ": graph user " + std::to_string(user), terms,
+            keys, weights, &state));
+        users[static_cast<UserId>(user)] = std::move(state);
+        fingerprint = MixFingerprint(fingerprint, user);
+        fingerprint =
+            MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
       }
-      users[static_cast<UserId>(user)] = std::move(state);
-      fingerprint = MixFingerprint(fingerprint, user);
-      fingerprint =
-          MixFingerprint(fingerprint, snapshot::FingerprintTerms(terms));
+      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
     }
-    MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+
     if (fingerprint != file->header().vocab_fingerprint) {
       return Status::FailedPrecondition(
           file->origin() + ": vocabulary fingerprint mismatch (snapshot " +
@@ -441,15 +941,122 @@ class GraphEngine : public Engine {
     return Status::OK();
   }
 
+  Status OpenMapped(const std::string& path,
+                    const EngineContext& ctx) override {
+    Result<snapshot::MappedFile> file = snapshot::MappedFile::Open(path);
+    if (!file.ok()) return file.status();
+    if (file->version() == 1) {
+      return LoadSnapshot(path, ctx);
+    }
+    MICROREC_RETURN_IF_ERROR(VerifyMappedIdentity(*file, config_, ctx));
+    auto owned = std::make_unique<snapshot::MappedFile>(std::move(*file));
+    Result<snapshot::MappedTable> table =
+        snapshot::MappedTable::Open(*owned, "users");
+    if (!table.ok()) return table.status();
+    mapped_file_ = std::move(owned);
+    mapped_users_ =
+        std::make_unique<snapshot::MappedTable>(std::move(*table));
+    lru_.set_capacity(ctx.mapped_user_cache);
+    users_.clear();
+    invalidated_.clear();
+    mapped_ = true;
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
   struct UserState {
     explicit UserState(const graph::GraphConfig& config) : modeler(config) {}
     graph::GraphModeler modeler;
     graph::NgramGraph graph;
   };
+
+  Status BuildUserState(const std::string& who,
+                        const std::vector<std::string>& terms,
+                        const std::vector<uint64_t>& keys,
+                        const std::vector<double>& weights,
+                        std::unique_ptr<UserState>* out) const {
+    if (keys.size() != weights.size()) {
+      return Status::InvalidArgument(
+          who + " has mismatched edge key/weight counts");
+    }
+    auto state = std::make_unique<UserState>(config_.graph);
+    state->modeler.RestoreVocabulary(terms);
+    for (size_t e = 0; e < keys.size(); ++e) {
+      uint32_t a = static_cast<uint32_t>(keys[e] >> 32);
+      uint32_t b = static_cast<uint32_t>(keys[e] & 0xFFFFFFFFu);
+      if (a >= terms.size() || b >= terms.size()) {
+        return Status::InvalidArgument(
+            who + " edge references term outside vocabulary of " +
+            std::to_string(terms.size()));
+      }
+      state->graph.AddEdgeByKey(keys[e], weights[e]);
+    }
+    *out = std::move(state);
+    return Status::OK();
+  }
+
+  Status DecodeUserRow(std::string_view row, const std::string& origin,
+                       std::unique_ptr<UserState>* out,
+                       uint64_t* term_fingerprint) const {
+    size_t pos = 0;
+    std::vector<std::string> terms;
+    std::vector<uint64_t> keys;
+    std::vector<double> weights;
+    MICROREC_RETURN_IF_ERROR(
+        GetRowStrings(row, &pos, &terms, origin, "terms"));
+    MICROREC_RETURN_IF_ERROR(snapshot::GetDeltaIds(
+        row, &pos, &keys, row.size(), 0, origin, "edge keys"));
+    MICROREC_RETURN_IF_ERROR(
+        GetRowF64s(row, &pos, &weights, origin, "edge weights"));
+    MICROREC_RETURN_IF_ERROR(ExpectRowEnd(row, pos, origin));
+    MICROREC_RETURN_IF_ERROR(
+        BuildUserState(origin, terms, keys, weights, out));
+    *term_fingerprint = snapshot::FingerprintTerms(terms);
+    return Status::OK();
+  }
+
+  UserState* EnsureUser(UserId u) const {
+    auto it = users_.find(u);
+    if (it != users_.end()) {
+      if (lru_.Contains(u)) lru_.Touch(u);
+      return it->second.get();
+    }
+    if (!mapped_ || invalidated_.count(u) > 0) return nullptr;
+    bool found = false;
+    std::string row;
+    Status status = mapped_users_->Row(u, &found, &row);
+    if (status.ok() && !found) return nullptr;
+    std::unique_ptr<UserState> state;
+    uint64_t term_fingerprint = 0;
+    if (status.ok()) {
+      status = DecodeUserRow(
+          row, mapped_file_->origin() + ": graph user " + std::to_string(u),
+          &state, &term_fingerprint);
+    }
+    if (!status.ok()) {
+      MappedRowErrorCounter()->Increment();
+      mapped_error_ = status;
+      return nullptr;
+    }
+    UserState* raw = state.get();
+    users_[u] = std::move(state);
+    if (std::optional<UserId> victim = lru_.Touch(u)) users_.erase(*victim);
+    return raw;
+  }
+
   ModelConfig config_;
-  std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
+  mutable std::unordered_map<UserId, std::unique_ptr<UserState>> users_;
   bool loaded_from_snapshot_ = false;
+
+  // mmap serving state.
+  bool mapped_ = false;
+  std::unique_ptr<snapshot::MappedFile> mapped_file_;
+  std::unique_ptr<snapshot::MappedTable> mapped_users_;
+  mutable MappedLruTracker<UserId> lru_;
+  std::unordered_set<UserId> invalidated_;
+  mutable Status mapped_error_;
 };
 
 // ---- Topic engine (LDA, LLDA, HDP, HLDA, BTM, PLSA). ----
@@ -462,7 +1069,9 @@ class TopicEngine : public Engine {
   Status Prepare(const EngineContext& ctx) override {
     MICROREC_SPAN("topic_prepare");
     if (!ctx.warm_start_snapshot.empty()) {
-      Status loaded = LoadSnapshot(ctx.warm_start_snapshot, ctx);
+      Status loaded = ctx.serve_mode == ServeMode::kMmap
+                          ? OpenMapped(ctx.warm_start_snapshot, ctx)
+                          : LoadSnapshot(ctx.warm_start_snapshot, ctx);
       if (loaded.ok()) return Status::OK();
       if (loaded.code() != StatusCode::kNotFound) return loaded;
       WarmMissCounter()->Increment();
@@ -618,6 +1227,13 @@ class TopicEngine : public Engine {
  public:
   Status BuildUser(UserId u, const corpus::LabeledTrainSet& train,
                    const EngineContext& ctx) override {
+    if (mapped_ && invalidated_.count(u) == 0) {
+      mapped_error_ = Status::OK();
+      if (EnsureUserDist(u) != nullptr) return Status::OK();
+      MICROREC_RETURN_IF_ERROR(mapped_error_);
+      // Absent from the snapshot: fold-in inference below needs the model.
+    }
+    if (mapped_) MICROREC_RETURN_IF_ERROR(EnsureModel(ctx));
     if (model_ == nullptr) {
       return Status::FailedPrecondition("Prepare() not called");
     }
@@ -639,36 +1255,56 @@ class TopicEngine : public Engine {
     user_models_[u] = topic::AggregateDistributions(
         dists, labels,
         config_.topic.aggregation == TopicAggregation::kRocchio);
+    MICROREC_RETURN_IF_ERROR(mapped_error_);
     return Status::OK();
   }
 
-  void InvalidateUser(UserId u) override { user_models_.erase(u); }
+  void InvalidateUser(UserId u) override {
+    user_models_.erase(u);
+    user_lru_.Erase(u);
+    if (mapped_) invalidated_.insert(u);
+  }
 
   double Score(UserId u, TweetId d, const EngineContext& ctx) override {
     obs::ScopedHistogramTimer timer(ScoreHistogram());
     ScoreCounter()->Increment();
-    const std::vector<double>& user = user_models_.at(u);
-    if (user.empty()) return 0.0;
+    const std::vector<double>* user = EnsureUserDist(u);
+    if (user == nullptr) {
+      if (mapped_) return 0.0;  // absent or corrupt row, counted on the miss
+      user = &user_models_.at(u);
+    }
+    if (user->empty()) return 0.0;
     const std::vector<double>& doc = Infer(d, ctx);
     // No known words -> no evidence of relevance.
     if (doc.empty()) return 0.0;
-    return topic::TopicCosine(user, doc);
+    return topic::TopicCosine(*user, doc);
   }
 
   Status SaveSnapshot(const std::string& path,
                       const EngineContext& ctx) const override {
+    if (mapped_) {
+      return Status::FailedPrecondition(
+          "mapped engines are read-only; cannot save snapshot to " + path);
+    }
     if (model_ == nullptr) {
       return Status::FailedPrecondition("SaveSnapshot() before Prepare()");
     }
+    const bool compressed =
+        ctx.snapshot_codec == snapshot::SnapshotCodec::kCompressed;
     std::vector<std::string> terms = docs_.Terms();
     snapshot::Writer writer(MakeSnapshotHeader(
         config_, ctx, snapshot::FingerprintTerms(terms)));
+    if (compressed) writer.set_codec(snapshot::SnapshotCodec::kCompressed);
     {
       snapshot::Encoder enc;
       enc.PutVecString(terms);
       writer.AddSection("vocab", enc.Release());
     }
     {
+      // The model section keeps its v1 inner encoding in both codecs: a
+      // trained phi is topic-major with long runs of the identical
+      // smoothing value for zero-count words, which the v2 block
+      // compression collapses without a bespoke encoding.
       snapshot::Encoder enc;
       model_->SaveState(&enc);
       writer.AddSection("model", enc.Release());
@@ -681,14 +1317,35 @@ class TopicEngine : public Engine {
       SaveRngState(rng_, &enc);
       writer.AddSection("rng", enc.Release());
     }
+    std::vector<UserId> user_ids;
+    user_ids.reserve(user_models_.size());
+    for (const auto& [u, dist] : user_models_) user_ids.push_back(u);
+    std::sort(user_ids.begin(), user_ids.end());
+    std::vector<TweetId> tweet_ids;
+    tweet_ids.reserve(infer_cache_.size());
+    for (const auto& [id, dist] : infer_cache_) tweet_ids.push_back(id);
+    std::sort(tweet_ids.begin(), tweet_ids.end());
+    if (compressed) {
+      snapshot::TableBuilder users;
+      for (UserId u : user_ids) {
+        std::string row;
+        PutRowF64s(&row, user_models_.at(u));
+        MICROREC_RETURN_IF_ERROR(users.AddRow(u, row));
+      }
+      writer.AddSection("users", std::move(users).Finish());
+      snapshot::TableBuilder cache;
+      for (TweetId id : tweet_ids) {
+        std::string row;
+        PutRowF64s(&row, infer_cache_.at(id));
+        MICROREC_RETURN_IF_ERROR(cache.AddRow(id, row));
+      }
+      writer.AddSection("infer_cache", std::move(cache).Finish());
+      return writer.Commit(path);
+    }
     {
       snapshot::Encoder enc;
-      std::vector<UserId> ids;
-      ids.reserve(user_models_.size());
-      for (const auto& [u, dist] : user_models_) ids.push_back(u);
-      std::sort(ids.begin(), ids.end());
-      enc.PutU64(ids.size());
-      for (UserId u : ids) SaveDistribution(u, user_models_.at(u), &enc);
+      enc.PutU64(user_ids.size());
+      for (UserId u : user_ids) SaveDistribution(u, user_models_.at(u), &enc);
       writer.AddSection("users", enc.Release());
     }
     {
@@ -696,12 +1353,10 @@ class TopicEngine : public Engine {
       // lookup instead of a Gibbs fold-in — this is what turns
       // train-once/recommend-many into milliseconds per query.
       snapshot::Encoder enc;
-      std::vector<TweetId> ids;
-      ids.reserve(infer_cache_.size());
-      for (const auto& [id, dist] : infer_cache_) ids.push_back(id);
-      std::sort(ids.begin(), ids.end());
-      enc.PutU64(ids.size());
-      for (TweetId id : ids) SaveDistribution(id, infer_cache_.at(id), &enc);
+      enc.PutU64(tweet_ids.size());
+      for (TweetId id : tweet_ids) {
+        SaveDistribution(id, infer_cache_.at(id), &enc);
+      }
       writer.AddSection("infer_cache", enc.Release());
     }
     return writer.Commit(path);
@@ -738,34 +1393,41 @@ class TopicEngine : public Engine {
     MICROREC_RETURN_IF_ERROR(LoadRngState(&*rng_dec, &rng_));
 
     std::unordered_map<UserId, std::vector<double>> user_models;
-    {
-      Result<snapshot::Decoder> dec = file->OpenSection("users");
-      if (!dec.ok()) return dec.status();
-      uint64_t count = 0;
-      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
-      for (uint64_t i = 0; i < count; ++i) {
-        uint64_t user = 0;
-        std::vector<double> dist;
-        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
-        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
-        user_models[static_cast<UserId>(user)] = std::move(dist);
-      }
-      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
-    }
     std::unordered_map<TweetId, std::vector<double>> infer_cache;
-    {
-      Result<snapshot::Decoder> dec = file->OpenSection("infer_cache");
-      if (!dec.ok()) return dec.status();
-      uint64_t count = 0;
-      MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
-      for (uint64_t i = 0; i < count; ++i) {
-        uint64_t tweet = 0;
-        std::vector<double> dist;
-        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&tweet));
-        MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
-        infer_cache[tweet] = std::move(dist);
+    if (file->version() == 2) {
+      MICROREC_RETURN_IF_ERROR(
+          LoadDistTableV2(*file, "users", &user_models));
+      MICROREC_RETURN_IF_ERROR(
+          LoadDistTableV2(*file, "infer_cache", &infer_cache));
+    } else {
+      {
+        Result<snapshot::Decoder> dec = file->OpenSection("users");
+        if (!dec.ok()) return dec.status();
+        uint64_t count = 0;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t user = 0;
+          std::vector<double> dist;
+          MICROREC_RETURN_IF_ERROR(dec->ReadU64(&user));
+          MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
+          user_models[static_cast<UserId>(user)] = std::move(dist);
+        }
+        MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
       }
-      MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+      {
+        Result<snapshot::Decoder> dec = file->OpenSection("infer_cache");
+        if (!dec.ok()) return dec.status();
+        uint64_t count = 0;
+        MICROREC_RETURN_IF_ERROR(dec->ReadU64(&count));
+        for (uint64_t i = 0; i < count; ++i) {
+          uint64_t tweet = 0;
+          std::vector<double> dist;
+          MICROREC_RETURN_IF_ERROR(dec->ReadU64(&tweet));
+          MICROREC_RETURN_IF_ERROR(dec->ReadVecF64(&dist));
+          infer_cache[tweet] = std::move(dist);
+        }
+        MICROREC_RETURN_IF_ERROR(dec->ExpectEnd());
+      }
     }
     user_models_ = std::move(user_models);
     infer_cache_ = std::move(infer_cache);
@@ -774,14 +1436,195 @@ class TopicEngine : public Engine {
     return Status::OK();
   }
 
+  Status OpenMapped(const std::string& path,
+                    const EngineContext& ctx) override {
+    Result<snapshot::MappedFile> file = snapshot::MappedFile::Open(path);
+    if (!file.ok()) return file.status();
+    if (file->version() == 1) {
+      // v1 sections have no random-access row index; serve the file
+      // resident with identical rankings (the memory win needs v2).
+      return LoadSnapshot(path, ctx);
+    }
+    MICROREC_RETURN_IF_ERROR(VerifyMappedIdentity(*file, config_, ctx));
+    auto owned = std::make_unique<snapshot::MappedFile>(std::move(*file));
+    Result<snapshot::MappedTable> users =
+        snapshot::MappedTable::Open(*owned, "users");
+    if (!users.ok()) return users.status();
+    Result<snapshot::MappedTable> cache =
+        snapshot::MappedTable::Open(*owned, "infer_cache");
+    if (!cache.ok()) return cache.status();
+    // The generator state is tiny and order-sensitive: restore it eagerly
+    // so the first fresh fold-in draws exactly what the saving engine would
+    // have drawn next. The O(model) vocab/model sections stay on disk until
+    // EnsureModel() — cache-hit serving never pays for them.
+    {
+      Result<const snapshot::MappedFile::MappedSection*> sec =
+          owned->Find("rng");
+      if (!sec.ok()) return sec.status();
+      std::string bytes;
+      MICROREC_RETURN_IF_ERROR(owned->ReadSection("rng", &bytes));
+      snapshot::Decoder dec(bytes, (*sec)->payload_offset);
+      MICROREC_RETURN_IF_ERROR(LoadRngState(&dec, &rng_));
+      MICROREC_RETURN_IF_ERROR(dec.ExpectEnd());
+    }
+    mapped_file_ = std::move(owned);
+    mapped_users_ =
+        std::make_unique<snapshot::MappedTable>(std::move(*users));
+    mapped_infer_ =
+        std::make_unique<snapshot::MappedTable>(std::move(*cache));
+    user_lru_.set_capacity(ctx.mapped_user_cache);
+    // Cached inferences are smaller than user models but hotter (every
+    // candidate in every query); give them the same bound scaled up.
+    infer_lru_.set_capacity(ctx.mapped_user_cache * 4);
+    user_models_.clear();
+    infer_cache_.clear();
+    invalidated_.clear();
+    model_.reset();
+    mapped_ = true;
+    loaded_from_snapshot_ = true;
+    WarmStartCounter()->Increment();
+    return Status::OK();
+  }
+
  private:
+  /// Mapped mode defers the O(model) sections (vocabulary + trained
+  /// counts/phi) until something actually needs the model: a fold-in for a
+  /// tweet absent from the persisted inference cache, or a cold user build.
+  /// Verifies the vocabulary fingerprint exactly like the resident load.
+  Status EnsureModel(const EngineContext& ctx) {
+    if (model_ != nullptr) return Status::OK();
+    if (!mapped_) return Status::FailedPrecondition("Prepare() not called");
+    Result<const snapshot::MappedFile::MappedSection*> vocab_sec =
+        mapped_file_->Find("vocab");
+    if (!vocab_sec.ok()) return vocab_sec.status();
+    std::string vocab_bytes;
+    MICROREC_RETURN_IF_ERROR(
+        mapped_file_->ReadSection("vocab", &vocab_bytes));
+    snapshot::Decoder vocab_dec(vocab_bytes, (*vocab_sec)->payload_offset);
+    std::vector<std::string> terms;
+    MICROREC_RETURN_IF_ERROR(vocab_dec.ReadVecString(&terms));
+    MICROREC_RETURN_IF_ERROR(vocab_dec.ExpectEnd());
+    const uint64_t fingerprint = snapshot::FingerprintTerms(terms);
+    if (fingerprint != mapped_file_->header().vocab_fingerprint) {
+      return Status::FailedPrecondition(
+          mapped_file_->origin() +
+          ": vocabulary fingerprint mismatch (snapshot " +
+          std::to_string(mapped_file_->header().vocab_fingerprint) +
+          ", computed " + std::to_string(fingerprint) + ")");
+    }
+    docs_ = topic::DocSet();
+    docs_.RestoreVocabulary(terms);
+    MICROREC_RETURN_IF_ERROR(MakeModel(ctx, /*llda_num_labels=*/0));
+    Result<const snapshot::MappedFile::MappedSection*> model_sec =
+        mapped_file_->Find("model");
+    if (!model_sec.ok()) {
+      model_.reset();
+      return model_sec.status();
+    }
+    std::string model_bytes;
+    Status read = mapped_file_->ReadSection("model", &model_bytes);
+    if (!read.ok()) {
+      model_.reset();
+      return read;
+    }
+    snapshot::Decoder model_dec(model_bytes, (*model_sec)->payload_offset);
+    Status loaded = model_->LoadState(&model_dec);
+    if (!loaded.ok()) {
+      model_.reset();
+      return loaded;
+    }
+    return Status::OK();
+  }
+
+  /// Resident lookup of a user distribution, materializing from the map on
+  /// miss (mapped mode only). Caller thread only. nullptr = absent or
+  /// (counted) corrupt. Materialized rows live behind user_lru_; cold-built
+  /// users are inserted directly by BuildUser and stay pinned.
+  const std::vector<double>* EnsureUserDist(UserId u) {
+    auto it = user_models_.find(u);
+    if (it != user_models_.end()) {
+      if (user_lru_.Contains(u)) user_lru_.Touch(u);
+      return &it->second;
+    }
+    if (!mapped_ || invalidated_.count(u) > 0) return nullptr;
+    bool found = false;
+    std::string row;
+    Status status = mapped_users_->Row(u, &found, &row);
+    if (status.ok() && !found) return nullptr;
+    std::vector<double> dist;
+    if (status.ok()) {
+      const std::string origin =
+          mapped_file_->origin() + ": topic user " + std::to_string(u);
+      size_t pos = 0;
+      status = GetRowF64s(row, &pos, &dist, origin, "distribution");
+      if (status.ok()) status = ExpectRowEnd(row, pos, origin);
+    }
+    if (!status.ok()) {
+      MappedRowErrorCounter()->Increment();
+      mapped_error_ = status;
+      return nullptr;
+    }
+    auto [fresh, inserted] = user_models_.emplace(u, std::move(dist));
+    (void)inserted;
+    if (std::optional<UserId> victim = user_lru_.Touch(u)) {
+      user_models_.erase(*victim);
+    }
+    return &fresh->second;
+  }
+
   // Per-tweet topic distributions are shared across users (the same test or
   // train tweet can appear for many users), so inference is cached.
   // Returns the cached topic distribution of a tweet, or an *empty* vector
   // when none of its words appear in the training vocabulary.
   const std::vector<double>& Infer(TweetId id, const EngineContext& ctx) {
+    // Decode/model errors in this non-Status path degrade the tweet to
+    // no-evidence (empty distribution), are counted, and surface through
+    // mapped_error_ at the next BuildUser.
+    static const std::vector<double> kNoEvidence;
     auto it = infer_cache_.find(id);
-    if (it != infer_cache_.end()) return it->second;
+    if (it != infer_cache_.end()) {
+      if (infer_lru_.Contains(id)) infer_lru_.Touch(id);
+      return it->second;
+    }
+    if (mapped_) {
+      // Persisted inference first: a hit is a row decode, not a Gibbs
+      // fold-in, and consumes no generator draws (matching the resident
+      // engine, whose cache was loaded wholesale).
+      bool found = false;
+      std::string row;
+      Status status = mapped_infer_->Row(id, &found, &row);
+      if (status.ok() && found) {
+        const std::string origin = mapped_file_->origin() +
+                                   ": cached inference " +
+                                   std::to_string(id);
+        std::vector<double> dist;
+        size_t pos = 0;
+        status = GetRowF64s(row, &pos, &dist, origin, "distribution");
+        if (status.ok()) status = ExpectRowEnd(row, pos, origin);
+        if (status.ok()) {
+          auto [fresh, inserted] = infer_cache_.emplace(id, std::move(dist));
+          (void)inserted;
+          if (std::optional<TweetId> victim = infer_lru_.Touch(id)) {
+            infer_cache_.erase(*victim);
+          }
+          return fresh->second;
+        }
+      }
+      if (!status.ok()) {
+        MappedRowErrorCounter()->Increment();
+        mapped_error_ = status;
+        return kNoEvidence;
+      }
+      // Absent from the snapshot: fold in fresh, in the same call order
+      // (and hence the same rng draw sequence) as the resident engine.
+      // Fresh inferences are pinned — they cannot be re-materialized.
+      Status model_ready = EnsureModel(ctx);
+      if (!model_ready.ok()) {
+        MappedRowErrorCounter()->Increment();
+        mapped_error_ = model_ready;
+        return kNoEvidence;
+      }
+    }
     static obs::Histogram* infer_hist =
         obs::MetricsRegistry::Global().GetHistogram(
             "topic.infer_seconds");
@@ -801,9 +1644,42 @@ class TopicEngine : public Engine {
   std::unordered_map<TweetId, std::vector<double>> infer_cache_;
   std::unordered_map<UserId, std::vector<double>> user_models_;
   bool loaded_from_snapshot_ = false;
+
+  // mmap serving state.
+  bool mapped_ = false;
+  std::unique_ptr<snapshot::MappedFile> mapped_file_;
+  std::unique_ptr<snapshot::MappedTable> mapped_users_;
+  std::unique_ptr<snapshot::MappedTable> mapped_infer_;
+  MappedLruTracker<UserId> user_lru_;
+  MappedLruTracker<TweetId> infer_lru_;
+  std::unordered_set<UserId> invalidated_;
+  Status mapped_error_;
 };
 
 }  // namespace
+
+const char* ServeModeName(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kResident:
+      return "resident";
+    case ServeMode::kMmap:
+      return "mmap";
+  }
+  return "resident";
+}
+
+Status ParseServeMode(std::string_view name, ServeMode* mode) {
+  if (name == "resident") {
+    *mode = ServeMode::kResident;
+    return Status::OK();
+  }
+  if (name == "mmap") {
+    *mode = ServeMode::kMmap;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown serve mode \"" + std::string(name) +
+                                 "\" (expected \"resident\" or \"mmap\")");
+}
 
 std::unique_ptr<Engine> MakeEngine(const ModelConfig& config) {
   switch (config.kind) {

@@ -23,11 +23,27 @@
 #include "rec/model_config.h"
 #include "rec/preprocessed.h"
 #include "resilience/deadline.h"
+#include "snapshot/snapshot.h"
 #include "topic/parallel_gibbs.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace microrec::rec {
+
+/// How a warm-started engine holds its persisted state (DESIGN.md §16).
+/// kResident decodes the whole snapshot into in-memory tables (the v1
+/// behavior); kMmap maps the file read-only and materializes per-user rows
+/// on demand behind a small LRU, so steady-state RSS scales with the
+/// working set, not the model. Rankings are byte-identical across modes.
+enum class ServeMode {
+  kResident,
+  kMmap,
+};
+
+/// "resident" / "mmap" (CLI flag values and bench labels).
+const char* ServeModeName(ServeMode mode);
+/// Parses a serve mode name; InvalidArgument listing legal values otherwise.
+Status ParseServeMode(std::string_view name, ServeMode* mode);
 
 /// Everything an engine needs to train and score.
 struct EngineContext {
@@ -70,10 +86,24 @@ struct EngineContext {
   /// topic engines. Not owned; may be nullptr.
   const resilience::CancelContext* cancel = nullptr;
   /// Snapshot to warm-start from. When non-empty, Prepare() first attempts
-  /// LoadSnapshot(warm_start_snapshot): on success the training phase is
-  /// skipped entirely; a missing file falls back to cold training; any
-  /// other load failure (corruption, identity mismatch) propagates.
+  /// LoadSnapshot(warm_start_snapshot) — or OpenMapped() under
+  /// serve_mode == kMmap — on success the training phase is skipped
+  /// entirely; a missing file falls back to cold training; any other load
+  /// failure (corruption, identity mismatch) propagates.
   std::string warm_start_snapshot;
+  /// Section codec used by SaveSnapshot: kRaw writes the v1 container
+  /// byte-for-byte; kCompressed writes microrec.snap/2 (varint/delta rows
+  /// inside block-compressed sections — several times smaller, mmap-able).
+  /// Loaders accept either regardless of this setting.
+  snapshot::SnapshotCodec snapshot_codec = snapshot::SnapshotCodec::kRaw;
+  /// How warm starts hold persisted state (see ServeMode). kMmap requires a
+  /// v2 snapshot to realize its memory win; a v1 file degrades gracefully
+  /// to a resident load with identical rankings.
+  ServeMode serve_mode = ServeMode::kResident;
+  /// Per-engine LRU capacity (user models materialized from the map) in
+  /// mmap mode. The cache only bounds memory; hit-or-miss never changes a
+  /// score.
+  size_t mapped_user_cache = 1024;
 };
 
 /// Optional capability for engines whose user models are sparse term
@@ -142,6 +172,21 @@ class Engine {
   /// that saved.
   virtual Status LoadSnapshot(const std::string& path,
                               const EngineContext& ctx) = 0;
+
+  /// mmap warm start: serves directly from the mapped snapshot, decoding a
+  /// user's row the first time a query needs it (bounded by
+  /// ctx.mapped_user_cache). Identity checks, the BuildUser-is-a-no-op
+  /// contract and the exact scores all match LoadSnapshot; only residency
+  /// differs. A v1 file falls back to LoadSnapshot. The engine keeps the
+  /// mapping open for its lifetime and is read-only with respect to the
+  /// persisted users: SaveSnapshot of a mapped engine is FailedPrecondition.
+  virtual Status OpenMapped(const std::string& path,
+                            const EngineContext& ctx) {
+    (void)ctx;
+    return Status::FailedPrecondition(
+        "mmap serving is not implemented for this engine (snapshot: " + path +
+        ")");
+  }
 
   /// Sparse-profile capability for BatchRanker's pruned fast path; nullptr
   /// for families without sparse user-term profiles (graph, topic).

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "resilience/fault.h"
+#include "snapshot/codec.h"
 #include "util/fs.h"
 
 namespace microrec::snapshot {
@@ -23,6 +24,30 @@ std::string At(const std::string& origin, uint64_t offset) {
 }
 
 }  // namespace
+
+const char* SnapshotCodecName(SnapshotCodec codec) {
+  switch (codec) {
+    case SnapshotCodec::kRaw:
+      return "raw";
+    case SnapshotCodec::kCompressed:
+      return "compressed";
+  }
+  return "raw";
+}
+
+Status ParseSnapshotCodec(std::string_view name, SnapshotCodec* codec) {
+  if (name == "raw") {
+    *codec = SnapshotCodec::kRaw;
+    return Status::OK();
+  }
+  if (name == "compressed") {
+    *codec = SnapshotCodec::kCompressed;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown snapshot codec \"" +
+                                 std::string(name) +
+                                 "\" (expected raw or compressed)");
+}
 
 std::string EncodeHeader(const Header& header) {
   Encoder enc;
@@ -53,8 +78,9 @@ void Writer::AddSection(std::string name, std::string payload) {
 }
 
 std::string Writer::Serialize() const {
+  const bool compressed = codec_ == SnapshotCodec::kCompressed;
   Encoder enc;
-  enc.PutRaw(std::string_view(kMagic, kMagicSize));
+  enc.PutRaw(std::string_view(compressed ? kMagicV2 : kMagic, kMagicSize));
   auto emit = [&enc](const std::string& name, const std::string& payload) {
     enc.PutU32(static_cast<uint32_t>(name.size()));
     enc.PutRaw(name);
@@ -64,9 +90,13 @@ std::string Writer::Serialize() const {
     enc.PutU32(crc);
     enc.PutRaw(payload);
   };
+  // The header stays raw in both versions so identity checks never depend
+  // on the codec; every other v2 payload becomes an MCS1 stream, with the
+  // frame CRC computed over the stored (compressed) bytes.
   emit(kHeaderSection, EncodeHeader(header_));
   for (const Section& section : sections_) {
-    emit(section.name, section.payload);
+    emit(section.name,
+         compressed ? CompressStream(section.payload) : section.payload);
   }
   return enc.Release();
 }
@@ -131,7 +161,9 @@ Result<File> File::Parse(std::string bytes, const std::string& origin) {
         " of " + std::to_string(kMagicSize) + " bytes)");
   }
   std::string_view magic(data.data(), kMagicSize);
-  if (magic != std::string_view(kMagic, kMagicSize)) {
+  if (magic == std::string_view(kMagicV2, kMagicSize)) {
+    file.version_ = 2;
+  } else if (magic != std::string_view(kMagic, kMagicSize)) {
     if (magic.substr(0, sizeof(kMagicPrefix) - 1) == kMagicPrefix) {
       // Same family, different version: report skew, not corruption, so the
       // operator knows to retrain/re-save rather than chase a bad disk.
@@ -143,7 +175,7 @@ Result<File> File::Parse(std::string bytes, const std::string& origin) {
       return Status::FailedPrecondition(
           At(origin, sizeof(kMagicPrefix) - 1) +
           ": snapshot version skew: file is microrec.snap/" + version +
-          ", reader understands microrec.snap/1");
+          ", reader understands microrec.snap/1 and /2");
     }
     return Status::InvalidArgument(At(origin, 0) +
                                    ": bad magic, not a microrec.snap file");
@@ -225,6 +257,29 @@ Result<File> File::Parse(std::string bytes, const std::string& origin) {
   if (!decoded.ok()) {
     return Status::FromCode(
         decoded.code(), origin + ": bad snapshot header: " + decoded.message());
+  }
+
+  // A v2 container stores every non-header payload as an MCS1 stream;
+  // decompress them in place (every block CRC is verified along the way) so
+  // section consumers see the same decompressed bytes the mapped reader
+  // serves. Offsets in downstream decode errors still name the compressed
+  // payload's position in the file — the nearest physical location a
+  // corrupted logical byte can be attributed to.
+  if (file.version_ == 2) {
+    for (size_t i = 1; i < file.sections_.size(); ++i) {
+      Section& section = file.sections_[i];
+      if (!LooksLikeStream(section.payload)) {
+        return Status::DataLoss(
+            At(origin, section.payload_offset) + ": v2 section \"" +
+            section.name + "\" is not an MCS1 stream");
+      }
+      std::string raw;
+      Status status = DecompressStream(
+          section.payload, &raw, section.payload_offset,
+          origin + ":section \"" + section.name + "\"");
+      if (!status.ok()) return status;
+      section.payload = std::move(raw);
+    }
   }
   obs::MetricsRegistry::Global().GetCounter("snapshot.loads")->Increment();
   return file;

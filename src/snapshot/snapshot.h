@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "snapshot/format.h"
@@ -35,14 +36,30 @@
 
 namespace microrec::snapshot {
 
-/// The container magic; its trailing "/1\n" is the format version. A future
-/// breaking revision bumps to "microrec.snap/2" and old loaders reject it
-/// as version skew (new loaders may accept both).
+/// The container magic; its trailing "/1\n" is the format version. Version 2
+/// (DESIGN.md §16) keeps the outer section framing byte-for-byte and wraps
+/// every non-header section payload in an MCS1 block-compressed stream
+/// (snapshot/codec.h); the reader accepts both, writers pick via codec.
 inline constexpr char kMagic[] = "microrec.snap/1\n";
+inline constexpr char kMagicV2[] = "microrec.snap/2\n";
 inline constexpr size_t kMagicSize = 16;
 /// Stable prefix shared by every version of the format; a file carrying the
 /// prefix but a different version suffix is *skew*, not garbage.
 inline constexpr char kMagicPrefix[] = "microrec.snap/";
+
+/// How a Writer encodes section payloads. kRaw emits exactly the v1 file an
+/// older reader understands; kCompressed emits a v2 file whose non-header
+/// sections are MCS1 streams (and whose engine tables use the varint/delta
+/// row codec) — typically several times smaller, and mmap-servable.
+enum class SnapshotCodec {
+  kRaw,
+  kCompressed,
+};
+
+/// "raw" / "compressed" (CLI flag values and bench labels).
+const char* SnapshotCodecName(SnapshotCodec codec);
+/// Parses a codec name; InvalidArgument listing the legal values otherwise.
+Status ParseSnapshotCodec(std::string_view name, SnapshotCodec* codec);
 
 /// Section names cap (flipped length bits must not drive allocations).
 inline constexpr uint32_t kMaxSectionName = 256;
@@ -74,6 +91,13 @@ class Writer {
   /// Adds a named section (order is preserved; names must be unique).
   void AddSection(std::string name, std::string payload);
 
+  /// Selects the container version: kRaw writes `microrec.snap/1`,
+  /// kCompressed writes `microrec.snap/2` with each non-header payload
+  /// wrapped in an MCS1 stream at Serialize time. Callers that switch the
+  /// codec must also switch any codec-dependent section encodings (the
+  /// engines key both off EngineContext::snapshot_codec).
+  void set_codec(SnapshotCodec codec) { codec_ = codec; }
+
   /// Serializes to `<path>.tmp` and renames over `path`, creating the
   /// parent directory if missing. Fault site: `snapshot.write`.
   Status Commit(const std::string& path) const;
@@ -84,6 +108,7 @@ class Writer {
  private:
   Header header_;
   std::vector<Section> sections_;
+  SnapshotCodec codec_ = SnapshotCodec::kRaw;
 };
 
 /// A fully validated in-memory snapshot.
@@ -99,6 +124,12 @@ class File {
 
   const Header& header() const { return header_; }
   const std::vector<Section>& sections() const { return sections_; }
+
+  /// Container version the bytes carried (1 or 2). Version 2 sections are
+  /// presented *decompressed* — loaders never see MCS1 framing — but their
+  /// inner encoding differs (varint/delta tables), so engine loaders branch
+  /// on this.
+  uint32_t version() const { return version_; }
 
   /// Section lookup; NotFound (with the file name) when absent.
   Result<const Section*> Find(std::string_view name) const;
@@ -121,6 +152,7 @@ class File {
   std::string bytes_;  // owns section payload storage
   Header header_;
   std::vector<Section> sections_;
+  uint32_t version_ = 1;
 };
 
 /// Encodes / decodes the header-section payload (exposed for tests).
